@@ -1,0 +1,1 @@
+examples/binary_payload.ml: Array Decode Encode Format Instr Int64 List Program Riscv Tee Teesec Uarch

@@ -1,0 +1,1 @@
+examples/btb_covert.ml: Csr Format Instr Int64 List Program Riscv Tee Uarch

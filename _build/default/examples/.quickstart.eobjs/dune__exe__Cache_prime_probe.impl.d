@@ -1,0 +1,1 @@
+examples/cache_prime_probe.ml: Format Instr Int64 List Program Riscv Tee Teesec Uarch

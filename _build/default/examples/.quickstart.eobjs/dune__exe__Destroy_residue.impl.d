@@ -1,0 +1,1 @@
+examples/destroy_residue.ml: Format List Teesec Uarch

@@ -1,0 +1,1 @@
+examples/full_campaign.ml: Format List Teesec Uarch

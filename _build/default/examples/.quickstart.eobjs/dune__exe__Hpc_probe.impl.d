@@ -1,0 +1,1 @@
+examples/hpc_probe.ml: Format Instr Int64 List Printf Program Riscv Tee Uarch

@@ -1,0 +1,1 @@
+examples/hpc_probe.mli:

@@ -1,0 +1,1 @@
+examples/mitigation_tuning.ml: Format List String Teesec Uarch

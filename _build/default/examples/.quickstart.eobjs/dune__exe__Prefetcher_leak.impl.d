@@ -1,0 +1,1 @@
+examples/prefetcher_leak.ml: Format List Teesec Uarch

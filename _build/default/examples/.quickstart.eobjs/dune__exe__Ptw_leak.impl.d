@@ -1,0 +1,1 @@
+examples/ptw_leak.ml: Format List Teesec Uarch

@@ -1,0 +1,1 @@
+examples/ptw_leak.mli:

@@ -1,0 +1,92 @@
+(* Case study M2 (paper Figure 7): recovering an enclave secret byte
+   through uBTB prime-and-probe.
+
+   Host and enclave branch PCs that differ only above the uBTB's index
+   and partial-tag bits map to the same predictor entry.  The enclave
+   executes a conditional branch whose direction depends on one secret
+   bit; the host primes the shared entry before entry and probes it
+   afterwards, timing its own branch to observe whether the prediction
+   was flipped.  Eight rounds recover a full byte.
+
+   Run with: dune exec examples/btb_covert.exe *)
+
+open Riscv
+
+(* A branch at instruction index 2, so the host and enclave versions sit
+   at PCs with identical low bits.  [measure] brackets the branch with
+   cycle-counter reads (the probe). *)
+let branch_program ~base ~taken ~measure =
+  let prefix =
+    if measure then [ Program.Instr (Instr.Csrr (Instr.a2, Csr.Cycle)) ]
+    else [ Program.Instr Instr.Nop ]
+  in
+  let branch =
+    if taken then Instr.Branch (Instr.Eq, 0, 0, "target")
+    else Instr.Branch (Instr.Ne, 0, 0, "target")
+  in
+  let suffix =
+    if measure then
+      [
+        Program.Instr (Instr.Csrr (Instr.a3, Csr.Cycle));
+        Program.Instr (Instr.Alu (Instr.Sub, Instr.a4, Instr.a3, Instr.a2));
+      ]
+    else []
+  in
+  Program.assemble ~base
+    (prefix
+    @ [
+        Program.Instr Instr.Nop;
+        Program.Instr branch;
+        Program.Instr Instr.Nop;
+        Program.Label "target";
+      ]
+    @ suffix
+    @ [ Program.Instr Instr.Halt ])
+
+let recover_byte config ~secret_byte =
+  let machine = Uarch.Machine.create config in
+  let sm = Tee.Security_monitor.install machine in
+  let eid =
+    match Tee.Security_monitor.create_enclave sm () with
+    | Ok eid -> eid
+    | Error e -> failwith (Tee.Security_monitor.error_to_string e)
+  in
+  let host_base = Tee.Memory_layout.host_code_base in
+  let enclave_base = Tee.Memory_layout.enclave_code_base eid in
+  let recovered = ref 0 in
+  for bit = 7 downto 0 do
+    let secret_bit = (secret_byte lsr bit) land 1 = 1 in
+    (* Prime: the host trains the shared entry with a taken branch. *)
+    ignore
+      (Tee.Security_monitor.run_host sm
+         (branch_program ~base:host_base ~taken:true ~measure:false));
+    (* Victim: the enclave branch direction encodes the secret bit. *)
+    Tee.Security_monitor.register_enclave_program sm eid
+      (branch_program ~base:enclave_base ~taken:secret_bit ~measure:false);
+    ignore
+      (if bit = 7 then Tee.Security_monitor.run_enclave sm eid
+       else Tee.Security_monitor.resume_enclave sm eid);
+    (* Probe: the host re-executes its (not-taken) branch and times it.
+       A misprediction penalty means the entry still says "taken". *)
+    ignore
+      (Tee.Security_monitor.run_host sm
+         (branch_program ~base:host_base ~taken:false ~measure:true));
+    let delta = Int64.to_int (Uarch.Machine.get_reg machine Instr.a4) in
+    let inferred = delta > 10 in
+    Format.printf "  bit %d: probe took %2d cycles -> enclave branch %s@." bit delta
+      (if inferred then "TAKEN" else "not taken");
+    if inferred then recovered := !recovered lor (1 lsl bit)
+  done;
+  !recovered
+
+let () =
+  List.iter
+    (fun (config : Uarch.Config.t) ->
+      let secret_byte = 0b1011_0010 in
+      Format.printf "uBTB prime-and-probe on %s (secret byte 0x%02x):@."
+        config.Uarch.Config.name secret_byte;
+      let recovered = recover_byte config ~secret_byte in
+      Format.printf "  recovered: 0x%02x %s@.@." recovered
+        (if recovered = secret_byte then "(exact match - enclave control flow leaked)"
+         else "(mismatch)"))
+    [ Uarch.Config.boom; Uarch.Config.xiangshan ]

@@ -1,0 +1,77 @@
+(* Classic Prime+Probe against a secret-dependent enclave access
+   (paper §2.2 background; threat-model class "access-driven side
+   channels through shared microarchitectural state").
+
+   The enclave reads one of two lines depending on a secret bit.  The
+   host cannot read enclave memory — but the L1D is shared and nothing
+   flushes it at the boundary, so the host primes the two cache sets
+   with its own eviction sets, lets the enclave run, and probes: the set
+   whose probe got slower is the one the enclave's access evicted a
+   primed line from.  Eight rounds recover a byte without the checker's
+   help — pure timing.
+
+   Run with: dune exec examples/cache_prime_probe.exe *)
+
+open Riscv
+
+let recover_byte (config : Uarch.Config.t) ~secret_byte =
+  let machine = Uarch.Machine.create config in
+  let sm = Tee.Security_monitor.install machine in
+  let eid =
+    match Tee.Security_monitor.create_enclave sm () with
+    | Ok eid -> eid
+    | Error e -> failwith (Tee.Security_monitor.error_to_string e)
+  in
+  let base = Tee.Memory_layout.enclave_base eid in
+  (* Two victim lines far enough apart to live in different sets. *)
+  let line0 = Int64.add base 0x8000L in
+  let line1 = Int64.add base 0x8400L in
+  assert (not (Teesec.Eviction_set.same_set config ~addr1:line0 ~addr2:line1));
+  let ways = config.Uarch.Config.l1_ways in
+  let evset n =
+    Teesec.Eviction_set.build config ~target:n
+      ~from:Tee.Memory_layout.host_data_base ~count:ways
+  in
+  let ev0 = evset line0 and ev1 = evset line1 in
+  let host_run instrs =
+    ignore
+      (Tee.Security_monitor.run_host sm
+         (Program.of_instrs ~base:Tee.Memory_layout.host_code_base (instrs @ [ Instr.Halt ])))
+  in
+  let probe addrs =
+    host_run (Teesec.Eviction_set.probe_instrs addrs);
+    Int64.to_int (Uarch.Machine.get_reg machine Instr.a6)
+  in
+  let recovered = ref 0 in
+  for bit = 7 downto 0 do
+    let secret_line = if (secret_byte lsr bit) land 1 = 1 then line1 else line0 in
+    (* Prime both sets. *)
+    host_run (Teesec.Eviction_set.prime_instrs (ev0 @ ev1));
+    (* Victim: one secret-dependent access. *)
+    Tee.Security_monitor.register_enclave_program sm eid
+      (Program.of_instrs ~base:(Tee.Memory_layout.enclave_code_base eid)
+         [ Instr.Li (Instr.t1, secret_line); Instr.ld Instr.t0 Instr.t1 0L; Instr.Halt ]);
+    ignore
+      (if bit = 7 then Tee.Security_monitor.run_enclave sm eid
+       else Tee.Security_monitor.resume_enclave sm eid);
+    (* Probe both sets and compare. *)
+    let t0 = probe ev0 in
+    let t1 = probe ev1 in
+    let inferred = t1 > t0 in
+    Format.printf "  bit %d: probe set0=%3d set1=%3d cycles -> bit=%d@." bit t0 t1
+      (if inferred then 1 else 0);
+    if inferred then recovered := !recovered lor (1 lsl bit)
+  done;
+  !recovered
+
+let () =
+  List.iter
+    (fun (config : Uarch.Config.t) ->
+      let secret_byte = 0b0110_1001 in
+      Format.printf "L1D Prime+Probe on %s (secret byte 0x%02x):@."
+        config.Uarch.Config.name secret_byte;
+      let recovered = recover_byte config ~secret_byte in
+      Format.printf "  recovered: 0x%02x %s@.@." recovered
+        (if recovered = secret_byte then "(exact match - secret-dependent access leaked)"
+         else "(mismatch)"))
+    [ Uarch.Config.boom; Uarch.Config.xiangshan ]

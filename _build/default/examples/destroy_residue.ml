@@ -1,0 +1,32 @@
+(* Case study D3 (paper Figure 4): LFB residue after enclave destroy.
+
+   The host asks the security monitor to destroy a stopped enclave.  The
+   monitor's memset stores miss in the L1D, so each line of the dying
+   enclave is first fetched from the L2 through the line-fill buffer.
+   On BOOM the LFB retains completed fills until the slot is reused, so
+   enclave secrets are still sitting there when control returns to the
+   host.  XiangShan's miss queue clears entries on deallocation.
+
+   Run with: dune exec examples/destroy_residue.exe *)
+
+let () =
+  List.iter
+    (fun (config : Uarch.Config.t) ->
+      let trace = Teesec.Scenarios.destroy_residue config in
+      Format.printf "%a@." Teesec.Scenarios.pp_trace trace;
+      (* Show the artifact-style checker report for the same flow. *)
+      let params = Teesec.Params.make () in
+      let tc =
+        Teesec.Assembler.assemble ~id:0 Teesec.Access_path.Imp_acc_destroy_memset
+          ~params
+      in
+      let outcome = Teesec.Runner.run config tc in
+      let findings =
+        Teesec.Checker.check outcome.Teesec.Runner.log outcome.Teesec.Runner.tracker
+      in
+      let d3 =
+        List.filter (fun f -> f.Teesec.Checker.case = Some Teesec.Case.D3) findings
+      in
+      if d3 = [] then Format.printf "No D3 finding on %s.@.@." config.Uarch.Config.name
+      else List.iter (Teesec.Report.render_finding Format.std_formatter) d3)
+    [ Uarch.Config.boom; Uarch.Config.xiangshan ]

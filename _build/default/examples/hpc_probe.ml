@@ -1,0 +1,77 @@
+(* Case study M1: profiling enclave behaviour through hardware
+   performance counters.
+
+   Neither core resets the HPCs on a context switch and Keystone offers
+   no software cleansing, so the untrusted host can read the counters
+   before and after an enclave runs and attribute the deltas to the
+   enclave.  Here the host distinguishes a memory-heavy enclave from a
+   branch-heavy one purely from counter deltas.
+
+   Run with: dune exec examples/hpc_probe.exe *)
+
+open Riscv
+
+let memory_heavy_program ~base ~data =
+  let loads =
+    List.concat_map
+      (fun i ->
+        [
+          Instr.Li (Instr.t1, Int64.add data (Int64.of_int (i * 64)));
+          Instr.ld Instr.t0 Instr.t1 0L;
+        ])
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Program.of_instrs ~base (loads @ [ Instr.Halt ])
+
+let branch_heavy_program ~base =
+  let branch i =
+    [
+      Program.Instr (Instr.Branch (Instr.Eq, 0, 0, Printf.sprintf "l%d" i));
+      Program.Instr Instr.Nop;
+      Program.Label (Printf.sprintf "l%d" i);
+    ]
+  in
+  Program.assemble ~base
+    (List.concat_map branch [ 0; 1; 2; 3; 4; 5; 6; 7 ] @ [ Program.Instr Instr.Halt ])
+
+let counters = Uarch.Hpc.all_events
+
+let read_counters machine =
+  List.map (fun e -> (e, Uarch.Hpc.read (Uarch.Machine.csr machine) e)) counters
+
+let profile config ~label ~program_of =
+  let machine = Uarch.Machine.create config in
+  let sm = Tee.Security_monitor.install machine in
+  let eid =
+    match Tee.Security_monitor.create_enclave sm () with
+    | Ok eid -> eid
+    | Error e -> failwith (Tee.Security_monitor.error_to_string e)
+  in
+  Tee.Security_monitor.register_enclave_program sm eid
+    (program_of ~base:(Tee.Memory_layout.enclave_code_base eid)
+       ~data:(Tee.Memory_layout.enclave_base eid));
+  (* The host primes a baseline, runs the enclave, then reads again. *)
+  let before = read_counters machine in
+  ignore (Tee.Security_monitor.run_enclave sm eid);
+  let after = read_counters machine in
+  Format.printf "  %s enclave:" label;
+  List.iter2
+    (fun (e, b) (_, a) ->
+      let delta = Int64.sub a b in
+      if not (Int64.equal delta 0L) then
+        Format.printf " %s:+%Ld" (Uarch.Hpc.to_string e) delta)
+    before after;
+  Format.printf "@."
+
+let () =
+  List.iter
+    (fun (config : Uarch.Config.t) ->
+      Format.printf "Host-visible counter deltas on %s:@." config.Uarch.Config.name;
+      profile config ~label:"memory-heavy" ~program_of:(fun ~base ~data ->
+          memory_heavy_program ~base ~data);
+      profile config ~label:"branch-heavy" ~program_of:(fun ~base ~data:_ ->
+          branch_heavy_program ~base);
+      Format.printf
+        "  -> the host distinguishes the two workloads without any access to \
+         enclave memory (M1).@.@.")
+    [ Uarch.Config.boom; Uarch.Config.xiangshan ]

@@ -1,0 +1,47 @@
+(* Case study D2 (paper Figure 3): leaking through page-table walks.
+
+   The malicious OS points the host root page table (satp) into enclave
+   memory and issues a load whose translation misses the TLB.  The
+   hardware page-table walker's implicit read of the "root PTE" targets
+   enclave data:
+
+   - BOOM sends the request over the ordinary L1D channel and checks PMP
+     only afterwards — the LFB receives 64 bytes of enclave secrets even
+     though an access fault is eventually raised.
+   - XiangShan checks PMP before creating the PTW refill request; no
+     request is issued at all, so it is not vulnerable.
+
+   Run with: dune exec examples/ptw_leak.exe *)
+
+let () =
+  List.iter
+    (fun config ->
+      let trace = Teesec.Scenarios.ptw config in
+      Format.printf "%a@." Teesec.Scenarios.pp_trace trace)
+    [ Uarch.Config.boom; Uarch.Config.xiangshan ];
+
+  (* Sweep all eight root-PTE slots: each vpn2 value makes the walker
+     read a different word of the hijacked "root table" line, so the
+     attacker can dump the whole enclave line through the LFB. *)
+  let config = Uarch.Config.boom in
+  Format.printf "Dumping an enclave line word by word on %s:@." config.Uarch.Config.name;
+  List.iter
+    (fun vpn2 ->
+      let params = Teesec.Params.make ~offset:(vpn2 * 8) ~width:8 () in
+      let tc = Teesec.Assembler.assemble ~id:vpn2 Teesec.Access_path.Imp_acc_ptw_root ~params in
+      let outcome = Teesec.Runner.run config tc in
+      let findings =
+        Teesec.Checker.check outcome.Teesec.Runner.log outcome.Teesec.Runner.tracker
+      in
+      let leaked =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun f ->
+               match (f.Teesec.Checker.case, f.Teesec.Checker.secret) with
+               | Some Teesec.Case.D2, Some s -> Some s.Teesec.Secret.value
+               | _ -> None)
+             findings)
+      in
+      Format.printf "  vpn2=%d: %d distinct secret word(s) of the line in the LFB@." vpn2
+        (List.length leaked))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]

@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Cell Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netlist/designs.ml: Cell Design

@@ -1,0 +1,1 @@
+lib/netlist/designs.mli: Design

@@ -1,0 +1,1 @@
+lib/netlist/memory_pass.ml: Cell Design Format List String

@@ -1,0 +1,1 @@
+lib/netlist/memory_pass.mli: Cell Design Format

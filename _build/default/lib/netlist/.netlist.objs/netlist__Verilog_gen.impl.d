@@ -1,0 +1,1 @@
+lib/netlist/verilog_gen.ml: Buffer Cell Design Hashtbl List Printf String

@@ -1,0 +1,20 @@
+type t =
+  | Register of { name : string; width : int }
+  | Memory of { name : string; width : int; depth : int }
+  | Logic of { name : string }
+
+let name = function
+  | Register { name; _ } | Memory { name; _ } | Logic { name } -> name
+
+let state_bits = function
+  | Register { width; _ } -> width
+  | Memory { width; depth; _ } -> width * depth
+  | Logic _ -> 0
+
+let is_storage t = state_bits t > 0
+
+let pp fmt = function
+  | Register { name; width } -> Format.fprintf fmt "reg %s[%d]" name width
+  | Memory { name; width; depth } ->
+    Format.fprintf fmt "mem %s[%dx%d]" name depth width
+  | Logic { name } -> Format.fprintf fmt "logic %s" name

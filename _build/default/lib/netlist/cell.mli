@@ -1,0 +1,25 @@
+(** Structural netlist cells.
+
+    A deliberately small model of the design representation the Yosys
+    memory-mapping pass operates on: each hardware module is a bag of
+    cells, and the pass of {!Memory_pass} collects every cell that maps to
+    a memory object.  This reproduces the automatic
+    "Identifying Storage Elements" step of the paper's verification plan
+    (Table 1). *)
+
+type t =
+  | Register of { name : string; width : int }
+      (** A single flip-flop vector. *)
+  | Memory of { name : string; width : int; depth : int }
+      (** An addressable array: [depth] entries of [width] bits. *)
+  | Logic of { name : string }
+      (** Combinational logic; carries no state. *)
+
+val name : t -> string
+
+(** [state_bits cell] is the number of state bits the cell holds (zero
+    for combinational logic). *)
+val state_bits : t -> int
+
+val is_storage : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type hw_module = {
+  module_name : string;
+  cells : Cell.t list;
+  instances : (string * string) list;
+}
+
+type t = { top : string; modules : (string, hw_module) Hashtbl.t }
+
+let create ~top modules =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem table m.module_name then
+        invalid_arg
+          (Printf.sprintf "Design.create: duplicate module %s" m.module_name);
+      Hashtbl.replace table m.module_name m)
+    modules;
+  let find name =
+    match Hashtbl.find_opt table name with
+    | Some m -> m
+    | None -> invalid_arg (Printf.sprintf "Design.create: missing module %s" name)
+  in
+  (* Check hierarchy: every instance resolves and there is no cycle. *)
+  let rec check trail name =
+    if List.mem name trail then
+      invalid_arg (Printf.sprintf "Design.create: cyclic hierarchy at %s" name);
+    let m = find name in
+    List.iter (fun (_, sub) -> check (name :: trail) sub) m.instances
+  in
+  check [] top;
+  { top; modules = table }
+
+let top t = Hashtbl.find t.modules t.top
+let find_module t name = Hashtbl.find_opt t.modules name
+let module_count t = Hashtbl.length t.modules
+
+let iter_instances t f =
+  let rec go path m =
+    f ~path ~hw_module:m;
+    List.iter
+      (fun (inst, sub) ->
+        go (path ^ "." ^ inst) (Hashtbl.find t.modules sub))
+      m.instances
+  in
+  go t.top (top t)

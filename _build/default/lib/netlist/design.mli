@@ -1,0 +1,31 @@
+(** Hierarchical hardware designs.
+
+    A design is a table of modules plus a distinguished top module; each
+    module contains cells and named instances of other modules.  The
+    hierarchy exists so that the memory pass can report storage elements
+    with their full instance path (e.g. [core.lsu.lfb.data]), which is how
+    the verification plan refers to them and how the simulation log is
+    keyed. *)
+
+type hw_module = {
+  module_name : string;
+  cells : Cell.t list;
+  instances : (string * string) list;
+      (** [(instance_name, module_name)] pairs. *)
+}
+
+type t
+
+(** [create ~top modules] builds a design.  Raises [Invalid_argument] if
+    [top] or any instantiated module is missing, a module is defined
+    twice, or the hierarchy is cyclic. *)
+val create : top:string -> hw_module list -> t
+
+val top : t -> hw_module
+val find_module : t -> string -> hw_module option
+val module_count : t -> int
+
+(** [iter_instances t f] calls [f ~path ~hw_module] for every instance in
+    the hierarchy, with [path] the dot-separated instance path from the
+    top module (the top itself has its module name as path). *)
+val iter_instances : t -> (path:string -> hw_module:hw_module -> unit) -> unit

@@ -1,0 +1,182 @@
+let reg name width = Cell.Register { name; width }
+let mem name ~width ~depth = Cell.Memory { name; width; depth }
+let logic name = Cell.Logic { name }
+
+(* Line size is 512 bits throughout, matching both cores. *)
+let line_bits = 512
+
+let boom =
+  Design.create ~top:"boom"
+    [
+      {
+        module_name = "boom";
+        cells = [ logic "tile" ];
+        instances =
+          [
+            ("frontend", "boom_frontend");
+            ("backend", "boom_backend");
+            ("lsu", "boom_lsu");
+            ("ptw", "boom_ptw");
+            ("csr", "boom_csr");
+          ];
+      };
+      {
+        module_name = "boom_frontend";
+        cells =
+          [
+            mem "icache_data" ~width:line_bits ~depth:64;
+            mem "icache_meta" ~width:20 ~depth:64;
+            mem "fetch_buffer" ~width:32 ~depth:8;
+            mem "btb" ~width:60 ~depth:128;
+            mem "bim" ~width:2 ~depth:512;
+            mem "ras" ~width:40 ~depth:8;
+            reg "fetch_pc" 40;
+          ];
+        instances = [];
+      };
+      {
+        module_name = "boom_backend";
+        cells =
+          [
+            mem "rob" ~width:70 ~depth:32;
+            mem "int_regfile" ~width:64 ~depth:100;
+            mem "rename_maptable" ~width:7 ~depth:32;
+            mem "issue_queue" ~width:80 ~depth:16;
+            logic "alu";
+          ];
+        instances = [];
+      };
+      {
+        module_name = "boom_lsu";
+        cells =
+          [
+            mem "load_queue" ~width:80 ~depth:8;
+            mem "store_queue" ~width:140 ~depth:8;
+            mem "dtlb" ~width:70 ~depth:32;
+          ];
+        instances = [ ("dcache", "boom_dcache") ];
+      };
+      {
+        module_name = "boom_dcache";
+        cells =
+          [
+            mem "data_array" ~width:line_bits ~depth:64;
+            mem "meta_array" ~width:22 ~depth:64;
+            mem "lfb" ~width:line_bits ~depth:4;
+              (* Line-fill buffer / MSHR data: the structure behind D1-D3. *)
+            mem "mshr_meta" ~width:50 ~depth:4;
+            mem "wb_buffer" ~width:line_bits ~depth:2;
+            reg "prefetcher_next_line" 40;
+          ];
+        instances = [];
+      };
+      {
+        module_name = "boom_ptw";
+        cells =
+          [ mem "ptw_cache" ~width:64 ~depth:8; reg "ptw_state" 4 ];
+        instances = [];
+      };
+      {
+        module_name = "boom_csr";
+        cells =
+          [
+            mem "hpm_counters" ~width:64 ~depth:8;
+            mem "pmp_cfg" ~width:8 ~depth:16;
+            mem "pmp_addr" ~width:54 ~depth:16;
+            reg "satp" 64;
+          ];
+        instances = [];
+      };
+    ]
+
+let xiangshan =
+  Design.create ~top:"xiangshan"
+    [
+      {
+        module_name = "xiangshan";
+        cells = [ logic "tile" ];
+        instances =
+          [
+            ("frontend", "xs_frontend");
+            ("backend", "xs_backend");
+            ("memblock", "xs_memblock");
+            ("ptw", "xs_ptw");
+            ("csr", "xs_csr");
+          ];
+      };
+      {
+        module_name = "xs_frontend";
+        cells =
+          [
+            mem "icache_data" ~width:line_bits ~depth:128;
+            mem "icache_meta" ~width:20 ~depth:128;
+            mem "ubtb" ~width:60 ~depth:1024;
+              (* Direct-mapped micro BTB; partial tags make it the M2 target. *)
+            mem "ftb" ~width:100 ~depth:4096;
+            mem "tage_tables" ~width:12 ~depth:2048;
+            mem "ras" ~width:40 ~depth:16;
+          ];
+        instances = [];
+      };
+      {
+        module_name = "xs_backend";
+        cells =
+          [
+            mem "rob" ~width:70 ~depth:48;
+            mem "int_regfile" ~width:64 ~depth:128;
+            mem "rename_table" ~width:7 ~depth:32;
+            mem "issue_queue" ~width:80 ~depth:24;
+            logic "exu";
+          ];
+        instances = [];
+      };
+      {
+        module_name = "xs_memblock";
+        cells =
+          [
+            mem "load_queue" ~width:80 ~depth:16;
+            mem "store_queue" ~width:140 ~depth:12;
+            mem "sbuffer" ~width:line_bits ~depth:16;
+              (* Committed-store buffer: the structure behind D8 and M1. *)
+            mem "dtlb" ~width:70 ~depth:32;
+          ];
+        instances = [ ("dcache", "xs_dcache") ];
+      };
+      {
+        module_name = "xs_dcache";
+        cells =
+          [
+            mem "data_array" ~width:line_bits ~depth:128;
+            mem "meta_array" ~width:22 ~depth:128;
+            mem "miss_queue" ~width:line_bits ~depth:8;
+            mem "wb_queue" ~width:line_bits ~depth:4;
+          ];
+        instances = [];
+      };
+      {
+        module_name = "xs_ptw";
+        cells =
+          [
+            mem "ptw_cache_l1" ~width:64 ~depth:16;
+            mem "ptw_cache_l2" ~width:64 ~depth:32;
+            reg "ptw_state" 4;
+          ];
+        instances = [];
+      };
+      {
+        module_name = "xs_csr";
+        cells =
+          [
+            mem "hpm_counters" ~width:64 ~depth:8;
+            mem "pmp_cfg" ~width:8 ~depth:16;
+            mem "pmp_addr" ~width:54 ~depth:16;
+            reg "satp" 64;
+          ];
+        instances = [];
+      };
+    ]
+
+let of_core_name = function
+  | "boom" -> Some boom
+  | "xiangshan" -> Some xiangshan
+  | _ -> None

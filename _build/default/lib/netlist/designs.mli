@@ -1,0 +1,14 @@
+(** Structural descriptions of the two evaluated cores.
+
+    These netlists carry the module hierarchy and the storage elements of
+    a BOOM-style (SonicBOOM) and a XiangShan-style out-of-order core, at
+    the granularity the TEESec verification plan needs: one memory cell
+    per microarchitectural structure that can hold enclave data or
+    metadata.  Sizes follow the published configurations (SmallBoomConfig
+    and XiangShan MinimalConfig, as used in the paper's artifact). *)
+
+val boom : Design.t
+val xiangshan : Design.t
+
+(** [of_core_name name] maps ["boom"] / ["xiangshan"] to the design. *)
+val of_core_name : string -> Design.t option

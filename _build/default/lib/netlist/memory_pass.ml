@@ -1,0 +1,30 @@
+type element = { path : string; cell : Cell.t; bits : int }
+
+let run design =
+  let acc = ref [] in
+  Design.iter_instances design (fun ~path ~hw_module ->
+      List.iter
+        (fun cell ->
+          if Cell.is_storage cell then
+            acc := { path; cell; bits = Cell.state_bits cell } :: !acc)
+        hw_module.Design.cells);
+  List.rev !acc
+
+let total_bits design = List.fold_left (fun n e -> n + e.bits) 0 (run design)
+
+let contains_substring ~substring s =
+  let n = String.length substring and m = String.length s in
+  if n = 0 then true
+  else
+    let rec at i = i + n <= m && (String.sub s i n = substring || at (i + 1)) in
+    at 0
+
+let find design ~substring =
+  List.filter
+    (fun e ->
+      contains_substring ~substring e.path
+      || contains_substring ~substring (Cell.name e.cell))
+    (run design)
+
+let pp_element fmt e =
+  Format.fprintf fmt "%s.%a (%d bits)" e.path Cell.pp e.cell e.bits

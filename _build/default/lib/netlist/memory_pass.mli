@@ -1,0 +1,25 @@
+(** Storage-element discovery pass.
+
+    Walks a {!Design} hierarchy and emits a record for every cell that
+    holds state — the equivalent of running the Yosys memory-mapping pass
+    over the RTL, which is how TEESec compiles the list of
+    microarchitectural structures whose contents the checker must log. *)
+
+type element = {
+  path : string;  (** Full instance path, e.g. ["boom.lsu.lfb"]. *)
+  cell : Cell.t;
+  bits : int;  (** Total state bits. *)
+}
+
+(** [run design] lists every storage element in hierarchy order. *)
+val run : Design.t -> element list
+
+(** [total_bits design] sums the state bits of the whole design. *)
+val total_bits : Design.t -> int
+
+(** [find design ~substring] keeps the elements whose path or cell name
+    contains [substring] (case-sensitive); used to hook plan entries to
+    logged structures. *)
+val find : Design.t -> substring:string -> element list
+
+val pp_element : Format.formatter -> element -> unit

@@ -1,0 +1,41 @@
+let storage_marker = "// teesec: log"
+
+let cell_to_string cell =
+  match (cell : Cell.t) with
+  | Cell.Register { name; width } ->
+    Printf.sprintf "  reg [%d:0] %s;  %s" (width - 1) name storage_marker
+  | Cell.Memory { name; width; depth } ->
+    Printf.sprintf "  reg [%d:0] %s [0:%d];  %s" (width - 1) name (depth - 1)
+      storage_marker
+  | Cell.Logic { name } -> Printf.sprintf "  /* combinational: %s */" name
+
+let instance_to_string (instance_name, module_name) =
+  Printf.sprintf "  %s %s (.clock(clock), .reset(reset));" module_name instance_name
+
+let module_to_string (m : Design.hw_module) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "module %s(\n" m.Design.module_name);
+  Buffer.add_string buf "  input clock,\n  input reset\n);\n";
+  List.iter
+    (fun cell ->
+      Buffer.add_string buf (cell_to_string cell);
+      Buffer.add_char buf '\n')
+    m.Design.cells;
+  List.iter
+    (fun inst ->
+      Buffer.add_string buf (instance_to_string inst);
+      Buffer.add_char buf '\n')
+    m.Design.instances;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let design_to_string d =
+  (* Top first, then every other module in a stable order, each once. *)
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  Design.iter_instances d (fun ~path:_ ~hw_module ->
+      if not (Hashtbl.mem seen hw_module.Design.module_name) then begin
+        Hashtbl.replace seen hw_module.Design.module_name ();
+        order := hw_module :: !order
+      end);
+  String.concat "\n" (List.rev_map module_to_string !order)

@@ -1,0 +1,21 @@
+(** Verilog skeleton emission.
+
+    In the real TEESec flow the verification plan's storage elements are
+    located in the Verilog the Chisel designs elaborate to, and the
+    logging instrumentation is spliced in next to them.  This module
+    emits that view of our structural designs: one synthesizable-style
+    module skeleton per {!Design.hw_module}, with memories as
+    two-dimensional [reg] arrays, registers as [reg] vectors, and child
+    instances wired to clock/reset.  Each storage cell is annotated with
+    the [// teesec: log] marker the instrumentation pass would target. *)
+
+(** [module_to_string m] renders one module skeleton. *)
+val module_to_string : Design.hw_module -> string
+
+(** [design_to_string d] renders every module of the design, the top
+    module first. *)
+val design_to_string : Design.t -> string
+
+(** [storage_marker] is the comment the instrumentation pass looks
+    for. *)
+val storage_marker : string

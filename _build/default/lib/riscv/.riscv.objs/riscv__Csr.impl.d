@@ -1,0 +1,1 @@
+lib/riscv/csr.ml: Format Hashtbl Int64 List Option Printf Priv Result Word

@@ -1,0 +1,1 @@
+lib/riscv/decode.ml: Array Csr Encode Format Hashtbl Instr Int32 Int64 List Printf Program Word

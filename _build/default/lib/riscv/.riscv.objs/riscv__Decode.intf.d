@@ -1,0 +1,1 @@
+lib/riscv/decode.mli: Encode Format Instr Program Word

@@ -1,0 +1,1 @@
+lib/riscv/encode.ml: Array Csr Instr Int32 Int64 List Printf Program Word

@@ -1,0 +1,1 @@
+lib/riscv/encode.mli: Instr Program Word

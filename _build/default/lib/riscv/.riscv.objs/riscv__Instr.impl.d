@@ -1,0 +1,1 @@
+lib/riscv/instr.ml: Csr Format Word

@@ -1,0 +1,1 @@
+lib/riscv/instr.mli: Csr Format Word

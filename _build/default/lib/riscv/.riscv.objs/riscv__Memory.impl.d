@@ -1,0 +1,1 @@
+lib/riscv/memory.ml: Array Hashtbl Int64 Option Word

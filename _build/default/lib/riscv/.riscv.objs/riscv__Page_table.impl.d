@@ -1,0 +1,1 @@
+lib/riscv/page_table.ml: Int64 List Memory Word

@@ -1,0 +1,1 @@
+lib/riscv/page_table.mli: Memory Word

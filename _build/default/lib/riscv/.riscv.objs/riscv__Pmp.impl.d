@@ -1,0 +1,1 @@
+lib/riscv/pmp.ml: Array Format Int64 Priv Word

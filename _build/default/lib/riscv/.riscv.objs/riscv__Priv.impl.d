@@ -1,0 +1,1 @@
+lib/riscv/priv.ml: Format

@@ -1,0 +1,1 @@
+lib/riscv/program.ml: Array Format Hashtbl Instr Int64 List Printf Word

@@ -1,0 +1,1 @@
+lib/riscv/word.ml: Format Int64 Printf

@@ -1,0 +1,175 @@
+type id =
+  | Cycle
+  | Instret
+  | Hpmcounter of int
+  | Mcycle
+  | Minstret
+  | Mhpmcounter of int
+  | Mstatus
+  | Mtvec
+  | Mepc
+  | Mcause
+  | Mtval
+  | Mscratch
+  | Stvec
+  | Sepc
+  | Scause
+  | Stval
+  | Satp
+  | Mcounteren
+  | Scounteren
+  | Pmpcfg of int
+  | Pmpaddr of int
+  | Mhartid
+
+let equal (a : id) (b : id) = a = b
+
+let name = function
+  | Cycle -> "cycle"
+  | Instret -> "instret"
+  | Hpmcounter n -> Printf.sprintf "hpmcounter%d" n
+  | Mcycle -> "mcycle"
+  | Minstret -> "minstret"
+  | Mhpmcounter n -> Printf.sprintf "mhpmcounter%d" n
+  | Mstatus -> "mstatus"
+  | Mtvec -> "mtvec"
+  | Mepc -> "mepc"
+  | Mcause -> "mcause"
+  | Mtval -> "mtval"
+  | Mscratch -> "mscratch"
+  | Stvec -> "stvec"
+  | Sepc -> "sepc"
+  | Scause -> "scause"
+  | Stval -> "stval"
+  | Satp -> "satp"
+  | Mcounteren -> "mcounteren"
+  | Scounteren -> "scounteren"
+  | Pmpcfg n -> Printf.sprintf "pmpcfg%d" n
+  | Pmpaddr n -> Printf.sprintf "pmpaddr%d" n
+  | Mhartid -> "mhartid"
+
+let pp_id fmt id = Format.pp_print_string fmt (name id)
+
+let required_priv = function
+  | Cycle | Instret | Hpmcounter _ -> Priv.User
+  | Stvec | Sepc | Scause | Stval | Satp | Scounteren -> Priv.Supervisor
+  | Mcycle | Minstret | Mhpmcounter _ | Mstatus | Mtvec | Mepc | Mcause
+  | Mtval | Mscratch | Mcounteren | Pmpcfg _ | Pmpaddr _ | Mhartid ->
+    Priv.Machine
+
+(* Architectural CSR numbers from the privileged specification. *)
+let address = function
+  | Cycle -> 0xC00
+  | Instret -> 0xC02
+  | Hpmcounter n -> 0xC00 + n
+  | Mcycle -> 0xB00
+  | Minstret -> 0xB02
+  | Mhpmcounter n -> 0xB00 + n
+  | Mstatus -> 0x300
+  | Mtvec -> 0x305
+  | Mepc -> 0x341
+  | Mcause -> 0x342
+  | Mtval -> 0x343
+  | Mscratch -> 0x340
+  | Stvec -> 0x105
+  | Sepc -> 0x141
+  | Scause -> 0x142
+  | Stval -> 0x143
+  | Satp -> 0x180
+  | Mcounteren -> 0x306
+  | Scounteren -> 0x106
+  | Pmpcfg n -> 0x3A0 + n
+  | Pmpaddr n -> 0x3B0 + n
+  | Mhartid -> 0xF14
+
+let of_address n =
+  match n with
+  | 0xC00 -> Some Cycle
+  | 0xC02 -> Some Instret
+  | _ when n > 0xC02 && n <= 0xC1F -> Some (Hpmcounter (n - 0xC00))
+  | 0xB00 -> Some Mcycle
+  | 0xB02 -> Some Minstret
+  | _ when n > 0xB02 && n <= 0xB1F -> Some (Mhpmcounter (n - 0xB00))
+  | 0x300 -> Some Mstatus
+  | 0x305 -> Some Mtvec
+  | 0x341 -> Some Mepc
+  | 0x342 -> Some Mcause
+  | 0x343 -> Some Mtval
+  | 0x340 -> Some Mscratch
+  | 0x105 -> Some Stvec
+  | 0x141 -> Some Sepc
+  | 0x142 -> Some Scause
+  | 0x143 -> Some Stval
+  | 0x180 -> Some Satp
+  | 0x306 -> Some Mcounteren
+  | 0x106 -> Some Scounteren
+  | _ when n >= 0x3A0 && n <= 0x3A3 -> Some (Pmpcfg (n - 0x3A0))
+  | _ when n >= 0x3B0 && n <= 0x3BF -> Some (Pmpaddr (n - 0x3B0))
+  | 0xF14 -> Some Mhartid
+  | _ -> None
+
+let is_counter = function Cycle | Instret | Hpmcounter _ -> true | _ -> false
+
+let counter_index = function
+  | Cycle -> Some 0
+  | Instret -> Some 2
+  | Hpmcounter n -> Some n
+  | _ -> None
+
+(* The user counter views alias the machine counters. *)
+let canonical = function
+  | Cycle -> Mcycle
+  | Instret -> Minstret
+  | Hpmcounter n -> Mhpmcounter n
+  | id -> id
+
+type t = (id, Word.t) Hashtbl.t
+
+let modelled_counters = [ 0; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let create () : t =
+  let t = Hashtbl.create 64 in
+  (* By default no user-level counter access: the host OS must opt in,
+     which riscv-pk does for cycle/instret/hpmcounters. *)
+  Hashtbl.replace t Mcounteren (Word.mask 32);
+  Hashtbl.replace t Scounteren (Word.mask 32);
+  t
+
+let raw_read t id = Option.value (Hashtbl.find_opt t (canonical id)) ~default:0L
+let raw_write t id v = Hashtbl.replace t (canonical id) v
+
+type access_result = Ok of Word.t | Illegal_instruction
+
+let counter_enabled t ~priv id =
+  match counter_index id with
+  | None -> true
+  | Some bit ->
+    let gate = function
+      | reg -> Int64.logand (Int64.shift_right_logical (raw_read t reg) bit) 1L = 1L
+    in
+    (match priv with
+    | Priv.Machine -> true
+    | Priv.Supervisor -> gate Mcounteren
+    | Priv.User -> gate Mcounteren && gate Scounteren)
+
+let read t ~priv id =
+  if Priv.geq priv (required_priv id) && counter_enabled t ~priv id then
+    Ok (raw_read t id)
+  else Illegal_instruction
+
+let write t ~priv id v =
+  if is_counter id then Error ()
+  else if Priv.geq priv (required_priv id) then begin
+    raw_write t id v;
+    Result.Ok ()
+  end
+  else Error ()
+
+let counter_id n =
+  match n with 0 -> Mcycle | 2 -> Minstret | n -> Mhpmcounter n
+
+let bump_counter t n ~by =
+  let id = counter_id n in
+  raw_write t id (Int64.add (raw_read t id) by)
+
+let reset_counters t = List.iter (fun n -> raw_write t (counter_id n) 0L) modelled_counters

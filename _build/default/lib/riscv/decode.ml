@@ -1,0 +1,171 @@
+type decoded =
+  | Plain of Instr.t
+  | Branch_to of Instr.cond * Instr.reg * Instr.reg * Word.t
+  | Jal_to of Word.t
+  | Unknown of Encode.word
+
+let pp_decoded fmt = function
+  | Plain i -> Instr.pp fmt i
+  | Branch_to (c, rs1, rs2, t) ->
+    Format.fprintf fmt "%s x%d, x%d, %a"
+      (match c with Instr.Eq -> "beq" | Instr.Ne -> "bne" | Instr.Lt -> "blt" | Instr.Ge -> "bge")
+      rs1 rs2 Word.pp t
+  | Jal_to t -> Format.fprintf fmt "j %a" Word.pp t
+  | Unknown w -> Format.fprintf fmt ".word 0x%08lx" w
+
+(* Field extraction. *)
+let bits w ~pos ~len =
+  Int32.to_int (Int32.logand (Int32.shift_right_logical w pos) (Int32.of_int ((1 lsl len) - 1)))
+
+let sext v ~bits:n = Word.sign_extend (Int64.of_int v) ~bits:n
+let opcode w = bits w ~pos:0 ~len:7
+let rd w = bits w ~pos:7 ~len:5
+let funct3 w = bits w ~pos:12 ~len:3
+let rs1 w = bits w ~pos:15 ~len:5
+let rs2 w = bits w ~pos:20 ~len:5
+let funct7 w = bits w ~pos:25 ~len:7
+let i_imm w = sext (bits w ~pos:20 ~len:12) ~bits:12
+
+let s_imm w =
+  sext ((bits w ~pos:25 ~len:7 lsl 5) lor bits w ~pos:7 ~len:5) ~bits:12
+
+let b_offset w =
+  let v =
+    (bits w ~pos:31 ~len:1 lsl 12)
+    lor (bits w ~pos:7 ~len:1 lsl 11)
+    lor (bits w ~pos:25 ~len:6 lsl 5)
+    lor (bits w ~pos:8 ~len:4 lsl 1)
+  in
+  sext v ~bits:13
+
+let j_offset w =
+  let v =
+    (bits w ~pos:31 ~len:1 lsl 20)
+    lor (bits w ~pos:12 ~len:8 lsl 12)
+    lor (bits w ~pos:20 ~len:1 lsl 11)
+    lor (bits w ~pos:21 ~len:10 lsl 1)
+  in
+  sext v ~bits:21
+
+let decode ~pc w =
+  match opcode w with
+  | 0x13 -> (
+    (* op-imm *)
+    let rd = rd w and rs1 = rs1 w in
+    match funct3 w with
+    | 0x0 ->
+      if rd = 0 && rs1 = 0 && i_imm w = 0L then Plain Instr.Nop
+      else Plain (Instr.Alui (Instr.Add, rd, rs1, i_imm w))
+    | 0x1 -> Plain (Instr.Alui (Instr.Sll, rd, rs1, Int64.of_int (bits w ~pos:20 ~len:6)))
+    | 0x4 -> Plain (Instr.Alui (Instr.Xor, rd, rs1, i_imm w))
+    | 0x5 -> Plain (Instr.Alui (Instr.Srl, rd, rs1, Int64.of_int (bits w ~pos:20 ~len:6)))
+    | 0x6 -> Plain (Instr.Alui (Instr.Or, rd, rs1, i_imm w))
+    | 0x7 -> Plain (Instr.Alui (Instr.And, rd, rs1, i_imm w))
+    | _ -> Unknown w)
+  | 0x33 -> (
+    let op =
+      match (funct3 w, funct7 w) with
+      | 0x0, 0x00 -> Some Instr.Add
+      | 0x0, 0x20 -> Some Instr.Sub
+      | 0x1, 0x00 -> Some Instr.Sll
+      | 0x4, 0x00 -> Some Instr.Xor
+      | 0x5, 0x00 -> Some Instr.Srl
+      | 0x6, 0x00 -> Some Instr.Or
+      | 0x7, 0x00 -> Some Instr.And
+      | _ -> None
+    in
+    match op with
+    | Some op -> Plain (Instr.Alu (op, rd w, rs1 w, rs2 w))
+    | None -> Unknown w)
+  | 0x03 -> (
+    let width =
+      match funct3 w with
+      | 0x4 -> Some Instr.Byte
+      | 0x5 -> Some Instr.Half
+      | 0x6 -> Some Instr.Word_
+      | 0x3 -> Some Instr.Double
+      | _ -> None
+    in
+    match width with
+    | Some width ->
+      Plain (Instr.Load { width; rd = rd w; base = rs1 w; offset = i_imm w })
+    | None -> Unknown w)
+  | 0x23 -> (
+    let width =
+      match funct3 w with
+      | 0x0 -> Some Instr.Byte
+      | 0x1 -> Some Instr.Half
+      | 0x2 -> Some Instr.Word_
+      | 0x3 -> Some Instr.Double
+      | _ -> None
+    in
+    match width with
+    | Some width ->
+      Plain (Instr.Store { width; rs = rs2 w; base = rs1 w; offset = s_imm w })
+    | None -> Unknown w)
+  | 0x63 -> (
+    let cond =
+      match funct3 w with
+      | 0x0 -> Some Instr.Eq
+      | 0x1 -> Some Instr.Ne
+      | 0x4 -> Some Instr.Lt
+      | 0x5 -> Some Instr.Ge
+      | _ -> None
+    in
+    match cond with
+    | Some c -> Branch_to (c, rs1 w, rs2 w, Int64.add pc (b_offset w))
+    | None -> Unknown w)
+  | 0x6F -> if rd w = 0 then Jal_to (Int64.add pc (j_offset w)) else Unknown w
+  | 0x73 -> (
+    if Int32.equal w 0x00000073l then Plain Instr.Ecall
+    else if Int32.equal w 0x00100073l then Plain Instr.Halt
+    else
+      match (funct3 w, Csr.of_address (bits w ~pos:20 ~len:12)) with
+      | 0x2, Some csr when rs1 w = 0 -> Plain (Instr.Csrr (rd w, csr))
+      | 0x1, Some csr when rd w = 0 -> Plain (Instr.Csrw (csr, rs1 w))
+      | _ -> Unknown w)
+  | 0x0F -> Plain Instr.Fence
+  | _ -> Unknown w
+
+let label_for pc = Printf.sprintf "L_%Lx" pc
+
+let to_program ~base words =
+  let n = Array.length words in
+  let end_pc = Int64.add base (Int64.of_int (4 * n)) in
+  let decoded =
+    Array.mapi (fun i w -> decode ~pc:(Int64.add base (Int64.of_int (4 * i))) w) words
+  in
+  (* Collect targets; all must land inside [base, end_pc]. *)
+  let targets = Hashtbl.create 8 in
+  let bad = ref None in
+  Array.iter
+    (fun d ->
+      match d with
+      | Branch_to (_, _, _, t) | Jal_to t ->
+        if Int64.unsigned_compare t base < 0 || Int64.unsigned_compare t end_pc > 0 then
+          bad := Some t
+        else Hashtbl.replace targets t ()
+      | Plain _ -> ()
+      | Unknown w -> bad := Some (Int64.of_int32 w))
+    decoded;
+  match !bad with
+  | Some t -> Error (Printf.sprintf "cannot reconstruct program (bad word or target 0x%Lx)" t)
+  | None ->
+    let elements = ref [] in
+    Array.iteri
+      (fun i d ->
+        let pc = Int64.add base (Int64.of_int (4 * i)) in
+        if Hashtbl.mem targets pc then elements := Program.Label (label_for pc) :: !elements;
+        let instr =
+          match d with
+          | Plain instr -> instr
+          | Branch_to (c, rs1, rs2, t) -> Instr.Branch (c, rs1, rs2, label_for t)
+          | Jal_to t -> Instr.Jal (label_for t)
+          | Unknown _ -> assert false
+        in
+        elements := Program.Instr instr :: !elements)
+      decoded;
+    if Hashtbl.mem targets end_pc then
+      (* A branch to just past the end: give the label a landing pad. *)
+      elements := Program.Instr Instr.Halt :: Program.Label (label_for end_pc) :: !elements;
+    Ok (Program.assemble ~base (List.rev !elements))

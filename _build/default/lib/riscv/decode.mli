@@ -1,0 +1,25 @@
+(** RV64I binary decoding.
+
+    Inverts {!Encode}: machine-code words decode back to symbolic
+    instructions, and a whole image reconstructs into a {!Program} with
+    synthesised labels at branch/jump targets.  The supported surface is
+    exactly what {!Encode} emits (the RV64I subset the gadgets use). *)
+
+type decoded =
+  | Plain of Instr.t
+      (** Instruction with no control-flow target. *)
+  | Branch_to of Instr.cond * Instr.reg * Instr.reg * Word.t
+      (** Conditional branch with its absolute target. *)
+  | Jal_to of Word.t
+  | Unknown of Encode.word
+
+val pp_decoded : Format.formatter -> decoded -> unit
+
+(** [decode ~pc word] decodes one instruction fetched from [pc] (needed
+    to turn pc-relative offsets into absolute targets). *)
+val decode : pc:Word.t -> Encode.word -> decoded
+
+(** [to_program ~base words] reconstructs a runnable program: branch and
+    jump targets become labels named [L_<hex-pc>].  Fails with [Error]
+    when a word does not decode or a target falls outside the image. *)
+val to_program : base:Word.t -> Encode.word array -> (Program.t, string) result

@@ -1,0 +1,216 @@
+type word = int32
+
+exception Encode_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Encode_error s)) fmt
+
+(* {1 Pseudo-instruction lowering} *)
+
+(* Materialise a 64-bit constant using only addi/slli/ori: the value is
+   consumed 11 bits at a time from the most significant end, so every
+   immediate stays positive and below the 12-bit sign boundary. *)
+let lower_li ~rd value =
+  let fits_simm12 v = Int64.compare v 2048L < 0 && Int64.compare v (-2048L) >= 0 in
+  if fits_simm12 value then [ Instr.Alui (Instr.Add, rd, 0, value) ]
+  else begin
+    (* Chunks: bits [63:55] (9 bits), then five 11-bit chunks. *)
+    let top = Word.extract value ~pos:55 ~len:9 in
+    let instrs = ref [ Instr.Alui (Instr.Add, rd, 0, top) ] in
+    List.iter
+      (fun pos ->
+        let chunk = Word.extract value ~pos ~len:11 in
+        instrs := Instr.Alui (Instr.Or, rd, rd, chunk)
+                  :: Instr.Alui (Instr.Sll, rd, rd, 11L)
+                  :: !instrs)
+      [ 44; 33; 22; 11; 0 ];
+    List.rev !instrs
+  end
+
+let lowered instr =
+  match (instr : Instr.t) with
+  | Instr.Li (rd, v) -> lower_li ~rd v
+  | i -> [ i ]
+
+let lowered_length instr = List.length (lowered instr)
+
+(* {1 Field packing} *)
+
+let ( <<< ) v n = Int32.shift_left v n
+let ( ||| ) = Int32.logor
+let field v ~mask = Int32.of_int (v land mask)
+let bit64 v ~pos = Int64.to_int (Word.extract v ~pos ~len:1)
+let bits64 v ~pos ~len = Int64.to_int (Word.extract v ~pos ~len)
+
+let r_type ~opcode ~funct3 ~funct7 ~rd ~rs1 ~rs2 =
+  field opcode ~mask:0x7F
+  ||| (field rd ~mask:0x1F <<< 7)
+  ||| (field funct3 ~mask:0x7 <<< 12)
+  ||| (field rs1 ~mask:0x1F <<< 15)
+  ||| (field rs2 ~mask:0x1F <<< 20)
+  ||| (field funct7 ~mask:0x7F <<< 25)
+
+let i_type ~opcode ~funct3 ~rd ~rs1 ~imm =
+  if imm < -2048 || imm > 2047 then error "I-type immediate %d out of range" imm;
+  field opcode ~mask:0x7F
+  ||| (field rd ~mask:0x1F <<< 7)
+  ||| (field funct3 ~mask:0x7 <<< 12)
+  ||| (field rs1 ~mask:0x1F <<< 15)
+  ||| (field (imm land 0xFFF) ~mask:0xFFF <<< 20)
+
+let s_type ~opcode ~funct3 ~rs1 ~rs2 ~imm =
+  if imm < -2048 || imm > 2047 then error "S-type immediate %d out of range" imm;
+  let imm = imm land 0xFFF in
+  field opcode ~mask:0x7F
+  ||| (field (imm land 0x1F) ~mask:0x1F <<< 7)
+  ||| (field funct3 ~mask:0x7 <<< 12)
+  ||| (field rs1 ~mask:0x1F <<< 15)
+  ||| (field rs2 ~mask:0x1F <<< 20)
+  ||| (field (imm lsr 5) ~mask:0x7F <<< 25)
+
+let b_type ~funct3 ~rs1 ~rs2 ~offset =
+  if Int64.rem offset 2L <> 0L then error "branch offset %Ld is odd" offset;
+  if Int64.compare offset 4096L >= 0 || Int64.compare offset (-4096L) < 0 then
+    error "branch offset %Ld out of range" offset;
+  field 0x63 ~mask:0x7F
+  ||| (field (bit64 offset ~pos:11) ~mask:0x1 <<< 7)
+  ||| (field (bits64 offset ~pos:1 ~len:4) ~mask:0xF <<< 8)
+  ||| (field funct3 ~mask:0x7 <<< 12)
+  ||| (field rs1 ~mask:0x1F <<< 15)
+  ||| (field rs2 ~mask:0x1F <<< 20)
+  ||| (field (bits64 offset ~pos:5 ~len:6) ~mask:0x3F <<< 25)
+  ||| (field (bit64 offset ~pos:12) ~mask:0x1 <<< 31)
+
+let j_type ~rd ~offset =
+  if Int64.rem offset 2L <> 0L then error "jump offset %Ld is odd" offset;
+  if Int64.compare offset 0x100000L >= 0 || Int64.compare offset (-0x100000L) < 0 then
+    error "jump offset %Ld out of range" offset;
+  field 0x6F ~mask:0x7F
+  ||| (field rd ~mask:0x1F <<< 7)
+  ||| (field (bits64 offset ~pos:12 ~len:8) ~mask:0xFF <<< 12)
+  ||| (field (bit64 offset ~pos:11) ~mask:0x1 <<< 20)
+  ||| (field (bits64 offset ~pos:1 ~len:10) ~mask:0x3FF <<< 21)
+  ||| (field (bit64 offset ~pos:20) ~mask:0x1 <<< 31)
+
+(* {1 Single-instruction encoding} *)
+
+let alu_r_functs = function
+  | Instr.Add -> (0x0, 0x00)
+  | Instr.Sub -> (0x0, 0x20)
+  | Instr.Sll -> (0x1, 0x00)
+  | Instr.Xor -> (0x4, 0x00)
+  | Instr.Srl -> (0x5, 0x00)
+  | Instr.Or -> (0x6, 0x00)
+  | Instr.And -> (0x7, 0x00)
+
+let alu_i_funct3 = function
+  | Instr.Add -> 0x0
+  | Instr.Sll -> 0x1
+  | Instr.Xor -> 0x4
+  | Instr.Srl -> 0x5
+  | Instr.Or -> 0x6
+  | Instr.And -> 0x7
+  | Instr.Sub -> error "subi does not exist; negate the immediate"
+
+(* Narrow loads zero-extend in the simulator: lbu/lhu/lwu/ld. *)
+let load_funct3 = function
+  | Instr.Byte -> 0x4
+  | Instr.Half -> 0x5
+  | Instr.Word_ -> 0x6
+  | Instr.Double -> 0x3
+
+let store_funct3 = function
+  | Instr.Byte -> 0x0
+  | Instr.Half -> 0x1
+  | Instr.Word_ -> 0x2
+  | Instr.Double -> 0x3
+
+let cond_funct3 = function
+  | Instr.Eq -> 0x0
+  | Instr.Ne -> 0x1
+  | Instr.Lt -> 0x4
+  | Instr.Ge -> 0x5
+
+let encode_at ~pc ~target (instr : Instr.t) =
+  match instr with
+  | Instr.Li _ -> error "Li must be lowered before encoding"
+  | Instr.Nop -> i_type ~opcode:0x13 ~funct3:0x0 ~rd:0 ~rs1:0 ~imm:0
+  | Instr.Halt -> 0x00100073l (* ebreak: the simulator's halt convention *)
+  | Instr.Ecall -> 0x00000073l
+  | Instr.Fence -> 0x0330000Fl (* fence iorw,iorw *)
+  | Instr.Alu (op, rd, rs1, rs2) ->
+    let funct3, funct7 = alu_r_functs op in
+    r_type ~opcode:0x33 ~funct3 ~funct7 ~rd ~rs1 ~rs2
+  | Instr.Alui (op, rd, rs1, imm) -> (
+    match op with
+    | Instr.Sll | Instr.Srl ->
+      let shamt = Int64.to_int (Int64.logand imm 63L) in
+      i_type ~opcode:0x13 ~funct3:(alu_i_funct3 op) ~rd ~rs1 ~imm:shamt
+    | _ -> i_type ~opcode:0x13 ~funct3:(alu_i_funct3 op) ~rd ~rs1 ~imm:(Int64.to_int imm))
+  | Instr.Load { width; rd; base; offset } ->
+    i_type ~opcode:0x03 ~funct3:(load_funct3 width) ~rd ~rs1:base
+      ~imm:(Int64.to_int offset)
+  | Instr.Store { width; rs; base; offset } ->
+    s_type ~opcode:0x23 ~funct3:(store_funct3 width) ~rs1:base ~rs2:rs
+      ~imm:(Int64.to_int offset)
+  | Instr.Branch (c, rs1, rs2, label) -> (
+    match target with
+    | Some t -> b_type ~funct3:(cond_funct3 c) ~rs1 ~rs2 ~offset:(Int64.sub t pc)
+    | None -> error "branch to %s has no resolved target" label)
+  | Instr.Jal label -> (
+    match target with
+    | Some t -> j_type ~rd:0 ~offset:(Int64.sub t pc)
+    | None -> error "jump to %s has no resolved target" label)
+  | Instr.Csrr (rd, csr) ->
+    (* csrrs rd, csr, x0 *)
+    i_type ~opcode:0x73 ~funct3:0x2 ~rd ~rs1:0 ~imm:0
+    ||| (field (Csr.address csr) ~mask:0xFFF <<< 20)
+  | Instr.Csrw (csr, rs) ->
+    (* csrrw x0, csr, rs *)
+    i_type ~opcode:0x73 ~funct3:0x1 ~rd:0 ~rs1:rs ~imm:0
+    ||| (field (Csr.address csr) ~mask:0xFFF <<< 20)
+
+(* {1 Two-pass assembly}
+
+   Lowering stretches the layout, so labels are re-resolved against the
+   lowered program before encoding. *)
+
+let assemble prog =
+  (* Pass 1: lower every instruction and compute the new pc of every
+     original instruction slot. *)
+  let base = Program.base prog in
+  let original = Array.init (Program.length prog) (fun i ->
+      match Program.fetch prog ~pc:(Int64.add base (Int64.of_int (i * 4))) with
+      | Some instr -> instr
+      | None -> error "hole in program at index %d" i)
+  in
+  let lowered_chunks = Array.map lowered original in
+  let new_pc = Array.make (Array.length original + 1) base in
+  Array.iteri
+    (fun i chunk ->
+      new_pc.(i + 1) <- Int64.add new_pc.(i) (Int64.of_int (4 * List.length chunk)))
+    lowered_chunks;
+  (* Old-layout pc -> new-layout pc, for label re-resolution. *)
+  let remap old =
+    let idx = Int64.to_int (Int64.div (Int64.sub old base) 4L) in
+    if idx < 0 || idx > Array.length original then
+      error "label target %Ld outside the program" old
+    else new_pc.(idx)
+  in
+  (* Pass 2: encode with targets resolved in the new layout. *)
+  let words = ref [] in
+  Array.iteri
+    (fun i chunk ->
+      let pc = ref new_pc.(i) in
+      List.iter
+        (fun instr ->
+          let target =
+            match (instr : Instr.t) with
+            | Instr.Branch (_, _, _, label) | Instr.Jal label ->
+              Some (remap (Program.resolve prog label))
+            | _ -> None
+          in
+          words := encode_at ~pc:!pc ~target instr :: !words;
+          pc := Int64.add !pc 4L)
+        chunk)
+    lowered_chunks;
+  Array.of_list (List.rev !words)

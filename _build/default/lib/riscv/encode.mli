@@ -1,0 +1,39 @@
+(** RV64I binary encoding.
+
+    Turns symbolic {!Instr} programs into real RISC-V machine code, the
+    format the paper's artifact feeds to the RTL simulators as compiled
+    ELF payloads.  Encoding is a genuine two-pass assembly:
+
+    - pseudo-instructions are lowered first ([Li] materialises a 64-bit
+      constant as an [addi]/[slli]/[ori] chain; [Halt] becomes [ebreak],
+      the simulator's stop convention),
+    - then labels are resolved against the {e lowered} layout, so branch
+      and jump offsets remain correct even when lowering stretched the
+      code.
+
+    Width-load semantics match the simulator: narrow loads zero-extend,
+    so [Byte]/[Half]/[Word_] encode as [lbu]/[lhu]/[lwu]. *)
+
+type word = int32
+
+(** [lower_li ~rd value] is the constant-materialisation sequence: only
+    [Alui] ([addi]/[ori]/[slli]) instructions, writing [value] into
+    [rd].  Exposed for tests. *)
+val lower_li : rd:Instr.reg -> Word.t -> Instr.t list
+
+(** [lowered_length instr] is how many 4-byte words [instr] occupies
+    after lowering. *)
+val lowered_length : Instr.t -> int
+
+exception Encode_error of string
+
+(** [assemble prog] lays the program out from its base address and
+    returns the machine-code words.  Raises [Encode_error] on branch
+    offsets that do not fit their immediate fields. *)
+val assemble : Program.t -> word array
+
+(** [encode_at ~pc ~target instr] encodes one non-pseudo instruction
+    whose (optional) control-flow target is already resolved.  Raises
+    [Encode_error] for pseudo-instructions ([Li]) that need lowering
+    first. *)
+val encode_at : pc:Word.t -> target:Word.t option -> Instr.t -> word

@@ -1,0 +1,78 @@
+type reg = int
+
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a6 = 16
+let a7 = 17
+let t0 = 5
+let t1 = 6
+let t2 = 7
+let sp = 2
+
+type width = Byte | Half | Word_ | Double
+
+let width_bytes = function Byte -> 1 | Half -> 2 | Word_ -> 4 | Double -> 8
+
+let pp_width fmt w =
+  Format.pp_print_string fmt
+    (match w with Byte -> "b" | Half -> "h" | Word_ -> "w" | Double -> "d")
+
+type alu_op = Add | Sub | Xor | Or | And | Sll | Srl
+type cond = Eq | Ne | Lt | Ge
+
+type t =
+  | Li of reg * Word.t
+  | Alu of alu_op * reg * reg * reg
+  | Alui of alu_op * reg * reg * Word.t
+  | Load of { width : width; rd : reg; base : reg; offset : Word.t }
+  | Store of { width : width; rs : reg; base : reg; offset : Word.t }
+  | Branch of cond * reg * reg * string
+  | Jal of string
+  | Csrr of reg * Csr.id
+  | Csrw of Csr.id * reg
+  | Ecall
+  | Fence
+  | Nop
+  | Halt
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Xor -> "xor"
+  | Or -> "or"
+  | And -> "and"
+  | Sll -> "sll"
+  | Srl -> "srl"
+
+let cond_name = function Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Ge -> "bge"
+
+let pp fmt = function
+  | Li (rd, v) -> Format.fprintf fmt "li x%d, %s" rd (Word.to_hex v)
+  | Alu (op, rd, rs1, rs2) ->
+    Format.fprintf fmt "%s x%d, x%d, x%d" (alu_name op) rd rs1 rs2
+  | Alui (op, rd, rs1, imm) ->
+    Format.fprintf fmt "%si x%d, x%d, %s" (alu_name op) rd rs1 (Word.to_hex imm)
+  | Load { width; rd; base; offset } ->
+    Format.fprintf fmt "l%a x%d, %s(x%d)" pp_width width rd (Word.to_hex offset) base
+  | Store { width; rs; base; offset } ->
+    Format.fprintf fmt "s%a x%d, %s(x%d)" pp_width width rs (Word.to_hex offset) base
+  | Branch (c, rs1, rs2, label) ->
+    Format.fprintf fmt "%s x%d, x%d, %s" (cond_name c) rs1 rs2 label
+  | Jal label -> Format.fprintf fmt "j %s" label
+  | Csrr (rd, csr) -> Format.fprintf fmt "csrr x%d, %s" rd (Csr.name csr)
+  | Csrw (csr, rs) -> Format.fprintf fmt "csrw %s, x%d" (Csr.name csr) rs
+  | Ecall -> Format.pp_print_string fmt "ecall"
+  | Fence -> Format.pp_print_string fmt "fence"
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Halt -> Format.pp_print_string fmt "halt"
+
+let to_string t = Format.asprintf "%a" pp t
+let ld rd base offset = Load { width = Double; rd; base; offset }
+let sd rs base offset = Store { width = Double; rs; base; offset }
+let lb rd base offset = Load { width = Byte; rd; base; offset }
+let lw rd base offset = Load { width = Word_; rd; base; offset }
+let lh rd base offset = Load { width = Half; rd; base; offset }

@@ -1,0 +1,37 @@
+(** Sparse physical memory.
+
+    Backing store for the whole memory hierarchy.  Data is held in 8-byte
+    little-endian granules; reads of unwritten memory return zero.  The
+    cache models fetch whole 64-byte lines with {!read_line} and write
+    them back with {!write_line}. *)
+
+type t
+
+val line_bytes : int
+(** Cache-line size shared by the whole hierarchy: 64. *)
+
+val create : unit -> t
+
+(** [read t ~addr ~size] reads [size] bytes (1, 2, 4 or 8) little-endian
+    at [addr].  Misaligned reads are assembled byte by byte. *)
+val read : t -> addr:Word.t -> size:int -> Word.t
+
+(** [write t ~addr ~size v] writes the [size] low bytes of [v] at
+    [addr]. *)
+val write : t -> addr:Word.t -> size:int -> Word.t -> unit
+
+(** [read_line t ~addr] reads the 64-byte line containing [addr] as eight
+    words; element 0 is the lowest-addressed word. *)
+val read_line : t -> addr:Word.t -> Word.t array
+
+(** [write_line t ~addr line] stores eight words at the line containing
+    [addr]. *)
+val write_line : t -> addr:Word.t -> Word.t array -> unit
+
+(** [fill t ~addr ~size ~value] writes [value] to every aligned 8-byte
+    granule of the region — the security monitor's [memset]. *)
+val fill : t -> addr:Word.t -> size:int64 -> value:Word.t -> unit
+
+(** [words_written t] is the number of distinct 8-byte granules ever
+    written, used by tests. *)
+val words_written : t -> int

@@ -1,0 +1,136 @@
+type address_mode = Off | Tor | Na4 | Napot
+type permission = { read : bool; write : bool; execute : bool }
+
+let no_access = { read = false; write = false; execute = false }
+let read_only = { read = true; write = false; execute = false }
+let read_write = { read = true; write = true; execute = false }
+let full_access = { read = true; write = true; execute = true }
+
+type entry = {
+  mode : address_mode;
+  perm : permission;
+  locked : bool;
+  address : Word.t;
+}
+
+let disabled_entry = { mode = Off; perm = no_access; locked = false; address = 0L }
+
+type t = entry array
+
+let entry_count = 16
+let create () = Array.make entry_count disabled_entry
+let get t i = t.(i)
+let set t i e = t.(i) <- e
+let clear t = Array.fill t 0 entry_count disabled_entry
+
+let napot_entry ~base ~size ~perm ~locked =
+  assert (size >= 8 && size land (size - 1) = 0);
+  assert (Word.is_aligned base ~alignment:size);
+  (* pmpaddr holds (base >> 2) with the low bits encoding the region size:
+     a NAPOT region of 2^(n+3) bytes has n trailing one bits after the
+     mandatory 0 -> 01...1 pattern. *)
+  let ones =
+    let rec count n acc = if n <= 8 then acc else count (n lsr 1) (acc + 1) in
+    count size 0
+  in
+  let low = Word.mask ones in
+  let address = Int64.logor (Int64.shift_right_logical base 2) low in
+  { mode = Napot; perm; locked; address }
+
+let napot_range e =
+  (* Count trailing ones of the pmpaddr value to recover the size. *)
+  let rec trailing_ones x n =
+    if Int64.logand x 1L = 1L then trailing_ones (Int64.shift_right_logical x 1) (n + 1)
+    else n
+  in
+  let ones = trailing_ones e.address 0 in
+  let size = Int64.shift_left 1L (ones + 3) in
+  let base =
+    Int64.shift_left (Int64.logand e.address (Int64.lognot (Word.mask ones))) 2
+  in
+  (base, size)
+
+type access_kind = Read | Write | Execute
+
+let pp_access_kind fmt = function
+  | Read -> Format.pp_print_string fmt "read"
+  | Write -> Format.pp_print_string fmt "write"
+  | Execute -> Format.pp_print_string fmt "execute"
+
+type check_result = Allowed | Denied of { entry_index : int option }
+
+type match_kind = No_match | Partial | Full
+
+let entry_byte_range t i =
+  let e = t.(i) in
+  match e.mode with
+  | Off -> None
+  | Na4 -> Some (Int64.shift_left e.address 2, 4L)
+  | Napot -> Some (napot_range e)
+  | Tor ->
+    let base = if i = 0 then 0L else Int64.shift_left t.(i - 1).address 2 in
+    let top = Int64.shift_left e.address 2 in
+    if Int64.unsigned_compare top base <= 0 then None
+    else Some (base, Int64.sub top base)
+
+let match_entry t i ~addr ~size =
+  match entry_byte_range t i with
+  | None -> No_match
+  | Some (base, range_size) ->
+    let access_end = Int64.add addr (Int64.of_int size) in
+    let range_end = Int64.add base range_size in
+    let starts_inside =
+      Int64.unsigned_compare addr base >= 0
+      && Int64.unsigned_compare addr range_end < 0
+    in
+    let ends_inside =
+      Int64.unsigned_compare access_end base > 0
+      && Int64.unsigned_compare access_end range_end <= 0
+    in
+    if starts_inside && ends_inside then Full
+    else if starts_inside || ends_inside then Partial
+    else No_match
+
+let perm_allows perm = function
+  | Read -> perm.read
+  | Write -> perm.write
+  | Execute -> perm.execute
+
+let check t ~priv ~kind ~addr ~size =
+  let any_active = Array.exists (fun e -> e.mode <> Off) t in
+  let rec search i =
+    if i >= entry_count then
+      (* No entry matched: M-mode succeeds; lower modes fail whenever any
+         entry is active. *)
+      if Priv.equal priv Priv.Machine || not any_active then Allowed
+      else Denied { entry_index = None }
+    else
+      match match_entry t i ~addr ~size with
+      | No_match -> search (i + 1)
+      | Partial -> Denied { entry_index = Some i }
+      | Full ->
+        let e = t.(i) in
+        if Priv.equal priv Priv.Machine && not e.locked then Allowed
+        else if perm_allows e.perm kind then Allowed
+        else Denied { entry_index = Some i }
+  in
+  search 0
+
+let allows t ~priv ~kind ~addr ~size =
+  match check t ~priv ~kind ~addr ~size with Allowed -> true | Denied _ -> false
+
+let region_of_entry t i = entry_byte_range t i
+
+let pp fmt t =
+  Array.iteri
+    (fun i e ->
+      if e.mode <> Off then
+        match entry_byte_range t i with
+        | None -> ()
+        | Some (base, size) ->
+          Format.fprintf fmt "pmp[%d] %a +%Ld %s%s%s%s@." i Word.pp base size
+            (if e.perm.read then "r" else "-")
+            (if e.perm.write then "w" else "-")
+            (if e.perm.execute then "x" else "-")
+            (if e.locked then " L" else ""))
+    t

@@ -1,0 +1,62 @@
+type element = Instr of Instr.t | Label of string
+
+type t = {
+  base : Word.t;
+  instrs : Instr.t array;
+  labels : (string, Word.t) Hashtbl.t;
+}
+
+let instr_bytes = 4L
+
+let assemble ~base elements =
+  let labels = Hashtbl.create 8 in
+  let instrs = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun el ->
+      match el with
+      | Instr i ->
+        instrs := i :: !instrs;
+        incr count
+      | Label name ->
+        if Hashtbl.mem labels name then
+          invalid_arg (Printf.sprintf "Program.assemble: duplicate label %s" name);
+        Hashtbl.replace labels name
+          (Int64.add base (Int64.mul (Int64.of_int !count) instr_bytes)))
+    elements;
+  let t = { base; instrs = Array.of_list (List.rev !instrs); labels } in
+  (* Check that every referenced label exists. *)
+  Array.iter
+    (fun i ->
+      match (i : Instr.t) with
+      | Branch (_, _, _, label) | Jal label ->
+        if not (Hashtbl.mem labels label) then
+          invalid_arg (Printf.sprintf "Program.assemble: undefined label %s" label)
+      | Li _ | Alu _ | Alui _ | Load _ | Store _ | Csrr _ | Csrw _ | Ecall
+      | Fence | Nop | Halt ->
+        ())
+    t.instrs;
+  t
+
+let of_instrs ~base instrs = assemble ~base (List.map (fun i -> Instr i) instrs)
+let base t = t.base
+let length t = Array.length t.instrs
+
+let fetch t ~pc =
+  let off = Int64.sub pc t.base in
+  if Int64.compare off 0L < 0 || Int64.rem off instr_bytes <> 0L then None
+  else
+    let idx = Int64.to_int (Int64.div off instr_bytes) in
+    if idx >= Array.length t.instrs then None else Some t.instrs.(idx)
+
+let resolve t label =
+  match Hashtbl.find_opt t.labels label with
+  | Some pc -> pc
+  | None -> raise Not_found
+
+let pp fmt t =
+  Array.iteri
+    (fun i instr ->
+      let pc = Int64.add t.base (Int64.mul (Int64.of_int i) instr_bytes) in
+      Format.fprintf fmt "%a: %a@." Word.pp pc Instr.pp instr)
+    t.instrs

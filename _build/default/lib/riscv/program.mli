@@ -1,0 +1,33 @@
+(** Assembled programs: instruction sequences with resolved labels.
+
+    A program is what the machine executes for one software context (host
+    code or enclave code).  Instructions occupy four bytes each starting
+    at [base]; labels name instruction offsets and are resolved when the
+    program is built.  The program counter values matter because the
+    branch predictors index and tag on them (case M2 of the paper relies
+    on the exact PC bits of host and enclave branches). *)
+
+type t
+
+(** Program text element: an instruction or a label definition. *)
+type element = Instr of Instr.t | Label of string
+
+(** [assemble ~base elements] lays out [elements] from address [base].
+    Raises [Invalid_argument] if a branch targets an undefined label or a
+    label is defined twice. *)
+val assemble : base:Word.t -> element list -> t
+
+(** [of_instrs ~base instrs] assembles a straight-line program. *)
+val of_instrs : base:Word.t -> Instr.t list -> t
+
+val base : t -> Word.t
+val length : t -> int
+
+(** [fetch t ~pc] is the instruction at [pc], or [None] when [pc] falls
+    outside the program (treated as an implicit halt). *)
+val fetch : t -> pc:Word.t -> Instr.t option
+
+(** [resolve t label] is the PC of [label]. Raises [Not_found]. *)
+val resolve : t -> string -> Word.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/simlog/exec_context.ml: Format Option Printf Riscv String

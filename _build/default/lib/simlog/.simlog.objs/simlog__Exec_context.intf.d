@@ -1,0 +1,1 @@
+lib/simlog/exec_context.mli: Format Riscv

@@ -1,0 +1,1 @@
+lib/simlog/import.ml: Riscv

@@ -1,0 +1,1 @@
+lib/simlog/log.ml: Exec_context Format Import Int64 List Option Structure Word

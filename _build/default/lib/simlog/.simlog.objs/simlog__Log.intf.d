@@ -1,0 +1,1 @@
+lib/simlog/log.mli: Exec_context Format Import Structure Word

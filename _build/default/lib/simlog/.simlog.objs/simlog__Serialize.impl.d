@@ -1,0 +1,1 @@
+lib/simlog/serialize.ml: Buffer Char Exec_context Import Int64 List Log Option Printf String Structure

@@ -1,0 +1,1 @@
+lib/simlog/serialize.mli: Import Log

@@ -1,0 +1,1 @@
+lib/simlog/stats.ml: Format Hashtbl Import List Log Option Structure

@@ -1,0 +1,1 @@
+lib/simlog/stats.mli: Format Import Log Structure

@@ -1,0 +1,1 @@
+lib/simlog/structure.mli: Format

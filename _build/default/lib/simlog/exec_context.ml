@@ -1,0 +1,35 @@
+type t = Host of Riscv.Priv.t | Enclave of int | Monitor
+
+let equal a b =
+  match (a, b) with
+  | Host p, Host q -> Riscv.Priv.equal p q
+  | Enclave i, Enclave j -> i = j
+  | Monitor, Monitor -> true
+  | (Host _ | Enclave _ | Monitor), _ -> false
+
+let is_trusted_for t ~enclave_id =
+  match t with
+  | Enclave i -> i = enclave_id
+  | Monitor -> true
+  | Host _ -> false
+
+let to_string = function
+  | Host p -> Printf.sprintf "host-%s" (Riscv.Priv.to_string p)
+  | Enclave i -> Printf.sprintf "enclave-%d" i
+  | Monitor -> "monitor"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let of_string s =
+  match s with
+  | "monitor" -> Some Monitor
+  | "host-U" -> Some (Host Riscv.Priv.User)
+  | "host-S" -> Some (Host Riscv.Priv.Supervisor)
+  | "host-M" -> Some (Host Riscv.Priv.Machine)
+  | _ ->
+    let prefix = "enclave-" in
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      int_of_string_opt (String.sub s n (String.length s - n))
+      |> Option.map (fun i -> Enclave i)
+    else None

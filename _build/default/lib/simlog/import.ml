@@ -1,0 +1,3 @@
+(* Shared aliases into the RISC-V substrate. *)
+module Word = Riscv.Word
+module Priv = Riscv.Priv

@@ -1,0 +1,114 @@
+open! Import
+
+type origin =
+  | Explicit_load
+  | Explicit_store
+  | Prefetch
+  | Ptw_walk
+  | Store_drain
+  | Memset_destroy
+  | Csr_read
+  | Context_save
+  | Refill
+  | Branch_exec
+  | Writeback
+
+let origin_to_string = function
+  | Explicit_load -> "explicit-load"
+  | Explicit_store -> "explicit-store"
+  | Prefetch -> "prefetch"
+  | Ptw_walk -> "ptw-walk"
+  | Store_drain -> "store-drain"
+  | Memset_destroy -> "memset-destroy"
+  | Csr_read -> "csr-read"
+  | Context_save -> "context-save"
+  | Refill -> "refill"
+  | Branch_exec -> "branch-exec"
+  | Writeback -> "writeback"
+
+let all_origins =
+  [
+    Explicit_load; Explicit_store; Prefetch; Ptw_walk; Store_drain;
+    Memset_destroy; Csr_read; Context_save; Refill; Branch_exec; Writeback;
+  ]
+
+let origin_of_string s = List.find_opt (fun o -> origin_to_string o = s) all_origins
+
+let pp_origin fmt o = Format.pp_print_string fmt (origin_to_string o)
+
+type entry = { slot : int; addr : Word.t option; data : Word.t; note : string }
+
+let entry ?(slot = 0) ?addr ?(note = "") data = { slot; addr; data; note }
+
+type event =
+  | Write of { structure : Structure.t; entries : entry list; origin : origin }
+  | Snapshot of { structure : Structure.t; entries : entry list }
+  | Mode_switch of { from_ctx : Exec_context.t; to_ctx : Exec_context.t }
+  | Commit of { pc : Word.t; instr : string }
+  | Exception_raised of { cause : string; pc : Word.t }
+
+type record = { cycle : int; ctx : Exec_context.t; event : event }
+
+type t = { mutable records : record list; mutable count : int }
+
+let create () = { records = []; count = 0 }
+
+let record t ~cycle ~ctx event =
+  t.records <- { cycle; ctx; event } :: t.records;
+  t.count <- t.count + 1
+
+let to_list t = List.rev t.records
+let length t = t.count
+
+let writes_of t =
+  List.filter (fun r -> match r.event with Write _ -> true | _ -> false) (to_list t)
+
+let contains_value r v =
+  let in_entries entries = List.exists (fun e -> Int64.equal e.data v) entries in
+  match r.event with
+  | Write { entries; _ } | Snapshot { entries; _ } -> in_entries entries
+  | Mode_switch _ | Commit _ | Exception_raised _ -> false
+
+let occurrences t v = List.filter (fun r -> contains_value r v) (to_list t)
+
+let last_commit_before t ~cycle =
+  let rec scan best = function
+    | [] -> best
+    | r :: rest ->
+      let best =
+        match r.event with
+        | Commit { pc; _ } when r.cycle <= cycle -> (
+          match best with
+          | Some (c, _) when c >= r.cycle -> best
+          | _ -> Some (r.cycle, pc))
+        | _ -> best
+      in
+      scan best rest
+  in
+  Option.map snd (scan None t.records)
+
+let pp_entry fmt e =
+  (match e.addr with
+  | Some a -> Format.fprintf fmt "[%d]@%a=%a" e.slot Word.pp a Word.pp e.data
+  | None -> Format.fprintf fmt "[%d]=%a" e.slot Word.pp e.data);
+  if e.note <> "" then Format.fprintf fmt " (%s)" e.note
+
+let pp_record fmt r =
+  Format.fprintf fmt "cycle %6d %-10s " r.cycle (Exec_context.to_string r.ctx);
+  match r.event with
+  | Write { structure; entries; origin } ->
+    Format.fprintf fmt "WRITE %s via %s:" (Structure.to_string structure)
+      (origin_to_string origin);
+    List.iter (fun e -> Format.fprintf fmt " %a" pp_entry e) entries
+  | Snapshot { structure; entries } ->
+    Format.fprintf fmt "SNAP  %s (%d entries)" (Structure.to_string structure)
+      (List.length entries)
+  | Mode_switch { from_ctx; to_ctx } ->
+    Format.fprintf fmt "SWITCH %a -> %a" Exec_context.pp from_ctx Exec_context.pp
+      to_ctx
+  | Commit { pc; instr } -> Format.fprintf fmt "COMMIT %a %s" Word.pp pc instr
+  | Exception_raised { cause; pc } ->
+    Format.fprintf fmt "EXCPT %s at %a" cause Word.pp pc
+
+let pp fmt t =
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_record r) (to_list t)

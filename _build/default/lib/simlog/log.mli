@@ -1,0 +1,87 @@
+open Import
+
+(** The RTL simulation log.
+
+    This is TEESec's central artefact: a cycle-stamped record of the
+    contents of every microarchitectural structure listed in the
+    verification plan, as an instrumented RTL simulation would emit it.
+    The instrumented simulator appends {!event}s as structures change;
+    full {!Snapshot} events are recorded at every context switch so that
+    the checker can detect both data being {e fetched into} structures
+    while outside enclave mode and data {e remaining} there across a
+    boundary (principle P1). *)
+
+(** Why a value entered a structure — the access path provenance.  The
+    checker uses this to classify a finding into the paper's leakage
+    cases D1–D8. *)
+type origin =
+  | Explicit_load
+  | Explicit_store
+  | Prefetch  (** Implicit next-line prefetcher access. *)
+  | Ptw_walk  (** Implicit page-table-walker access. *)
+  | Store_drain  (** Store buffer draining into the cache. *)
+  | Memset_destroy  (** Security-monitor memset on enclave destroy. *)
+  | Csr_read
+  | Context_save  (** Register spill during trap/interrupt handling. *)
+  | Refill  (** Cache refill completing. *)
+  | Branch_exec  (** Branch predictor update at branch execution. *)
+  | Writeback  (** Ordinary result write-back into the register file. *)
+
+val origin_to_string : origin -> string
+
+(** [origin_of_string s] inverts [origin_to_string]. *)
+val origin_of_string : string -> origin option
+
+val pp_origin : Format.formatter -> origin -> unit
+
+(** One logged location inside a structure. *)
+type entry = {
+  slot : int;  (** Index within the structure (way, entry number...). *)
+  addr : Word.t option;  (** Physical address tag, when the structure has one. *)
+  data : Word.t;
+  note : string;  (** Free-form detail (e.g. ["tag=0x12 target=0x80..."]). *)
+}
+
+val entry : ?slot:int -> ?addr:Word.t -> ?note:string -> Word.t -> entry
+
+type event =
+  | Write of { structure : Structure.t; entries : entry list; origin : origin }
+      (** New data entered the structure. *)
+  | Snapshot of { structure : Structure.t; entries : entry list }
+      (** Full contents, recorded at context-switch boundaries. *)
+  | Mode_switch of { from_ctx : Exec_context.t; to_ctx : Exec_context.t }
+  | Commit of { pc : Word.t; instr : string }
+  | Exception_raised of { cause : string; pc : Word.t }
+
+type record = { cycle : int; ctx : Exec_context.t; event : event }
+
+type t
+
+val create : unit -> t
+
+val record : t -> cycle:int -> ctx:Exec_context.t -> event -> unit
+
+(** Records in chronological order. *)
+val to_list : t -> record list
+
+val length : t -> int
+
+(** [writes_of t] keeps only the [Write] records. *)
+val writes_of : t -> record list
+
+(** [contains_value record v] is true when the record's event carries an
+    entry whose data equals [v]. *)
+val contains_value : record -> Word.t -> bool
+
+(** [occurrences t v] lists the records in which value [v] appears. *)
+val occurrences : t -> Word.t -> record list
+
+(** [last_commit_before t ~cycle] is the most recent committed PC at or
+    before [cycle], used by checker reports. *)
+val last_commit_before : t -> cycle:int -> Word.t option
+
+val pp_record : Format.formatter -> record -> unit
+
+(** [pp] prints the whole log, one record per line — the equivalent of
+    the artifact's [SimLog.txt]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+open! Import
+
+type t = {
+  records : int;
+  writes : int;
+  snapshots : int;
+  commits : int;
+  exceptions : int;
+  mode_switches : int;
+  first_cycle : int;
+  last_cycle : int;
+  by_structure : (Structure.t * int) list;
+  by_origin : (string * int) list;
+}
+
+let of_log log =
+  let writes = ref 0 and snapshots = ref 0 and commits = ref 0 in
+  let exceptions = ref 0 and mode_switches = ref 0 in
+  let first_cycle = ref max_int and last_cycle = ref 0 in
+  let structures = Hashtbl.create 16 and origins = Hashtbl.create 16 in
+  let bump table key =
+    Hashtbl.replace table key (1 + Option.value (Hashtbl.find_opt table key) ~default:0)
+  in
+  List.iter
+    (fun (r : Log.record) ->
+      if r.Log.cycle < !first_cycle then first_cycle := r.Log.cycle;
+      if r.Log.cycle > !last_cycle then last_cycle := r.Log.cycle;
+      match r.Log.event with
+      | Log.Write { structure; origin; _ } ->
+        incr writes;
+        bump structures structure;
+        bump origins (Log.origin_to_string origin)
+      | Log.Snapshot _ -> incr snapshots
+      | Log.Commit _ -> incr commits
+      | Log.Exception_raised _ -> incr exceptions
+      | Log.Mode_switch _ -> incr mode_switches)
+    (Log.to_list log);
+  {
+    records = Log.length log;
+    writes = !writes;
+    snapshots = !snapshots;
+    commits = !commits;
+    exceptions = !exceptions;
+    mode_switches = !mode_switches;
+    first_cycle = (if !first_cycle = max_int then 0 else !first_cycle);
+    last_cycle = !last_cycle;
+    by_structure =
+      List.filter_map
+        (fun s -> Option.map (fun n -> (s, n)) (Hashtbl.find_opt structures s))
+        Structure.all;
+    by_origin =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) origins []);
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%d records over cycles %d..%d: %d writes, %d snapshots, %d commits, %d \
+     exceptions, %d mode switches@."
+    t.records t.first_cycle t.last_cycle t.writes t.snapshots t.commits t.exceptions
+    t.mode_switches;
+  Format.fprintf fmt "  writes by structure:";
+  List.iter (fun (s, n) -> Format.fprintf fmt " %s:%d" (Structure.to_string s) n) t.by_structure;
+  Format.fprintf fmt "@.  writes by provenance:";
+  List.iter (fun (o, n) -> Format.fprintf fmt " %s:%d" o n) t.by_origin;
+  Format.fprintf fmt "@."

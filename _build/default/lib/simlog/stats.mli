@@ -1,0 +1,23 @@
+open! Import
+
+(** Simulation-log statistics.
+
+    Summarises a log for reports and diagnostics: how many records of
+    each kind, which structures were written through which access-path
+    provenances, and the cycle span. *)
+
+type t = {
+  records : int;
+  writes : int;
+  snapshots : int;
+  commits : int;
+  exceptions : int;
+  mode_switches : int;
+  first_cycle : int;
+  last_cycle : int;
+  by_structure : (Structure.t * int) list;  (** Write events per structure. *)
+  by_origin : (string * int) list;  (** Write events per provenance. *)
+}
+
+val of_log : Log.t -> t
+val pp : Format.formatter -> t -> unit

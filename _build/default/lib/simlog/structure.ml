@@ -1,0 +1,82 @@
+type t =
+  | Reg_file
+  | L1i_data
+  | L1d_data
+  | L2_data
+  | Lfb
+  | Store_buffer
+  | Store_queue
+  | Load_queue
+  | Dtlb
+  | Ptw_cache
+  | Ubtb
+  | Ftb
+  | Hpm_counters
+  | Wb_buffer
+  | Prefetcher
+
+let all =
+  [
+    Reg_file;
+    L1i_data;
+    L1d_data;
+    L2_data;
+    Lfb;
+    Store_buffer;
+    Store_queue;
+    Load_queue;
+    Dtlb;
+    Ptw_cache;
+    Ubtb;
+    Ftb;
+    Hpm_counters;
+    Wb_buffer;
+    Prefetcher;
+  ]
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let to_string = function
+  | Reg_file -> "register-file"
+  | L1i_data -> "l1i-cache"
+  | L1d_data -> "l1d-cache"
+  | L2_data -> "l2-cache"
+  | Lfb -> "line-fill-buffer"
+  | Store_buffer -> "store-buffer"
+  | Store_queue -> "store-queue"
+  | Load_queue -> "load-queue"
+  | Dtlb -> "dtlb"
+  | Ptw_cache -> "ptw-cache"
+  | Ubtb -> "ubtb"
+  | Ftb -> "ftb"
+  | Hpm_counters -> "hpm-counters"
+  | Wb_buffer -> "wb-buffer"
+  | Prefetcher -> "prefetcher"
+
+let of_string s = List.find_opt (fun t -> to_string t = s) all
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let netlist_hint = function
+  | Reg_file -> [ "regfile" ]
+  | L1i_data -> [ "icache_data" ]
+  | L1d_data -> [ "dcache.data_array" ]
+  | L2_data -> [ "l2" ]
+  | Lfb -> [ "lfb"; "miss_queue" ]
+  | Store_buffer -> [ "sbuffer" ]
+  | Store_queue -> [ "store_queue" ]
+  | Load_queue -> [ "load_queue" ]
+  | Dtlb -> [ "dtlb" ]
+  | Ptw_cache -> [ "ptw_cache" ]
+  | Ubtb -> [ "ubtb"; "btb" ]
+  | Ftb -> [ "ftb" ]
+  | Hpm_counters -> [ "hpm_counters" ]
+  | Wb_buffer -> [ "wb_buffer"; "wb_queue" ]
+  | Prefetcher -> [ "prefetcher" ]
+
+let holds_data = function
+  | Reg_file | L1i_data | L1d_data | L2_data | Lfb | Store_buffer | Store_queue
+  | Load_queue | Wb_buffer ->
+    true
+  | Dtlb | Ptw_cache | Ubtb | Ftb | Hpm_counters | Prefetcher -> false

@@ -1,0 +1,1 @@
+lib/tee/enclave.ml: Format Import Int64 Word

@@ -1,0 +1,1 @@
+lib/tee/enclave_vm.ml: Enclave Import Int64 Machine Page_table Word

@@ -1,0 +1,1 @@
+lib/tee/enclave_vm.mli: Enclave Import Machine Word

@@ -1,0 +1,1 @@
+lib/tee/import.ml: Riscv Simlog Uarch

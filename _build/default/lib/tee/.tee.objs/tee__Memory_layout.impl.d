@@ -1,0 +1,1 @@
+lib/tee/memory_layout.ml: Import Int64 Printf

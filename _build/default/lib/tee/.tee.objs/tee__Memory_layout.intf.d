@@ -1,0 +1,1 @@
+lib/tee/memory_layout.mli: Import Word

@@ -1,0 +1,1 @@
+lib/tee/sbi.ml: Format Import Int64

@@ -1,0 +1,1 @@
+lib/tee/sbi.mli: Format Import Word

@@ -1,0 +1,1 @@
+lib/tee/security_monitor.ml: Array Csr Enclave Exec_context Hashtbl Import Instr Int64 List Log Machine Memory Memory_layout Pmp Printf Priv Program Result Sbi Word

@@ -1,0 +1,1 @@
+lib/tee/security_monitor.mli: Enclave Import Machine Program Word

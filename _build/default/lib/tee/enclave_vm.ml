@@ -1,0 +1,25 @@
+open! Import
+
+type t = { builder : Page_table.builder; root_addr : Word.t }
+
+let table_offset = 0xA000
+
+let enclave_perm =
+  { Page_table.read = true; write = true; execute = true; user = true }
+
+let build machine (enclave : Enclave.t) =
+  let table_region = Int64.add enclave.Enclave.base (Int64.of_int table_offset) in
+  let builder =
+    Page_table.create_builder (Machine.memory machine) ~table_region ()
+  in
+  Page_table.map_range builder ~vaddr:enclave.Enclave.base
+    ~paddr:enclave.Enclave.base
+    ~size:(Int64.of_int enclave.Enclave.size)
+    ~perm:enclave_perm;
+  { builder; root_addr = Page_table.root builder }
+
+let map_extra t ~vaddr ~paddr =
+  Page_table.map t.builder ~vaddr ~paddr ~perm:enclave_perm
+
+let satp t = Page_table.satp_of_root t.root_addr
+let root t = t.root_addr

@@ -1,0 +1,38 @@
+open! Import
+
+(** Enclave-private virtual memory (Eyrie-style runtime).
+
+    Keystone enclaves manage their own sv39 page tables inside their
+    region.  This module builds them: the region is identity-mapped, and
+    — because the enclave is untrusted from everyone else's perspective —
+    the enclave may map {e arbitrary} physical addresses into its address
+    space ({!map_extra}); only PMP stands between such a mapping and host
+    or monitor memory, which is exactly the setting of leakage case D7.
+
+    Table pages live inside the enclave region (offset 0xA000..0xDFFF:
+    root, one level-1 table and up to two level-0 tables), clear of the
+    secret line at +0x8000 and the tail line the destroy memset drags
+    through the LFB.
+
+    Enabling VM for an enclave ({!Security_monitor.set_enclave_satp})
+    makes its execution exercise the TLB and page-table walker, and —
+    since nothing flushes the TLB on a context switch — leaves enclave
+    translations behind as residue the checker can observe. *)
+
+type t
+
+(** Byte offset of the table pages inside the enclave region. *)
+val table_offset : int
+
+(** [build machine enclave] identity-maps the whole enclave region with
+    full user permissions. *)
+val build : Machine.t -> Enclave.t -> t
+
+(** [map_extra t ~vaddr ~paddr] installs an attacker-chosen 4-KiB
+    mapping (both addresses page-aligned). *)
+val map_extra : t -> vaddr:Word.t -> paddr:Word.t -> unit
+
+(** [satp t] is the value to install when entering the enclave. *)
+val satp : t -> Word.t
+
+val root : t -> Word.t

@@ -1,0 +1,40 @@
+open! Import
+
+let ram_base = 0x8000_0000L
+let ram_size = 0x8000_0000L
+let host_code_base = 0x8000_0000L
+let host_data_base = 0x8004_0000L
+let utm_base = 0x8008_0000L
+let utm_size = 0x1_0000
+let sm_base = 0x8010_0000L
+let sm_size = 0x10_0000
+let sm_secret_addr = Int64.add sm_base 0x1000L
+let host_page_table_base = 0x8020_0000L
+
+(* Bit 27 distinguishes the pool from host code: below both cores' BTB
+   tag coverage, so host and enclave PCs with equal low bits alias. *)
+let enclave_pool_base = 0x8800_0000L
+let enclave_size = 0x1_0000
+let max_enclaves = 8
+
+let enclave_base i =
+  assert (i >= 0 && i < max_enclaves);
+  Int64.add enclave_pool_base (Int64.of_int (i * enclave_size))
+
+let enclave_code_base i = enclave_base i
+
+let inside base size addr =
+  Int64.unsigned_compare addr base >= 0
+  && Int64.unsigned_compare addr (Int64.add base (Int64.of_int size)) < 0
+
+let region_of_addr addr =
+  if inside sm_base sm_size addr then "security-monitor"
+  else if inside utm_base utm_size addr then "utm-shared"
+  else if
+    inside enclave_pool_base (enclave_size * max_enclaves) addr
+  then
+    Printf.sprintf "enclave-%d"
+      (Int64.to_int (Int64.div (Int64.sub addr enclave_pool_base) (Int64.of_int enclave_size)))
+  else if inside host_page_table_base 0x10_0000 addr then "host-page-tables"
+  else if Int64.unsigned_compare addr ram_base >= 0 then "host"
+  else "unmapped"

@@ -1,0 +1,51 @@
+open Import
+
+(** Physical memory map shared by the security monitor and the test
+    harness.
+
+    All regions are naturally aligned powers of two so they can be covered
+    by single PMP NAPOT entries.  The enclave pool starts at an address
+    that differs from the host code base only in bit 27 — above the index
+    and partial-tag bits of both cores' branch target buffers — which is
+    what lets the M2 gadget construct aliasing host/enclave branch
+    pairs. *)
+
+val ram_base : Word.t
+val ram_size : int64
+
+(** Host program text is laid out from here. *)
+val host_code_base : Word.t
+
+(** Host data scratch region (attacker-controlled). *)
+val host_data_base : Word.t
+
+(** Untrusted shared buffer between host and enclave (Keystone's UTM). *)
+val utm_base : Word.t
+
+val utm_size : int
+
+(** Security-monitor region: SM code, data and secrets. *)
+val sm_base : Word.t
+
+val sm_size : int
+
+(** An 8-byte SM secret used by the D5 test. *)
+val sm_secret_addr : Word.t
+
+(** Region the host builds its sv39 page tables in. *)
+val host_page_table_base : Word.t
+
+(** Enclave pool: region [i] is [enclave_base i .. + enclave_size]. *)
+val enclave_pool_base : Word.t
+
+val enclave_size : int
+val max_enclaves : int
+val enclave_base : int -> Word.t
+
+(** Enclave program text base inside region [i]; its low 27 bits match
+    [host_code_base]'s. *)
+val enclave_code_base : int -> Word.t
+
+(** [region_of_addr addr] names the region containing [addr], for
+    diagnostics. *)
+val region_of_addr : Word.t -> string

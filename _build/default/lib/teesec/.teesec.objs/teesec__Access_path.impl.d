@@ -1,0 +1,1 @@
+lib/teesec/access_path.ml: Case Config Format Import Structure

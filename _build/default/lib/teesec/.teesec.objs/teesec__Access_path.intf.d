@@ -1,0 +1,1 @@
+lib/teesec/access_path.mli: Case Config Format Import Structure

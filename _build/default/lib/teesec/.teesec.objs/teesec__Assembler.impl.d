@@ -1,0 +1,1 @@
+lib/teesec/assembler.ml: Access_path Exec_model Format Gadget Gadget_library Import List Params Testcase

@@ -1,0 +1,1 @@
+lib/teesec/assembler.mli: Access_path Exec_model Gadget Import Params Testcase

@@ -1,0 +1,1 @@
+lib/teesec/campaign.ml: Case Checker Config Format Fuzzer Hashtbl Import List Option Report Runner Testcase Unix

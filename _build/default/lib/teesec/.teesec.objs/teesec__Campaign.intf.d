@@ -1,0 +1,1 @@
+lib/teesec/campaign.mli: Case Config Format Import Testcase

@@ -1,0 +1,1 @@
+lib/teesec/case.ml: Config Format Import Int Structure

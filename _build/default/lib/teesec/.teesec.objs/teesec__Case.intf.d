@@ -1,0 +1,1 @@
+lib/teesec/case.mli: Config Format Import Structure

@@ -1,0 +1,1 @@
+lib/teesec/checker.ml: Case Exec_context Format Hashtbl Import Int Int64 List Log Option Printf Priv Secret String Structure Word

@@ -1,0 +1,1 @@
+lib/teesec/checker.mli: Case Exec_context Format Import Log Secret Structure Word

@@ -1,0 +1,1 @@
+lib/teesec/coverage.ml: Access_path Config Format Fuzzer Hashtbl Import List Log Option Runner String Structure Testcase

@@ -1,0 +1,1 @@
+lib/teesec/coverage.mli: Access_path Config Format Import Log Structure Testcase

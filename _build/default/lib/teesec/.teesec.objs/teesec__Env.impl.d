@@ -1,0 +1,1 @@
+lib/teesec/env.ml: Import Int64 List Machine Memory_layout Params Program Secret Security_monitor Word

@@ -1,0 +1,1 @@
+lib/teesec/env.mli: Config Import Machine Params Program Secret Security_monitor Word

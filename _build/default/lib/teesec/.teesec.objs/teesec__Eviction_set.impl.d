@@ -1,0 +1,1 @@
+lib/teesec/eviction_set.ml: Config Csr Import Instr Int64 List Memory Word

@@ -1,0 +1,1 @@
+lib/teesec/eviction_set.mli: Config Import Instr Word

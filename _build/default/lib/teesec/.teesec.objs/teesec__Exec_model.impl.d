@@ -1,0 +1,1 @@
+lib/teesec/exec_model.ml: Enclave Format Import

@@ -1,0 +1,1 @@
+lib/teesec/exec_model.mli: Enclave Format Import

@@ -1,0 +1,1 @@
+lib/teesec/fuzzer.ml: Access_path Array Assembler Import Int64 List Params Word

@@ -1,0 +1,1 @@
+lib/teesec/fuzzer.mli: Access_path Import Params Testcase Word

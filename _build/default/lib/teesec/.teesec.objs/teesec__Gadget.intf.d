@@ -1,0 +1,1 @@
+lib/teesec/gadget.mli: Access_path Env Exec_model Format Import

@@ -1,0 +1,1 @@
+lib/teesec/gadget_library.mli: Access_path Gadget Import Word

@@ -1,0 +1,1 @@
+lib/teesec/import.ml: Riscv Simlog Tee Uarch

@@ -1,0 +1,1 @@
+lib/teesec/mitigation_eval.ml: Access_path Assembler Campaign Case Config Format Fuzzer Import List Mitigation String

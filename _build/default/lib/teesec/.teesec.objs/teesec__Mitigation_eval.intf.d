@@ -1,0 +1,1 @@
+lib/teesec/mitigation_eval.mli: Case Config Format Import Mitigation Testcase

@@ -1,0 +1,1 @@
+lib/teesec/overhead.ml: Buffer Config Csr Env Format Gadget Gadget_library Hpc Import Instr Int64 List Machine Memory_layout Mitigation Params Printf Program Security_monitor String

@@ -1,0 +1,1 @@
+lib/teesec/overhead.mli: Config Format Import Mitigation

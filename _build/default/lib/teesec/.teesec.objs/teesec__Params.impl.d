@@ -1,0 +1,1 @@
+lib/teesec/params.ml: Format Import Word

@@ -1,0 +1,1 @@
+lib/teesec/params.mli: Format Import Word

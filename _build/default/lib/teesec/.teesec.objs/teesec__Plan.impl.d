@@ -1,0 +1,1 @@
+lib/teesec/plan.ml: Access_path Case Config Format Import List Netlist Sbi String Structure

@@ -1,0 +1,1 @@
+lib/teesec/plan.mli: Access_path Case Config Format Import Netlist Sbi Structure

@@ -1,0 +1,1 @@
+lib/teesec/recommend.ml: Campaign Case Config Float Format Import Int List Mitigation Mitigation_eval Overhead String

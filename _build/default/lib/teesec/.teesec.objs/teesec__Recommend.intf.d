@@ -1,0 +1,1 @@
+lib/teesec/recommend.mli: Case Config Format Import Mitigation

@@ -1,0 +1,1 @@
+lib/teesec/report.ml: Case Checker Exec_context Format Import List Log Printf Runner Secret String Structure Testcase Word

@@ -1,0 +1,1 @@
+lib/teesec/report.mli: Checker Format Import Runner Testcase

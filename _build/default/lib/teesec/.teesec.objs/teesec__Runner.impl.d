@@ -1,0 +1,1 @@
+lib/teesec/runner.ml: Env Exec_context Gadget Import List Log Machine Priv Secret Testcase

@@ -1,0 +1,1 @@
+lib/teesec/runner.mli: Config Env Import Log Secret Testcase

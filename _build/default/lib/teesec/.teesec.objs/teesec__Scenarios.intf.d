@@ -1,0 +1,1 @@
+lib/teesec/scenarios.mli: Config Format Import

@@ -1,0 +1,1 @@
+lib/teesec/secret.ml: Exec_context Format Import Int64 List Memory Printf Word

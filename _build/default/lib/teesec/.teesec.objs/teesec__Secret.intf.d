@@ -1,0 +1,1 @@
+lib/teesec/secret.mli: Exec_context Format Import Word

@@ -1,0 +1,1 @@
+lib/teesec/tables.ml: Access_path Buffer Campaign Case Config Format Fuzzer Gadget_library Import List Mitigation Mitigation_eval Plan Printf String

@@ -1,0 +1,1 @@
+lib/teesec/tables.mli: Campaign Import Mitigation_eval

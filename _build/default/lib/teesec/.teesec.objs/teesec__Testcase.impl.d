@@ -1,0 +1,1 @@
+lib/teesec/testcase.ml: Access_path Format Gadget Import List Params Printf

@@ -1,0 +1,1 @@
+lib/teesec/testcase.mli: Access_path Format Gadget Import Params

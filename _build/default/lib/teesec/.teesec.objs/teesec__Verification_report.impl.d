@@ -1,0 +1,1 @@
+lib/teesec/verification_report.ml: Buffer Campaign Case Config Coverage Format Fuzzer Import List Mitigation_eval Plan Printf Recommend Scenarios String Tables

@@ -1,0 +1,1 @@
+lib/teesec/verification_report.mli: Config Import

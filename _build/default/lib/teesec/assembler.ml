@@ -1,0 +1,52 @@
+open! Import
+
+exception Invalid_chain of string
+
+module G = Gadget_library
+
+let recipe path ~params =
+  let variant = params.Params.variant in
+  match path with
+  | Access_path.Exp_acc_enc_l1 ->
+    [ G.create_enclave; G.fill_enc_mem ]
+  | Access_path.Exp_acc_enc_l2 ->
+    [ G.create_enclave; G.fill_enc_mem; G.evict_enc_l1 ]
+  | Access_path.Exp_acc_enc_mem ->
+    [ G.create_enclave; G.fill_enc_mem; G.evict_enc_l1; G.evict_enc_l2 ]
+  | Access_path.Exp_acc_enc_stb -> [ G.create_enclave; G.fill_enc_mem_nodrain ]
+  | Access_path.Exp_acc_enc_misaligned -> [ G.create_enclave; G.fill_enc_mem ]
+  | Access_path.Exp_acc_sm -> [ G.seed_sm_secret; G.touch_sm_secret ]
+  | Access_path.Exp_acc_cross_enclave ->
+    [ G.create_enclave; G.fill_enc_mem; G.create_attacker_enclave ]
+  | Access_path.Exp_acc_host_from_enclave ->
+    [ G.create_enclave; G.seed_host_secret ]
+  | Access_path.Exp_store_enc -> [ G.create_enclave; G.fill_enc_mem ]
+  | Access_path.Imp_acc_pref ->
+    [ G.create_enclave; G.fill_enc_mem; G.evict_enc_l1 ]
+  | Access_path.Imp_acc_ptw_root ->
+    if variant = 1 then [ G.seed_sm_secret; G.create_enclave; G.fill_enc_mem; G.evict_enc_l1 ]
+    else [ G.create_enclave; G.fill_enc_mem; G.evict_enc_l1 ]
+  | Access_path.Imp_acc_ptw_legit -> [ G.build_host_page_tables ]
+  | Access_path.Imp_acc_destroy_memset ->
+    [ G.create_enclave; G.fill_enc_mem; G.evict_enc_l1 ]
+  | Access_path.Meta_hpc -> [ G.create_enclave; G.prime_hpcs; G.exe_enclave ]
+  | Access_path.Meta_btb ->
+    [ G.create_enclave; G.prime_ubtb; G.enclave_branch_workload ]
+
+let validate gadgets =
+  let model = Exec_model.initial () in
+  List.iter
+    (fun g ->
+      if not (Gadget.applicable g model) then
+        raise
+          (Invalid_chain
+             (Format.asprintf "precondition of %s fails in state [%a]" (Gadget.name g)
+                Exec_model.pp model));
+      Gadget.apply g model)
+    gadgets;
+  model
+
+let assemble ~id path ~params =
+  let chain = recipe path ~params @ [ G.access_gadget path ] in
+  let (_ : Exec_model.t) = validate chain in
+  { Testcase.id; path; gadgets = chain; params }

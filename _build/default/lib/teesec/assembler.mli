@@ -1,0 +1,24 @@
+open! Import
+
+(** Gadget assembler.
+
+    Builds complete test sequences from the gadget library (§4.2): given
+    an access path and parameters, it selects the setup/helper chain that
+    establishes the access gadget's preconditions, validates the chain
+    against the abstract execution model, and packages the result as a
+    {!Testcase}.  A chain whose preconditions cannot be satisfied is a
+    programming error in the library and raises. *)
+
+exception Invalid_chain of string
+
+(** [recipe path ~params] is the canonical setup/helper chain for
+    [path] (the access gadget is appended by {!assemble}). *)
+val recipe : Access_path.t -> params:Params.t -> Gadget.t list
+
+(** [assemble ~id path ~params] builds and validates the test case. *)
+val assemble : id:int -> Access_path.t -> params:Params.t -> Testcase.t
+
+(** [validate gadgets] replays the chain on the abstract model, raising
+    [Invalid_chain] at the first unsatisfied precondition.  Returns the
+    final model state. *)
+val validate : Gadget.t list -> Exec_model.t

@@ -1,0 +1,93 @@
+open! Import
+
+type case_stats = {
+  case : Case.id;
+  found : bool;
+  testcases : int;
+  first_testcase : string option;
+}
+
+type result = {
+  config : Config.t;
+  total_cases : int;
+  stats : (Case.id * case_stats) list;
+  found : Case.id list;
+  residue_warnings : int;
+  total_cycles : int;
+  total_log_records : int;
+  wall_time_s : float;
+}
+
+let run ?(progress = fun _ _ _ -> ()) config testcases =
+  let t0 = Unix.gettimeofday () in
+  let counts = Hashtbl.create 16 in
+  let firsts = Hashtbl.create 16 in
+  let residue = ref 0 in
+  let cycles = ref 0 in
+  let log_records = ref 0 in
+  let total = List.length testcases in
+  List.iteri
+    (fun i tc ->
+      let outcome = Runner.run config tc in
+      let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
+      residue := !residue + Checker.residue_warnings findings;
+      cycles := !cycles + outcome.Runner.cycles;
+      log_records := !log_records + outcome.Runner.log_records;
+      List.iter
+        (fun case ->
+          Hashtbl.replace counts case
+            (1 + Option.value (Hashtbl.find_opt counts case) ~default:0);
+          if not (Hashtbl.mem firsts case) then
+            Hashtbl.replace firsts case (Testcase.name tc))
+        (Checker.distinct_cases findings);
+      progress (i + 1) total (Report.summary_line tc findings))
+    testcases;
+  let stats =
+    List.map
+      (fun case ->
+        let testcases = Option.value (Hashtbl.find_opt counts case) ~default:0 in
+        ( case,
+          {
+            case;
+            found = testcases > 0;
+            testcases;
+            first_testcase = Hashtbl.find_opt firsts case;
+          } ))
+      Case.all
+  in
+  {
+    config;
+    total_cases = total;
+    stats;
+    found = List.filter (fun c -> Hashtbl.mem counts c) Case.all;
+    residue_warnings = !residue;
+    total_cycles = !cycles;
+    total_log_records = !log_records;
+    wall_time_s = Unix.gettimeofday () -. t0;
+  }
+
+let run_full ?progress config = run ?progress config (Fuzzer.corpus ())
+
+let mismatches result =
+  List.filter_map
+    (fun (case, (s : case_stats)) ->
+      let expected = Case.expected case result.config.Config.kind in
+      if expected <> s.found then Some (case, expected, s.found) else None)
+    result.stats
+
+let matches_paper result = mismatches result = []
+
+let pp_result fmt result =
+  Format.fprintf fmt "Campaign on %s: %d test cases, %.2fs, %d cycles simulated@."
+    result.config.Config.name result.total_cases result.wall_time_s
+    result.total_cycles;
+  List.iter
+    (fun (case, (s : case_stats)) ->
+      Format.fprintf fmt "  %-3s %-70s %s (%d test cases%s)@." (Case.to_string case)
+        (Case.description case)
+        (if s.found then "FOUND" else "-")
+        s.testcases
+        (match s.first_testcase with Some n -> ", first: " ^ n | None -> ""))
+    result.stats;
+  Format.fprintf fmt "  residue warnings: %d@." result.residue_warnings;
+  Format.fprintf fmt "  matches paper Table 3: %b@." (matches_paper result)

@@ -1,0 +1,42 @@
+open! Import
+
+(** Campaign driver: runs a test-case corpus against one core
+    configuration and aggregates the checker's findings into the Table 3
+    verdicts. *)
+
+type case_stats = {
+  case : Case.id;
+  found : bool;
+  testcases : int;  (** How many test cases surfaced the case. *)
+  first_testcase : string option;  (** Name of the first surfacing case. *)
+}
+
+type result = {
+  config : Config.t;
+  total_cases : int;
+  stats : (Case.id * case_stats) list;
+  found : Case.id list;
+  residue_warnings : int;
+  total_cycles : int;
+  total_log_records : int;
+  wall_time_s : float;
+}
+
+(** [run ?progress config testcases] executes every test case on a fresh
+    environment and checks its log.  [progress] is called after each test
+    case with (index, total, summary line). *)
+val run :
+  ?progress:(int -> int -> string -> unit) -> Config.t -> Testcase.t list -> result
+
+(** [run_full ?progress config] runs the whole deterministic corpus. *)
+val run_full : ?progress:(int -> int -> string -> unit) -> Config.t -> result
+
+(** [matches_paper result] is true when the set of found cases equals the
+    paper's Table 3 column for this core. *)
+val matches_paper : result -> bool
+
+(** [mismatches result] lists (case, expected, found) triples that
+    disagree with the paper. *)
+val mismatches : result -> (Case.id * bool * bool) list
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,332 @@
+open! Import
+
+type detection = Fetched | Residue
+
+let detection_to_string = function Fetched -> "fetched" | Residue -> "residue"
+
+type finding = {
+  case : Case.id option;
+  secret : Secret.seeded option;
+  structure : Structure.t;
+  cycle : int;
+  ctx : Exec_context.t;
+  origin : Log.origin option;
+  detection : detection;
+  note : string;
+  last_pc : Word.t option;
+}
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s %s in %s at cycle %d (ctx %a%s)%s"
+    (match f.case with Some c -> Case.to_string c | None -> "residue")
+    (detection_to_string f.detection)
+    (Structure.to_string f.structure) f.cycle Exec_context.pp f.ctx
+    (match f.origin with
+    | Some o -> ", via " ^ Log.origin_to_string o
+    | None -> "")
+    (match f.secret with
+    | Some s -> Format.asprintf ": %a" Secret.pp_seeded s
+    | None -> "")
+
+(* Cross-boundary explicit-access classification (D4-D7): decided by the
+   owner of the secret and the context that observed it. *)
+let cross_boundary_case (owner : Secret.owner) (ctx : Exec_context.t) =
+  match (owner, ctx) with
+  | Secret.Enclave_owner _, Exec_context.Host _ -> Some Case.D4
+  | Secret.Sm_owner, Exec_context.Host _ -> Some Case.D5
+  | Secret.Enclave_owner i, Exec_context.Enclave j when i <> j -> Some Case.D6
+  | Secret.Host_owner, Exec_context.Enclave _ -> Some Case.D7
+  | Secret.Sm_owner, Exec_context.Enclave _ -> Some Case.D5
+  | ( (Secret.Enclave_owner _ | Secret.Host_owner | Secret.Sm_owner),
+      (Exec_context.Host _ | Exec_context.Enclave _ | Exec_context.Monitor) ) ->
+    None
+
+let contains_substring ~needle hay =
+  let n = String.length needle and m = String.length hay in
+  if n = 0 then true
+  else
+    let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+
+(* Classify one data observation. *)
+let classify ~(structure : Structure.t) ~origin ~(owner : Secret.owner)
+    ~(ctx : Exec_context.t) ~note ~detection =
+  match structure with
+  | Structure.Lfb -> (
+    match origin with
+    | Some Log.Prefetch -> Some Case.D1
+    | Some Log.Ptw_walk -> Some Case.D2
+    | Some Log.Memset_destroy -> Some Case.D3
+    | Some Log.Explicit_load when detection = Fetched -> cross_boundary_case owner ctx
+    | Some
+        ( Log.Explicit_load | Log.Explicit_store | Log.Store_drain | Log.Csr_read
+        | Log.Context_save | Log.Refill | Log.Branch_exec | Log.Writeback )
+    | None ->
+      None)
+  | Structure.Reg_file ->
+    if detection = Residue then None
+    else if contains_substring ~needle:"forwarded-from-store-buffer" note then
+      Some Case.D8
+    else if contains_substring ~needle:"transient" note then
+      cross_boundary_case owner ctx
+    else None
+  | Structure.L1i_data | Structure.L1d_data | Structure.L2_data
+  | Structure.Store_buffer | Structure.Store_queue | Structure.Load_queue
+  | Structure.Dtlb | Structure.Ptw_cache | Structure.Ubtb | Structure.Ftb
+  | Structure.Hpm_counters | Structure.Wb_buffer | Structure.Prefetcher ->
+    None
+
+(* Provenance of a residue hit: the most recent write of the same value
+   into the same structure. *)
+let residue_provenance records ~structure ~value ~before_cycle =
+  let best = ref None in
+  List.iter
+    (fun (r : Log.record) ->
+      if r.Log.cycle <= before_cycle then
+        match r.Log.event with
+        | Log.Write { structure = s; entries; origin }
+          when Structure.equal s structure
+               && List.exists (fun (e : Log.entry) -> Int64.equal e.Log.data value) entries
+          -> (
+          match !best with
+          | Some (c, _) when c >= r.Log.cycle -> ()
+          | _ -> best := Some (r.Log.cycle, origin))
+        | _ -> ())
+    records;
+  Option.map snd !best
+
+(* {2 P1: data leakage} *)
+
+let check_data log tracker records =
+  let findings = ref [] in
+  List.iter
+    (fun (s : Secret.seeded) ->
+      List.iter
+        (fun (r : Log.record) ->
+          if not (Secret.authorized s.Secret.owner r.Log.ctx) then begin
+            let emit ~structure ~origin ~detection ~note =
+              let case =
+                classify ~structure ~origin ~owner:s.Secret.owner ~ctx:r.Log.ctx
+                  ~note ~detection
+              in
+              findings :=
+                {
+                  case;
+                  secret = Some s;
+                  structure;
+                  cycle = r.Log.cycle;
+                  ctx = r.Log.ctx;
+                  origin;
+                  detection;
+                  note;
+                  last_pc = Log.last_commit_before log ~cycle:r.Log.cycle;
+                }
+                :: !findings
+            in
+            match r.Log.event with
+            | Log.Write { structure; entries; origin } ->
+              List.iter
+                (fun (e : Log.entry) ->
+                  if Int64.equal e.Log.data s.Secret.value then
+                    if s.Secret.derived then begin
+                      (* Derived sub-words only count as transient RF
+                         forwards, to avoid matching benign short values. *)
+                      if
+                        Structure.equal structure Structure.Reg_file
+                        && contains_substring ~needle:"transient" e.Log.note
+                      then
+                        emit ~structure ~origin:(Some origin) ~detection:Fetched
+                          ~note:e.Log.note
+                    end
+                    else
+                      emit ~structure ~origin:(Some origin) ~detection:Fetched
+                        ~note:e.Log.note)
+                entries
+            | Log.Snapshot { structure; entries } ->
+              if
+                (not s.Secret.derived)
+                && List.exists
+                     (fun (e : Log.entry) -> Int64.equal e.Log.data s.Secret.value)
+                     entries
+              then
+                let origin =
+                  residue_provenance records ~structure ~value:s.Secret.value
+                    ~before_cycle:r.Log.cycle
+                in
+                emit ~structure ~origin ~detection:Residue ~note:"snapshot residue"
+            | Log.Mode_switch _ | Log.Commit _ | Log.Exception_raised _ -> ()
+          end)
+        records)
+    (Secret.all tracker);
+  !findings
+
+(* {2 P2: metadata leakage} *)
+
+(* M2: enclave-owned branch-predictor entries visible while the host
+   executes. *)
+let check_btb_residue records =
+  let findings = ref [] in
+  List.iter
+    (fun (r : Log.record) ->
+      match (r.Log.ctx, r.Log.event) with
+      | Exec_context.Host _, Log.Snapshot { structure = (Structure.Ubtb | Structure.Ftb) as structure; entries }
+        ->
+        List.iter
+          (fun (e : Log.entry) ->
+            if
+              contains_substring ~needle:"owner=enclave" e.Log.note
+              && not (contains_substring ~needle:"id-tagged" e.Log.note)
+            then
+              findings :=
+                {
+                  case = Some Case.M2;
+                  secret = None;
+                  structure;
+                  cycle = r.Log.cycle;
+                  ctx = r.Log.ctx;
+                  origin = Some Log.Branch_exec;
+                  detection = Residue;
+                  note = e.Log.note;
+                  last_pc = None;
+                }
+                :: !findings)
+          entries
+      | _ -> ())
+    records;
+  !findings
+
+(* M1: per-counter deltas accumulated during enclave execution that stay
+   visible to the host and are actually read by it. *)
+let hpm_snapshot_entries (r : Log.record) =
+  match r.Log.event with
+  | Log.Snapshot { structure = Structure.Hpm_counters; entries } -> Some entries
+  | _ -> None
+
+let event_counter_slots = [ 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let slot_value entries slot =
+  List.fold_left
+    (fun acc (e : Log.entry) -> if e.Log.slot = slot then Some e.Log.data else acc)
+    None entries
+
+let check_hpc records =
+  (* Locate the first enclave execution span. *)
+  let rec find_entry = function
+    | [] -> None
+    | (r : Log.record) :: rest -> (
+      match (r.Log.ctx, hpm_snapshot_entries r) with
+      | Exec_context.Enclave _, Some entries -> Some (r, entries, rest)
+      | _ -> find_entry rest)
+  in
+  match find_entry records with
+  | None -> []
+  | Some (entry_rec, entry_entries, rest) -> (
+    (* Counter values when leaving the enclave: next HPM snapshot. *)
+    let rec find_exit = function
+      | [] -> None
+      | (r : Log.record) :: rest -> (
+        match hpm_snapshot_entries r with
+        | Some entries when not (Exec_context.equal r.Log.ctx entry_rec.Log.ctx) ->
+          Some (r, entries, rest)
+        | _ -> find_exit rest)
+    in
+    match find_exit rest with
+    | None -> []
+    | Some (exit_rec, exit_entries, after_exit) ->
+      let deltas =
+        List.filter_map
+          (fun slot ->
+            match (slot_value entry_entries slot, slot_value exit_entries slot) with
+            | Some a, Some b when not (Int64.equal a b) -> Some (slot, Int64.sub b a)
+            | _ -> None)
+          event_counter_slots
+      in
+      if deltas = [] then []
+      else
+        (* Does the host still see the accumulated values (no reset)? *)
+        let host_sees =
+          List.exists
+            (fun (r : Log.record) ->
+              match (r.Log.ctx, hpm_snapshot_entries r) with
+              | Exec_context.Host _, Some entries ->
+                List.exists
+                  (fun (slot, _) ->
+                    match (slot_value entries slot, slot_value exit_entries slot) with
+                    | Some now, Some at_exit -> Int64.unsigned_compare now at_exit >= 0
+                    | _ -> false)
+                  deltas
+              | _ -> false)
+            after_exit
+        in
+        (* And did untrusted code actually read an event counter after the
+           enclave ran? *)
+        let host_read =
+          List.exists
+            (fun (r : Log.record) ->
+              match (r.Log.ctx, r.Log.event) with
+              | ( Exec_context.Host _,
+                  Log.Write { structure = Structure.Reg_file; entries; origin = Log.Csr_read } ) ->
+                r.Log.cycle > exit_rec.Log.cycle
+                && List.exists
+                     (fun (e : Log.entry) ->
+                       contains_substring ~needle:"csrr hpmcounter" e.Log.note)
+                     entries
+              | _ -> false)
+            after_exit
+        in
+        if host_sees && host_read then
+          [
+            {
+              case = Some Case.M1;
+              secret = None;
+              structure = Structure.Hpm_counters;
+              cycle = exit_rec.Log.cycle;
+              ctx = Exec_context.Host Priv.Supervisor;
+              origin = Some Log.Csr_read;
+              detection = Residue;
+              note =
+                String.concat ", "
+                  (List.map
+                     (fun (slot, d) -> Printf.sprintf "hpm%d delta=%Ld" slot d)
+                     deltas);
+              last_pc = None;
+            };
+          ]
+        else [])
+
+(* {2 Entry point} *)
+
+let dedupe findings =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun f ->
+      let key =
+        Printf.sprintf "%s/%s/%s/%s"
+          (match f.case with Some c -> Case.to_string c | None -> "-")
+          (Structure.to_string f.structure)
+          (detection_to_string f.detection)
+          (match f.secret with Some s -> Word.to_hex s.Secret.value | None -> "-")
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    findings
+
+let case_rank f =
+  match f.case with Some _ -> 0 | None -> 1
+
+let check log tracker =
+  let records = Log.to_list log in
+  let findings =
+    check_data log tracker records @ check_btb_residue records @ check_hpc records
+  in
+  let findings = dedupe findings in
+  List.stable_sort (fun a b -> Int.compare (case_rank a) (case_rank b)) findings
+
+let distinct_cases findings =
+  List.sort_uniq Case.compare (List.filter_map (fun f -> f.case) findings)
+
+let residue_warnings findings =
+  List.length (List.filter (fun f -> f.case = None) findings)

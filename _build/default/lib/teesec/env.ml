@@ -1,0 +1,49 @@
+open! Import
+
+type t = {
+  sm : Security_monitor.t;
+  machine : Machine.t;
+  tracker : Secret.tracker;
+  params : Params.t;
+  mutable victim : int option;
+  mutable attacker : int option;
+  mutable hpc_baseline : (int * Word.t) list;
+  mutable program_trace : (string * Program.t) list;
+}
+
+let create config params =
+  let machine = Machine.create config in
+  let sm = Security_monitor.install machine in
+  {
+    sm;
+    machine;
+    tracker = Secret.create_tracker ();
+    params;
+    victim = None;
+    attacker = None;
+    hpc_baseline = [];
+    program_trace = [];
+  }
+
+let record_program t ~label prog = t.program_trace <- (label, prog) :: t.program_trace
+let programs t = List.rev t.program_trace
+
+let victim_exn t =
+  match t.victim with
+  | Some eid -> eid
+  | None -> invalid_arg "Env.victim_exn: no victim enclave created"
+
+let attacker_exn t =
+  match t.attacker with
+  | Some eid -> eid
+  | None -> invalid_arg "Env.attacker_exn: no attacker enclave created"
+
+let victim_secret_line t =
+  (* Secrets live in the second half of the region so that enclave code
+     (laid out from the region base) never collides with them. *)
+  Int64.add
+    (Memory_layout.enclave_base (victim_exn t))
+    (Int64.of_int (Memory_layout.enclave_size / 2))
+
+let secret_addr t = Int64.add (victim_secret_line t) (Int64.of_int t.params.Params.offset)
+let host_secret_addr _t = Memory_layout.host_data_base

@@ -1,0 +1,47 @@
+open! Import
+
+let line_bytes = Memory.line_bytes
+
+let l1_set_index (config : Config.t) ~addr =
+  Int64.to_int
+    (Int64.rem
+       (Int64.shift_right_logical (Word.align_down addr ~alignment:line_bytes) 6)
+       (Int64.of_int config.Config.l1_sets))
+
+let same_set config ~addr1 ~addr2 =
+  l1_set_index config ~addr:addr1 = l1_set_index config ~addr:addr2
+
+let build config ~target ~from ~count =
+  let target_line = Word.align_down target ~alignment:line_bytes in
+  let rec scan addr acc remaining =
+    if remaining = 0 then List.rev acc
+    else if
+      same_set config ~addr1:addr ~addr2:target
+      && not (Int64.equal (Word.align_down addr ~alignment:line_bytes) target_line)
+    then scan (Int64.add addr (Int64.of_int line_bytes)) (addr :: acc) (remaining - 1)
+    else scan (Int64.add addr (Int64.of_int line_bytes)) acc remaining
+  in
+  scan (Word.align_down from ~alignment:line_bytes) [] count
+
+let prime_instrs addrs =
+  List.concat_map
+    (fun addr -> [ Instr.Li (Instr.t1, addr); Instr.ld Instr.t0 Instr.t1 0L ])
+    addrs
+  @ [ Instr.Fence ]
+
+(* The probe accumulates total access latency in a6: a clean (still
+   primed) set costs #ways L1 hits; a set the victim touched costs at
+   least one miss more. *)
+let probe_instrs addrs =
+  [ Instr.Li (Instr.a6, 0L) ]
+  @ List.concat_map
+      (fun addr ->
+        [
+          Instr.Csrr (Instr.a2, Csr.Cycle);
+          Instr.Li (Instr.t1, addr);
+          Instr.ld Instr.t0 Instr.t1 0L;
+          Instr.Csrr (Instr.a3, Csr.Cycle);
+          Instr.Alu (Instr.Sub, Instr.a4, Instr.a3, Instr.a2);
+          Instr.Alu (Instr.Add, Instr.a6, Instr.a6, Instr.a4);
+        ])
+      addrs

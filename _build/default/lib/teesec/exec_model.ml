@@ -1,0 +1,63 @@
+open! Import
+
+type secret_residence = {
+  mutable in_l1 : bool;
+  mutable in_l2 : bool;
+  mutable in_mem : bool;
+  mutable in_store_buffer : bool;
+}
+
+type t = {
+  mutable victim_state : Enclave.state option;
+  mutable attacker_enclave : bool;
+  secret : secret_residence;
+  mutable sm_secret_in_l1 : bool;
+  mutable host_secret_in_l1 : bool;
+  mutable host_page_tables : bool;
+  mutable hpc_primed : bool;
+  mutable btb_primed : bool;
+  mutable enclave_did_work : bool;
+}
+
+let initial () =
+  {
+    victim_state = None;
+    attacker_enclave = false;
+    secret = { in_l1 = false; in_l2 = false; in_mem = false; in_store_buffer = false };
+    sm_secret_in_l1 = false;
+    host_secret_in_l1 = false;
+    host_page_tables = false;
+    hpc_primed = false;
+    btb_primed = false;
+    enclave_did_work = false;
+  }
+
+let copy t =
+  {
+    t with
+    secret =
+      {
+        in_l1 = t.secret.in_l1;
+        in_l2 = t.secret.in_l2;
+        in_mem = t.secret.in_mem;
+        in_store_buffer = t.secret.in_store_buffer;
+      };
+  }
+
+let pp fmt t =
+  let flag name b = if b then Format.fprintf fmt " %s" name in
+  Format.fprintf fmt "victim=%s"
+    (match t.victim_state with
+    | None -> "none"
+    | Some s -> Enclave.state_to_string s);
+  flag "attacker" t.attacker_enclave;
+  flag "secret:l1" t.secret.in_l1;
+  flag "secret:l2" t.secret.in_l2;
+  flag "secret:mem" t.secret.in_mem;
+  flag "secret:stb" t.secret.in_store_buffer;
+  flag "sm-secret:l1" t.sm_secret_in_l1;
+  flag "host-secret:l1" t.host_secret_in_l1;
+  flag "page-tables" t.host_page_tables;
+  flag "hpc-primed" t.hpc_primed;
+  flag "btb-primed" t.btb_primed;
+  flag "enclave-work" t.enclave_did_work

@@ -1,0 +1,39 @@
+open! Import
+
+(** Abstract execution model for gadget assembly.
+
+    The gadget assembler needs to know, without running the simulator,
+    whether the microarchitectural preconditions of an access gadget hold
+    after a candidate helper sequence (§4.2: "an execution model is
+    constructed automatically to capture the expected microarchitectural
+    state following gadget execution").  This module is that model: a
+    small abstract state over which every gadget declares a precondition
+    and a state-transformer. *)
+
+(** Where the victim secret currently lives. *)
+type secret_residence = {
+  mutable in_l1 : bool;
+  mutable in_l2 : bool;
+  mutable in_mem : bool;
+  mutable in_store_buffer : bool;
+}
+
+type t = {
+  mutable victim_state : Enclave.state option;
+      (** [None] until a victim enclave is created. *)
+  mutable attacker_enclave : bool;  (** A second enclave exists. *)
+  secret : secret_residence;  (** Victim-enclave secret residence. *)
+  mutable sm_secret_in_l1 : bool;
+  mutable host_secret_in_l1 : bool;
+  mutable host_page_tables : bool;
+  mutable hpc_primed : bool;  (** Host recorded a counter baseline. *)
+  mutable btb_primed : bool;  (** Host primed the aliasing uBTB entry. *)
+  mutable enclave_did_work : bool;
+      (** The victim executed data/branch activity (needed by M1/M2). *)
+}
+
+val initial : unit -> t
+val copy : t -> t
+
+(** [pp] shows the abstract state compactly, for assembler diagnostics. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+open! Import
+
+type kind = Setup | Helper | Access of Access_path.t
+
+let kind_to_string = function
+  | Setup -> "setup"
+  | Helper -> "helper"
+  | Access p -> Printf.sprintf "access(%s)" (Access_path.to_string p)
+
+type t = {
+  name : string;
+  kind : kind;
+  description : string;
+  pre : Exec_model.t -> bool;
+  post : Exec_model.t -> unit;
+  emit : Env.t -> unit;
+}
+
+let name t = t.name
+let is_setup t = t.kind = Setup
+let is_helper t = t.kind = Helper
+let is_access t = match t.kind with Access _ -> true | Setup | Helper -> false
+
+let access_path t =
+  match t.kind with Access p -> Some p | Setup | Helper -> None
+
+let applicable t model = t.pre model
+let apply t model = t.post model
+let pp fmt t = Format.fprintf fmt "%s [%s]" t.name (kind_to_string t.kind)

@@ -1,0 +1,39 @@
+open! Import
+
+(** Test gadgets.
+
+    A gadget couples a few parameterised assembly instructions (or SBI
+    interactions) with its contract over the abstract execution model:
+    [pre] must hold for the gadget to be applicable, [post] describes the
+    state after it runs, and [emit] performs the concrete actions on the
+    test environment.  The three kinds follow §4.2: setup gadgets manage
+    the TEE API surface, helper gadgets establish microarchitectural
+    preconditions and seed secrets, access gadgets exercise one memory
+    access path. *)
+
+type kind = Setup | Helper | Access of Access_path.t
+
+val kind_to_string : kind -> string
+
+type t = {
+  name : string;
+  kind : kind;
+  description : string;
+  pre : Exec_model.t -> bool;
+  post : Exec_model.t -> unit;
+  emit : Env.t -> unit;
+}
+
+val name : t -> string
+val is_setup : t -> bool
+val is_helper : t -> bool
+val is_access : t -> bool
+val access_path : t -> Access_path.t option
+
+(** [applicable g model] — [pre] holds. *)
+val applicable : t -> Exec_model.t -> bool
+
+(** [apply g model] — run [post] on the abstract state (assembler use). *)
+val apply : t -> Exec_model.t -> unit
+
+val pp : Format.formatter -> t -> unit

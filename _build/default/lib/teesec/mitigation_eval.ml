@@ -1,0 +1,106 @@
+open! Import
+
+type verdict = {
+  case : Case.id;
+  mitigation : Mitigation.t;
+  effective : bool;
+  found_baseline : bool;
+}
+
+type result = {
+  config : Config.t;
+  verdicts : verdict list;
+  baseline_found : Case.id list;
+}
+
+(* A few representative test cases per access path keep the 6x re-run
+   affordable while still surfacing every case. *)
+let slice () =
+  let id = ref 0 in
+  List.concat_map
+    (fun path ->
+      let params_list =
+        match Fuzzer.grid path with
+        | a :: b :: _ -> [ a; b ]
+        | l -> l
+      in
+      List.map
+        (fun params ->
+          let tc = Assembler.assemble ~id:!id path ~params in
+          incr id;
+          tc)
+        params_list)
+    Access_path.all
+
+let evaluate config =
+  let testcases = slice () in
+  let found_under mitigations =
+    let cfg = Config.with_mitigations config mitigations in
+    (Campaign.run cfg testcases).Campaign.found
+  in
+  let baseline_found = found_under [] in
+  let verdicts =
+    List.concat_map
+      (fun mitigation ->
+        let found = found_under [ mitigation ] in
+        List.map
+          (fun case ->
+            let found_baseline = List.exists (Case.equal case) baseline_found in
+            {
+              case;
+              mitigation;
+              effective =
+                found_baseline && not (List.exists (Case.equal case) found);
+              found_baseline;
+            })
+          Case.all)
+      (Mitigation.all @ Mitigation.extensions)
+  in
+  { config; verdicts; baseline_found }
+
+let effective result ~case ~mitigation =
+  List.fold_left
+    (fun acc v ->
+      if Case.equal v.case case && Mitigation.equal v.mitigation mitigation then
+        Some v.effective
+      else acc)
+    None result.verdicts
+
+(* Table 4 of the paper, verbatim. *)
+let paper_expectation ~case ~mitigation =
+  match (mitigation, case) with
+  | Mitigation.Flush_l1d, (Case.D4 | Case.D5 | Case.D6 | Case.D7) ->
+    `Effective_xs_only
+  | Mitigation.Flush_store_buffer, Case.D8 -> `Effective
+  | Mitigation.Clear_illegal_data_returns,
+    (Case.D2 | Case.D4 | Case.D5 | Case.D6 | Case.D7 | Case.D8) ->
+    `Effective
+  | Mitigation.Flush_lfb, Case.D3 -> `Effective
+  | Mitigation.Flush_bpu_hpc, (Case.M1 | Case.M2) -> `Effective
+  | Mitigation.Tag_bpu_hpc, (Case.M1 | Case.M2) -> `Effective
+  | Mitigation.Flush_everything,
+    (Case.D3 | Case.D4 | Case.D5 | Case.D6 | Case.D7 | Case.D8 | Case.M1 | Case.M2)
+    ->
+    `Effective
+  | ( ( Mitigation.Flush_l1d | Mitigation.Flush_store_buffer
+      | Mitigation.Clear_illegal_data_returns | Mitigation.Flush_lfb
+      | Mitigation.Flush_bpu_hpc | Mitigation.Flush_everything
+      | Mitigation.Tag_bpu_hpc ),
+      _ ) ->
+    `Ineffective
+
+let pp_result fmt result =
+  Format.fprintf fmt "Mitigation evaluation on %s (baseline finds: %s)@."
+    result.config.Config.name
+    (String.concat "," (List.map Case.to_string result.baseline_found));
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "  %-28s:" (Mitigation.to_string m);
+      List.iter
+        (fun case ->
+          match effective result ~case ~mitigation:m with
+          | Some true -> Format.fprintf fmt " %s:X" (Case.to_string case)
+          | Some false | None -> ())
+        Case.all;
+      Format.fprintf fmt "@.")
+    (Mitigation.all @ Mitigation.extensions)

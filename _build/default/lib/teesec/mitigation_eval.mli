@@ -1,0 +1,43 @@
+open! Import
+
+(** Countermeasure evaluation (Table 4).
+
+    Re-runs a targeted slice of the corpus under each mitigation knob and
+    reports which leakage cases each one eliminates, on each core.  The
+    paper's Table 4 marks a mitigation effective for a case when enabling
+    it removes the finding; entries marked with [*] are only effective on
+    XiangShan (flushing the L1D does not stop BOOM's faulting-miss LFB
+    fill). *)
+
+type verdict = {
+  case : Case.id;
+  mitigation : Mitigation.t;
+  effective : bool;  (** The case disappeared under the mitigation. *)
+  found_baseline : bool;  (** The case was present without it. *)
+}
+
+type result = {
+  config : Config.t;
+  verdicts : verdict list;
+  baseline_found : Case.id list;
+}
+
+(** [slice ()] is the reduced corpus used for mitigation evaluation: a
+    few representative test cases per access path. *)
+val slice : unit -> Testcase.t list
+
+(** [evaluate config] runs the slice under no mitigation and under each
+    knob. *)
+val evaluate : Config.t -> result
+
+(** [effective result ~case ~mitigation] looks up a verdict. *)
+val effective : result -> case:Case.id -> mitigation:Mitigation.t -> bool option
+
+(** The paper's Table 4 expectation: is [mitigation] marked effective for
+    [case] on [core]?  [`Effective_xs_only] renders as the starred
+    entries. *)
+val paper_expectation :
+  case:Case.id -> mitigation:Mitigation.t ->
+  [ `Effective | `Ineffective | `Effective_xs_only ]
+
+val pp_result : Format.formatter -> result -> unit

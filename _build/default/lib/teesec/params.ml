@@ -1,0 +1,14 @@
+open! Import
+
+type t = { offset : int; width : int; variant : int; seed : Word.t }
+
+let default = { offset = 0; width = 8; variant = 0; seed = 0xDEADBEEFL }
+
+let make ?(offset = 0) ?(width = 8) ?(variant = 0) ?(seed = 0xDEADBEEFL) () =
+  { offset; width; variant; seed }
+
+let pp fmt t =
+  Format.fprintf fmt "offset=%d width=%d variant=%d seed=%s" t.offset t.width
+    t.variant (Word.to_hex t.seed)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,113 @@
+open! Import
+
+type storage_entry = {
+  structure : Structure.t option;
+  element : Netlist.Memory_pass.element;
+}
+
+type path_entry = {
+  path : Access_path.t;
+  policy : Access_path.perm_policy;
+  cases : Case.id list;
+}
+
+type t = {
+  core : Config.t;
+  design : Netlist.Design.t;
+  storage : storage_entry list;
+  paths : path_entry list;
+  tee_api : Sbi.call list;
+}
+
+let design_of_core (config : Config.t) =
+  match config.Config.kind with
+  | Config.Boom -> Netlist.Designs.boom
+  | Config.Xiangshan -> Netlist.Designs.xiangshan
+
+let structure_of_element (e : Netlist.Memory_pass.element) =
+  let matches structure =
+    List.exists
+      (fun hint ->
+        let contains hay =
+          let n = String.length hint and m = String.length hay in
+          let rec at i = i + n <= m && (String.sub hay i n = hint || at (i + 1)) in
+          n > 0 && at 0
+        in
+        contains e.Netlist.Memory_pass.path
+        || contains (Netlist.Cell.name e.Netlist.Memory_pass.cell))
+      (Structure.netlist_hint structure)
+  in
+  List.find_opt matches Structure.all
+
+let build config =
+  let design = design_of_core config in
+  let storage =
+    List.map
+      (fun element -> { structure = structure_of_element element; element })
+      (Netlist.Memory_pass.run design)
+  in
+  let paths =
+    List.map
+      (fun path ->
+        {
+          path;
+          policy = Access_path.perm_policy path config.Config.kind;
+          cases = Access_path.candidate_cases path;
+        })
+      Access_path.all
+  in
+  { core = config; design; storage; paths; tee_api = Sbi.all }
+
+let storage_element_count t = List.length t.storage
+let total_state_bits t = Netlist.Memory_pass.total_bits t.design
+
+let elements_for t structure =
+  List.filter_map
+    (fun s ->
+      match s.structure with
+      | Some st when Structure.equal st structure -> Some s.element
+      | _ -> None)
+    t.storage
+
+type automation = Automatic | Automatable_manual | Manual
+
+let automation_to_string = function
+  | Automatic -> "automatic"
+  | Automatable_manual -> "automatable (manual pass)"
+  | Manual -> "manual"
+
+(* Table 1 of the paper. *)
+let automation_table =
+  [
+    ("Verification Plan", "Identifying Storage Elements", Automatic);
+    ("Verification Plan", "Listing Memory Access Paths", Automatable_manual);
+    ("Verification Plan", "Listing TEE HW/SW APIs", Automatable_manual);
+    ( "Test Gadget Constructor",
+      "Access Gadgets Targeting Memory Access Paths",
+      Manual );
+    ("Test Gadget Constructor", "Test Case Assembly", Automatic);
+    ("TEESec Checker", "RTL Simulation Log Analysis", Automatic);
+    ("TEESec Checker", "Leakage Discovery", Automatic);
+  ]
+
+let pp fmt t =
+  Format.fprintf fmt "Verification plan for %s@." t.core.Config.name;
+  Format.fprintf fmt "  storage elements: %d (%d state bits)@."
+    (storage_element_count t) (total_state_bits t);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "    %a%s@." Netlist.Memory_pass.pp_element s.element
+        (match s.structure with
+        | Some st -> " -> logged as " ^ Structure.to_string st
+        | None -> ""))
+    t.storage;
+  Format.fprintf fmt "  memory access paths: %d@." (List.length t.paths);
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "    %-28s %-18s cases: %s@."
+        (Access_path.to_string p.path)
+        (Access_path.perm_policy_to_string p.policy)
+        (String.concat "," (List.map Case.to_string p.cases)))
+    t.paths;
+  Format.fprintf fmt "  TEE API: %s@."
+    (String.concat ", " (List.map Sbi.to_string t.tee_api))

@@ -1,0 +1,51 @@
+open! Import
+
+(** The verification plan (§4.1).
+
+    Assembled per core, the plan enumerates: the microarchitectural
+    storage elements discovered by the netlist memory pass (§4.1.3, the
+    automated step), the memory access modalities and their
+    permission-check policies (§4.1.1–4.1.2), and the TEE software API
+    (§4.1.4).  Table 1's automation summary is included as metadata. *)
+
+type storage_entry = {
+  structure : Structure.t option;
+      (** Logged structure the element maps to, when it is part of the
+          leakage surface. *)
+  element : Netlist.Memory_pass.element;
+}
+
+type path_entry = {
+  path : Access_path.t;
+  policy : Access_path.perm_policy;
+  cases : Case.id list;
+}
+
+type t = {
+  core : Config.t;
+  design : Netlist.Design.t;
+  storage : storage_entry list;
+  paths : path_entry list;
+  tee_api : Sbi.call list;
+}
+
+(** [build config] assembles the plan for a core. *)
+val build : Config.t -> t
+
+val storage_element_count : t -> int
+val total_state_bits : t -> int
+
+(** [elements_for t structure] lists the netlist elements backing a
+    logged structure. *)
+val elements_for : t -> Structure.t -> Netlist.Memory_pass.element list
+
+(** {1 Table 1: component automation} *)
+
+type automation = Automatic | Automatable_manual | Manual
+
+val automation_to_string : automation -> string
+
+(** [(component, step, status)] rows of Table 1. *)
+val automation_table : (string * string * automation) list
+
+val pp : Format.formatter -> t -> unit

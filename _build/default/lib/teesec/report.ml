@@ -1,0 +1,47 @@
+open! Import
+
+let render_finding fmt (f : Checker.finding) =
+  (match f.Checker.case with
+  | Some c when Case.principle c = Case.P1 ->
+    Format.fprintf fmt "Enclave secret leakage detected! [%s]@." (Case.to_string c)
+  | Some c ->
+    Format.fprintf fmt "Enclave metadata leakage detected! [%s]@." (Case.to_string c)
+  | None -> Format.fprintf fmt "Residue warning (no exploitable case mapped)@.");
+  (match f.Checker.secret with
+  | Some s ->
+    Format.fprintf fmt "Secret value: %a@." Word.pp s.Secret.value;
+    Format.fprintf fmt "Seeded at: %a (owner %s%s)@." Word.pp s.Secret.addr
+      (Secret.owner_to_string s.Secret.owner)
+      (if s.Secret.derived then ", derived" else "")
+  | None -> Format.fprintf fmt "Metadata: %s@." f.Checker.note);
+  Format.fprintf fmt "Microarchitecture structure: %s@."
+    (Structure.to_string f.Checker.structure);
+  Format.fprintf fmt "Sim Cycle No.: %d@." f.Checker.cycle;
+  Format.fprintf fmt "Observing context: %s@."
+    (Exec_context.to_string f.Checker.ctx);
+  (match f.Checker.origin with
+  | Some o -> Format.fprintf fmt "Access path origin: %s@." (Log.origin_to_string o)
+  | None -> ());
+  (match f.Checker.last_pc with
+  | Some pc -> Format.fprintf fmt "PC of Last Committed Inst.: %a@." Word.pp pc
+  | None -> ());
+  Format.fprintf fmt "@."
+
+let render fmt (outcome : Runner.outcome) findings =
+  Format.fprintf fmt "=== TEESec Checker report: %s ===@."
+    (Testcase.name outcome.Runner.testcase);
+  Format.fprintf fmt "Simulated cycles: %d, log records: %d, seeded secrets: %d@.@."
+    outcome.Runner.cycles outcome.Runner.log_records
+    (Secret.count outcome.Runner.tracker);
+  if findings = [] then Format.fprintf fmt "No leakage detected.@."
+  else List.iter (render_finding fmt) findings
+
+let summary_line (testcase : Testcase.t) findings =
+  let cases = Checker.distinct_cases findings in
+  let cases_str =
+    if cases = [] then "clean"
+    else String.concat "," (List.map Case.to_string cases)
+  in
+  Printf.sprintf "%-60s %s (%d residue warnings)"
+    (Testcase.name testcase) cases_str
+    (Checker.residue_warnings findings)

@@ -1,0 +1,15 @@
+open! Import
+
+(** Checker reports, in the style of the artifact's [CheckerLog.txt]. *)
+
+(** [render_finding fmt f] prints the per-finding block: secret value,
+    structure, simulation cycle and last committed PC. *)
+val render_finding : Format.formatter -> Checker.finding -> unit
+
+(** [render outcome findings] prints the full report for one test
+    case. *)
+val render : Format.formatter -> Runner.outcome -> Checker.finding list -> unit
+
+(** [summary_line testcase findings] is a one-line digest used by the
+    campaign driver. *)
+val summary_line : Testcase.t -> Checker.finding list -> string

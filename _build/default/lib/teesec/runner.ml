@@ -1,0 +1,26 @@
+open! Import
+
+type outcome = {
+  testcase : Testcase.t;
+  log : Log.t;
+  tracker : Secret.tracker;
+  env : Env.t;
+  cycles : int;
+  log_records : int;
+}
+
+let run config (testcase : Testcase.t) =
+  let env = Env.create config testcase.Testcase.params in
+  List.iter (fun g -> g.Gadget.emit env) testcase.Testcase.gadgets;
+  (* Force a final snapshot so residue of the last gadget is logged. *)
+  Machine.switch_context env.Env.machine
+    ~to_ctx:(Exec_context.Host Priv.Supervisor);
+  let log = Machine.log env.Env.machine in
+  {
+    testcase;
+    log;
+    tracker = env.Env.tracker;
+    env;
+    cycles = Machine.cycle env.Env.machine;
+    log_records = Log.length log;
+  }

@@ -1,0 +1,21 @@
+open! Import
+
+(** Test-case runner.
+
+    Executes one assembled test case on a freshly created machine with
+    the security monitor installed, and hands the resulting simulation
+    log (plus the seeded secrets) to the caller — normally the checker.
+    A final context-switch snapshot is forced at the end of the run so
+    residue left by the last gadget is visible. *)
+
+type outcome = {
+  testcase : Testcase.t;
+  log : Log.t;
+  tracker : Secret.tracker;
+  env : Env.t;
+  cycles : int;
+  log_records : int;
+}
+
+(** [run config testcase] executes the gadget chain in order. *)
+val run : Config.t -> Testcase.t -> outcome

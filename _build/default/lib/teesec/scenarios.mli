@@ -1,0 +1,51 @@
+open! Import
+
+(** Case-study scenarios reproducing the paper's figures.
+
+    Each scenario drives a small, hand-written flow on a given core and
+    returns a textual trace (the relevant simulation-log lines) plus
+    named observations — the quantities the corresponding figure
+    illustrates (e.g. Figure 5's hit-vs-miss response cycles). *)
+
+type trace = {
+  title : string;
+  lines : string list;  (** Relevant simulation-log excerpts. *)
+  observations : (string * string) list;  (** Named measured quantities. *)
+}
+
+val pp_trace : Format.formatter -> trace -> unit
+
+(** Figure 2: abusing the L1 next-line prefetcher to pull enclave data
+    into the LFB. *)
+val prefetcher : Config.t -> trace
+
+(** Figure 3: hijacking the host root page table into enclave/SM memory
+    and forcing a hardware page walk. *)
+val ptw : Config.t -> trace
+
+(** Figure 4: enclave-destroy memset dragging dying-enclave secrets
+    through the LFB, where they persist after the context switch. *)
+val destroy_residue : Config.t -> trace
+
+(** Figure 5: XiangShan's fake-hit behaviour — response latency and data
+    for a faulting load with the secret present vs absent in the L1D. *)
+val xs_fake_hit : Config.t -> trace
+
+(** Figure 6: leaking a privileged performance counter through the store
+    buffer via an interrupt landing in the lazy CSR-check window. *)
+val hpc_interrupt : Config.t -> trace
+
+(** Figure 7: host and enclave branch PCs aliasing in the uBTB, and the
+    probe timing difference that reveals the enclave branch outcome. *)
+val btb_alias : Config.t -> trace
+
+(** All six scenarios with their figure ids. *)
+val all : Config.t -> (string * trace) list
+
+(** Extension ablation for Figure 7: sweep the uBTB partial-tag width
+    and report, per width, whether the host/enclave branch PCs still
+    alias and whether the prime-and-probe timing still distinguishes the
+    enclave branch outcome.  With this memory layout the PCs differ at
+    bit 27, so widening the tag until it covers that bit kills the
+    channel — quantifying how much tag the predictor would need. *)
+val btb_tag_sweep : Config.t -> tag_bits:int list -> (int * bool * bool) list

@@ -1,0 +1,54 @@
+open! Import
+
+type owner = Enclave_owner of int | Sm_owner | Host_owner
+
+let owner_to_string = function
+  | Enclave_owner i -> Printf.sprintf "enclave-%d" i
+  | Sm_owner -> "security-monitor"
+  | Host_owner -> "host"
+
+let authorized owner (ctx : Exec_context.t) =
+  match (owner, ctx) with
+  | _, Exec_context.Monitor -> true
+  | Enclave_owner i, Exec_context.Enclave j -> i = j
+  | Enclave_owner _, Exec_context.Host _ -> false
+  | Sm_owner, (Exec_context.Host _ | Exec_context.Enclave _) -> false
+  | Host_owner, Exec_context.Host _ -> true
+  | Host_owner, Exec_context.Enclave _ -> false
+
+type seeded = { value : Word.t; addr : Word.t; owner : owner; derived : bool }
+
+let pp_seeded fmt s =
+  Format.fprintf fmt "%a @ %a (%s)" Word.pp s.value Word.pp s.addr
+    (owner_to_string s.owner)
+
+let value_for ~seed ~addr =
+  let v = Word.splitmix64 (Int64.logxor (Word.splitmix64 seed) addr) in
+  if Int64.equal v 0L then 1L else v
+
+type tracker = { mutable seeded : seeded list }
+
+let create_tracker () = { seeded = [] }
+
+let register t ~seed ~addr ~owner =
+  let value = value_for ~seed ~addr in
+  t.seeded <- { value; addr; owner; derived = false } :: t.seeded;
+  value
+
+let register_line t ~seed ~line_addr ~owner =
+  let base = Word.align_down line_addr ~alignment:Memory.line_bytes in
+  List.init (Memory.line_bytes / 8) (fun i ->
+      let addr = Int64.add base (Int64.of_int (i * 8)) in
+      let value = register t ~seed ~addr ~owner in
+      { value; addr; owner; derived = false })
+
+let register_value t ~value ~addr ~owner =
+  if not (Int64.equal value 0L) then
+    t.seeded <- { value; addr; owner; derived = true } :: t.seeded
+
+let all t = List.rev t.seeded
+
+let find_by_value t v =
+  List.find_opt (fun s -> Int64.equal s.value v) t.seeded
+
+let count t = List.length t.seeded

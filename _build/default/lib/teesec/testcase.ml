@@ -1,0 +1,18 @@
+open! Import
+
+type t = {
+  id : int;
+  path : Access_path.t;
+  gadgets : Gadget.t list;
+  params : Params.t;
+}
+
+let access_gadget t = List.nth t.gadgets (List.length t.gadgets - 1)
+
+let name t =
+  Printf.sprintf "#%d %s [%s]" t.id (Access_path.to_string t.path)
+    (Params.to_string t.params)
+
+let pp fmt t =
+  Format.fprintf fmt "%s:" (name t);
+  List.iter (fun g -> Format.fprintf fmt " %s" (Gadget.name g)) t.gadgets

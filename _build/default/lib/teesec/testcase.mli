@@ -1,0 +1,15 @@
+open! Import
+
+(** An assembled test case: the ordered gadget sequence the runner
+    executes on a fresh machine, together with its parameters. *)
+
+type t = {
+  id : int;
+  path : Access_path.t;
+  gadgets : Gadget.t list;  (** Setup and helper chain, access gadget last. *)
+  params : Params.t;
+}
+
+val access_gadget : t -> Gadget.t
+val name : t -> string
+val pp : Format.formatter -> t -> unit

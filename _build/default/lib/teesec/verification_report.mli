@@ -1,0 +1,23 @@
+open! Import
+
+(** One-shot verification report.
+
+    Drives the whole pipeline for a set of cores — campaign, mitigation
+    matrix, coverage, recommendations, figure scenarios — and renders a
+    single markdown document, the deliverable a verification engineer
+    would hand to the design team. *)
+
+type options = {
+  full_corpus : bool;  (** 585-case corpus vs the representative slice. *)
+  include_scenarios : bool;
+  include_recommendations : bool;
+}
+
+val default_options : options
+
+(** [generate ?options configs] runs everything and renders markdown. *)
+val generate : ?options:options -> Config.t list -> string
+
+(** [save ?options ~path configs] writes the report to a file and
+    returns its size in bytes. *)
+val save : ?options:options -> path:string -> Config.t list -> int

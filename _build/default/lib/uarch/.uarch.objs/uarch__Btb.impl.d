@@ -1,0 +1,1 @@
+lib/uarch/btb.ml: Array Exec_context Import Int64 List Log Printf Word

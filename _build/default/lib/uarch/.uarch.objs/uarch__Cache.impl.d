@@ -1,0 +1,1 @@
+lib/uarch/cache.ml: Array Import Int64 List Log Memory Option Word

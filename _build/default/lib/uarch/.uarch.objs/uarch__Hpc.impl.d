@@ -1,0 +1,1 @@
+lib/uarch/hpc.ml: Csr Import List Log

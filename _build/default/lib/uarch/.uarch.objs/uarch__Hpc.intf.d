@@ -1,0 +1,1 @@
+lib/uarch/hpc.mli: Csr Import Log

@@ -1,0 +1,1 @@
+lib/uarch/import.ml: Riscv Simlog

@@ -1,0 +1,1 @@
+lib/uarch/lfb.ml: Array Import Int64 List Log Memory Word

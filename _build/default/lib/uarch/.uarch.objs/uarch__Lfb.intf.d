@@ -1,0 +1,1 @@
+lib/uarch/lfb.mli: Import Log Word

@@ -1,0 +1,1 @@
+lib/uarch/machine.mli: Btb Config Csr Exec_context Import Log Memory Pmp Priv Program Riscv Tlb Word

@@ -1,0 +1,1 @@
+lib/uarch/regfile.mli: Exec_context Import Log Word

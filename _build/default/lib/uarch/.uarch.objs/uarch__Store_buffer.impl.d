@@ -1,0 +1,1 @@
+lib/uarch/store_buffer.ml: Import Int64 List Log Word

@@ -1,0 +1,1 @@
+lib/uarch/store_buffer.mli: Import Log Word

@@ -1,0 +1,1 @@
+lib/uarch/tlb.ml: Array Import Int64 List Log Page_table Word

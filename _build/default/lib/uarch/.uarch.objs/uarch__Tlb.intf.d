@@ -1,0 +1,1 @@
+lib/uarch/tlb.mli: Import Log Page_table Word

@@ -1,0 +1,130 @@
+open Import
+
+type line = {
+  mutable valid : bool;
+  mutable tag : Word.t;  (* line base address *)
+  mutable dirty : bool;
+  data : Word.t array;
+}
+
+type t = {
+  sets : int;
+  ways : int;
+  lines : line array array;  (* [set].[way] *)
+  next_victim : int array;  (* round-robin pointer per set *)
+}
+
+let line_words = Memory.line_bytes / 8
+
+let create ~sets ~ways =
+  assert (sets > 0 && sets land (sets - 1) = 0);
+  {
+    sets;
+    ways;
+    lines =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ ->
+              { valid = false; tag = 0L; dirty = false; data = Array.make line_words 0L }));
+    next_victim = Array.make sets 0;
+  }
+
+let sets t = t.sets
+let ways t = t.ways
+let line_base addr = Word.align_down addr ~alignment:Memory.line_bytes
+
+let set_index t addr =
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (line_base addr) 6)
+                  (Int64.of_int t.sets))
+
+let find t addr =
+  let base = line_base addr in
+  let set = t.lines.(set_index t addr) in
+  let rec go way =
+    if way >= t.ways then None
+    else if set.(way).valid && Int64.equal set.(way).tag base then Some set.(way)
+    else go (way + 1)
+  in
+  go 0
+
+let lookup t ~addr = Option.map (fun l -> Array.copy l.data) (find t addr)
+
+let word_index addr = Int64.to_int (Word.extract addr ~pos:3 ~len:3)
+
+let read_word t ~addr = Option.map (fun l -> l.data.(word_index addr)) (find t addr)
+
+let write_word t ~addr v =
+  match find t addr with
+  | None -> false
+  | Some l ->
+    l.data.(word_index addr) <- v;
+    l.dirty <- true;
+    true
+
+let insert t ~addr line_data =
+  assert (Array.length line_data = line_words);
+  let base = line_base addr in
+  match find t addr with
+  | Some l ->
+    Array.blit line_data 0 l.data 0 line_words;
+    None
+  | None ->
+    let si = set_index t addr in
+    let set = t.lines.(si) in
+    let way =
+      (* Prefer an invalid way; otherwise round-robin. *)
+      let rec free w = if w >= t.ways then None else if set.(w).valid then free (w + 1) else Some w in
+      match free 0 with
+      | Some w -> w
+      | None ->
+        let w = t.next_victim.(si) in
+        t.next_victim.(si) <- (w + 1) mod t.ways;
+        w
+    in
+    let victim = set.(way) in
+    let evicted =
+      if victim.valid then Some (victim.tag, Array.copy victim.data, victim.dirty)
+      else None
+    in
+    victim.valid <- true;
+    victim.tag <- base;
+    victim.dirty <- false;
+    Array.blit line_data 0 victim.data 0 line_words;
+    evicted
+
+let evict t ~addr =
+  match find t addr with
+  | None -> None
+  | Some l ->
+    l.valid <- false;
+    Some (Array.copy l.data, l.dirty)
+
+let flush t =
+  let dirty = ref [] in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun l ->
+          if l.valid then begin
+            if l.dirty then dirty := (l.tag, Array.copy l.data) :: !dirty;
+            l.valid <- false
+          end)
+        set)
+    t.lines;
+  !dirty
+
+let contains t ~addr = Option.is_some (find t addr)
+
+let valid_lines t =
+  let acc = ref [] in
+  Array.iter
+    (fun set ->
+      Array.iter (fun l -> if l.valid then acc := (l.tag, Array.copy l.data) :: !acc) set)
+    t.lines;
+  List.rev !acc
+
+let snapshot t =
+  List.concat_map
+    (fun (base, data) ->
+      List.init line_words (fun i ->
+          Log.entry ~slot:i ~addr:(Int64.add base (Int64.of_int (i * 8))) data.(i)))
+    (valid_lines t)

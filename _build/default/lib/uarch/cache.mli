@@ -1,0 +1,50 @@
+open Import
+
+(** Generic set-associative, write-back cache with 64-byte lines.
+
+    Used for both the L1 data cache and the unified L2.  Lines carry
+    their full data (eight 64-bit words) because the TEESec checker
+    searches cache contents for verbatim enclave secrets.  Replacement is
+    round-robin per set, which is enough for gadgets to construct
+    deterministic eviction patterns. *)
+
+type t
+
+val create : sets:int -> ways:int -> t
+
+val sets : t -> int
+val ways : t -> int
+
+(** [lookup t ~addr] is the line containing [addr], if cached. *)
+val lookup : t -> addr:Word.t -> Word.t array option
+
+(** [read_word t ~addr] reads the aligned 8-byte word at [addr] from a
+    cached line. *)
+val read_word : t -> addr:Word.t -> Word.t option
+
+(** [write_word t ~addr v] updates the aligned word at [addr] if the line
+    is present, marking it dirty.  Returns [false] on a miss. *)
+val write_word : t -> addr:Word.t -> Word.t -> bool
+
+(** [insert t ~addr line] installs a line, returning the evicted victim
+    [(addr, line, dirty)] if a valid line was displaced. *)
+val insert : t -> addr:Word.t -> Word.t array -> (Word.t * Word.t array * bool) option
+
+(** [evict t ~addr] removes the line containing [addr] if present,
+    returning it with its dirty bit — the Flush_Enc_L1-style helper
+    gadgets rely on this. *)
+val evict : t -> addr:Word.t -> (Word.t array * bool) option
+
+(** [flush t] invalidates everything, returning the dirty lines as
+    [(addr, line)] pairs for write-back. *)
+val flush : t -> (Word.t * Word.t array) list
+
+(** [contains t ~addr] is true when the line holding [addr] is valid. *)
+val contains : t -> addr:Word.t -> bool
+
+(** [valid_lines t] lists [(addr, line)] for every valid line. *)
+val valid_lines : t -> (Word.t * Word.t array) list
+
+(** [snapshot t] renders the valid lines as log entries (one entry per
+    word so the checker can match secrets directly). *)
+val snapshot : t -> Log.entry list

@@ -1,0 +1,70 @@
+open Import
+
+type slot = {
+  mutable valid : bool;
+  mutable addr : Word.t;
+  mutable has_data : bool;  (* data visible, possibly stale *)
+  data : Word.t array;
+}
+
+type t = { slots : slot array; retains_stale : bool; mutable next : int }
+
+let line_words = Memory.line_bytes / 8
+
+let create ~entries ~retains_stale =
+  {
+    slots =
+      Array.init entries (fun _ ->
+          { valid = false; addr = 0L; has_data = false; data = Array.make line_words 0L });
+    retains_stale;
+    next = 0;
+  }
+
+let fill t ~addr ~data =
+  assert (Array.length data = line_words);
+  let slot_index = t.next in
+  t.next <- (t.next + 1) mod Array.length t.slots;
+  let s = t.slots.(slot_index) in
+  s.valid <- true;
+  s.addr <- Word.align_down addr ~alignment:Memory.line_bytes;
+  s.has_data <- true;
+  Array.blit data 0 s.data 0 line_words;
+  slot_index
+
+let complete t ~slot =
+  let s = t.slots.(slot) in
+  s.valid <- false;
+  if not t.retains_stale then begin
+    s.has_data <- false;
+    Array.fill s.data 0 line_words 0L
+  end
+
+let flush t =
+  Array.iter
+    (fun s ->
+      s.valid <- false;
+      s.has_data <- false;
+      Array.fill s.data 0 line_words 0L)
+    t.slots
+
+let occupied t = Array.fold_left (fun n s -> if s.valid then n + 1 else n) 0 t.slots
+
+let holds_value t v =
+  Array.exists
+    (fun s -> s.has_data && Array.exists (Int64.equal v) s.data)
+    t.slots
+
+let entries_of_word_array ~slot ~addr ~data =
+  Array.to_list
+    (Array.mapi
+       (fun i w -> Log.entry ~slot ~addr:(Int64.add addr (Int64.of_int (i * 8))) w)
+       data)
+
+let snapshot t =
+  Array.to_list t.slots
+  |> List.mapi (fun i s ->
+         if s.has_data then entries_of_word_array ~slot:i ~addr:s.addr ~data:s.data
+         else [])
+  |> List.concat
+
+let entries_of_fill ~slot ~addr ~data = entries_of_word_array ~slot ~addr ~data

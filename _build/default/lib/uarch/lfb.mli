@@ -1,0 +1,43 @@
+open Import
+
+(** Line-fill buffer (BOOM) / miss queue (XiangShan).
+
+    The LFB stages 64-byte refills between the L2 and the L1D.  It is the
+    structure behind leakage cases D1–D3: prefetcher and page-table-walker
+    fills land here without permission checks, and — on BOOM — completed
+    entries retain their data until the slot is reallocated, so enclave
+    lines linger across context switches.
+
+    [retains_stale] selects between the two behaviours: when true
+    (BOOM-like), {!complete} only clears the valid bit and the data stays
+    visible; when false (XiangShan-like), completion zeroes the slot. *)
+
+type t
+
+val create : entries:int -> retains_stale:bool -> t
+
+(** [fill t ~addr ~data] allocates a slot (round-robin over the oldest)
+    and stores the incoming line.  Returns the slot index. *)
+val fill : t -> addr:Word.t -> data:Word.t array -> int
+
+(** [complete t ~slot] marks the refill finished and applies the stale
+    retention policy. *)
+val complete : t -> slot:int -> unit
+
+(** [flush t] clears every slot including stale data. *)
+val flush : t -> unit
+
+(** [occupied t] counts in-flight (valid) entries. *)
+val occupied : t -> int
+
+(** [holds_value t v] is true when any slot — including stale ones —
+    contains word [v]. *)
+val holds_value : t -> Word.t -> bool
+
+(** [snapshot t] renders every slot that holds data (valid or stale) as
+    log entries. *)
+val snapshot : t -> Log.entry list
+
+(** [entries_of_fill ~slot ~addr ~data] are the log entries for a fill
+    event, one per word. *)
+val entries_of_fill : slot:int -> addr:Word.t -> data:Word.t array -> Log.entry list

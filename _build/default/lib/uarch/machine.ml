@@ -1,0 +1,914 @@
+open Import
+
+type cause =
+  | Load_access_fault
+  | Store_access_fault
+  | Load_page_fault
+  | Store_page_fault
+  | Illegal_instruction
+  | Env_call
+
+let cause_to_string = function
+  | Load_access_fault -> "load-access-fault"
+  | Store_access_fault -> "store-access-fault"
+  | Load_page_fault -> "load-page-fault"
+  | Store_page_fault -> "store-page-fault"
+  | Illegal_instruction -> "illegal-instruction"
+  | Env_call -> "environment-call"
+
+type trap = { cause : cause; tval : Word.t }
+
+type t = {
+  config : Config.t;
+  mem : Memory.t;
+  csr : Csr.t;
+  pmp : Pmp.t;
+  log : Log.t;
+  l1 : Cache.t;
+  l1i : Cache.t;
+  l2 : Cache.t;
+  lfb : Lfb.t;
+  stb : Store_buffer.t;
+  dtlb : Tlb.t;
+  ptw_cache : Tlb.t;
+  ubtb : Btb.t;
+  ftb : Btb.t;
+  regfile : Regfile.t;
+  regs : Word.t array;
+  wb_buffer : Lfb.t;
+  mutable fetch_image : (Word.t * int) option;
+      (* Binary execution: code range fetched through the I-cache. *)
+  mutable last_prefetch : Word.t option;
+  mutable prefetch_inhibit : bool;
+  mutable cycle : int;
+  mutable ctx : Exec_context.t;
+  mutable ecall_handler : t -> unit;
+  mutable pending_interrupt : (t -> unit) option;
+  hpc_banks : (string, Word.t array) Hashtbl.t;
+      (* Per-context event-counter banks for the Tag_bpu_hpc extension. *)
+}
+
+let create config =
+  {
+    config;
+    mem = Memory.create ();
+    csr = Csr.create ();
+    pmp = Pmp.create ();
+    log = Log.create ();
+    l1 = Cache.create ~sets:config.Config.l1_sets ~ways:config.Config.l1_ways;
+    l1i = Cache.create ~sets:config.Config.l1i_sets ~ways:config.Config.l1i_ways;
+    l2 = Cache.create ~sets:config.Config.l2_sets ~ways:config.Config.l2_ways;
+    lfb =
+      Lfb.create ~entries:config.Config.lfb_entries
+        ~retains_stale:config.Config.lfb_retains_stale;
+    stb = Store_buffer.create ~entries:config.Config.store_buffer_entries;
+    dtlb = Tlb.create ~entries:config.Config.dtlb_entries;
+    ptw_cache = Tlb.create ~entries:config.Config.ptw_cache_entries;
+    ubtb =
+      Btb.create
+        ~tagged_by_owner:(Config.mitigated config Mitigation.Tag_bpu_hpc)
+        ~entries:config.Config.ubtb_entries
+        ~tag_bits:config.Config.ubtb_tag_bits ~ways:1 ();
+    ftb =
+      Btb.create
+        ~tagged_by_owner:(Config.mitigated config Mitigation.Tag_bpu_hpc)
+        ~entries:(config.Config.ftb_sets * config.Config.ftb_ways)
+        ~tag_bits:config.Config.ftb_tag_bits ~ways:config.Config.ftb_ways ();
+    regfile = Regfile.create ~regs:config.Config.phys_regs;
+    regs = Array.make 32 0L;
+    wb_buffer =
+      Lfb.create ~entries:config.Config.wb_buffer_entries ~retains_stale:true;
+    fetch_image = None;
+    last_prefetch = None;
+    prefetch_inhibit = false;
+    cycle = 0;
+    ctx = Exec_context.Host Priv.Supervisor;
+    ecall_handler = (fun _ -> ());
+    pending_interrupt = None;
+    hpc_banks = Hashtbl.create 8;
+  }
+
+let config t = t.config
+let memory t = t.mem
+let csr t = t.csr
+let pmp t = t.pmp
+let log t = t.log
+let cycle t = t.cycle
+
+let advance t n =
+  assert (n >= 0);
+  t.cycle <- t.cycle + n;
+  Csr.bump_counter t.csr 0 ~by:(Int64.of_int n)
+
+let context t = t.ctx
+let set_context t ctx = t.ctx <- ctx
+
+let priv_of_context = function
+  | Exec_context.Host p -> p
+  | Exec_context.Enclave _ -> Priv.User
+  | Exec_context.Monitor -> Priv.Machine
+
+let priv t = priv_of_context t.ctx
+let get_reg t r = if r = 0 then 0L else t.regs.(r)
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v
+
+(* {2 Logging helpers} *)
+
+let record t event = Log.record t.log ~cycle:t.cycle ~ctx:t.ctx event
+
+let log_exception t ~cause ~pc =
+  Hpc.bump t.csr Hpc.Exception_event;
+  record t (Log.Exception_raised { cause = cause_to_string cause; pc })
+
+(* Register-file write-back: every produced value lands in a physical
+   register and is logged, transient or not. *)
+let writeback t ~value ~origin ~transient ~note =
+  let slot = Regfile.writeback t.regfile ~value ~ctx:t.ctx ~transient in
+  let note = if transient then note ^ " transient" else note in
+  record t (Log.Write { structure = Structure.Reg_file; entries = [ Log.entry ~slot ~note value ]; origin })
+
+(* {2 Memory hierarchy internals} *)
+
+let latencies t = t.config.Config.latencies
+let line_base addr = Word.align_down addr ~alignment:Memory.line_bytes
+let granule_base addr = Word.align_down addr ~alignment:8
+let word_in_line addr = Int64.to_int (Word.extract addr ~pos:3 ~len:3)
+
+(* Insert into the L2, writing any displaced dirty victim to memory. *)
+let insert_l2 t ~addr line =
+  match Cache.insert t.l2 ~addr line with
+  | Some (victim_addr, victim_line, dirty) ->
+    if dirty then Memory.write_line t.mem ~addr:victim_addr victim_line
+  | None -> ()
+
+(* Fetch a line from L2 or memory; returns the line and the latency. *)
+let fetch_line t ~paddr =
+  match Cache.lookup t.l2 ~addr:paddr with
+  | Some line -> (line, (latencies t).Config.l2_hit)
+  | None ->
+    let line = Memory.read_line t.mem ~addr:paddr in
+    insert_l2 t ~addr:paddr line;
+    (line, (latencies t).Config.memory)
+
+let log_wb_buffer t ~addr line ~origin =
+  let slot = Lfb.fill t.wb_buffer ~addr ~data:line in
+  record t
+    (Log.Write
+       {
+         structure = Structure.Wb_buffer;
+         entries = Lfb.entries_of_fill ~slot ~addr ~data:line;
+         origin;
+       })
+
+(* Write back a dirty L1 victim: wb-buffer, then L2 and memory. *)
+let writeback_victim t ~addr line ~origin =
+  log_wb_buffer t ~addr line ~origin;
+  insert_l2 t ~addr line;
+  Memory.write_line t.mem ~addr line
+
+let insert_l1 t ~paddr line ~origin =
+  match Cache.insert t.l1 ~addr:paddr line with
+  | Some (victim_addr, victim_line, dirty) when dirty ->
+    writeback_victim t ~addr:victim_addr victim_line ~origin
+  | Some _ | None -> ()
+
+(* Fill the LFB with the line for [paddr]; log the fill with its access
+   path provenance.  Returns the line. *)
+let lfb_fill t ~paddr ~origin =
+  let line, lat = fetch_line t ~paddr in
+  let base = line_base paddr in
+  let slot = Lfb.fill t.lfb ~addr:base ~data:line in
+  record t
+    (Log.Write
+       { structure = Structure.Lfb; entries = Lfb.entries_of_fill ~slot ~addr:base ~data:line; origin });
+  Lfb.complete t.lfb ~slot;
+  (line, lat)
+
+let prefetch_next_line t ~paddr =
+  if
+    t.config.Config.has_l1_prefetcher && not t.prefetch_inhibit
+  then begin
+    t.prefetch_inhibit <- true;
+    let next = Int64.add (line_base paddr) (Int64.of_int Memory.line_bytes) in
+    (* The hardware prefetcher performs no permission check (D1). *)
+    let _line, _lat = lfb_fill t ~paddr:next ~origin:Log.Prefetch in
+    t.last_prefetch <- Some next;
+    record t
+      (Log.Write
+         {
+           structure = Structure.Prefetcher;
+           entries = [ Log.entry ~addr:next ~note:"next-line request" next ];
+           origin = Log.Prefetch;
+         });
+    advance t 1;
+    t.prefetch_inhibit <- false
+  end
+
+(* Demand refill of the L1: goes through the LFB, installs the line, and
+   triggers the next-line prefetcher. *)
+let refill_l1 t ~paddr ~origin ~trigger_prefetch =
+  let line, lat = lfb_fill t ~paddr ~origin in
+  insert_l1 t ~paddr line ~origin;
+  advance t lat;
+  if trigger_prefetch then prefetch_next_line t ~paddr;
+  line
+
+(* Read one aligned 8-byte word through the hierarchy (used by the PTW
+   and by drains); performs no permission check itself. *)
+let hierarchy_read_word t ~paddr ~origin ~trigger_prefetch =
+  let g = granule_base paddr in
+  match Cache.read_word t.l1 ~addr:g with
+  | Some w ->
+    advance t (latencies t).Config.l1_hit;
+    w
+  | None ->
+    Hpc.bump t.csr Hpc.L1d_miss;
+    let line = refill_l1 t ~paddr:g ~origin ~trigger_prefetch in
+    line.(word_in_line g)
+
+(* {2 Store buffer drain} *)
+
+let merge_into_word ~old ~value ~offset ~size =
+  if size = 8 then value
+  else
+    let bits = size * 8 and pos = offset * 8 in
+    let m = Int64.shift_left (Word.mask bits) pos in
+    Int64.logor
+      (Int64.logand old (Int64.lognot m))
+      (Int64.logand (Int64.shift_left value pos) m)
+
+let drain_store_buffer t =
+  let entries = Store_buffer.drain t.stb in
+  List.iter
+    (fun (e : Store_buffer.entry) ->
+      let g = granule_base e.addr in
+      if not (Cache.contains t.l1 ~addr:g) then begin
+        Hpc.bump t.csr Hpc.L1d_miss;
+        (* The refill drags the line's *previous* contents through the
+           LFB — with a memset origin this is exactly leakage case D3. *)
+        ignore (refill_l1 t ~paddr:g ~origin:e.origin ~trigger_prefetch:false)
+      end;
+      let old = Option.value (Cache.read_word t.l1 ~addr:g) ~default:0L in
+      let offset = Int64.to_int (Int64.sub e.addr g) in
+      let merged = merge_into_word ~old ~value:e.value ~offset ~size:e.size in
+      ignore (Cache.write_word t.l1 ~addr:g merged);
+      advance t 1)
+    entries
+
+let fence t = drain_store_buffer t
+
+(* {2 Address translation} *)
+
+type translated = Phys of Word.t | Trans_fault of trap
+
+let page_fault_of = function
+  | Pmp.Read -> Load_page_fault
+  | Pmp.Write -> Store_page_fault
+  | Pmp.Execute -> Load_page_fault
+
+let access_fault_of = function
+  | Pmp.Read -> Load_access_fault
+  | Pmp.Write -> Store_access_fault
+  | Pmp.Execute -> Load_access_fault
+
+let perm_allows (perm : Page_table.pte_perm) = function
+  | Pmp.Read -> perm.Page_table.read
+  | Pmp.Write -> perm.Page_table.write
+  | Pmp.Execute -> perm.Page_table.execute
+
+let ptw_cache_insert t ~vaddr ~paddr ~perm =
+  Tlb.insert t.ptw_cache ~vaddr ~paddr ~perm;
+  record t
+    (Log.Write
+       {
+         structure = Structure.Ptw_cache;
+         entries = [ Log.entry ~addr:(granule_base vaddr) ~note:"pte refill" paddr ];
+         origin = Log.Ptw_walk;
+       })
+
+(* Hardware page-table walk.  All accesses are implicit.  The two cores
+   differ in when the PMP check happens relative to the memory request:
+   XiangShan checks first and never issues a denied request; BOOM issues
+   the request over the L1D channel and only faults afterwards, by which
+   time the LFB holds the (possibly enclave) line — leakage case D2. *)
+let ptw_walk t ~root ~vaddr ~kind =
+  let clear_illegal = Config.mitigated t.config Mitigation.Clear_illegal_data_returns in
+  let rec step table level =
+    Hpc.bump t.csr Hpc.Ptw_walk_event;
+    let pte_address = Page_table.pte_addr ~table_base:table ~vaddr ~level in
+    let pte_allowed =
+      Pmp.allows t.pmp ~priv:Priv.Supervisor ~kind:Pmp.Read ~addr:pte_address ~size:8
+    in
+    if t.config.Config.ptw_pmp_precheck && not pte_allowed then begin
+      (* No request is created at all; the walk aborts cleanly. *)
+      advance t 2;
+      Trans_fault { cause = access_fault_of kind; tval = vaddr }
+    end
+    else if clear_illegal && not pte_allowed then begin
+      (* Mitigated datapath: the access happens but returns zeros and
+         suppresses the fill. *)
+      advance t 2;
+      Trans_fault { cause = access_fault_of kind; tval = vaddr }
+    end
+    else begin
+      let pte_val =
+        hierarchy_read_word t ~paddr:pte_address ~origin:Log.Ptw_walk
+          ~trigger_prefetch:false
+      in
+      if not pte_allowed then
+        (* BOOM: the fill above already happened; the fault comes after. *)
+        Trans_fault { cause = access_fault_of kind; tval = vaddr }
+      else
+        match Page_table.decode_pte pte_val with
+        | Page_table.Invalid ->
+          Trans_fault { cause = page_fault_of kind; tval = vaddr }
+        | Page_table.Leaf { paddr; perm } ->
+          let page = Word.align_down vaddr ~alignment:Page_table.page_size in
+          Tlb.insert t.dtlb ~vaddr ~paddr ~perm;
+          ptw_cache_insert t ~vaddr:page ~paddr ~perm;
+          if perm_allows perm kind then
+            Phys (Int64.logor paddr (Word.extract vaddr ~pos:0 ~len:12))
+          else Trans_fault { cause = page_fault_of kind; tval = vaddr }
+        | Page_table.Pointer base ->
+          if level = 0 then Trans_fault { cause = page_fault_of kind; tval = vaddr }
+          else step base (level - 1)
+    end
+  in
+  step root (Page_table.levels - 1)
+
+let translate t ~vaddr ~kind =
+  if Priv.equal (priv t) Priv.Machine then Phys vaddr
+  else
+    match Page_table.root_of_satp (Csr.raw_read t.csr Csr.Satp) with
+    | None -> Phys vaddr
+    | Some root -> (
+      match Tlb.lookup t.dtlb ~vaddr with
+      | Some entry ->
+        if perm_allows entry.Tlb.perm kind then Phys (Tlb.translate entry ~vaddr)
+        else Trans_fault { cause = page_fault_of kind; tval = vaddr }
+      | None ->
+        Hpc.bump t.csr Hpc.Dtlb_miss;
+        ptw_walk t ~root ~vaddr ~kind)
+
+(* {2 Loads} *)
+
+type access_result = {
+  value : Word.t;
+  fault : trap option;
+  latency : int;
+  transient_forward : bool;
+}
+
+let extract_from_word w ~offset ~size =
+  if size = 8 then w else Word.extract w ~pos:(offset * 8) ~len:(size * 8)
+
+(* Faulting load: the permission check failed but the datapath effects
+   the core exhibits still happen. *)
+let faulting_load t ~paddr ~size ~origin =
+  let trap = { cause = Load_access_fault; tval = paddr } in
+  let offset = Int64.to_int (Int64.sub paddr (granule_base paddr)) in
+  if Config.mitigated t.config Mitigation.Clear_illegal_data_returns then begin
+    advance t (latencies t).Config.l1_hit;
+    { value = 0L; fault = Some trap; latency = (latencies t).Config.l1_hit; transient_forward = false }
+  end
+  else
+    let forwarded =
+      if t.config.Config.store_buffer_forwards_faulting then
+        match Store_buffer.forward t.stb ~addr:paddr ~size with
+        | Store_buffer.Forwarded v -> Some v
+        | Store_buffer.Partial_conflict | Store_buffer.No_match -> None
+      else None
+    in
+    match forwarded with
+    | Some v ->
+      (* XiangShan: the store buffer resolves the load and transiently
+         supplies enclave data to dependents (D8). *)
+      Hpc.bump t.csr Hpc.Store_to_load_forward;
+      writeback t ~value:v ~origin ~transient:true ~note:"forwarded-from-store-buffer";
+      advance t 2;
+      { value = v; fault = Some trap; latency = 2; transient_forward = true }
+    | None -> (
+      match Cache.read_word t.l1 ~addr:(granule_base paddr) with
+      | Some w ->
+        (* Both cores: the cache request races the permission check and
+           the hit response is forwarded before the squash (D4-D7). *)
+        let v = extract_from_word w ~offset ~size in
+        writeback t ~value:v ~origin ~transient:true ~note:"l1-hit-before-squash";
+        advance t (latencies t).Config.l1_hit;
+        { value = v; fault = Some trap; latency = (latencies t).Config.l1_hit; transient_forward = true }
+      | None ->
+        if t.config.Config.faulting_miss_fake_hit then begin
+          (* XiangShan: the slower miss path leaves time to handle the
+             exception; the L1D answers with a fake hit and zero data
+             and no fill request is generated. *)
+          advance t (latencies t).Config.l1_miss;
+          { value = 0L; fault = Some trap; latency = (latencies t).Config.l1_miss; transient_forward = false }
+        end
+        else begin
+          (* BOOM: the miss is not squashed; the request goes to the L2
+             and the LFB receives the whole secret line. *)
+          Hpc.bump t.csr Hpc.L1d_miss;
+          let _line, lat = lfb_fill t ~paddr ~origin in
+          advance t lat;
+          { value = 0L; fault = Some trap; latency = lat; transient_forward = false }
+        end)
+
+let rec normal_load t ~paddr ~size ~origin =
+  let offset = Int64.to_int (Int64.sub paddr (granule_base paddr)) in
+  match Store_buffer.forward t.stb ~addr:paddr ~size with
+  | Store_buffer.Forwarded v ->
+    Hpc.bump t.csr Hpc.Store_to_load_forward;
+    advance t 2;
+    { value = v; fault = None; latency = 2; transient_forward = false }
+  | Store_buffer.Partial_conflict ->
+    (* A younger store partially overlaps the load: the LSU drains the
+       buffer and replays the access from the cache. *)
+    drain_store_buffer t;
+    advance t 2;
+    normal_load t ~paddr ~size ~origin
+  | Store_buffer.No_match -> (
+    match Cache.read_word t.l1 ~addr:(granule_base paddr) with
+    | Some w ->
+      advance t (latencies t).Config.l1_hit;
+      { value = extract_from_word w ~offset ~size; fault = None; latency = (latencies t).Config.l1_hit; transient_forward = false }
+    | None ->
+      Hpc.bump t.csr Hpc.L1d_miss;
+      let line = refill_l1 t ~paddr ~origin ~trigger_prefetch:true in
+      let w = line.(word_in_line paddr) in
+      { value = extract_from_word w ~offset ~size; fault = None; latency = (latencies t).Config.l2_hit; transient_forward = false })
+
+let rec load ?(origin = Log.Explicit_load) t ~vaddr ~size () =
+  assert (size >= 1 && size <= 8);
+  let offset = Int64.to_int (Int64.sub vaddr (granule_base vaddr)) in
+  if offset + size > 8 then begin
+    (* Misaligned access straddling a granule: split in two. *)
+    let size1 = 8 - offset in
+    let r1 = load ~origin t ~vaddr ~size:size1 () in
+    let r2 = load ~origin t ~vaddr:(Int64.add vaddr (Int64.of_int size1)) ~size:(size - size1) () in
+    {
+      value = Int64.logor r1.value (Int64.shift_left r2.value (size1 * 8));
+      fault = (match r1.fault with Some _ -> r1.fault | None -> r2.fault);
+      latency = r1.latency + r2.latency;
+      transient_forward = r1.transient_forward || r2.transient_forward;
+    }
+  end
+  else begin
+    Hpc.bump t.csr Hpc.L1d_access;
+    match translate t ~vaddr ~kind:Pmp.Read with
+    | Trans_fault trap ->
+      advance t 2;
+      { value = 0L; fault = Some trap; latency = 2; transient_forward = false }
+    | Phys paddr ->
+      if Pmp.allows t.pmp ~priv:(priv t) ~kind:Pmp.Read ~addr:paddr ~size then
+        normal_load t ~paddr ~size ~origin
+      else faulting_load t ~paddr ~size ~origin
+  end
+
+(* {2 Stores} *)
+
+let rec store ?(origin = Log.Explicit_store) t ~vaddr ~size ~value () =
+  assert (size >= 1 && size <= 8);
+  let offset = Int64.to_int (Int64.sub vaddr (granule_base vaddr)) in
+  if offset + size > 8 then begin
+    let size1 = 8 - offset in
+    let f1 = store ~origin t ~vaddr ~size:size1 ~value () in
+    let f2 =
+      store ~origin t
+        ~vaddr:(Int64.add vaddr (Int64.of_int size1))
+        ~size:(size - size1)
+        ~value:(Int64.shift_right_logical value (size1 * 8))
+        ()
+    in
+    match f1 with Some _ -> f1 | None -> f2
+  end
+  else begin
+    Hpc.bump t.csr Hpc.L1d_access;
+    match translate t ~vaddr ~kind:Pmp.Write with
+    | Trans_fault trap ->
+      advance t 2;
+      Some trap
+    | Phys paddr ->
+      if not (Pmp.allows t.pmp ~priv:(priv t) ~kind:Pmp.Write ~addr:paddr ~size) then begin
+        advance t 2;
+        Some { cause = Store_access_fault; tval = paddr }
+      end
+      else begin
+        if Store_buffer.is_full t.stb then drain_store_buffer t;
+        let entry =
+          {
+            Store_buffer.addr = paddr;
+            size;
+            value = extract_from_word value ~offset:0 ~size;
+            ctx_note = Exec_context.to_string t.ctx;
+            origin;
+          }
+        in
+        Store_buffer.push t.stb entry;
+        record t
+          (Log.Write
+             {
+               structure = Structure.Store_buffer;
+               entries = [ Log.entry ~addr:paddr ~note:entry.ctx_note entry.value ];
+               origin;
+             });
+        advance t 1;
+        None
+      end
+  end
+
+let memset_region t ~origin ~addr ~size ~value =
+  let base = granule_base addr in
+  let words = Int64.to_int (Int64.div (Int64.add size 7L) 8L) in
+  for i = 0 to words - 1 do
+    let vaddr = Int64.add base (Int64.of_int (i * 8)) in
+    ignore (store ~origin t ~vaddr ~size:8 ~value ())
+  done;
+  drain_store_buffer t
+
+(* {2 Observation} *)
+
+let l1_contains t ~addr = Cache.contains t.l1 ~addr
+let l1i_contains t ~addr = Cache.contains t.l1i ~addr
+let l2_contains t ~addr = Cache.contains t.l2 ~addr
+let lfb_holds t v = Lfb.holds_value t.lfb v
+let store_buffer_holds t v = Store_buffer.holds_value t.stb v
+let store_buffer_occupancy t = Store_buffer.occupancy t.stb
+let rf_holds t v = Regfile.holds_value t.regfile v
+let ubtb t = t.ubtb
+let ftb t = t.ftb
+let dtlb t = t.dtlb
+
+(* {2 Flushes} *)
+
+(* Flushes cost cycles: one per invalidated line plus the write-back
+   traffic for dirty lines.  This is what makes the flush-based
+   mitigations measurably slower in the overhead ablation. *)
+let flush_l1i t =
+  let valid = List.length (Cache.valid_lines t.l1i) in
+  ignore (Cache.flush t.l1i);
+  advance t (2 + valid)
+
+let flush_l1d t =
+  let valid = List.length (Cache.valid_lines t.l1) in
+  let dirty = Cache.flush t.l1 in
+  List.iter
+    (fun (addr, line) ->
+      insert_l2 t ~addr line;
+      Memory.write_line t.mem ~addr line)
+    dirty;
+  advance t (2 + valid + (4 * List.length dirty))
+
+let flush_lfb t =
+  Lfb.flush t.lfb;
+  Lfb.flush t.wb_buffer;
+  advance t 2
+
+let flush_store_buffer t =
+  drain_store_buffer t;
+  Store_buffer.clear t.stb;
+  advance t 2
+
+let flush_tlb t =
+  Tlb.flush t.dtlb;
+  Tlb.flush t.ptw_cache;
+  advance t 2
+
+let flush_bpu t =
+  let occupancy = Btb.occupancy t.ubtb + Btb.occupancy t.ftb in
+  Btb.flush t.ubtb;
+  Btb.flush t.ftb;
+  advance t (2 + (occupancy / 8))
+
+let reset_hpcs t =
+  Csr.reset_counters t.csr;
+  advance t 1
+
+let evict_line t ~addr =
+  match Cache.evict t.l1 ~addr with
+  | Some (line, dirty) ->
+    let base = line_base addr in
+    if dirty then writeback_victim t ~addr:base line ~origin:Log.Refill
+    else insert_l2 t ~addr:base line
+  | None -> ()
+
+let evict_line_l2 t ~addr =
+  (* L2 contents are kept coherent with memory by writeback_victim, so
+     dropping the line loses nothing. *)
+  ignore (Cache.evict t.l2 ~addr)
+
+(* {2 Context switching} *)
+
+let snapshot_all t =
+  let snap structure entries =
+    record t (Log.Snapshot { structure; entries })
+  in
+  snap Structure.Reg_file (Regfile.snapshot t.regfile);
+  snap Structure.L1i_data (Cache.snapshot t.l1i);
+  snap Structure.L1d_data (Cache.snapshot t.l1);
+  snap Structure.L2_data (Cache.snapshot t.l2);
+  snap Structure.Lfb (Lfb.snapshot t.lfb);
+  snap Structure.Store_buffer (Store_buffer.snapshot t.stb);
+  snap Structure.Dtlb (Tlb.snapshot t.dtlb);
+  snap Structure.Ptw_cache (Tlb.snapshot t.ptw_cache);
+  snap Structure.Ubtb (Btb.snapshot t.ubtb);
+  snap Structure.Ftb (Btb.snapshot t.ftb);
+  snap Structure.Hpm_counters (Hpc.snapshot t.csr);
+  snap Structure.Wb_buffer (Lfb.snapshot t.wb_buffer);
+  (match t.last_prefetch with
+  | Some addr -> snap Structure.Prefetcher [ Log.entry ~addr addr ]
+  | None -> snap Structure.Prefetcher [])
+
+let apply_mitigation_flushes t =
+  let active m = Config.mitigated t.config m in
+  if active Mitigation.Flush_store_buffer then flush_store_buffer t;
+  if active Mitigation.Flush_l1d then begin
+    flush_l1d t;
+    flush_l1i t
+  end;
+  if active Mitigation.Flush_lfb then flush_lfb t;
+  if active Mitigation.Flush_bpu_hpc then begin
+    flush_bpu t;
+    reset_hpcs t
+  end
+
+(* Tag_bpu_hpc banks the event counters per security domain: each
+   context sees only the events it caused itself. *)
+let banked_counters = [ 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let swap_hpc_banks t ~from_ctx ~to_ctx =
+  let key ctx = Exec_context.to_string ctx in
+  let current = Array.of_list (List.map (fun n -> Csr.raw_read t.csr (Csr.Mhpmcounter n)) banked_counters) in
+  Hashtbl.replace t.hpc_banks (key from_ctx) current;
+  let incoming =
+    Option.value
+      (Hashtbl.find_opt t.hpc_banks (key to_ctx))
+      ~default:(Array.make (List.length banked_counters) 0L)
+  in
+  List.iteri (fun i n -> Csr.raw_write t.csr (Csr.Mhpmcounter n) incoming.(i)) banked_counters
+
+let switch_context t ~to_ctx =
+  let from_ctx = t.ctx in
+  apply_mitigation_flushes t;
+  if Config.mitigated t.config Mitigation.Tag_bpu_hpc then
+    swap_hpc_banks t ~from_ctx ~to_ctx;
+  advance t 4;
+  t.ctx <- to_ctx;
+  record t (Log.Mode_switch { from_ctx; to_ctx });
+  snapshot_all t
+
+(* {2 Instruction interpretation} *)
+
+type stop_reason = Halted | Out_of_program | Step_limit | Fetch_fault
+
+let stop_reason_to_string = function
+  | Halted -> "halted"
+  | Out_of_program -> "out-of-program"
+  | Step_limit -> "step-limit"
+  | Fetch_fault -> "fetch-fault"
+
+let set_ecall_handler t f = t.ecall_handler <- f
+let set_pending_interrupt t f = t.pending_interrupt <- Some f
+let clear_pending_interrupt t = t.pending_interrupt <- None
+
+let step_limit = 200_000
+
+(* Instruction fetch through the I-cache.  Returns false on a PMP
+   execute fault (fetches are checked before the access: the front end
+   cannot run ahead of the fault in this model). *)
+let icache_fetch t ~pc =
+  if not (Pmp.allows t.pmp ~priv:(priv t) ~kind:Pmp.Execute ~addr:pc ~size:4) then begin
+    log_exception t ~cause:Load_access_fault ~pc;
+    false
+  end
+  else begin
+    (if not (Cache.contains t.l1i ~addr:pc) then begin
+       let line, lat = fetch_line t ~paddr:pc in
+       (match Cache.insert t.l1i ~addr:pc line with _ -> ());
+       record t
+         (Log.Write
+            {
+              structure = Structure.L1i_data;
+              entries = Lfb.entries_of_fill ~slot:0 ~addr:(line_base pc) ~data:line;
+              origin = Log.Refill;
+            });
+       advance t lat
+     end);
+    true
+  end
+
+let in_fetch_image t ~pc =
+  match t.fetch_image with
+  | None -> false
+  | Some (base, len) ->
+    Int64.unsigned_compare pc base >= 0
+    && Int64.unsigned_compare pc (Int64.add base (Int64.of_int len)) < 0
+
+let eval_alu op a b =
+  match (op : Instr.alu_op) with
+  | Instr.Add -> Int64.add a b
+  | Instr.Sub -> Int64.sub a b
+  | Instr.Xor -> Int64.logxor a b
+  | Instr.Or -> Int64.logor a b
+  | Instr.And -> Int64.logand a b
+  | Instr.Sll -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | Instr.Srl -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+
+let eval_cond c a b =
+  match (c : Instr.cond) with
+  | Instr.Eq -> Int64.equal a b
+  | Instr.Ne -> not (Int64.equal a b)
+  | Instr.Lt -> Int64.compare a b < 0
+  | Instr.Ge -> Int64.compare a b >= 0
+
+(* Branch execution: consult the uBTB prediction, pay the misprediction
+   penalty, and update both predictors with the outcome.  Entries record
+   the executing context so the checker can spot enclave residue (M2). *)
+let execute_branch t ~pc ~taken ~target =
+  Hpc.bump t.csr Hpc.Branch;
+  let predicted_taken =
+    (* With owner tagging, entries installed by another domain do not
+       steer this domain's prediction. *)
+    match Btb.predict t.ubtb ~pc ~ctx:t.ctx with
+    | Some entry -> entry.Btb.taken
+    | None -> false
+  in
+  if predicted_taken <> taken then begin
+    Hpc.bump t.csr Hpc.Branch_mispredict;
+    advance t (latencies t).Config.mispredict_penalty
+  end;
+  let update btb structure =
+    let set_index, entry = Btb.update btb ~pc ~target ~taken ~owner:t.ctx in
+    record t
+      (Log.Write
+         {
+           structure;
+           entries =
+             [
+               Log.entry ~slot:set_index
+                 ~note:
+                   (Printf.sprintf "tag=%s taken=%b owner=%s"
+                      (Word.to_hex entry.Btb.tag) taken
+                      (Exec_context.to_string t.ctx))
+                 target;
+             ];
+           origin = Log.Branch_exec;
+         })
+  in
+  update t.ubtb Structure.Ubtb;
+  update t.ftb Structure.Ftb
+
+(* Lazily-checked CSR read that faults: the raw value is transiently
+   written back; if an external interrupt is pending it fires inside the
+   window, and the service routine's context save spills the transient
+   architectural state (M1, Figure 6). *)
+let lazy_csr_fault t ~rd ~pc ~value =
+  writeback t ~value ~origin:Log.Csr_read ~transient:true ~note:"lazy-priv-check";
+  (match t.pending_interrupt with
+  | Some service_routine ->
+    let saved = get_reg t rd in
+    set_reg t rd value;
+    t.pending_interrupt <- None;
+    service_routine t;
+    set_reg t rd saved
+  | None -> ());
+  log_exception t ~cause:Illegal_instruction ~pc
+
+let run t prog =
+  let pc = ref (Program.base prog) in
+  let steps = ref 0 in
+  let result = ref None in
+  while Option.is_none !result do
+    incr steps;
+    if !steps > step_limit then result := Some Step_limit
+    else
+      match Program.fetch prog ~pc:!pc with
+      | None -> result := Some Out_of_program
+      | Some instr when in_fetch_image t ~pc:!pc && not (icache_fetch t ~pc:!pc) ->
+        ignore instr;
+        result := Some Fetch_fault
+      | Some instr -> (
+        advance t 1;
+        Csr.bump_counter t.csr 2 ~by:1L;
+        let next = Int64.add !pc 4L in
+        let commit () =
+          record t (Log.Commit { pc = !pc; instr = Instr.to_string instr })
+        in
+        match instr with
+        | Instr.Halt -> result := Some Halted
+        | Instr.Nop ->
+          commit ();
+          pc := next
+        | Instr.Li (rd, v) ->
+          set_reg t rd v;
+          writeback t ~value:v ~origin:Log.Writeback ~transient:false ~note:"li";
+          commit ();
+          pc := next
+        | Instr.Alu (op, rd, rs1, rs2) ->
+          let v = eval_alu op (get_reg t rs1) (get_reg t rs2) in
+          set_reg t rd v;
+          writeback t ~value:v ~origin:Log.Writeback ~transient:false ~note:"alu";
+          commit ();
+          pc := next
+        | Instr.Alui (op, rd, rs1, imm) ->
+          let v = eval_alu op (get_reg t rs1) imm in
+          set_reg t rd v;
+          writeback t ~value:v ~origin:Log.Writeback ~transient:false ~note:"alu";
+          commit ();
+          pc := next
+        | Instr.Load { width; rd; base; offset } -> (
+          let vaddr = Int64.add (get_reg t base) offset in
+          let r = load t ~vaddr ~size:(Instr.width_bytes width) () in
+          match r.fault with
+          | None ->
+            set_reg t rd r.value;
+            writeback t ~value:r.value ~origin:Log.Explicit_load ~transient:false
+              ~note:"load";
+            commit ();
+            pc := next
+          | Some trap ->
+            log_exception t ~cause:trap.cause ~pc:!pc;
+            pc := next)
+        | Instr.Store { width; rs; base; offset } -> (
+          let vaddr = Int64.add (get_reg t base) offset in
+          let fault =
+            store t ~vaddr ~size:(Instr.width_bytes width) ~value:(get_reg t rs) ()
+          in
+          match fault with
+          | None ->
+            commit ();
+            pc := next
+          | Some trap ->
+            log_exception t ~cause:trap.cause ~pc:!pc;
+            pc := next)
+        | Instr.Branch (c, rs1, rs2, label) ->
+          let taken = eval_cond c (get_reg t rs1) (get_reg t rs2) in
+          let target = Program.resolve prog label in
+          execute_branch t ~pc:!pc ~taken ~target;
+          commit ();
+          pc := (if taken then target else next)
+        | Instr.Jal label ->
+          commit ();
+          pc := Program.resolve prog label
+        | Instr.Csrr (rd, id) ->
+          (if t.config.Config.lazy_csr_priv_check then begin
+             let raw = Csr.raw_read t.csr id in
+             match Csr.read t.csr ~priv:(priv t) id with
+             | Csr.Ok v ->
+               set_reg t rd v;
+               writeback t ~value:v ~origin:Log.Csr_read ~transient:false ~note:("csrr " ^ Csr.name id);
+               commit ()
+             | Csr.Illegal_instruction -> lazy_csr_fault t ~rd ~pc:!pc ~value:raw
+           end
+           else
+             match Csr.read t.csr ~priv:(priv t) id with
+             | Csr.Ok v ->
+               set_reg t rd v;
+               writeback t ~value:v ~origin:Log.Csr_read ~transient:false ~note:("csrr " ^ Csr.name id);
+               commit ()
+             | Csr.Illegal_instruction ->
+               log_exception t ~cause:Illegal_instruction ~pc:!pc);
+          pc := next
+        | Instr.Csrw (id, rs) ->
+          (match Csr.write t.csr ~priv:(priv t) id (get_reg t rs) with
+          | Ok () -> commit ()
+          | Error () -> log_exception t ~cause:Illegal_instruction ~pc:!pc);
+          pc := next
+        | Instr.Ecall ->
+          commit ();
+          t.ecall_handler t;
+          pc := next
+        | Instr.Fence ->
+          fence t;
+          commit ();
+          pc := next)
+  done;
+  Option.get !result
+
+
+(* {2 Binary execution}
+
+   The paper's artifact feeds compiled RISC-V payloads to the simulator;
+   this is the equivalent path: a machine-code image is placed in
+   physical memory and executed by fetching through the instruction
+   cache (with PMP execute checks), decoding each word back to the
+   symbolic instruction set. *)
+
+let load_image t ~base words =
+  Array.iteri
+    (fun i w ->
+      Memory.write t.mem
+        ~addr:(Int64.add base (Int64.of_int (i * 4)))
+        ~size:4
+        (Int64.logand (Int64.of_int32 w) 0xFFFF_FFFFL))
+    words
+
+let run_binary t ~base words =
+  load_image t ~base words;
+  match Riscv.Decode.to_program ~base words with
+  | Error msg -> Error msg
+  | Ok prog ->
+    let saved = t.fetch_image in
+    t.fetch_image <- Some (base, 4 * Array.length words);
+    let stop = run t prog in
+    t.fetch_image <- saved;
+    Ok stop

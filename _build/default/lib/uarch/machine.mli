@@ -1,0 +1,183 @@
+open Import
+
+(** The instrumented core model.
+
+    [Machine.t] ties the microarchitectural structures together behind the
+    load/store unit, page-table walker, prefetcher and branch-prediction
+    semantics of the configured core, and executes {!Riscv.Program}
+    programs.  Every structure mutation is appended to the simulation log
+    with its access-path provenance, and a full snapshot of all
+    structures is recorded at each context switch — this log is exactly
+    what the TEESec checker consumes.
+
+    Transient-execution semantics follow the paper's case studies: a load
+    that fails its PMP check still produces the microarchitectural side
+    effects the core under test exhibits (register-file write-back of the
+    secret on an L1 hit, LFB fill on a BOOM miss, store-buffer forwarding
+    on XiangShan, ...) before the access-fault exception is logged and
+    the architectural state is left unchanged. *)
+
+type t
+
+(** {1 Traps} *)
+
+type cause =
+  | Load_access_fault
+  | Store_access_fault
+  | Load_page_fault
+  | Store_page_fault
+  | Illegal_instruction
+  | Env_call
+
+val cause_to_string : cause -> string
+
+type trap = { cause : cause; tval : Word.t }
+
+(** {1 Construction and basic accessors} *)
+
+val create : Config.t -> t
+val config : t -> Config.t
+val memory : t -> Memory.t
+val csr : t -> Csr.t
+val pmp : t -> Pmp.t
+val log : t -> Log.t
+val cycle : t -> int
+
+(** [advance t n] burns [n] cycles (and the cycle CSR). *)
+val advance : t -> int -> unit
+
+val context : t -> Exec_context.t
+
+(** [set_context t ctx] changes the executing context {e without}
+    logging or flushing — the security monitor uses {!switch_context}
+    instead. *)
+val set_context : t -> Exec_context.t -> unit
+
+(** Privilege of the current context: host contexts carry their own
+    mode, enclaves run in user mode, the monitor in machine mode. *)
+val priv : t -> Priv.t
+
+val priv_of_context : Exec_context.t -> Priv.t
+
+(** {1 Architectural registers} *)
+
+val get_reg : t -> int -> Word.t
+val set_reg : t -> int -> Word.t -> unit
+
+(** {1 Structure observation (used by tests, the execution model and the
+    checker's classification)} *)
+
+val l1_contains : t -> addr:Word.t -> bool
+val l1i_contains : t -> addr:Word.t -> bool
+val l2_contains : t -> addr:Word.t -> bool
+val lfb_holds : t -> Word.t -> bool
+val store_buffer_holds : t -> Word.t -> bool
+val store_buffer_occupancy : t -> int
+val rf_holds : t -> Word.t -> bool
+val ubtb : t -> Btb.t
+val ftb : t -> Btb.t
+val dtlb : t -> Tlb.t
+
+(** {1 Micro-operations}
+
+    These are the data-path primitives shared by the instruction
+    interpreter and the security monitor (whose memset and context-save
+    routines go through the same hierarchy, which is how D3 and M1
+    reproduce). *)
+
+type access_result = {
+  value : Word.t;
+      (** Architectural result; on a fault this is the {e transient}
+          value that was forwarded, if any. *)
+  fault : trap option;
+  latency : int;
+  transient_forward : bool;
+      (** True when [fault] is set but [value] was still forwarded to
+          dependents and written back. *)
+}
+
+val load :
+  ?origin:Log.origin -> t -> vaddr:Word.t -> size:int -> unit -> access_result
+
+val store :
+  ?origin:Log.origin -> t -> vaddr:Word.t -> size:int -> value:Word.t -> unit ->
+  trap option
+
+(** [fence t] drains the store buffer. *)
+val fence : t -> unit
+
+(** [memset_region t ~origin ~addr ~size ~value] stores [value] over the
+    region through the ordinary store path — the security monitor's
+    enclave-destroy cleanser. *)
+val memset_region :
+  t -> origin:Log.origin -> addr:Word.t -> size:int64 -> value:Word.t -> unit
+
+(** {1 Flushes (mitigations and helper gadgets)} *)
+
+val flush_l1d : t -> unit
+val flush_lfb : t -> unit
+val flush_store_buffer : t -> unit
+val flush_tlb : t -> unit
+val flush_bpu : t -> unit
+val reset_hpcs : t -> unit
+
+(** [evict_line t ~addr] pushes the line holding [addr] out of the L1
+    (writing it back to the L2 if dirty) — used by helper gadgets that
+    place a secret in the L2 but not the L1. *)
+val evict_line : t -> addr:Word.t -> unit
+
+(** [evict_line_l2 t ~addr] drops the line from the L2 as well (its
+    contents are already backed by memory), leaving the secret resident
+    only in DRAM. *)
+val evict_line_l2 : t -> addr:Word.t -> unit
+
+(** {1 Context switching} *)
+
+(** [switch_context t ~to_ctx] logs the mode switch, applies the
+    configured mitigation flushes, records a full snapshot of every
+    structure, and installs the new context. *)
+val switch_context : t -> to_ctx:Exec_context.t -> unit
+
+(** [snapshot_all t] records a [Snapshot] log event for every modelled
+    structure. *)
+val snapshot_all : t -> unit
+
+(** {1 Program execution} *)
+
+type stop_reason = Halted | Out_of_program | Step_limit | Fetch_fault
+
+val stop_reason_to_string : stop_reason -> string
+
+(** [set_ecall_handler t f] installs the machine-mode environment-call
+    handler (the security monitor's SBI entry point). *)
+val set_ecall_handler : t -> (t -> unit) -> unit
+
+(** [set_pending_interrupt t f] arms a one-shot external interrupt whose
+    service routine is [f].  In this model the interrupt fires in the
+    transient window of a lazily-checked faulting CSR read (the M1
+    scenario); it is cleared after firing. *)
+val set_pending_interrupt : t -> (t -> unit) -> unit
+
+val clear_pending_interrupt : t -> unit
+
+(** [run t prog] interprets [prog] from its base address until a [Halt],
+    the end of the program, or the step limit.  Faults from the untrusted
+    program are logged and skipped (the attacker installs a trap handler
+    that resumes at the next instruction); [Ecall] invokes the installed
+    handler. *)
+val run : t -> Program.t -> stop_reason
+
+(** {1 Binary execution}
+
+    The equivalent of the artifact's compiled-payload path: a machine
+    code image placed in physical memory and executed by fetching
+    through the instruction cache (PMP execute checks apply; code lines
+    become visible I-cache state). *)
+
+(** [load_image t ~base words] writes the image into physical memory. *)
+val load_image : t -> base:Word.t -> Riscv.Encode.word array -> unit
+
+(** [run_binary t ~base words] loads and executes a machine-code image;
+    [Error] reports an undecodable word. *)
+val run_binary :
+  t -> base:Word.t -> Riscv.Encode.word array -> (stop_reason, string) result

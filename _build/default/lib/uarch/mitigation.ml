@@ -1,0 +1,41 @@
+type t =
+  | Flush_l1d
+  | Flush_store_buffer
+  | Clear_illegal_data_returns
+  | Flush_lfb
+  | Flush_bpu_hpc
+  | Flush_everything
+  | Tag_bpu_hpc
+
+let all =
+  [
+    Flush_l1d;
+    Flush_store_buffer;
+    Clear_illegal_data_returns;
+    Flush_lfb;
+    Flush_bpu_hpc;
+    Flush_everything;
+  ]
+
+let extensions = [ Tag_bpu_hpc ]
+
+let equal (a : t) b = a = b
+
+let to_string = function
+  | Flush_l1d -> "flush-l1d"
+  | Flush_store_buffer -> "flush-store-buffer"
+  | Clear_illegal_data_returns -> "clear-illegal-data-returns"
+  | Flush_lfb -> "flush-lfb"
+  | Flush_bpu_hpc -> "flush-bpu-hpc"
+  | Flush_everything -> "flush-everything"
+  | Tag_bpu_hpc -> "tag-bpu-hpc"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let expands = function
+  | Flush_everything ->
+    [ Flush_everything; Flush_l1d; Flush_store_buffer; Flush_lfb; Flush_bpu_hpc ]
+  | m -> [ m ]
+
+let active mitigations m =
+  List.exists (fun set -> List.exists (equal m) (expands set)) mitigations

@@ -1,0 +1,41 @@
+open Import
+
+type cell = {
+  mutable in_use : bool;
+  mutable value : Word.t;
+  mutable note : string;
+}
+
+type t = { cells : cell array; mutable next : int }
+
+let create ~regs =
+  { cells = Array.init regs (fun _ -> { in_use = false; value = 0L; note = "" }); next = 0 }
+
+let writeback t ~value ~ctx ~transient =
+  let index = t.next in
+  t.next <- (t.next + 1) mod Array.length t.cells;
+  let c = t.cells.(index) in
+  c.in_use <- true;
+  c.value <- value;
+  c.note <-
+    Printf.sprintf "%s%s" (Exec_context.to_string ctx)
+      (if transient then " transient" else "");
+  index
+
+let holds_value t v =
+  Array.exists (fun c -> c.in_use && Int64.equal c.value v) t.cells
+
+let clear t =
+  Array.iter
+    (fun c ->
+      c.in_use <- false;
+      c.value <- 0L;
+      c.note <- "")
+    t.cells
+
+let snapshot t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i c -> if c.in_use then acc := Log.entry ~slot:i ~note:c.note c.value :: !acc)
+    t.cells;
+  List.rev !acc

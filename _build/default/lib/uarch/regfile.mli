@@ -1,0 +1,29 @@
+open Import
+
+(** Physical integer register file.
+
+    Out-of-order cores write results into physical registers at
+    write-back time, {e before} the instruction is known to commit.  A
+    squashed instruction's value therefore still lands here — this is the
+    observable surface for the Meltdown-type cases D4–D8 and for the
+    lazy CSR read of M1.  The model keeps a round-robin free list and a
+    record of the context that produced each value. *)
+
+type t
+
+val create : regs:int -> t
+
+(** [writeback t ~value ~ctx ~transient] allocates a physical register
+    for a produced [value] and returns its index.  [transient] marks
+    values produced by instructions that are later squashed. *)
+val writeback : t -> value:Word.t -> ctx:Exec_context.t -> transient:bool -> int
+
+(** [holds_value t v] is true when any allocated physical register holds
+    [v]. *)
+val holds_value : t -> Word.t -> bool
+
+(** [clear t] zeroes the whole file (no real core does this on a context
+    switch; used by tests). *)
+val clear : t -> unit
+
+val snapshot : t -> Log.entry list

@@ -1,0 +1,58 @@
+open Import
+
+type entry = {
+  addr : Word.t;
+  size : int;
+  value : Word.t;
+  ctx_note : string;
+  origin : Log.origin;
+}
+type t = { capacity : int; mutable items : entry list (* youngest first *) }
+
+let create ~entries = { capacity = entries; items = [] }
+let is_full t = List.length t.items >= t.capacity
+
+let push t entry =
+  assert (not (is_full t));
+  t.items <- entry :: t.items
+
+let covers store ~addr ~size =
+  let store_end = Int64.add store.addr (Int64.of_int store.size) in
+  let load_end = Int64.add addr (Int64.of_int size) in
+  Int64.unsigned_compare store.addr addr <= 0
+  && Int64.unsigned_compare load_end store_end <= 0
+
+let overlaps store ~addr ~size =
+  let store_end = Int64.add store.addr (Int64.of_int store.size) in
+  let load_end = Int64.add addr (Int64.of_int size) in
+  Int64.unsigned_compare store.addr load_end < 0
+  && Int64.unsigned_compare addr store_end < 0
+
+type forward_result = Forwarded of Word.t | Partial_conflict | No_match
+
+(* The youngest overlapping store decides: a full cover forwards its
+   bytes; a partial overlap cannot be merged with older entries in
+   flight, so the LSU must drain before the load can complete. *)
+let forward t ~addr ~size =
+  match List.find_opt (fun s -> overlaps s ~addr ~size) t.items with
+  | None -> No_match
+  | Some s when covers s ~addr ~size ->
+    let shift = Int64.to_int (Int64.sub addr s.addr) * 8 in
+    let bits = size * 8 in
+    Forwarded (Word.extract s.value ~pos:shift ~len:(min bits (64 - shift)))
+  | Some _ -> Partial_conflict
+
+let drain t =
+  let oldest_first = List.rev t.items in
+  t.items <- [];
+  oldest_first
+
+let clear t = t.items <- []
+let occupancy t = List.length t.items
+let entries t = List.rev t.items
+let holds_value t v = List.exists (fun e -> Int64.equal e.value v) t.items
+
+let snapshot t =
+  List.mapi
+    (fun i e -> Log.entry ~slot:i ~addr:e.addr ~note:e.ctx_note e.value)
+    (entries t)

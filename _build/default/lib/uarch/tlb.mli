@@ -1,0 +1,29 @@
+open Import
+
+(** Data TLB.
+
+    Caches sv39 translations at 4-KiB page granularity.  A miss triggers
+    the hardware page-table walker (see {!Machine}), whose implicit
+    memory accesses are the D2 leakage path.  Entries record the
+    permissions of the leaf PTE so that later hits re-check them. *)
+
+type entry = { vpn : Word.t; ppn : Word.t; perm : Page_table.pte_perm }
+
+type t
+
+val create : entries:int -> t
+
+(** [lookup t ~vaddr] finds a translation for the page of [vaddr]. *)
+val lookup : t -> vaddr:Word.t -> entry option
+
+(** [insert t ~vaddr ~paddr ~perm] installs the page translation,
+    evicting round-robin when full. *)
+val insert : t -> vaddr:Word.t -> paddr:Word.t -> perm:Page_table.pte_perm -> unit
+
+(** [translate entry ~vaddr] combines the cached PPN with the page
+    offset. *)
+val translate : entry -> vaddr:Word.t -> Word.t
+
+val flush : t -> unit
+val occupancy : t -> int
+val snapshot : t -> Log.entry list

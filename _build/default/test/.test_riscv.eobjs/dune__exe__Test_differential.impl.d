@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Format Instr Int64 List Memory Pmp Printf Priv Program QCheck QCheck_alcotest Riscv Simlog Uarch Word

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Csr Decode Encode Instr Int64 List Pmp Printf Priv Program QCheck QCheck_alcotest Riscv Simlog Uarch Word

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Cell Design Designs Gen List Memory_pass Netlist Printf QCheck QCheck_alcotest String Verilog_gen

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Array Csr Instr Int64 List Memory Page_table Pmp Printf Priv Program QCheck QCheck_alcotest Riscv Word

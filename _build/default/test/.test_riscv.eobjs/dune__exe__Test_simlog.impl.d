@@ -1,0 +1,1 @@
+test/test_simlog.ml: Alcotest Filename Gen Int64 List QCheck QCheck_alcotest Riscv Simlog Sys

@@ -1,0 +1,1 @@
+test/test_tee.ml: Alcotest Instr Int64 List Memory Option Pmp Printf Priv Program QCheck QCheck_alcotest Riscv Simlog Tee Uarch Word

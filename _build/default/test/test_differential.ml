@@ -1,0 +1,272 @@
+(* Differential testing of the instrumented machine.
+
+   A pure architectural reference interpreter (registers + flat memory,
+   no caches, no transient effects) executes the same randomly generated
+   programs as the full machine.  For legal programs the two must agree
+   on every architectural register and every written memory location —
+   the microarchitectural machinery (caches, store buffer, LFB, branch
+   predictors) must never change architectural results. *)
+
+open Riscv
+module Machine = Uarch.Machine
+module Config = Uarch.Config
+module Exec_context = Simlog.Exec_context
+
+(* {1 Reference interpreter} *)
+
+module Ref_model = struct
+  type t = { regs : Word.t array; mem : Memory.t }
+
+  let create () = { regs = Array.make 32 0L; mem = Memory.create () }
+  let get t r = if r = 0 then 0L else t.regs.(r)
+  let set t r v = if r <> 0 then t.regs.(r) <- v
+
+  let eval_alu op a b =
+    match (op : Instr.alu_op) with
+    | Instr.Add -> Int64.add a b
+    | Instr.Sub -> Int64.sub a b
+    | Instr.Xor -> Int64.logxor a b
+    | Instr.Or -> Int64.logor a b
+    | Instr.And -> Int64.logand a b
+    | Instr.Sll -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+    | Instr.Srl -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+
+  let eval_cond c a b =
+    match (c : Instr.cond) with
+    | Instr.Eq -> Int64.equal a b
+    | Instr.Ne -> not (Int64.equal a b)
+    | Instr.Lt -> Int64.compare a b < 0
+    | Instr.Ge -> Int64.compare a b >= 0
+
+  let run t prog =
+    let pc = ref (Program.base prog) in
+    let steps = ref 0 in
+    let running = ref true in
+    while !running && !steps < 10_000 do
+      incr steps;
+      match Program.fetch prog ~pc:!pc with
+      | None -> running := false
+      | Some instr -> (
+        let next = Int64.add !pc 4L in
+        match instr with
+        | Instr.Halt -> running := false
+        | Instr.Nop | Instr.Fence | Instr.Ecall ->
+          pc := next
+        | Instr.Li (rd, v) ->
+          set t rd v;
+          pc := next
+        | Instr.Alu (op, rd, rs1, rs2) ->
+          set t rd (eval_alu op (get t rs1) (get t rs2));
+          pc := next
+        | Instr.Alui (op, rd, rs1, imm) ->
+          set t rd (eval_alu op (get t rs1) imm);
+          pc := next
+        | Instr.Load { width; rd; base; offset } ->
+          let addr = Int64.add (get t base) offset in
+          set t rd (Memory.read t.mem ~addr ~size:(Instr.width_bytes width));
+          pc := next
+        | Instr.Store { width; rs; base; offset } ->
+          let addr = Int64.add (get t base) offset in
+          Memory.write t.mem ~addr ~size:(Instr.width_bytes width) (get t rs);
+          pc := next
+        | Instr.Branch (c, rs1, rs2, label) ->
+          pc := (if eval_cond c (get t rs1) (get t rs2) then Program.resolve prog label else next)
+        | Instr.Jal label -> pc := Program.resolve prog label
+        | Instr.Csrr (rd, _) ->
+          (* CSRs are excluded from generated programs; treat as zero. *)
+          set t rd 0L;
+          pc := next
+        | Instr.Csrw (_, _) -> pc := next)
+    done;
+    t
+end
+
+(* {1 Random program generation}
+
+   Programs are straight-line sequences of register/memory operations
+   plus skip-style forward branches (always resolvable, always
+   terminating).  Addresses stay inside an aligned host scratch window
+   so every access is legal. *)
+
+type op =
+  | Gen_li of int * int64
+  | Gen_alu of Instr.alu_op * int * int * int
+  | Gen_alui of Instr.alu_op * int * int * int64
+  | Gen_load of int * int * int  (* width log2, rd, slot *)
+  | Gen_store of int * int * int  (* width log2, rs, slot *)
+  | Gen_skip_branch of Instr.cond * int * int  (* cond, rs1, rs2 *)
+
+let scratch_base = 0x8004_0000L
+let scratch_slots = 64
+
+(* Registers x5..x15 participate; x0 is included as a source. *)
+let gen_reg = QCheck.Gen.int_range 5 15
+let gen_src = QCheck.Gen.(oneof [ return 0; int_range 5 15 ])
+
+let gen_op =
+  let open QCheck.Gen in
+  frequency
+    [
+      (3, map2 (fun r v -> Gen_li (r, v)) gen_reg (map Int64.of_int small_signed_int));
+      ( 3,
+        map2
+          (fun (op, rd) (rs1, rs2) -> Gen_alu (op, rd, rs1, rs2))
+          (pair (oneofl Instr.[ Add; Sub; Xor; Or; And ]) gen_reg)
+          (pair gen_src gen_src) );
+      ( 2,
+        map2
+          (fun (op, rd) (rs1, imm) -> Gen_alui (op, rd, rs1, Int64.of_int imm))
+          (pair (oneofl Instr.[ Add; Xor; And; Sll; Srl ]) gen_reg)
+          (pair gen_src (int_bound 63)) );
+      (3, map2 (fun (w, rd) slot -> Gen_load (w, rd, slot)) (pair (int_bound 3) gen_reg) (int_bound (scratch_slots - 1)));
+      (3, map2 (fun (w, rs) slot -> Gen_store (w, rs, slot)) (pair (int_bound 3) gen_src) (int_bound (scratch_slots - 1)));
+      ( 1,
+        map2
+          (fun (c, rs1) rs2 -> Gen_skip_branch (c, rs1, rs2))
+          (pair (oneofl Instr.[ Eq; Ne; Lt; Ge ]) gen_src)
+          gen_src );
+    ]
+
+let gen_program = QCheck.Gen.(list_size (int_range 1 60) gen_op)
+
+(* Render the op list to a program.  The address register x31 is
+   reserved for memory addressing; skip branches jump over exactly one
+   Nop. *)
+let render ops =
+  let elements = ref [] in
+  let label_count = ref 0 in
+  let emit e = elements := e :: !elements in
+  List.iter
+    (fun op ->
+      match op with
+      | Gen_li (r, v) -> emit (Program.Instr (Instr.Li (r, v)))
+      | Gen_alu (op, rd, rs1, rs2) -> emit (Program.Instr (Instr.Alu (op, rd, rs1, rs2)))
+      | Gen_alui (op, rd, rs1, imm) -> emit (Program.Instr (Instr.Alui (op, rd, rs1, imm)))
+      | Gen_load (w, rd, slot) ->
+        let width = List.nth [ Instr.Byte; Instr.Half; Instr.Word_; Instr.Double ] w in
+        emit (Program.Instr (Instr.Li (31, Int64.add scratch_base (Int64.of_int (slot * 8)))));
+        emit (Program.Instr (Instr.Load { width; rd; base = 31; offset = 0L }))
+      | Gen_store (w, rs, slot) ->
+        let width = List.nth [ Instr.Byte; Instr.Half; Instr.Word_; Instr.Double ] w in
+        emit (Program.Instr (Instr.Li (31, Int64.add scratch_base (Int64.of_int (slot * 8)))));
+        emit (Program.Instr (Instr.Store { width; rs; base = 31; offset = 0L }))
+      | Gen_skip_branch (c, rs1, rs2) ->
+        let label = Printf.sprintf "skip%d" !label_count in
+        incr label_count;
+        emit (Program.Instr (Instr.Branch (c, rs1, rs2, label)));
+        emit (Program.Instr Instr.Nop);
+        emit (Program.Label label))
+    ops;
+  emit (Program.Instr Instr.Halt);
+  Program.assemble ~base:0x8000_0000L (List.rev !elements)
+
+(* {1 The differential property} *)
+
+let machine_for config =
+  let m = Machine.create config in
+  (* Allow-all PMP: generated programs are legal by construction. *)
+  Pmp.set (Machine.pmp m) 0
+    (Pmp.napot_entry ~base:0x8000_0000L ~size:0x8000_0000 ~perm:Pmp.full_access
+       ~locked:false);
+  Machine.set_context m (Exec_context.Host Priv.Supervisor);
+  m
+
+let agree config ops =
+  let prog = render ops in
+  let reference = Ref_model.run (Ref_model.create ()) prog in
+  let m = machine_for config in
+  let stop = Machine.run m prog in
+  (* Drain pending stores so memory comparison sees committed state. *)
+  Machine.fence m;
+  stop = Machine.Halted
+  && List.for_all
+       (fun r -> Int64.equal (Ref_model.get reference r) (Machine.get_reg m r))
+       (List.init 31 (fun i -> i + 1))
+  && List.for_all
+       (fun slot ->
+         let addr = Int64.add scratch_base (Int64.of_int (slot * 8)) in
+         let expected = Memory.read reference.Ref_model.mem ~addr ~size:8 in
+         let got = (Machine.load m ~vaddr:addr ~size:8 ()).Machine.value in
+         Int64.equal expected got)
+       (List.init scratch_slots (fun i -> i))
+
+(* The same property through the binary path: the program is assembled
+   to machine code, loaded into memory, and executed by fetching through
+   the I-cache and decoding each word — exercising the encoder, the
+   decoder and the fetch path on random input. *)
+let agree_binary config ops =
+  let prog = render ops in
+  let reference = Ref_model.run (Ref_model.create ()) prog in
+  let m = machine_for config in
+  let words = Riscv.Encode.assemble prog in
+  match Machine.run_binary m ~base:0x8000_0000L words with
+  | Error _ -> false
+  | Ok stop ->
+    Machine.fence m;
+    stop = Machine.Halted
+    && List.for_all
+         (fun r -> Int64.equal (Ref_model.get reference r) (Machine.get_reg m r))
+         (List.init 31 (fun i -> i + 1))
+    && List.for_all
+         (fun slot ->
+           let addr = Int64.add scratch_base (Int64.of_int (slot * 8)) in
+           let expected = Memory.read reference.Ref_model.mem ~addr ~size:8 in
+           let got = (Machine.load m ~vaddr:addr ~size:8 ()).Machine.value in
+           Int64.equal expected got)
+         (List.init scratch_slots (fun i -> i))
+
+let differential_test config name =
+  QCheck.Test.make ~name ~count:150
+    (QCheck.make ~print:(fun ops -> Format.asprintf "%a" Program.pp (render ops)) gen_program)
+    (fun ops -> agree config ops)
+
+(* A few directed regression programs on top of the random ones. *)
+let binary_differential_test config name =
+  QCheck.Test.make ~name ~count:100
+    (QCheck.make ~print:(fun ops -> Format.asprintf "%a" Program.pp (render ops)) gen_program)
+    (fun ops -> agree_binary config ops)
+
+let directed_cases =
+  [
+    ( "store-load through the buffer",
+      [ Gen_li (5, 123L); Gen_store (3, 5, 0); Gen_load (3, 6, 0) ] );
+    ( "narrow store preserves neighbours",
+      [ Gen_li (5, -1L); Gen_store (3, 5, 1); Gen_li (6, 0xAAL); Gen_store (0, 6, 1);
+        Gen_load (3, 7, 1) ] );
+    ( "branch skips exactly one instruction",
+      [ Gen_li (5, 1L); Gen_skip_branch (Instr.Ne, 5, 0); Gen_li (6, 7L);
+        Gen_skip_branch (Instr.Eq, 5, 0); Gen_load (3, 8, 2) ] );
+    ("alu chain", [ Gen_li (5, 3L); Gen_alui (Instr.Sll, 6, 5, 4L); Gen_alu (Instr.Sub, 7, 6, 5) ]);
+  ]
+
+let directed_tests config =
+  List.map
+    (fun (name, ops) ->
+      Alcotest.test_case name `Quick (fun () ->
+          Alcotest.(check bool) name true (agree config ops)))
+    directed_cases
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "random-programs",
+        [
+          QCheck_alcotest.to_alcotest
+            (differential_test Config.boom "machine == reference (BOOM)");
+          QCheck_alcotest.to_alcotest
+            (differential_test Config.xiangshan "machine == reference (XiangShan)");
+          QCheck_alcotest.to_alcotest
+            (differential_test Config.boom_v2 "machine == reference (BOOM v2.3)");
+        ] );
+      ( "binary-path",
+        [
+          QCheck_alcotest.to_alcotest
+            (binary_differential_test Config.boom
+               "assembled binary == reference (BOOM)");
+          QCheck_alcotest.to_alcotest
+            (binary_differential_test Config.xiangshan
+               "assembled binary == reference (XiangShan)");
+        ] );
+      ("directed-boom", directed_tests Config.boom);
+      ("directed-xiangshan", directed_tests Config.xiangshan);
+    ]

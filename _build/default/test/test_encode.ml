@@ -1,0 +1,291 @@
+(* Tests for the RV64I binary encoder/assembler and decoder. *)
+
+open Riscv
+module Machine = Uarch.Machine
+module Config = Uarch.Config
+module Exec_context = Simlog.Exec_context
+
+let word = Alcotest.testable Word.pp Int64.equal
+
+(* {1 Single-instruction round trips} *)
+
+let roundtrip_plain instr =
+  match Decode.decode ~pc:0x8000_0000L (Encode.encode_at ~pc:0x8000_0000L ~target:None instr) with
+  | Decode.Plain i -> i
+  | d -> Alcotest.failf "expected plain decode, got %a" Decode.pp_decoded d
+
+let test_plain_roundtrips () =
+  List.iter
+    (fun instr ->
+      Alcotest.(check string)
+        (Instr.to_string instr)
+        (Instr.to_string instr)
+        (Instr.to_string (roundtrip_plain instr)))
+    [
+      Instr.Nop;
+      Instr.Ecall;
+      Instr.Halt;
+      Instr.Fence;
+      Instr.Alu (Instr.Add, 10, 11, 12);
+      Instr.Alu (Instr.Sub, 5, 6, 7);
+      Instr.Alu (Instr.Xor, 15, 0, 31);
+      Instr.Alu (Instr.Sll, 8, 9, 10);
+      Instr.Alu (Instr.Srl, 8, 9, 10);
+      Instr.Alu (Instr.Or, 1, 2, 3);
+      Instr.Alu (Instr.And, 1, 2, 3);
+      Instr.Alui (Instr.Add, 10, 11, 42L);
+      Instr.Alui (Instr.Add, 10, 11, -42L);
+      Instr.Alui (Instr.Sll, 10, 11, 11L);
+      Instr.Alui (Instr.Srl, 10, 11, 63L);
+      Instr.Alui (Instr.Or, 10, 11, 0x7FFL);
+      Instr.Alui (Instr.And, 10, 11, -1L);
+      Instr.Load { width = Instr.Byte; rd = 5; base = 6; offset = 8L };
+      Instr.Load { width = Instr.Half; rd = 5; base = 6; offset = -8L };
+      Instr.Load { width = Instr.Word_; rd = 5; base = 6; offset = 0L };
+      Instr.Load { width = Instr.Double; rd = 5; base = 6; offset = 2040L };
+      Instr.Store { width = Instr.Byte; rs = 5; base = 6; offset = 1L };
+      Instr.Store { width = Instr.Double; rs = 5; base = 6; offset = -2048L };
+      Instr.Csrr (10, Csr.Satp);
+      Instr.Csrr (11, Csr.Hpmcounter 4);
+      Instr.Csrr (12, Csr.Mhpmcounter 17);
+      Instr.Csrw (Csr.Satp, 10);
+      Instr.Csrw (Csr.Pmpaddr 15, 3);
+    ]
+
+let test_branch_offsets () =
+  List.iter
+    (fun offset ->
+      let pc = 0x8000_1000L in
+      let target = Int64.add pc offset in
+      let w =
+        Encode.encode_at ~pc ~target:(Some target)
+          (Instr.Branch (Instr.Ne, 5, 6, "x"))
+      in
+      match Decode.decode ~pc w with
+      | Decode.Branch_to (Instr.Ne, 5, 6, t) -> Alcotest.(check word) "target" target t
+      | d -> Alcotest.failf "bad decode: %a" Decode.pp_decoded d)
+    [ 4L; -4L; 8L; 4094L; -4096L; 100L; -256L ]
+
+let test_jal_offsets () =
+  List.iter
+    (fun offset ->
+      let pc = 0x8000_1000L in
+      let target = Int64.add pc offset in
+      let w = Encode.encode_at ~pc ~target:(Some target) (Instr.Jal "x") in
+      match Decode.decode ~pc w with
+      | Decode.Jal_to t -> Alcotest.(check word) "target" target t
+      | d -> Alcotest.failf "bad decode: %a" Decode.pp_decoded d)
+    [ 4L; -4L; 0x7FFFEL; -0x80000L; 2048L ]
+
+let test_out_of_range_rejected () =
+  let pc = 0x8000_0000L in
+  Alcotest.check_raises "branch too far"
+    (Encode.Encode_error "branch offset 4096 out of range") (fun () ->
+      ignore
+        (Encode.encode_at ~pc ~target:(Some (Int64.add pc 4096L))
+           (Instr.Branch (Instr.Eq, 0, 0, "x"))));
+  (try
+     ignore
+       (Encode.encode_at ~pc ~target:None
+          (Instr.Load { width = Instr.Double; rd = 1; base = 2; offset = 4096L }));
+     Alcotest.fail "load offset should be rejected"
+   with Encode.Encode_error _ -> ())
+
+let test_known_encodings () =
+  (* Golden values from the RISC-V specification. *)
+  let enc i = Encode.encode_at ~pc:0L ~target:None i in
+  Alcotest.(check int32) "nop = addi x0,x0,0" 0x00000013l (enc Instr.Nop);
+  Alcotest.(check int32) "ecall" 0x00000073l (enc Instr.Ecall);
+  Alcotest.(check int32) "ebreak (halt)" 0x00100073l (enc Instr.Halt);
+  (* add x10, x11, x12 = 0x00C58533 *)
+  Alcotest.(check int32) "add x10,x11,x12" 0x00C58533l (enc (Instr.Alu (Instr.Add, 10, 11, 12)));
+  (* ld x15, 8(x14) = imm=8 rs1=14 funct3=3 rd=15 opcode=3 *)
+  Alcotest.(check int32) "ld x15,8(x14)" 0x00873783l
+    (enc (Instr.Load { width = Instr.Double; rd = 15; base = 14; offset = 8L }));
+  (* sd x15, 8(x14) *)
+  Alcotest.(check int32) "sd x15,8(x14)" 0x00F73423l
+    (enc (Instr.Store { width = Instr.Double; rs = 15; base = 14; offset = 8L }))
+
+(* {1 Li lowering} *)
+
+(* Evaluate an Alui-only sequence with a two-register machine. *)
+let eval_sequence instrs =
+  let regs = Array.make 32 0L in
+  List.iter
+    (fun instr ->
+      match (instr : Instr.t) with
+      | Instr.Alui (op, rd, rs1, imm) ->
+        let a = if rs1 = 0 then 0L else regs.(rs1) in
+        regs.(rd) <-
+          (match op with
+          | Instr.Add -> Int64.add a imm
+          | Instr.Or -> Int64.logor a imm
+          | Instr.Sll -> Int64.shift_left a (Int64.to_int (Int64.logand imm 63L))
+          | _ -> Alcotest.fail "unexpected op in lowering")
+      | _ -> Alcotest.fail "unexpected instruction in lowering")
+    instrs;
+  regs.(10)
+
+let test_li_lowering_values () =
+  List.iter
+    (fun v ->
+      Alcotest.(check word) (Printf.sprintf "li %Lx" v) v
+        (eval_sequence (Encode.lower_li ~rd:10 v)))
+    [
+      0L; 1L; -1L; 42L; -42L; 2047L; -2048L; 2048L; 0xDEADBEEFL;
+      0x8000_0000L; -0x8000_0000L; 0x7FFF_FFFF_FFFF_FFFFL;
+      Int64.min_int; 0x1234_5678_9ABC_DEF0L; 0x8800_8000L;
+    ]
+
+let test_li_lowering_compact () =
+  Alcotest.(check int) "small constants are one instruction" 1
+    (List.length (Encode.lower_li ~rd:10 42L));
+  Alcotest.(check int) "lowered length matches" 1 (Encode.lowered_length (Instr.Li (10, 42L)));
+  Alcotest.(check int) "non-pseudo length is 1" 1 (Encode.lowered_length Instr.Nop)
+
+let prop_li_lowering =
+  QCheck.Test.make ~name:"li materialises any 64-bit constant" ~count:300 QCheck.int64
+    (fun v -> Int64.equal v (eval_sequence (Encode.lower_li ~rd:10 v)))
+
+(* {1 Whole-program assembly} *)
+
+let sample_program =
+  Program.assemble ~base:0x8000_0000L
+    [
+      Program.Instr (Instr.Li (5, 0xDEAD_BEEF_CAFEL));
+      Program.Instr (Instr.Li (6, 0x8004_0000L));
+      Program.Instr (Instr.sd 5 6 0L);
+      Program.Label "loop";
+      Program.Instr (Instr.Alui (Instr.Add, 7, 7, 1L));
+      Program.Instr (Instr.Branch (Instr.Lt, 7, 5, "loop"));
+      Program.Instr (Instr.ld 8 6 0L);
+      Program.Instr (Instr.Jal "end");
+      Program.Instr Instr.Nop;
+      Program.Label "end";
+      Program.Instr Instr.Halt;
+    ]
+
+let test_assemble_relocation () =
+  (* Lowering the two Li pseudos stretches the layout; the backward
+     branch and forward jump must still resolve. *)
+  let words = Encode.assemble sample_program in
+  Alcotest.(check bool) "lowering stretched the code" true
+    (Array.length words > Program.length sample_program);
+  match Decode.to_program ~base:0x8000_0000L words with
+  | Error msg -> Alcotest.failf "reconstruction failed: %s" msg
+  | Ok prog2 ->
+    (* Word-level fixpoint: re-assembling the reconstruction is identical. *)
+    let words2 = Encode.assemble prog2 in
+    Alcotest.(check int) "same length" (Array.length words) (Array.length words2);
+    Array.iteri
+      (fun i w ->
+        Alcotest.(check int32) (Printf.sprintf "word %d" i) w words2.(i))
+      words
+
+let run_on_machine prog =
+  let m = Machine.create Config.boom in
+  Pmp.set (Machine.pmp m) 0
+    (Pmp.napot_entry ~base:0x8000_0000L ~size:0x8000_0000 ~perm:Pmp.full_access
+       ~locked:false);
+  Machine.set_context m (Exec_context.Host Priv.Supervisor);
+  let stop = Machine.run m prog in
+  Machine.fence m;
+  (m, stop)
+
+let test_reconstruction_preserves_semantics () =
+  (* A program with small (non-stretching) constants runs identically
+     before and after an encode/decode trip. *)
+  let prog =
+    Program.assemble ~base:0x8000_0000L
+      [
+        Program.Instr (Instr.Li (5, 100L));
+        Program.Instr (Instr.Li (6, 0x8004_0000L));
+        Program.Instr (Instr.sd 5 6 0L);
+        Program.Instr (Instr.ld 7 6 0L);
+        Program.Instr (Instr.Alu (Instr.Add, 8, 7, 5));
+        Program.Label "skip";
+        Program.Instr (Instr.Branch (Instr.Eq, 0, 0, "end"));
+        Program.Instr (Instr.Jal "skip");
+        Program.Label "end";
+        Program.Instr Instr.Halt;
+      ]
+  in
+  let words = Encode.assemble prog in
+  match Decode.to_program ~base:0x8000_0000L words with
+  | Error msg -> Alcotest.failf "reconstruction failed: %s" msg
+  | Ok prog2 ->
+    let m1, stop1 = run_on_machine prog in
+    let m2, stop2 = run_on_machine prog2 in
+    Alcotest.(check bool) "both halt" true
+      (stop1 = Machine.Halted && stop2 = Machine.Halted);
+    List.iter
+      (fun r ->
+        Alcotest.(check word)
+          (Printf.sprintf "x%d agrees" r)
+          (Machine.get_reg m1 r) (Machine.get_reg m2 r))
+      [ 5; 6; 7; 8 ]
+
+let test_decode_rejects_garbage () =
+  (match Decode.decode ~pc:0L 0xFFFFFFFFl with
+  | Decode.Unknown _ -> ()
+  | d -> Alcotest.failf "garbage decoded as %a" Decode.pp_decoded d);
+  match Decode.to_program ~base:0L [| 0xFFFFFFFFl |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage image accepted"
+
+let prop_program_word_fixpoint =
+  (* Random straight-line programs: assemble -> decode -> assemble is a
+     fixpoint at the word level. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 20)
+        (frequency
+           [
+             (3, map2 (fun r v -> Instr.Li (5 + (r mod 10), Int64.of_int v)) (int_bound 9) small_signed_int);
+             ( 2,
+               map2
+                 (fun rd (rs1, rs2) -> Instr.Alu (Instr.Add, 5 + (rd mod 10), 5 + (rs1 mod 10), 5 + (rs2 mod 10)))
+                 (int_bound 9) (pair (int_bound 9) (int_bound 9)) );
+             (1, return Instr.Nop);
+             ( 1,
+               map (fun off -> Instr.Load { width = Instr.Double; rd = 7; base = 6; offset = Int64.of_int (off * 8) })
+                 (int_bound 15) );
+           ]))
+  in
+  QCheck.Test.make ~name:"assemble/decode/assemble word fixpoint" ~count:100
+    (QCheck.make gen)
+    (fun instrs ->
+      let prog = Program.of_instrs ~base:0x8000_0000L (instrs @ [ Instr.Halt ]) in
+      let words = Encode.assemble prog in
+      match Decode.to_program ~base:0x8000_0000L words with
+      | Error _ -> false
+      | Ok prog2 ->
+        let words2 = Encode.assemble prog2 in
+        words = words2)
+
+let () =
+  Alcotest.run "encode"
+    [
+      ( "instructions",
+        [
+          Alcotest.test_case "plain round trips" `Quick test_plain_roundtrips;
+          Alcotest.test_case "branch offsets" `Quick test_branch_offsets;
+          Alcotest.test_case "jal offsets" `Quick test_jal_offsets;
+          Alcotest.test_case "out-of-range rejected" `Quick test_out_of_range_rejected;
+          Alcotest.test_case "golden encodings" `Quick test_known_encodings;
+        ] );
+      ( "li-lowering",
+        [
+          Alcotest.test_case "constant values" `Quick test_li_lowering_values;
+          Alcotest.test_case "compactness" `Quick test_li_lowering_compact;
+          QCheck_alcotest.to_alcotest prop_li_lowering;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "relocation across lowering" `Quick test_assemble_relocation;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_reconstruction_preserves_semantics;
+          Alcotest.test_case "garbage rejected" `Quick test_decode_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_program_word_fixpoint;
+        ] );
+    ]

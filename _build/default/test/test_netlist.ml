@@ -1,0 +1,213 @@
+(* Tests for the netlist substrate and the storage-discovery pass. *)
+
+open Netlist
+
+let test_cell_state_bits () =
+  Alcotest.(check int) "register" 64 (Cell.state_bits (Cell.Register { name = "r"; width = 64 }));
+  Alcotest.(check int) "memory" (512 * 4)
+    (Cell.state_bits (Cell.Memory { name = "m"; width = 512; depth = 4 }));
+  Alcotest.(check int) "logic" 0 (Cell.state_bits (Cell.Logic { name = "l" }));
+  Alcotest.(check bool) "logic is not storage" false (Cell.is_storage (Cell.Logic { name = "l" }));
+  Alcotest.(check bool) "memory is storage" true
+    (Cell.is_storage (Cell.Memory { name = "m"; width = 1; depth = 1 }))
+
+let tiny_design () =
+  Design.create ~top:"top"
+    [
+      {
+        Design.module_name = "top";
+        cells = [ Cell.Register { name = "pc"; width = 40 } ];
+        instances = [ ("core0", "core"); ("core1", "core") ];
+      };
+      {
+        Design.module_name = "core";
+        cells =
+          [
+            Cell.Memory { name = "rf"; width = 64; depth = 32 };
+            Cell.Logic { name = "alu" };
+          ];
+        instances = [ ("dc", "dcache") ];
+      };
+      {
+        Design.module_name = "dcache";
+        cells = [ Cell.Memory { name = "data"; width = 512; depth = 64 } ];
+        instances = [];
+      };
+    ]
+
+let test_design_hierarchy () =
+  let d = tiny_design () in
+  Alcotest.(check int) "module count" 3 (Design.module_count d);
+  Alcotest.(check string) "top" "top" (Design.top d).Design.module_name;
+  Alcotest.(check bool) "find existing" true (Design.find_module d "dcache" <> None);
+  Alcotest.(check bool) "find missing" true (Design.find_module d "nope" = None);
+  let paths = ref [] in
+  Design.iter_instances d (fun ~path ~hw_module:_ -> paths := path :: !paths);
+  let paths = List.sort compare !paths in
+  Alcotest.(check (list string)) "instance paths"
+    [ "top"; "top.core0"; "top.core0.dc"; "top.core1"; "top.core1.dc" ]
+    paths
+
+let test_design_errors () =
+  Alcotest.check_raises "missing module"
+    (Invalid_argument "Design.create: missing module ghost") (fun () ->
+      ignore
+        (Design.create ~top:"t"
+           [ { Design.module_name = "t"; cells = []; instances = [ ("g", "ghost") ] } ]));
+  Alcotest.check_raises "cyclic hierarchy"
+    (Invalid_argument "Design.create: cyclic hierarchy at a") (fun () ->
+      ignore
+        (Design.create ~top:"a"
+           [
+             { Design.module_name = "a"; cells = []; instances = [ ("b", "b") ] };
+             { Design.module_name = "b"; cells = []; instances = [ ("a", "a") ] };
+           ]))
+
+let test_memory_pass () =
+  let d = tiny_design () in
+  let elements = Memory_pass.run d in
+  (* pc + 2x (rf + dcache.data); the ALU carries no state. *)
+  Alcotest.(check int) "element count" 5 (List.length elements);
+  let total = Memory_pass.total_bits d in
+  Alcotest.(check int) "total bits" (40 + (2 * ((64 * 32) + (512 * 64)))) total;
+  let rf_elements = Memory_pass.find d ~substring:"rf" in
+  Alcotest.(check int) "rf in both cores" 2 (List.length rf_elements);
+  let dc = Memory_pass.find d ~substring:"core0.dc" in
+  Alcotest.(check int) "path filter" 1 (List.length dc)
+
+let test_boom_design () =
+  let elements = Memory_pass.run Designs.boom in
+  Alcotest.(check bool) "has lfb" true
+    (List.exists (fun e -> Cell.name e.Memory_pass.cell = "lfb") elements);
+  Alcotest.(check bool) "has prefetcher state" true
+    (Memory_pass.find Designs.boom ~substring:"prefetcher" <> []);
+  Alcotest.(check bool) "has hpm counters" true
+    (Memory_pass.find Designs.boom ~substring:"hpm_counters" <> []);
+  (* The LFB is 4 entries of a full line. *)
+  (match Memory_pass.find Designs.boom ~substring:"lfb" with
+  | [ e ] -> Alcotest.(check int) "lfb bits" (512 * 4) e.Memory_pass.bits
+  | l -> Alcotest.failf "expected one lfb element, got %d" (List.length l))
+
+let test_xiangshan_design () =
+  let d = Designs.xiangshan in
+  Alcotest.(check bool) "has sbuffer" true (Memory_pass.find d ~substring:"sbuffer" <> []);
+  Alcotest.(check bool) "has ubtb" true (Memory_pass.find d ~substring:"ubtb" <> []);
+  Alcotest.(check bool) "no l1 prefetcher" true
+    (Memory_pass.find d ~substring:"prefetcher" = []);
+  (* The uBTB has 1024 entries, matching the core configuration. *)
+  (match Memory_pass.find d ~substring:"ubtb" with
+  | [ e ] -> (
+    match e.Memory_pass.cell with
+    | Cell.Memory { depth; _ } -> Alcotest.(check int) "ubtb depth" 1024 depth
+    | _ -> Alcotest.fail "ubtb should be a memory")
+  | l -> Alcotest.failf "expected one ubtb element, got %d" (List.length l))
+
+let test_of_core_name () =
+  Alcotest.(check bool) "boom" true (Designs.of_core_name "boom" <> None);
+  Alcotest.(check bool) "xiangshan" true (Designs.of_core_name "xiangshan" <> None);
+  Alcotest.(check bool) "unknown" true (Designs.of_core_name "rocket" = None)
+
+(* {1 Verilog emission} *)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let test_verilog_module () =
+  let m =
+    {
+      Design.module_name = "dcache";
+      cells =
+        [
+          Cell.Memory { name = "data"; width = 512; depth = 64 };
+          Cell.Register { name = "state"; width = 4 };
+          Cell.Logic { name = "hit_logic" };
+        ];
+      instances = [ ("lfb0", "lfb") ];
+    }
+  in
+  let v = Verilog_gen.module_to_string m in
+  Alcotest.(check bool) "module header" true (contains v "module dcache(");
+  Alcotest.(check bool) "memory as 2d reg" true (contains v "reg [511:0] data [0:63];");
+  Alcotest.(check bool) "register vector" true (contains v "reg [3:0] state;");
+  Alcotest.(check bool) "logic is a comment" true (contains v "/* combinational: hit_logic */");
+  Alcotest.(check bool) "instance wired" true
+    (contains v "lfb lfb0 (.clock(clock), .reset(reset));");
+  Alcotest.(check bool) "storage marker on memories" true
+    (contains v Verilog_gen.storage_marker);
+  Alcotest.(check bool) "endmodule" true (contains v "endmodule")
+
+let count_occurrences hay needle =
+  let n = String.length needle in
+  let rec go i acc =
+    if i + n > String.length hay then acc
+    else if String.sub hay i n = needle then go (i + n) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_verilog_whole_design () =
+  List.iter
+    (fun design ->
+      let v = Verilog_gen.design_to_string design in
+      Alcotest.(check int) "one module body per design module"
+        (Design.module_count design)
+        (count_occurrences v "endmodule");
+      (* Every storage cell of every (distinct) module carries the
+         instrumentation marker; shared modules are emitted once even if
+         instantiated several times. *)
+      let distinct_storage_cells =
+        List.length
+          (List.sort_uniq compare
+             (List.map (fun e -> Cell.name e.Memory_pass.cell) (Memory_pass.run design)))
+      in
+      Alcotest.(check int) "marker per distinct storage cell"
+        distinct_storage_cells
+        (count_occurrences v Verilog_gen.storage_marker))
+    [ Designs.boom; Designs.xiangshan ]
+
+let prop_total_bits_is_sum =
+  QCheck.Test.make ~name:"total bits equals sum over elements" ~count:50
+    QCheck.(list_of_size (Gen.int_range 0 10) (pair (int_range 1 64) (int_range 1 128)))
+    (fun cells ->
+      let d =
+        Design.create ~top:"t"
+          [
+            {
+              Design.module_name = "t";
+              cells =
+                List.mapi
+                  (fun i (w, dep) ->
+                    Cell.Memory { name = Printf.sprintf "m%d" i; width = w; depth = dep })
+                  cells;
+              instances = [];
+            };
+          ]
+      in
+      Memory_pass.total_bits d
+      = List.fold_left (fun acc (w, dep) -> acc + (w * dep)) 0 cells)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ("cell", [ Alcotest.test_case "state bits" `Quick test_cell_state_bits ]);
+      ( "design",
+        [
+          Alcotest.test_case "hierarchy walk" `Quick test_design_hierarchy;
+          Alcotest.test_case "construction errors" `Quick test_design_errors;
+        ] );
+      ( "memory_pass",
+        [
+          Alcotest.test_case "discovery" `Quick test_memory_pass;
+          Alcotest.test_case "boom storage elements" `Quick test_boom_design;
+          Alcotest.test_case "xiangshan storage elements" `Quick test_xiangshan_design;
+          Alcotest.test_case "core lookup" `Quick test_of_core_name;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "module skeleton" `Quick test_verilog_module;
+          Alcotest.test_case "whole designs" `Quick test_verilog_whole_design;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_total_bits_is_sum ]);
+    ]

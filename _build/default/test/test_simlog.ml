@@ -1,0 +1,273 @@
+(* Tests for execution contexts and the simulation log. *)
+
+module Log = Simlog.Log
+module Structure = Simlog.Structure
+module Exec_context = Simlog.Exec_context
+
+let test_context_trust () =
+  Alcotest.(check bool) "enclave trusts itself" true
+    (Exec_context.is_trusted_for (Exec_context.Enclave 1) ~enclave_id:1);
+  Alcotest.(check bool) "other enclave untrusted" false
+    (Exec_context.is_trusted_for (Exec_context.Enclave 2) ~enclave_id:1);
+  Alcotest.(check bool) "monitor trusted" true
+    (Exec_context.is_trusted_for Exec_context.Monitor ~enclave_id:1);
+  Alcotest.(check bool) "host untrusted" false
+    (Exec_context.is_trusted_for (Exec_context.Host Riscv.Priv.Supervisor) ~enclave_id:1)
+
+let test_context_equal () =
+  Alcotest.(check bool) "host S = host S" true
+    (Exec_context.equal (Exec_context.Host Riscv.Priv.Supervisor)
+       (Exec_context.Host Riscv.Priv.Supervisor));
+  Alcotest.(check bool) "host S <> host U" false
+    (Exec_context.equal (Exec_context.Host Riscv.Priv.Supervisor)
+       (Exec_context.Host Riscv.Priv.User));
+  Alcotest.(check bool) "enclave ids" false
+    (Exec_context.equal (Exec_context.Enclave 0) (Exec_context.Enclave 1))
+
+let test_structure_metadata () =
+  Alcotest.(check int) "15 structures" 15 (List.length Structure.all);
+  Alcotest.(check bool) "lfb holds data" true (Structure.holds_data Structure.Lfb);
+  Alcotest.(check bool) "ubtb is metadata" false (Structure.holds_data Structure.Ubtb);
+  Alcotest.(check bool) "hpm is metadata" false
+    (Structure.holds_data Structure.Hpm_counters);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Structure.to_string s ^ " has netlist hints")
+        true
+        (Structure.netlist_hint s <> []))
+    Structure.all
+
+let host = Exec_context.Host Riscv.Priv.Supervisor
+
+let test_log_record_and_search () =
+  let log = Log.create () in
+  Log.record log ~cycle:10 ~ctx:host
+    (Log.Write
+       {
+         structure = Structure.Lfb;
+         entries = [ Log.entry ~slot:0 ~addr:0x88000000L 0xFACEL ];
+         origin = Log.Prefetch;
+       });
+  Log.record log ~cycle:20 ~ctx:(Exec_context.Enclave 0)
+    (Log.Snapshot
+       { structure = Structure.L1d_data; entries = [ Log.entry 0xBEEFL ] });
+  Alcotest.(check int) "length" 2 (Log.length log);
+  Alcotest.(check int) "occurrences of FACE" 1 (List.length (Log.occurrences log 0xFACEL));
+  Alcotest.(check int) "occurrences of BEEF" 1 (List.length (Log.occurrences log 0xBEEFL));
+  Alcotest.(check int) "no occurrences" 0 (List.length (Log.occurrences log 0x1234L));
+  Alcotest.(check int) "writes_of" 1 (List.length (Log.writes_of log))
+
+let test_log_order () =
+  let log = Log.create () in
+  List.iter
+    (fun c -> Log.record log ~cycle:c ~ctx:host (Log.Commit { pc = Int64.of_int c; instr = "nop" }))
+    [ 1; 2; 3 ];
+  let cycles = List.map (fun r -> r.Log.cycle) (Log.to_list log) in
+  Alcotest.(check (list int)) "chronological" [ 1; 2; 3 ] cycles
+
+let test_last_commit_before () =
+  let log = Log.create () in
+  Log.record log ~cycle:5 ~ctx:host (Log.Commit { pc = 0x100L; instr = "a" });
+  Log.record log ~cycle:15 ~ctx:host (Log.Commit { pc = 0x104L; instr = "b" });
+  (match Log.last_commit_before log ~cycle:10 with
+  | Some pc -> Alcotest.(check int64) "first commit" 0x100L pc
+  | None -> Alcotest.fail "expected a commit");
+  (match Log.last_commit_before log ~cycle:20 with
+  | Some pc -> Alcotest.(check int64) "second commit" 0x104L pc
+  | None -> Alcotest.fail "expected a commit");
+  Alcotest.(check bool) "none before first" true
+    (Log.last_commit_before log ~cycle:2 = None)
+
+let test_contains_value_scopes () =
+  (* Mode switches, commits and exceptions never match data searches. *)
+  let r cycle event = { Log.cycle; ctx = host; event } in
+  Alcotest.(check bool) "mode switch" false
+    (Log.contains_value
+       (r 1 (Log.Mode_switch { from_ctx = host; to_ctx = Exec_context.Monitor }))
+       0L);
+  Alcotest.(check bool) "commit" false
+    (Log.contains_value (r 1 (Log.Commit { pc = 0L; instr = "nop" })) 0L);
+  Alcotest.(check bool) "exception" false
+    (Log.contains_value (r 1 (Log.Exception_raised { cause = "x"; pc = 0L })) 0L)
+
+let test_origin_strings () =
+  let origins =
+    [
+      Log.Explicit_load; Log.Explicit_store; Log.Prefetch; Log.Ptw_walk;
+      Log.Store_drain; Log.Memset_destroy; Log.Csr_read; Log.Context_save;
+      Log.Refill; Log.Branch_exec; Log.Writeback;
+    ]
+  in
+  let strings = List.map Log.origin_to_string origins in
+  Alcotest.(check int) "all distinct" (List.length origins)
+    (List.length (List.sort_uniq compare strings))
+
+(* {1 Serialisation} *)
+
+module Serialize = Simlog.Serialize
+
+let sample_log () =
+  let log = Log.create () in
+  Log.record log ~cycle:1 ~ctx:host
+    (Log.Write
+       {
+         structure = Structure.Lfb;
+         entries =
+           [
+             Log.entry ~slot:3 ~addr:0x8800_0000L ~note:"a note, with %weird~chars" 0xFACEL;
+             Log.entry 0xBEEFL;
+           ];
+         origin = Log.Prefetch;
+       });
+  Log.record log ~cycle:2 ~ctx:(Exec_context.Enclave 1)
+    (Log.Snapshot { structure = Structure.Ubtb; entries = [ Log.entry ~note:"owner=enclave-1" 1L ] });
+  Log.record log ~cycle:3 ~ctx:Exec_context.Monitor
+    (Log.Mode_switch { from_ctx = Exec_context.Monitor; to_ctx = host });
+  Log.record log ~cycle:4 ~ctx:host (Log.Commit { pc = 0x8000_0000L; instr = "ld x5, 0x0(x6)" });
+  Log.record log ~cycle:5 ~ctx:host
+    (Log.Exception_raised { cause = "load-access-fault"; pc = 0x8000_0004L });
+  log
+
+let test_serialize_roundtrip () =
+  let log = sample_log () in
+  let text = Serialize.to_string log in
+  match Serialize.parse_string text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok parsed ->
+    Alcotest.(check int) "record count" (Log.length log) (Log.length parsed);
+    Alcotest.(check string) "round-trips byte for byte" text (Serialize.to_string parsed);
+    (* Semantic checks survive the trip. *)
+    Alcotest.(check int) "occurrences preserved"
+      (List.length (Log.occurrences log 0xFACEL))
+      (List.length (Log.occurrences parsed 0xFACEL));
+    (match Log.last_commit_before parsed ~cycle:10 with
+    | Some pc -> Alcotest.(check int64) "commit pc" 0x8000_0000L pc
+    | None -> Alcotest.fail "commit lost")
+
+let test_serialize_file_roundtrip () =
+  let log = sample_log () in
+  let path = Filename.temp_file "teesec" ".simlog" in
+  Serialize.save ~path log;
+  (match Serialize.load ~path with
+  | Ok parsed -> Alcotest.(check int) "file round-trip" (Log.length log) (Log.length parsed)
+  | Error msg -> Alcotest.failf "load failed: %s" msg);
+  Sys.remove path
+
+let test_serialize_rejects_garbage () =
+  (match Serialize.parse_string "W\tnot-a-number\thost-S" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Serialize.parse_string "X\t1\thost-S\tfoo" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown record kind accepted"
+
+let test_escape_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("escape " ^ s) s (Serialize.unescape (Serialize.escape s)))
+    [ ""; "plain"; "with space"; "tab\there"; "100%"; "a,b,c"; "~tilde~"; "csrr hpmcounter4" ]
+
+let test_parsers () =
+  List.iter
+    (fun ctx ->
+      match Exec_context.of_string (Exec_context.to_string ctx) with
+      | Some c -> Alcotest.(check bool) "ctx roundtrip" true (Exec_context.equal c ctx)
+      | None -> Alcotest.fail "ctx parse failed")
+    [ host; Exec_context.Host Riscv.Priv.User; Exec_context.Enclave 0;
+      Exec_context.Enclave 7; Exec_context.Monitor ];
+  Alcotest.(check bool) "bad ctx" true (Exec_context.of_string "hostess" = None);
+  List.iter
+    (fun s ->
+      match Structure.of_string (Structure.to_string s) with
+      | Some s' -> Alcotest.(check bool) "structure roundtrip" true (Structure.equal s s')
+      | None -> Alcotest.fail "structure parse failed")
+    Structure.all;
+  Alcotest.(check bool) "bad structure" true (Structure.of_string "l3-cache" = None);
+  Alcotest.(check bool) "origin roundtrip" true
+    (Log.origin_of_string (Log.origin_to_string Log.Memset_destroy) = Some Log.Memset_destroy);
+  Alcotest.(check bool) "bad origin" true (Log.origin_of_string "teleport" = None)
+
+module Stats = Simlog.Stats
+
+let test_stats () =
+  let stats = Stats.of_log (sample_log ()) in
+  Alcotest.(check int) "records" 5 stats.Stats.records;
+  Alcotest.(check int) "writes" 1 stats.Stats.writes;
+  Alcotest.(check int) "snapshots" 1 stats.Stats.snapshots;
+  Alcotest.(check int) "commits" 1 stats.Stats.commits;
+  Alcotest.(check int) "exceptions" 1 stats.Stats.exceptions;
+  Alcotest.(check int) "mode switches" 1 stats.Stats.mode_switches;
+  Alcotest.(check int) "first cycle" 1 stats.Stats.first_cycle;
+  Alcotest.(check int) "last cycle" 5 stats.Stats.last_cycle;
+  Alcotest.(check bool) "lfb counted" true
+    (List.mem_assoc Structure.Lfb stats.Stats.by_structure);
+  Alcotest.(check bool) "prefetch provenance counted" true
+    (List.mem_assoc "prefetch" stats.Stats.by_origin)
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialisation round-trips arbitrary writes" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 10)
+        (pair small_nat (pair int64 (string_gen_of_size (Gen.int_range 0 12) Gen.printable))))
+    (fun records ->
+      let log = Log.create () in
+      List.iteri
+        (fun i (slot, (data, note)) ->
+          Log.record log ~cycle:i ~ctx:host
+            (Log.Write
+               {
+                 structure = Structure.Reg_file;
+                 entries = [ Log.entry ~slot ~note data ];
+                 origin = Log.Writeback;
+               }))
+        records;
+      match Serialize.parse_string (Serialize.to_string log) with
+      | Ok parsed -> Serialize.to_string parsed = Serialize.to_string log
+      | Error _ -> false)
+
+let prop_occurrences_complete =
+  QCheck.Test.make ~name:"occurrences finds every inserted value" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) int64)
+    (fun values ->
+      let log = Log.create () in
+      List.iteri
+        (fun i v ->
+          Log.record log ~cycle:i ~ctx:host
+            (Log.Write
+               { structure = Structure.Reg_file; entries = [ Log.entry v ]; origin = Log.Writeback }))
+        values;
+      List.for_all (fun v -> Log.occurrences log v <> []) values)
+
+let () =
+  Alcotest.run "simlog"
+    [
+      ( "exec_context",
+        [
+          Alcotest.test_case "trust relation" `Quick test_context_trust;
+          Alcotest.test_case "equality" `Quick test_context_equal;
+        ] );
+      ("structure", [ Alcotest.test_case "metadata" `Quick test_structure_metadata ]);
+      ( "log",
+        [
+          Alcotest.test_case "record and search" `Quick test_log_record_and_search;
+          Alcotest.test_case "chronological order" `Quick test_log_order;
+          Alcotest.test_case "last commit before" `Quick test_last_commit_before;
+          Alcotest.test_case "non-data events don't match" `Quick test_contains_value_scopes;
+          Alcotest.test_case "origin strings distinct" `Quick test_origin_strings;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "round-trip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "file round-trip" `Quick test_serialize_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+          Alcotest.test_case "note escaping" `Quick test_escape_roundtrip;
+          Alcotest.test_case "string parsers" `Quick test_parsers;
+        ] );
+      ("stats", [ Alcotest.test_case "summary" `Quick test_stats ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_occurrences_complete;
+          QCheck_alcotest.to_alcotest prop_serialize_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,1019 @@
+(* Tests for the microarchitectural simulator: the individual structures
+   and the machine's load/store-unit, page-walker, prefetcher, branch
+   prediction and transient-execution semantics. *)
+
+open Riscv
+module Cache = Uarch.Cache
+module Lfb = Uarch.Lfb
+module Store_buffer = Uarch.Store_buffer
+module Tlb = Uarch.Tlb
+module Btb = Uarch.Btb
+module Hpc = Uarch.Hpc
+module Regfile = Uarch.Regfile
+module Machine = Uarch.Machine
+module Config = Uarch.Config
+module Mitigation = Uarch.Mitigation
+module Log = Simlog.Log
+module Structure = Simlog.Structure
+module Exec_context = Simlog.Exec_context
+
+let word = Alcotest.testable Word.pp Int64.equal
+let line_of_value v = Array.make 8 v
+let host_s = Exec_context.Host Priv.Supervisor
+
+(* {1 Cache} *)
+
+let test_cache_insert_lookup () =
+  let c = Cache.create ~sets:4 ~ways:2 in
+  Alcotest.(check bool) "empty miss" true (Cache.lookup c ~addr:0x1000L = None);
+  ignore (Cache.insert c ~addr:0x1000L (line_of_value 7L));
+  Alcotest.(check bool) "hit after insert" true (Cache.contains c ~addr:0x1000L);
+  Alcotest.(check bool) "hit anywhere in line" true (Cache.contains c ~addr:0x1038L);
+  Alcotest.(check bool) "next line misses" false (Cache.contains c ~addr:0x1040L);
+  (match Cache.read_word c ~addr:0x1008L with
+  | Some v -> Alcotest.(check word) "word value" 7L v
+  | None -> Alcotest.fail "expected hit")
+
+let test_cache_write_dirty_evict () =
+  let c = Cache.create ~sets:4 ~ways:1 in
+  ignore (Cache.insert c ~addr:0x1000L (line_of_value 1L));
+  Alcotest.(check bool) "write hits" true (Cache.write_word c ~addr:0x1008L 99L);
+  (* Same set (4 sets x 64B lines -> stride 256B), different tag. *)
+  (match Cache.insert c ~addr:0x1100L (line_of_value 2L) with
+  | Some (victim_addr, victim_line, dirty) ->
+    Alcotest.(check word) "victim address" 0x1000L victim_addr;
+    Alcotest.(check bool) "victim dirty" true dirty;
+    Alcotest.(check word) "victim carries the write" 99L victim_line.(1)
+  | None -> Alcotest.fail "expected eviction");
+  Alcotest.(check bool) "old line gone" false (Cache.contains c ~addr:0x1000L)
+
+let test_cache_clean_eviction () =
+  let c = Cache.create ~sets:4 ~ways:1 in
+  ignore (Cache.insert c ~addr:0x1000L (line_of_value 1L));
+  (match Cache.insert c ~addr:0x1100L (line_of_value 2L) with
+  | Some (_, _, dirty) -> Alcotest.(check bool) "clean victim" false dirty
+  | None -> Alcotest.fail "expected eviction")
+
+let test_cache_flush () =
+  let c = Cache.create ~sets:4 ~ways:2 in
+  ignore (Cache.insert c ~addr:0x1000L (line_of_value 1L));
+  ignore (Cache.insert c ~addr:0x2000L (line_of_value 2L));
+  ignore (Cache.write_word c ~addr:0x2000L 5L);
+  let dirty = Cache.flush c in
+  Alcotest.(check int) "one dirty line written back" 1 (List.length dirty);
+  Alcotest.(check int) "cache empty" 0 (List.length (Cache.valid_lines c))
+
+let test_cache_evict_explicit () =
+  let c = Cache.create ~sets:4 ~ways:2 in
+  ignore (Cache.insert c ~addr:0x1000L (line_of_value 3L));
+  (match Cache.evict c ~addr:0x1000L with
+  | Some (line, dirty) ->
+    Alcotest.(check word) "line content" 3L line.(0);
+    Alcotest.(check bool) "was clean" false dirty
+  | None -> Alcotest.fail "expected line");
+  Alcotest.(check bool) "gone" false (Cache.contains c ~addr:0x1000L);
+  Alcotest.(check bool) "evicting again is none" true (Cache.evict c ~addr:0x1000L = None)
+
+let test_cache_snapshot () =
+  let c = Cache.create ~sets:4 ~ways:2 in
+  ignore (Cache.insert c ~addr:0x1000L (line_of_value 0xABL));
+  let entries = Cache.snapshot c in
+  Alcotest.(check int) "8 words per line" 8 (List.length entries);
+  Alcotest.(check bool) "snapshot carries values" true
+    (List.for_all (fun (e : Log.entry) -> Int64.equal e.Log.data 0xABL) entries)
+
+(* {1 LFB} *)
+
+let test_lfb_stale_retention () =
+  let lfb = Lfb.create ~entries:2 ~retains_stale:true in
+  let slot = Lfb.fill lfb ~addr:0x1000L ~data:(line_of_value 0xCAFEL) in
+  Alcotest.(check int) "occupied" 1 (Lfb.occupied lfb);
+  Lfb.complete lfb ~slot;
+  Alcotest.(check int) "completed entries invalid" 0 (Lfb.occupied lfb);
+  Alcotest.(check bool) "BOOM-style: stale data visible" true
+    (Lfb.holds_value lfb 0xCAFEL)
+
+let test_lfb_zeroing () =
+  let lfb = Lfb.create ~entries:2 ~retains_stale:false in
+  let slot = Lfb.fill lfb ~addr:0x1000L ~data:(line_of_value 0xCAFEL) in
+  Lfb.complete lfb ~slot;
+  Alcotest.(check bool) "XiangShan-style: zeroed on completion" false
+    (Lfb.holds_value lfb 0xCAFEL)
+
+let test_lfb_slot_reuse () =
+  let lfb = Lfb.create ~entries:2 ~retains_stale:true in
+  let s0 = Lfb.fill lfb ~addr:0x1000L ~data:(line_of_value 1L) in
+  let s1 = Lfb.fill lfb ~addr:0x2000L ~data:(line_of_value 2L) in
+  Alcotest.(check bool) "distinct slots" true (s0 <> s1);
+  Lfb.complete lfb ~slot:s0;
+  Lfb.complete lfb ~slot:s1;
+  (* Round-robin reuse overwrites the oldest stale data. *)
+  let s2 = Lfb.fill lfb ~addr:0x3000L ~data:(line_of_value 3L) in
+  Alcotest.(check int) "reused slot 0" s0 s2;
+  Alcotest.(check bool) "old slot-0 data overwritten" false (Lfb.holds_value lfb 1L);
+  Alcotest.(check bool) "slot-1 stale data still there" true (Lfb.holds_value lfb 2L)
+
+let test_lfb_flush () =
+  let lfb = Lfb.create ~entries:2 ~retains_stale:true in
+  let slot = Lfb.fill lfb ~addr:0x1000L ~data:(line_of_value 9L) in
+  Lfb.complete lfb ~slot;
+  Lfb.flush lfb;
+  Alcotest.(check bool) "flushed" false (Lfb.holds_value lfb 9L);
+  Alcotest.(check int) "snapshot empty" 0 (List.length (Lfb.snapshot lfb))
+
+(* {1 Store buffer} *)
+
+let entry ?(origin = Log.Explicit_store) addr size value =
+  { Store_buffer.addr; size; value; ctx_note = "test"; origin }
+
+let test_stb_forwarding () =
+  let stb = Store_buffer.create ~entries:4 in
+  Store_buffer.push stb (entry 0x1000L 8 0x1122334455667788L);
+  (match Store_buffer.forward stb ~addr:0x1000L ~size:8 with
+  | Store_buffer.Forwarded v -> Alcotest.(check word) "full forward" 0x1122334455667788L v
+  | _ -> Alcotest.fail "expected forward");
+  (match Store_buffer.forward stb ~addr:0x1002L ~size:2 with
+  | Store_buffer.Forwarded v -> Alcotest.(check word) "sub-word forward" 0x5566L v
+  | _ -> Alcotest.fail "expected sub-word forward");
+  Alcotest.(check bool) "other address misses" true
+    (Store_buffer.forward stb ~addr:0x2000L ~size:8 = Store_buffer.No_match);
+  (* A load extending past the covering store is a forwarding conflict. *)
+  Alcotest.(check bool) "partial coverage conflicts" true
+    (Store_buffer.forward stb ~addr:0x1004L ~size:8 = Store_buffer.Partial_conflict)
+
+let test_stb_youngest_wins () =
+  let stb = Store_buffer.create ~entries:4 in
+  Store_buffer.push stb (entry 0x1000L 8 1L);
+  Store_buffer.push stb (entry 0x1000L 8 2L);
+  (match Store_buffer.forward stb ~addr:0x1000L ~size:8 with
+  | Store_buffer.Forwarded v -> Alcotest.(check word) "youngest store wins" 2L v
+  | _ -> Alcotest.fail "expected forward")
+
+let test_stb_drain_order () =
+  let stb = Store_buffer.create ~entries:4 in
+  Store_buffer.push stb (entry 0x1000L 8 1L);
+  Store_buffer.push stb (entry 0x2000L 8 2L);
+  let drained = Store_buffer.drain stb in
+  Alcotest.(check (list int64)) "oldest first"
+    [ 1L; 2L ]
+    (List.map (fun (e : Store_buffer.entry) -> e.Store_buffer.value) drained);
+  Alcotest.(check int) "empty after drain" 0 (Store_buffer.occupancy stb)
+
+let test_stb_capacity () =
+  let stb = Store_buffer.create ~entries:2 in
+  Alcotest.(check bool) "not full" false (Store_buffer.is_full stb);
+  Store_buffer.push stb (entry 0x1000L 8 1L);
+  Store_buffer.push stb (entry 0x2000L 8 2L);
+  Alcotest.(check bool) "full at capacity" true (Store_buffer.is_full stb)
+
+(* {1 TLB} *)
+
+let test_tlb () =
+  let tlb = Tlb.create ~entries:2 in
+  Alcotest.(check bool) "empty" true (Tlb.lookup tlb ~vaddr:0x4000_0123L = None);
+  Tlb.insert tlb ~vaddr:0x4000_0000L ~paddr:0x8004_0000L ~perm:Page_table.user_rw;
+  (match Tlb.lookup tlb ~vaddr:0x4000_0123L with
+  | Some e ->
+    Alcotest.(check word) "translation" 0x8004_0123L (Tlb.translate e ~vaddr:0x4000_0123L)
+  | None -> Alcotest.fail "expected hit");
+  (* Same page re-insert reuses the slot. *)
+  Tlb.insert tlb ~vaddr:0x4000_0000L ~paddr:0x8005_0000L ~perm:Page_table.user_rw;
+  Alcotest.(check int) "no duplicate entries" 1 (Tlb.occupancy tlb);
+  Tlb.flush tlb;
+  Alcotest.(check int) "flush empties" 0 (Tlb.occupancy tlb)
+
+let test_tlb_eviction () =
+  let tlb = Tlb.create ~entries:2 in
+  List.iter
+    (fun i ->
+      Tlb.insert tlb
+        ~vaddr:(Int64.of_int (0x4000_0000 + (i * 4096)))
+        ~paddr:(Int64.of_int (0x8004_0000 + (i * 4096)))
+        ~perm:Page_table.user_rw)
+    [ 0; 1; 2 ];
+  Alcotest.(check int) "bounded occupancy" 2 (Tlb.occupancy tlb);
+  Alcotest.(check bool) "round-robin evicted first entry" true
+    (Tlb.lookup tlb ~vaddr:0x4000_0000L = None)
+
+(* {1 BTB} *)
+
+let test_btb_partial_tags_alias () =
+  let btb = Btb.create ~entries:1024 ~tag_bits:16 ~ways:1 () in
+  let host_pc = 0x8000_0008L in
+  let enclave_pc = 0x8800_0008L in
+  (* Bit 27 is above index (10 bits) + tag (16 bits) + offset (1). *)
+  Alcotest.(check bool) "aliasing PCs" true (Btb.aliases btb ~pc1:host_pc ~pc2:enclave_pc);
+  Alcotest.(check bool) "different low bits do not alias" false
+    (Btb.aliases btb ~pc1:host_pc ~pc2:0x8000_000CL);
+  (* PCs differing inside the tag range do not alias. *)
+  Alcotest.(check bool) "tag bits distinguish" false
+    (Btb.aliases btb ~pc1:host_pc ~pc2:0x8001_0008L)
+
+let test_btb_update_lookup () =
+  let btb = Btb.create ~entries:1024 ~tag_bits:16 ~ways:1 () in
+  let pc = 0x8000_0008L in
+  Alcotest.(check bool) "cold miss" true (Btb.lookup btb ~pc = None);
+  let _set, _entry = Btb.update btb ~pc ~target:0x8000_0010L ~taken:true ~owner:host_s in
+  (match Btb.lookup btb ~pc with
+  | Some e ->
+    Alcotest.(check bool) "taken recorded" true e.Btb.taken;
+    Alcotest.(check word) "target recorded" 0x8000_0010L e.Btb.target
+  | None -> Alcotest.fail "expected hit");
+  (* An aliasing enclave branch overwrites the direction. *)
+  let _ =
+    Btb.update btb ~pc:0x8800_0008L ~target:0x8800_0020L ~taken:false
+      ~owner:(Exec_context.Enclave 0)
+  in
+  (match Btb.lookup btb ~pc with
+  | Some e ->
+    Alcotest.(check bool) "direction flipped by aliasing branch" false e.Btb.taken;
+    Alcotest.(check bool) "owner is the enclave" true
+      (Exec_context.equal e.Btb.owner (Exec_context.Enclave 0))
+  | None -> Alcotest.fail "expected hit after alias")
+
+let test_btb_residue_and_flush () =
+  let btb = Btb.create ~entries:1024 ~tag_bits:16 ~ways:1 () in
+  let _ = Btb.update btb ~pc:0x8800_0008L ~target:0L ~taken:true ~owner:(Exec_context.Enclave 0) in
+  let _ = Btb.update btb ~pc:0x8000_0100L ~target:0L ~taken:true ~owner:host_s in
+  let residue =
+    Btb.residue btb ~f:(function Exec_context.Enclave _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "one enclave-owned entry" 1 (List.length residue);
+  Btb.flush btb;
+  Alcotest.(check int) "flush clears" 0 (Btb.occupancy btb)
+
+let test_btb_owner_tagging () =
+  let btb = Btb.create ~tagged_by_owner:true ~entries:1024 ~tag_bits:16 ~ways:1 () in
+  let pc = 0x8000_0008L in
+  let _ =
+    Btb.update btb ~pc:0x8800_0008L ~target:0L ~taken:true ~owner:(Exec_context.Enclave 0)
+  in
+  (* The raw entry is there... *)
+  Alcotest.(check bool) "entry resident" true (Btb.lookup btb ~pc <> None);
+  (* ...but a host fetch does not hit it. *)
+  Alcotest.(check bool) "host prediction filtered" true
+    (Btb.predict btb ~pc ~ctx:host_s = None);
+  Alcotest.(check bool) "enclave prediction hits" true
+    (Btb.predict btb ~pc:0x8800_0008L ~ctx:(Exec_context.Enclave 0) <> None);
+  (* Without tagging, predict behaves like lookup. *)
+  let plain = Btb.create ~entries:1024 ~tag_bits:16 ~ways:1 () in
+  let _ = Btb.update plain ~pc:0x8800_0008L ~target:0L ~taken:true ~owner:(Exec_context.Enclave 0) in
+  Alcotest.(check bool) "untagged predict hits cross-domain" true
+    (Btb.predict plain ~pc ~ctx:host_s <> None);
+  (* The snapshot marks tagged entries for the checker. *)
+  let marked =
+    List.exists
+      (fun (e : Log.entry) ->
+        let n = e.Log.note in
+        let needle = "id-tagged" in
+        let rec at i =
+          i + String.length needle <= String.length n
+          && (String.sub n i (String.length needle) = needle || at (i + 1))
+        in
+        at 0)
+      (Btb.snapshot btb)
+  in
+  Alcotest.(check bool) "snapshot marks id-tagged" true marked
+
+let test_btb_set_associative () =
+  let btb = Btb.create ~entries:16 ~tag_bits:8 ~ways:4 () in
+  (* Fill all four ways of one set with distinct tags. *)
+  let pcs =
+    (* 4 sets -> index bits [2:1]; tags differ at bit 3 upward. *)
+    List.map (fun i -> Int64.of_int ((i * 8) lor 0b010)) [ 1; 2; 3; 4 ]
+  in
+  List.iter (fun pc -> ignore (Btb.update btb ~pc ~target:pc ~taken:true ~owner:host_s)) pcs;
+  List.iter
+    (fun pc ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pc %Ld resident" pc)
+        true
+        (Btb.lookup btb ~pc <> None))
+    pcs;
+  (* A fifth conflicting branch evicts one of them. *)
+  ignore (Btb.update btb ~pc:50L ~target:50L ~taken:true ~owner:host_s);
+  let resident = List.filter (fun pc -> Btb.lookup btb ~pc <> None) pcs in
+  Alcotest.(check int) "one way reclaimed" 3 (List.length resident)
+
+(* {1 HPC} *)
+
+let test_hpc_bump_read () =
+  let csr = Csr.create () in
+  Hpc.bump csr Hpc.L1d_miss;
+  Hpc.bump csr Hpc.L1d_miss;
+  Hpc.bump csr Hpc.Branch;
+  Alcotest.(check word) "l1d miss" 2L (Hpc.read csr Hpc.L1d_miss);
+  Alcotest.(check word) "branch" 1L (Hpc.read csr Hpc.Branch);
+  Alcotest.(check word) "untouched" 0L (Hpc.read csr Hpc.Dtlb_miss);
+  let snapshot = Hpc.snapshot csr in
+  Alcotest.(check int) "snapshot covers all counters"
+    (List.length Csr.modelled_counters) (List.length snapshot)
+
+let test_hpc_distinct_indices () =
+  let indices = List.map Hpc.counter_index Hpc.all_events in
+  Alcotest.(check int) "distinct counter indices" (List.length Hpc.all_events)
+    (List.length (List.sort_uniq compare indices))
+
+(* {1 Regfile} *)
+
+let test_regfile () =
+  let rf = Regfile.create ~regs:4 in
+  Alcotest.(check bool) "empty" false (Regfile.holds_value rf 42L);
+  let s0 = Regfile.writeback rf ~value:42L ~ctx:host_s ~transient:false in
+  Alcotest.(check bool) "value present" true (Regfile.holds_value rf 42L);
+  (* Round-robin reuse eventually overwrites. *)
+  for i = 0 to 3 do
+    ignore (Regfile.writeback rf ~value:(Int64.of_int i) ~ctx:host_s ~transient:true)
+  done;
+  Alcotest.(check bool) "overwritten after wrap" false (Regfile.holds_value rf 42L);
+  Alcotest.(check bool) "slot index in range" true (s0 >= 0 && s0 < 4);
+  let snapshot = Regfile.snapshot rf in
+  Alcotest.(check int) "all slots in use" 4 (List.length snapshot);
+  Alcotest.(check bool) "transient marked in notes" true
+    (List.exists
+       (fun (e : Log.entry) ->
+         let n = e.Log.note in
+         String.length n >= 9 && String.sub n (String.length n - 9) 9 = "transient")
+       snapshot)
+
+(* {1 Machine: micro-op level} *)
+
+(* A machine with an allow-all PMP and a protected window, mirroring the
+   monitor's host view. *)
+let machine_with_pmp config =
+  let m = Machine.create config in
+  let pmp = Machine.pmp m in
+  Pmp.set pmp 0
+    (Pmp.napot_entry ~base:0x8800_0000L ~size:0x1_0000 ~perm:Pmp.no_access ~locked:false);
+  Pmp.set pmp 15
+    (Pmp.napot_entry ~base:0x8000_0000L ~size:0x8000_0000 ~perm:Pmp.full_access
+       ~locked:false);
+  Machine.set_context m host_s;
+  m
+
+let test_load_store_roundtrip () =
+  let m = machine_with_pmp Config.boom in
+  let fault = Machine.store m ~vaddr:0x8000_1000L ~size:8 ~value:0x1234L () in
+  Alcotest.(check bool) "store ok" true (fault = None);
+  Machine.fence m;
+  let r = Machine.load m ~vaddr:0x8000_1000L ~size:8 () in
+  Alcotest.(check bool) "load ok" true (r.Machine.fault = None);
+  Alcotest.(check word) "value" 0x1234L r.Machine.value
+
+let test_store_to_load_forward () =
+  let m = machine_with_pmp Config.xiangshan in
+  ignore (Machine.store m ~vaddr:0x8000_1000L ~size:8 ~value:0xABCDL ());
+  (* No fence: the load must be satisfied by the store buffer. *)
+  let r = Machine.load m ~vaddr:0x8000_1000L ~size:8 () in
+  Alcotest.(check word) "forwarded" 0xABCDL r.Machine.value;
+  Alcotest.(check word) "stlf counted" 1L (Hpc.read (Machine.csr m) Hpc.Store_to_load_forward)
+
+let test_load_miss_then_hit_latency () =
+  let m = machine_with_pmp Config.xiangshan in
+  Memory.write (Machine.memory m) ~addr:0x8000_2000L ~size:8 77L;
+  let miss = Machine.load m ~vaddr:0x8000_2000L ~size:8 () in
+  let hit = Machine.load m ~vaddr:0x8000_2000L ~size:8 () in
+  Alcotest.(check word) "miss value" 77L miss.Machine.value;
+  Alcotest.(check word) "hit value" 77L hit.Machine.value;
+  Alcotest.(check bool) "hit faster than miss" true (hit.Machine.latency < miss.Machine.latency);
+  Alcotest.(check int) "hit latency is the configured L1 latency"
+    Config.xiangshan.Config.latencies.Config.l1_hit hit.Machine.latency
+
+let test_misaligned_load () =
+  let m = machine_with_pmp Config.boom in
+  Memory.write (Machine.memory m) ~addr:0x8000_3000L ~size:8 0x1122334455667788L;
+  Memory.write (Machine.memory m) ~addr:0x8000_3008L ~size:8 0xAABBCCDDEEFF0011L;
+  let r = Machine.load m ~vaddr:0x8000_3004L ~size:8 () in
+  Alcotest.(check bool) "no fault" true (r.Machine.fault = None);
+  Alcotest.(check word) "assembled across granules" 0xEEFF001111223344L r.Machine.value
+
+let secret_addr = 0x8800_8000L
+let secret_value = 0x5EC4E7_0F_D00DL
+
+(* Place a protected secret in the machine's L1 by loading it from
+   machine mode (which bypasses the unlocked PMP entry). *)
+let warm_secret_into_l1 m =
+  Memory.write (Machine.memory m) ~addr:secret_addr ~size:8 secret_value;
+  Machine.set_context m Exec_context.Monitor;
+  ignore (Machine.load m ~vaddr:secret_addr ~size:8 ());
+  Machine.set_context m host_s
+
+let test_faulting_load_l1_hit_forwards () =
+  List.iter
+    (fun config ->
+      let m = machine_with_pmp config in
+      warm_secret_into_l1 m;
+      let r = Machine.load m ~vaddr:secret_addr ~size:8 () in
+      Alcotest.(check bool) "fault raised" true (r.Machine.fault <> None);
+      Alcotest.(check bool) "transient forward" true r.Machine.transient_forward;
+      Alcotest.(check word) "secret forwarded" secret_value r.Machine.value;
+      Alcotest.(check bool) "secret in physical RF" true (Machine.rf_holds m secret_value))
+    [ Config.boom; Config.xiangshan ]
+
+let test_faulting_miss_boom_fills_lfb () =
+  let m = machine_with_pmp Config.boom in
+  Memory.write (Machine.memory m) ~addr:secret_addr ~size:8 secret_value;
+  let r = Machine.load m ~vaddr:secret_addr ~size:8 () in
+  Alcotest.(check bool) "fault raised" true (r.Machine.fault <> None);
+  Alcotest.(check bool) "no RF forward on the miss path" false r.Machine.transient_forward;
+  Alcotest.(check bool) "BOOM: secret line in LFB" true (Machine.lfb_holds m secret_value)
+
+let test_faulting_miss_xs_fake_hit () =
+  let m = machine_with_pmp Config.xiangshan in
+  Memory.write (Machine.memory m) ~addr:secret_addr ~size:8 secret_value;
+  let r = Machine.load m ~vaddr:secret_addr ~size:8 () in
+  Alcotest.(check bool) "fault raised" true (r.Machine.fault <> None);
+  Alcotest.(check word) "fake hit returns zero" 0L r.Machine.value;
+  Alcotest.(check bool) "XS: no LFB fill" false (Machine.lfb_holds m secret_value);
+  Alcotest.(check int) "slower miss response"
+    Config.xiangshan.Config.latencies.Config.l1_miss r.Machine.latency
+
+let test_faulting_load_stb_forward_xs_only () =
+  let run config =
+    let m = machine_with_pmp config in
+    (* An enclave-style store left pending in the buffer. *)
+    Machine.set_context m (Exec_context.Enclave 0);
+    let pmp = Machine.pmp m in
+    Pmp.set pmp 0
+      (Pmp.napot_entry ~base:0x8800_0000L ~size:0x1_0000 ~perm:Pmp.full_access
+         ~locked:false);
+    ignore (Machine.store m ~vaddr:secret_addr ~size:8 ~value:secret_value ());
+    Pmp.set pmp 0
+      (Pmp.napot_entry ~base:0x8800_0000L ~size:0x1_0000 ~perm:Pmp.no_access
+         ~locked:false);
+    Machine.set_context m host_s;
+    Machine.load m ~vaddr:secret_addr ~size:8 ()
+  in
+  let xs = run Config.xiangshan in
+  Alcotest.(check bool) "XS forwards transiently" true xs.Machine.transient_forward;
+  Alcotest.(check word) "XS forwards the secret" secret_value xs.Machine.value;
+  let boom = run Config.boom in
+  Alcotest.(check bool) "BOOM does not forward from the buffer" true
+    (not (Int64.equal boom.Machine.value secret_value))
+
+let test_clear_illegal_data_returns () =
+  let config = Config.with_mitigations Config.boom [ Mitigation.Clear_illegal_data_returns ] in
+  let m = machine_with_pmp config in
+  warm_secret_into_l1 m;
+  let r = Machine.load m ~vaddr:secret_addr ~size:8 () in
+  Alcotest.(check bool) "fault still raised" true (r.Machine.fault <> None);
+  Alcotest.(check word) "data zeroed" 0L r.Machine.value;
+  Alcotest.(check bool) "no transient forward" false r.Machine.transient_forward;
+  (* And the miss path no longer fills the LFB. *)
+  let m2 = machine_with_pmp config in
+  Memory.write (Machine.memory m2) ~addr:secret_addr ~size:8 secret_value;
+  ignore (Machine.load m2 ~vaddr:secret_addr ~size:8 ());
+  Alcotest.(check bool) "no LFB fill under mitigation" false
+    (Machine.lfb_holds m2 secret_value)
+
+let test_store_fault_no_side_effect () =
+  let m = machine_with_pmp Config.boom in
+  let fault = Machine.store m ~vaddr:secret_addr ~size:8 ~value:1L () in
+  Alcotest.(check bool) "store faults" true (fault <> None);
+  Alcotest.(check int) "nothing buffered" 0 (Machine.store_buffer_occupancy m);
+  Machine.fence m;
+  Alcotest.(check word) "memory untouched" 0L
+    (Memory.read (Machine.memory m) ~addr:secret_addr ~size:8)
+
+let test_prefetcher_no_permission_check () =
+  let m = machine_with_pmp Config.boom in
+  Memory.write (Machine.memory m) ~addr:0x8800_0000L ~size:8 secret_value;
+  (* Legal load in the last line before the protected region. *)
+  let r = Machine.load m ~vaddr:0x87FF_FFF8L ~size:8 () in
+  Alcotest.(check bool) "demand load legal" true (r.Machine.fault = None);
+  Alcotest.(check bool) "prefetcher pulled the protected line" true
+    (Machine.lfb_holds m secret_value)
+
+let test_no_prefetcher_on_xs () =
+  let m = machine_with_pmp Config.xiangshan in
+  Memory.write (Machine.memory m) ~addr:0x8800_0000L ~size:8 secret_value;
+  ignore (Machine.load m ~vaddr:0x87FF_FFF8L ~size:8 ());
+  Alcotest.(check bool) "no prefetch on XiangShan" false (Machine.lfb_holds m secret_value)
+
+(* {1 Machine: translation and page walks} *)
+
+let with_page_tables m =
+  let mem = Machine.memory m in
+  let b = Page_table.create_builder mem ~table_region:0x8020_0000L () in
+  Page_table.map_range b ~vaddr:0x4000_0000L ~paddr:0x8004_0000L ~size:8192L
+    ~perm:Page_table.supervisor_rw;
+  Csr.raw_write (Machine.csr m) Csr.Satp (Page_table.satp_of_root (Page_table.root b))
+
+let test_translated_load () =
+  let m = machine_with_pmp Config.boom in
+  with_page_tables m;
+  Memory.write (Machine.memory m) ~addr:0x8004_0100L ~size:8 0x600DL;
+  let r = Machine.load m ~vaddr:0x4000_0100L ~size:8 () in
+  Alcotest.(check bool) "no fault" true (r.Machine.fault = None);
+  Alcotest.(check word) "translated load value" 0x600DL r.Machine.value;
+  Alcotest.(check word) "tlb miss counted" 1L (Hpc.read (Machine.csr m) Hpc.Dtlb_miss);
+  (* Second access hits the TLB: no further walk. *)
+  let walks_before = Hpc.read (Machine.csr m) Hpc.Ptw_walk_event in
+  ignore (Machine.load m ~vaddr:0x4000_0108L ~size:8 ());
+  Alcotest.(check word) "no second walk" walks_before
+    (Hpc.read (Machine.csr m) Hpc.Ptw_walk_event)
+
+let test_unmapped_vaddr_page_faults () =
+  let m = machine_with_pmp Config.boom in
+  with_page_tables m;
+  let r = Machine.load m ~vaddr:0x5000_0000L ~size:8 () in
+  (match r.Machine.fault with
+  | Some { Machine.cause = Machine.Load_page_fault; _ } -> ()
+  | _ -> Alcotest.fail "expected load page fault")
+
+let test_hijacked_satp_boom_vs_xs () =
+  let run config =
+    let m = machine_with_pmp config in
+    Memory.write (Machine.memory m) ~addr:secret_addr ~size:8 secret_value;
+    (* satp points straight into the protected region. *)
+    Csr.raw_write (Machine.csr m) Csr.Satp (Page_table.satp_of_root secret_addr);
+    let r = Machine.load m ~vaddr:0L ~size:8 () in
+    (r, m)
+  in
+  let r_boom, m_boom = run Config.boom in
+  Alcotest.(check bool) "BOOM walk faults" true (r_boom.Machine.fault <> None);
+  Alcotest.(check bool) "BOOM: PTE line leaked into LFB" true
+    (Machine.lfb_holds m_boom secret_value);
+  let r_xs, m_xs = run Config.xiangshan in
+  Alcotest.(check bool) "XS walk faults" true (r_xs.Machine.fault <> None);
+  Alcotest.(check bool) "XS: PMP pre-check suppresses the request" false
+    (Machine.lfb_holds m_xs secret_value)
+
+(* {1 Machine: program execution} *)
+
+let run_program m instrs =
+  Machine.run m (Program.of_instrs ~base:0x8000_0000L instrs)
+
+let test_interpreter_alu () =
+  let m = machine_with_pmp Config.boom in
+  let stop =
+    run_program m
+      [
+        Instr.Li (Instr.t0, 40L);
+        Instr.Li (Instr.t1, 2L);
+        Instr.Alu (Instr.Add, Instr.a0, Instr.t0, Instr.t1);
+        Instr.Alui (Instr.Sll, Instr.a1, Instr.a0, 1L);
+        Instr.Alu (Instr.Xor, Instr.a2, Instr.a1, Instr.a0);
+        Instr.Halt;
+      ]
+  in
+  Alcotest.(check bool) "halted" true (stop = Machine.Halted);
+  Alcotest.(check word) "add" 42L (Machine.get_reg m Instr.a0);
+  Alcotest.(check word) "shift" 84L (Machine.get_reg m Instr.a1);
+  Alcotest.(check word) "xor" (Int64.logxor 84L 42L) (Machine.get_reg m Instr.a2)
+
+let test_interpreter_x0_hardwired () =
+  let m = machine_with_pmp Config.boom in
+  ignore (run_program m [ Instr.Li (0, 99L); Instr.Alu (Instr.Add, Instr.a0, 0, 0); Instr.Halt ]);
+  Alcotest.(check word) "x0 stays zero" 0L (Machine.get_reg m Instr.a0)
+
+let test_interpreter_branch_loop () =
+  let m = machine_with_pmp Config.boom in
+  let prog =
+    Program.assemble ~base:0x8000_0000L
+      [
+        Program.Instr (Instr.Li (Instr.t0, 0L));
+        Program.Instr (Instr.Li (Instr.t1, 5L));
+        Program.Label "loop";
+        Program.Instr (Instr.Alui (Instr.Add, Instr.t0, Instr.t0, 1L));
+        Program.Instr (Instr.Branch (Instr.Lt, Instr.t0, Instr.t1, "loop"));
+        Program.Instr Instr.Halt;
+      ]
+  in
+  Alcotest.(check bool) "halts" true (Machine.run m prog = Machine.Halted);
+  Alcotest.(check word) "loop counted to 5" 5L (Machine.get_reg m Instr.t0);
+  Alcotest.(check word) "branches counted" 5L (Hpc.read (Machine.csr m) Hpc.Branch)
+
+let test_interpreter_faulting_load_skipped () =
+  let m = machine_with_pmp Config.boom in
+  warm_secret_into_l1 m;
+  let stop =
+    run_program m
+      [
+        Instr.Li (Instr.a5, 0x1111L);
+        Instr.Li (Instr.a4, secret_addr);
+        Instr.ld Instr.a5 Instr.a4 0L;
+        Instr.Halt;
+      ]
+  in
+  Alcotest.(check bool) "halted" true (stop = Machine.Halted);
+  (* The architectural destination is unchanged; the physical register
+     file still received the transient value. *)
+  Alcotest.(check word) "architectural rd preserved" 0x1111L (Machine.get_reg m Instr.a5);
+  Alcotest.(check bool) "transient value in phys RF" true (Machine.rf_holds m secret_value)
+
+let test_interpreter_csr_access () =
+  let m = machine_with_pmp Config.boom in
+  ignore
+    (run_program m
+       [ Instr.Li (Instr.t0, 0x42L); Instr.Csrw (Csr.Satp, Instr.t0);
+         Instr.Csrr (Instr.a0, Csr.Satp); Instr.Halt ]);
+  Alcotest.(check word) "csr write/read through program" 0x42L (Machine.get_reg m Instr.a0)
+
+let test_lazy_vs_early_csr_check () =
+  let marker = 0xFEED_F00D_0001L in
+  let run config =
+    let m = machine_with_pmp config in
+    Csr.raw_write (Machine.csr m) (Csr.Mhpmcounter 4) marker;
+    ignore (run_program m [ Instr.Csrr (Instr.a0, Csr.Mhpmcounter 4); Instr.Halt ]);
+    m
+  in
+  let m_xs = run Config.xiangshan in
+  Alcotest.(check word) "architectural register protected on XS" 0L
+    (Machine.get_reg m_xs Instr.a0);
+  Alcotest.(check bool) "XS lazily wrote the value back transiently" true
+    (Machine.rf_holds m_xs marker);
+  let m_boom = run Config.boom in
+  Alcotest.(check bool) "BOOM early check writes nothing" false
+    (Machine.rf_holds m_boom marker)
+
+let test_step_limit () =
+  let m = machine_with_pmp Config.boom in
+  let prog =
+    Program.assemble ~base:0x8000_0000L
+      [ Program.Label "spin"; Program.Instr (Instr.Jal "spin") ]
+  in
+  Alcotest.(check bool) "infinite loop hits the step limit" true
+    (Machine.run m prog = Machine.Step_limit)
+
+let test_out_of_program () =
+  let m = machine_with_pmp Config.boom in
+  Alcotest.(check bool) "running off the end stops" true
+    (run_program m [ Instr.Nop ] = Machine.Out_of_program)
+
+(* {1 Machine: context switches, snapshots and flushes} *)
+
+let test_hpc_banking_on_switch () =
+  let config =
+    Config.with_mitigations Config.xiangshan [ Mitigation.Tag_bpu_hpc ]
+  in
+  let m = machine_with_pmp config in
+  (* Host accumulates some events. *)
+  Memory.write (Machine.memory m) ~addr:0x8000_9000L ~size:8 1L;
+  ignore (Machine.load m ~vaddr:0x8000_9000L ~size:8 ());
+  let host_misses = Hpc.read (Machine.csr m) Hpc.L1d_miss in
+  Alcotest.(check bool) "host saw misses" true (Int64.compare host_misses 0L > 0);
+  (* Entering another domain swaps in a zeroed bank. *)
+  Machine.switch_context m ~to_ctx:(Exec_context.Enclave 0);
+  Alcotest.(check int64) "enclave bank starts empty" 0L
+    (Hpc.read (Machine.csr m) Hpc.L1d_miss);
+  ignore (Machine.load m ~vaddr:0x8000_9100L ~size:8 ());
+  (* Returning restores the host's own counts: the enclave's activity is
+     invisible. *)
+  Machine.switch_context m ~to_ctx:host_s;
+  Alcotest.(check int64) "host bank restored unchanged" host_misses
+    (Hpc.read (Machine.csr m) Hpc.L1d_miss)
+
+let test_boom_v2_config () =
+  Alcotest.(check bool) "v2 is a BOOM" true (Config.boom_v2.Config.kind = Config.Boom);
+  Alcotest.(check bool) "smaller LFB" true
+    (Config.boom_v2.Config.lfb_entries < Config.boom.Config.lfb_entries);
+  Alcotest.(check bool) "same prefetcher behaviour" true
+    Config.boom_v2.Config.has_l1_prefetcher;
+  Alcotest.(check bool) "same stale LFB behaviour" true
+    Config.boom_v2.Config.lfb_retains_stale;
+  Alcotest.(check bool) "lookup by name" true
+    (Config.of_core_name "boom-v2" <> None)
+
+let test_switch_context_snapshots () =
+  let m = machine_with_pmp Config.boom in
+  let before = Log.length (Machine.log m) in
+  Machine.switch_context m ~to_ctx:Exec_context.Monitor;
+  let records = Log.to_list (Machine.log m) in
+  let snapshots =
+    List.filter
+      (fun (r : Log.record) ->
+        match r.Log.event with Log.Snapshot _ -> true | _ -> false)
+      records
+  in
+  Alcotest.(check bool) "records appended" true (Log.length (Machine.log m) > before);
+  (* One snapshot per structure we model. *)
+  Alcotest.(check int) "13 structure snapshots" 13 (List.length snapshots);
+  Alcotest.(check bool) "context changed" true
+    (Exec_context.equal (Machine.context m) Exec_context.Monitor)
+
+let test_mitigation_flushes_on_switch () =
+  let config =
+    Config.with_mitigations Config.boom [ Mitigation.Flush_everything ]
+  in
+  let m = machine_with_pmp config in
+  warm_secret_into_l1 m;
+  Memory.write (Machine.memory m) ~addr:0x8000_4000L ~size:8 1L;
+  ignore (Machine.load m ~vaddr:0x8000_4000L ~size:8 ());
+  Alcotest.(check bool) "line cached" true (Machine.l1_contains m ~addr:0x8000_4000L);
+  Machine.switch_context m ~to_ctx:Exec_context.Monitor;
+  Alcotest.(check bool) "l1 flushed" false (Machine.l1_contains m ~addr:0x8000_4000L);
+  Alcotest.(check bool) "secret flushed from L1" false
+    (Machine.l1_contains m ~addr:secret_addr);
+  (* Flushed data is still architecturally reachable (write-back). *)
+  Machine.set_context m host_s;
+  let r = Machine.load m ~vaddr:0x8000_4000L ~size:8 () in
+  Alcotest.(check word) "data survived the flush" 1L r.Machine.value
+
+let test_evict_line_l2 () =
+  let m = machine_with_pmp Config.boom in
+  Memory.write (Machine.memory m) ~addr:0x8000_5000L ~size:8 9L;
+  ignore (Machine.load m ~vaddr:0x8000_5000L ~size:8 ());
+  Machine.evict_line m ~addr:0x8000_5000L;
+  Alcotest.(check bool) "in l2 after l1 eviction" true (Machine.l2_contains m ~addr:0x8000_5000L);
+  Machine.evict_line_l2 m ~addr:0x8000_5000L;
+  Alcotest.(check bool) "gone from l2" false (Machine.l2_contains m ~addr:0x8000_5000L);
+  let r = Machine.load m ~vaddr:0x8000_5000L ~size:8 () in
+  Alcotest.(check word) "memory still has it" 9L r.Machine.value
+
+let test_memset_region () =
+  let m = machine_with_pmp Config.boom in
+  Machine.set_context m Exec_context.Monitor;
+  Memory.write (Machine.memory m) ~addr:0x8000_6000L ~size:8 0xDEADL;
+  Machine.memset_region m ~origin:Log.Memset_destroy ~addr:0x8000_6000L ~size:128L
+    ~value:0L;
+  let r = Machine.load m ~vaddr:0x8000_6000L ~size:8 () in
+  Alcotest.(check word) "zeroed through the hierarchy" 0L r.Machine.value;
+  (* The refill dragged the old value through the LFB (stale retention). *)
+  Alcotest.(check bool) "old data visible in stale LFB" true (Machine.lfb_holds m 0xDEADL)
+
+let test_wb_buffer_ring () =
+  (* Dirty victims rotate through a small write-back ring whose stale
+     contents stay visible to the checker. *)
+  let m = machine_with_pmp Config.boom in
+  let entries = Config.boom.Config.wb_buffer_entries in
+  (* Dirty lines in the same set force evictions: with 64 sets x 64B the
+     set stride is 4 KiB; 4 ways + victims beyond that evict. *)
+  for i = 0 to Config.boom.Config.l1_ways + entries do
+    let addr = Int64.add 0x8001_0000L (Int64.of_int (i * 4096)) in
+    ignore (Machine.store m ~vaddr:addr ~size:8 ~value:(Int64.of_int (0xAB00 + i)) ());
+    Machine.fence m
+  done;
+  (* The last [entries] evicted dirty lines are observable in the ring. *)
+  let wb_writes =
+    List.filter
+      (fun (r : Log.record) ->
+        match r.Log.event with
+        | Log.Write { structure = Structure.Wb_buffer; _ } -> true
+        | _ -> false)
+      (Log.to_list (Machine.log m))
+  in
+  Alcotest.(check bool) "several wb-buffer writes logged" true
+    (List.length wb_writes >= entries);
+  (* Distinct ring slots were used. *)
+  let slots =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (r : Log.record) ->
+           match r.Log.event with
+           | Log.Write { structure = Structure.Wb_buffer; entries; _ } ->
+             List.map (fun (e : Log.entry) -> e.Log.slot) entries
+           | _ -> [])
+         wb_writes)
+  in
+  Alcotest.(check int) "ring uses all slots" entries (List.length slots)
+
+(* {1 Binary execution through the I-cache} *)
+
+let test_run_binary_matches_program () =
+  let prog =
+    Program.assemble ~base:0x8000_0000L
+      [
+        Program.Instr (Instr.Li (5, 0xDEAD_BEEF_0001L));
+        Program.Instr (Instr.Li (6, 0x8004_2000L));
+        Program.Instr (Instr.sd 5 6 0L);
+        Program.Instr (Instr.ld 7 6 0L);
+        Program.Label "loop";
+        Program.Instr (Instr.Alui (Instr.Add, 8, 8, 1L));
+        Program.Instr (Instr.Branch (Instr.Lt, 8, 7, "done"));
+        Program.Instr (Instr.Jal "loop");
+        Program.Label "done";
+        Program.Instr Instr.Halt;
+      ]
+  in
+  let m1 = machine_with_pmp Config.boom in
+  let stop1 = Machine.run m1 prog in
+  let m2 = machine_with_pmp Config.boom in
+  let words = Riscv.Encode.assemble prog in
+  (match Machine.run_binary m2 ~base:0x8000_0000L words with
+  | Ok stop2 ->
+    Alcotest.(check bool) "both halt" true (stop1 = Machine.Halted && stop2 = Machine.Halted)
+  | Error msg -> Alcotest.failf "run_binary: %s" msg);
+  List.iter
+    (fun r ->
+      Alcotest.(check word)
+        (Printf.sprintf "x%d agrees" r)
+        (Machine.get_reg m1 r) (Machine.get_reg m2 r))
+    [ 5; 6; 7; 8 ]
+
+let test_run_binary_fills_icache () =
+  let m = machine_with_pmp Config.boom in
+  let prog = Program.of_instrs ~base:0x8000_0000L [ Instr.Nop; Instr.Nop; Instr.Halt ] in
+  Alcotest.(check bool) "icache cold" false (Machine.l1i_contains m ~addr:0x8000_0000L);
+  (match Machine.run_binary m ~base:0x8000_0000L (Riscv.Encode.assemble prog) with
+  | Ok Machine.Halted -> ()
+  | Ok s -> Alcotest.failf "stopped with %s" (Machine.stop_reason_to_string s)
+  | Error msg -> Alcotest.failf "run_binary: %s" msg);
+  Alcotest.(check bool) "code line resident in icache" true
+    (Machine.l1i_contains m ~addr:0x8000_0000L);
+  (* The fill was logged against the instruction cache. *)
+  let filled =
+    List.exists
+      (fun (r : Log.record) ->
+        match r.Log.event with
+        | Log.Write { structure = Structure.L1i_data; _ } -> true
+        | _ -> false)
+      (Log.to_list (Machine.log m))
+  in
+  Alcotest.(check bool) "icache fill logged" true filled
+
+let test_run_binary_exec_pmp_fault () =
+  let m = machine_with_pmp Config.boom in
+  (* The secret region carries no execute permission: fetching from it
+     faults before any instruction runs. *)
+  let prog = Program.of_instrs ~base:0x8800_0000L [ Instr.Li (5, 1L); Instr.Halt ] in
+  (match Machine.run_binary m ~base:0x8800_0000L (Riscv.Encode.assemble prog) with
+  | Ok Machine.Fetch_fault -> ()
+  | Ok s -> Alcotest.failf "expected fetch fault, got %s" (Machine.stop_reason_to_string s)
+  | Error msg -> Alcotest.failf "run_binary: %s" msg);
+  Alcotest.(check word) "no instruction executed" 0L (Machine.get_reg m 5)
+
+let test_run_binary_rejects_garbage () =
+  let m = machine_with_pmp Config.boom in
+  match Machine.run_binary m ~base:0x8000_0000L [| 0xFFFFFFFFl |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage image accepted"
+
+let test_enclave_code_residue_in_icache () =
+  (* "Enclave data/code": after an enclave executes from a binary image,
+     its code lines remain in the I-cache across the context switch and
+     the checker can trace them as residue when the code words are
+     treated as secrets. *)
+  let m = machine_with_pmp Config.boom in
+  Machine.set_context m (Exec_context.Enclave 0);
+  let pmp = Machine.pmp m in
+  Pmp.set pmp 0
+    (Pmp.napot_entry ~base:0x8800_0000L ~size:0x1_0000 ~perm:Pmp.full_access
+       ~locked:false);
+  let prog = Program.of_instrs ~base:0x8800_0000L [ Instr.Li (5, 7L); Instr.Halt ] in
+  (match Machine.run_binary m ~base:0x8800_0000L (Riscv.Encode.assemble prog) with
+  | Ok Machine.Halted -> ()
+  | _ -> Alcotest.fail "enclave binary should run");
+  Machine.switch_context m ~to_ctx:host_s;
+  Alcotest.(check bool) "enclave code line survives the switch" true
+    (Machine.l1i_contains m ~addr:0x8800_0000L)
+
+(* {1 Properties} *)
+
+let prop_cache_read_after_insert =
+  QCheck.Test.make ~name:"cache read-after-insert returns inserted word" ~count:100
+    QCheck.(pair (int_bound 1000) int64)
+    (fun (line_index, v) ->
+      let c = Cache.create ~sets:16 ~ways:2 in
+      let addr = Int64.of_int (line_index * 64) in
+      ignore (Cache.insert c ~addr (line_of_value v));
+      match Cache.read_word c ~addr with Some w -> Int64.equal w v | None -> false)
+
+let prop_stb_forward_matches_store =
+  QCheck.Test.make ~name:"store buffer forwards the stored bytes" ~count:100
+    QCheck.(pair int64 (int_bound 3))
+    (fun (v, k) ->
+      let size = 1 lsl k in
+      let stb = Store_buffer.create ~entries:4 in
+      Store_buffer.push stb (entry 0x1000L 8 v);
+      match Store_buffer.forward stb ~addr:0x1000L ~size with
+      | Store_buffer.Forwarded got -> Int64.equal got (Word.extract v ~pos:0 ~len:(size * 8))
+      | Store_buffer.Partial_conflict | Store_buffer.No_match -> false)
+
+let prop_btb_alias_iff_low_bits_equal =
+  QCheck.Test.make ~name:"uBTB aliasing is equality of the low PC bits" ~count:200
+    QCheck.(pair (map Int64.abs int64) (map Int64.abs int64))
+    (fun (pc1, pc2) ->
+      let btb = Btb.create ~entries:1024 ~tag_bits:16 ~ways:1 () in
+      (* Covered bits: offset (1) + index (10) + tag (16) = bits [26:0]. *)
+      let low pc = Int64.logand pc (Word.mask 27) in
+      Btb.aliases btb ~pc1 ~pc2 = Int64.equal (low pc1) (low pc2))
+
+let prop_machine_load_reads_memory =
+  QCheck.Test.make ~name:"legal machine loads return memory contents" ~count:50
+    QCheck.(pair (int_bound 4000) int64)
+    (fun (off, v) ->
+      let m = machine_with_pmp Config.boom in
+      let addr = Int64.add 0x8001_0000L (Int64.of_int (off * 8)) in
+      Memory.write (Machine.memory m) ~addr ~size:8 v;
+      let r = Machine.load m ~vaddr:addr ~size:8 () in
+      r.Machine.fault = None && Int64.equal r.Machine.value v)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_cache_read_after_insert;
+      prop_stb_forward_matches_store;
+      prop_btb_alias_iff_low_bits_equal;
+      prop_machine_load_reads_memory;
+    ]
+
+let () =
+  Alcotest.run "uarch"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_cache_insert_lookup;
+          Alcotest.test_case "write/dirty/evict" `Quick test_cache_write_dirty_evict;
+          Alcotest.test_case "clean eviction" `Quick test_cache_clean_eviction;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+          Alcotest.test_case "explicit eviction" `Quick test_cache_evict_explicit;
+          Alcotest.test_case "snapshot" `Quick test_cache_snapshot;
+        ] );
+      ( "lfb",
+        [
+          Alcotest.test_case "stale retention (BOOM)" `Quick test_lfb_stale_retention;
+          Alcotest.test_case "zeroing (XiangShan)" `Quick test_lfb_zeroing;
+          Alcotest.test_case "slot reuse" `Quick test_lfb_slot_reuse;
+          Alcotest.test_case "flush" `Quick test_lfb_flush;
+        ] );
+      ( "store_buffer",
+        [
+          Alcotest.test_case "forwarding" `Quick test_stb_forwarding;
+          Alcotest.test_case "youngest wins" `Quick test_stb_youngest_wins;
+          Alcotest.test_case "drain order" `Quick test_stb_drain_order;
+          Alcotest.test_case "capacity" `Quick test_stb_capacity;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "lookup/insert/flush" `Quick test_tlb;
+          Alcotest.test_case "eviction" `Quick test_tlb_eviction;
+        ] );
+      ( "btb",
+        [
+          Alcotest.test_case "partial tags alias" `Quick test_btb_partial_tags_alias;
+          Alcotest.test_case "update/lookup" `Quick test_btb_update_lookup;
+          Alcotest.test_case "residue and flush" `Quick test_btb_residue_and_flush;
+          Alcotest.test_case "set associativity" `Quick test_btb_set_associative;
+          Alcotest.test_case "owner tagging (extension)" `Quick test_btb_owner_tagging;
+        ] );
+      ( "hpc",
+        [
+          Alcotest.test_case "bump and read" `Quick test_hpc_bump_read;
+          Alcotest.test_case "distinct indices" `Quick test_hpc_distinct_indices;
+        ] );
+      ("regfile", [ Alcotest.test_case "writeback and wrap" `Quick test_regfile ]);
+      ( "lsu",
+        [
+          Alcotest.test_case "load/store roundtrip" `Quick test_load_store_roundtrip;
+          Alcotest.test_case "store-to-load forward" `Quick test_store_to_load_forward;
+          Alcotest.test_case "miss/hit latency" `Quick test_load_miss_then_hit_latency;
+          Alcotest.test_case "misaligned load" `Quick test_misaligned_load;
+          Alcotest.test_case "faulting L1 hit forwards (D4)" `Quick
+            test_faulting_load_l1_hit_forwards;
+          Alcotest.test_case "faulting miss fills LFB on BOOM" `Quick
+            test_faulting_miss_boom_fills_lfb;
+          Alcotest.test_case "faulting miss fake hit on XS" `Quick
+            test_faulting_miss_xs_fake_hit;
+          Alcotest.test_case "store-buffer forward on fault (D8)" `Quick
+            test_faulting_load_stb_forward_xs_only;
+          Alcotest.test_case "clear-illegal-data-returns" `Quick
+            test_clear_illegal_data_returns;
+          Alcotest.test_case "faulting store has no effect" `Quick
+            test_store_fault_no_side_effect;
+          Alcotest.test_case "prefetcher skips permission checks (D1)" `Quick
+            test_prefetcher_no_permission_check;
+          Alcotest.test_case "no prefetcher on XS" `Quick test_no_prefetcher_on_xs;
+        ] );
+      ( "translation",
+        [
+          Alcotest.test_case "translated load + TLB" `Quick test_translated_load;
+          Alcotest.test_case "unmapped page faults" `Quick test_unmapped_vaddr_page_faults;
+          Alcotest.test_case "hijacked satp (D2)" `Quick test_hijacked_satp_boom_vs_xs;
+        ] );
+      ( "interpreter",
+        [
+          Alcotest.test_case "alu" `Quick test_interpreter_alu;
+          Alcotest.test_case "x0 hardwired" `Quick test_interpreter_x0_hardwired;
+          Alcotest.test_case "branch loop" `Quick test_interpreter_branch_loop;
+          Alcotest.test_case "faulting load skipped" `Quick
+            test_interpreter_faulting_load_skipped;
+          Alcotest.test_case "csr access" `Quick test_interpreter_csr_access;
+          Alcotest.test_case "lazy vs early CSR check (M1)" `Quick
+            test_lazy_vs_early_csr_check;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "out of program" `Quick test_out_of_program;
+        ] );
+      ( "wb_buffer",
+        [ Alcotest.test_case "victim ring" `Quick test_wb_buffer_ring ] );
+      ( "binary",
+        [
+          Alcotest.test_case "binary matches Program semantics" `Quick
+            test_run_binary_matches_program;
+          Alcotest.test_case "fills the icache" `Quick test_run_binary_fills_icache;
+          Alcotest.test_case "PMP execute fault" `Quick test_run_binary_exec_pmp_fault;
+          Alcotest.test_case "rejects garbage" `Quick test_run_binary_rejects_garbage;
+          Alcotest.test_case "enclave code residue" `Quick
+            test_enclave_code_residue_in_icache;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "switch snapshots" `Quick test_switch_context_snapshots;
+          Alcotest.test_case "mitigation flushes" `Quick test_mitigation_flushes_on_switch;
+          Alcotest.test_case "HPC banking under tagging" `Quick test_hpc_banking_on_switch;
+          Alcotest.test_case "BOOM v2.3 configuration" `Quick test_boom_v2_config;
+          Alcotest.test_case "l2 eviction" `Quick test_evict_line_l2;
+          Alcotest.test_case "memset region" `Quick test_memset_region;
+        ] );
+      ("properties", properties);
+    ]
