@@ -26,6 +26,16 @@ open Toolkit
 let boom = Uarch.Config.boom
 let xiangshan = Uarch.Config.xiangshan
 
+(* Campaign phases fan out across domains; override with TEESEC_JOBS
+   (results are deterministic for every value). *)
+let jobs =
+  match Sys.getenv_opt "TEESEC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg "TEESEC_JOBS must be a positive integer")
+  | None -> Parallel.Pool.default_jobs ()
+
 (* {1 Bechamel benches} *)
 
 let bench_gadget_constructor =
@@ -129,14 +139,48 @@ let run_benches () =
   results
 
 let find_ns results fragment =
-  let contains hay needle =
-    let n = String.length needle and m = String.length hay in
-    let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
-    n = 0 || at 0
-  in
   List.fold_left
-    (fun acc (name, ns) -> if contains name fragment then Some ns else acc)
+    (fun acc (name, ns) ->
+      if Teesec.Strutil.contains_substring ~needle:fragment name then Some ns
+      else acc)
     None results
+
+(* {1 Machine-readable campaign record}
+
+   BENCH_campaign.json tracks the perf trajectory across PRs: corpus
+   size, per-core wall time, simulated cycles, log records, and the job
+   count the campaign ran with. *)
+
+let write_campaign_json ~path results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf buf "  \"hardware_threads\": %d,\n"
+    (Parallel.Pool.default_jobs ());
+  Printf.bprintf buf "  \"corpus_size\": %d,\n" (Teesec.Fuzzer.total_cases ());
+  Buffer.add_string buf "  \"campaigns\": [\n";
+  List.iteri
+    (fun i (r : Teesec.Campaign.result) ->
+      Printf.bprintf buf
+        "    {\"core\": \"%s\", \"testcases\": %d, \"wall_time_s\": %.3f, \
+         \"total_cycles\": %d, \"total_log_records\": %d, \
+         \"residue_warnings\": %d, \"found\": [%s], \"matches_paper\": %b}%s\n"
+        (String.lowercase_ascii
+           (Uarch.Config.core_kind_to_string r.Teesec.Campaign.config.Uarch.Config.kind))
+        r.Teesec.Campaign.total_cases r.Teesec.Campaign.wall_time_s
+        r.Teesec.Campaign.total_cycles r.Teesec.Campaign.total_log_records
+        r.Teesec.Campaign.residue_warnings
+        (String.concat ", "
+           (List.map
+              (fun c -> Printf.sprintf "\"%s\"" (Teesec.Case.to_string c))
+              r.Teesec.Campaign.found))
+        (Teesec.Campaign.matches_paper r)
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
 
 (* {1 Experiment regeneration} *)
 
@@ -169,13 +213,18 @@ let () =
   let campaign_results =
     List.map
       (fun config ->
-        Format.printf "running the corpus on %s...@." config.Uarch.Config.name;
-        Teesec.Campaign.run_full config)
+        Format.printf "running the corpus on %s (%d jobs)...@."
+          config.Uarch.Config.name jobs;
+        Teesec.Campaign.run_full ~jobs config)
       [ boom; xiangshan ]
   in
   print_string (Teesec.Tables.table3 campaign_results);
+  write_campaign_json ~path:"BENCH_campaign.json" campaign_results;
+  Format.printf "campaign record written to BENCH_campaign.json@.";
   (* The paper also evaluated the pre-SonicBOOM release (v2.3). *)
-  let v2 = Teesec.Campaign.run Uarch.Config.boom_v2 (Teesec.Mitigation_eval.slice ()) in
+  let v2 =
+    Teesec.Campaign.run ~jobs Uarch.Config.boom_v2 (Teesec.Mitigation_eval.slice ())
+  in
   Format.printf "BOOM v2.3 (corpus slice): %s@."
     (if Teesec.Campaign.matches_paper v2 then
        "same findings as the BOOM column (matches the paper)"
@@ -189,7 +238,7 @@ let () =
 
   section "Table 4 (mitigation matrix per core)";
   let mitigation_results =
-    List.map Teesec.Mitigation_eval.evaluate [ boom; xiangshan ]
+    List.map (Teesec.Mitigation_eval.evaluate ~jobs) [ boom; xiangshan ]
   in
   print_string (Teesec.Tables.table4 mitigation_results);
 
@@ -197,14 +246,14 @@ let () =
   List.iter
     (fun config ->
       Format.printf "%a@." Teesec.Coverage.pp
-        (Teesec.Coverage.measure config (Teesec.Mitigation_eval.slice ())))
+        (Teesec.Coverage.measure ~jobs config (Teesec.Mitigation_eval.slice ())))
     [ boom; xiangshan ];
 
   section "Extension: mitigation performance ablation";
   List.iter
     (fun workload ->
       let overhead_results =
-        List.map (Teesec.Overhead.evaluate ~workload) [ boom; xiangshan ]
+        List.map (Teesec.Overhead.evaluate ~workload ~jobs) [ boom; xiangshan ]
       in
       print_string (Teesec.Overhead.table overhead_results);
       print_newline ())

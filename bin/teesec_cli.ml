@@ -35,6 +35,27 @@ let path_conv =
   let print fmt p = Format.fprintf fmt "%s" (Teesec.Access_path.to_string p) in
   Arg.conv (parse, print)
 
+(* --jobs: 0 resolves to the host's recommended domain count.  Results
+   are deterministic for every value (the campaign merges in test-case
+   order), so this only trades wall time. *)
+let jobs_arg =
+  let parse jobs =
+    if jobs < 0 then
+      `Error (false, Printf.sprintf "--jobs must be >= 0, got %d" jobs)
+    else if jobs = 0 then `Ok (Parallel.Pool.default_jobs ())
+    else `Ok jobs
+  in
+  Term.(
+    ret
+      (const parse
+      $ Arg.(
+          value & opt int 1
+          & info [ "jobs"; "j" ] ~docv:"N"
+              ~doc:
+                "Run independent test cases across $(docv) OCaml domains \
+                 (default 1; 0 = all hardware threads). Output is identical \
+                 for every value.")))
+
 let mitigation_conv =
   let parse s =
     match
@@ -196,7 +217,7 @@ let check_cmd =
 
 (* campaign *)
 let campaign_cmd =
-  let run config full quiet mitigations random fuzz_seed csv =
+  let run config full quiet mitigations random fuzz_seed csv jobs =
     let config = Uarch.Config.with_mitigations config mitigations in
     let testcases =
       match random with
@@ -207,7 +228,7 @@ let campaign_cmd =
       if quiet then fun _ _ _ -> ()
       else fun i n line -> Format.printf "[%3d/%3d] %s@." i n line
     in
-    let result = Teesec.Campaign.run ~progress config testcases in
+    let result = Teesec.Campaign.run ~progress ~jobs config testcases in
     Format.printf "@.%a@." Teesec.Campaign.pp_result result;
     match csv with
     | Some path ->
@@ -236,17 +257,17 @@ let campaign_cmd =
            ~doc:"Also write the per-case verdicts as CSV.")
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run a leakage-discovery campaign (Table 3).")
-    Term.(const run $ core_arg $ full $ quiet $ mitigations $ random $ fuzz_seed $ csv)
+    Term.(const run $ core_arg $ full $ quiet $ mitigations $ random $ fuzz_seed $ csv $ jobs_arg)
 
 (* mitigations *)
 let mitigations_cmd =
-  let run config =
-    let result = Teesec.Mitigation_eval.evaluate config in
+  let run config jobs =
+    let result = Teesec.Mitigation_eval.evaluate ~jobs config in
     Format.printf "%a@." Teesec.Mitigation_eval.pp_result result;
     print_string (Teesec.Tables.table4 [ result ])
   in
   Cmd.v (Cmd.info "mitigations" ~doc:"Evaluate the Table 4 mitigation knobs on a core.")
-    Term.(const run $ core_arg)
+    Term.(const run $ core_arg $ jobs_arg)
 
 (* scenario *)
 let scenario_cmd =
@@ -271,16 +292,17 @@ let scenario_cmd =
 
 (* coverage *)
 let coverage_cmd =
-  let run config full =
+  let run config full jobs =
     let testcases =
       if full then Teesec.Fuzzer.corpus () else Teesec.Mitigation_eval.slice ()
     in
-    Format.printf "%a@." Teesec.Coverage.pp (Teesec.Coverage.measure config testcases)
+    Format.printf "%a@." Teesec.Coverage.pp
+      (Teesec.Coverage.measure ~jobs config testcases)
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Measure over the whole 585-case corpus.") in
   Cmd.v
     (Cmd.info "coverage" ~doc:"Report verification-plan coverage of a corpus on a core.")
-    Term.(const run $ core_arg $ full)
+    Term.(const run $ core_arg $ full $ jobs_arg)
 
 (* netlist *)
 let netlist_cmd =

@@ -1,0 +1,123 @@
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  all_done : Condition.t;
+  queue : task Queue.t;
+  mutable pending : int;  (* tasks queued or running *)
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.shutting_down do
+    Condition.wait pool.work_available pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    (try task () with _ -> ());
+    Mutex.lock pool.mutex;
+    pool.pending <- pool.pending - 1;
+    if pool.pending = 0 then Condition.broadcast pool.all_done;
+    Mutex.unlock pool.mutex;
+    worker_loop pool
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      all_done = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      shutting_down = false;
+      workers = [];
+      size = domains;
+    }
+  in
+  pool.workers <-
+    List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let run_all pool tasks =
+  match tasks with
+  | [] -> ()
+  | _ ->
+    Mutex.lock pool.mutex;
+    if pool.shutting_down then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.run_all: pool is shut down"
+    end;
+    List.iter
+      (fun task ->
+        Queue.push task pool.queue;
+        pool.pending <- pool.pending + 1)
+      tasks;
+    Condition.broadcast pool.work_available;
+    while pool.pending > 0 do
+      Condition.wait pool.all_done pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.shutting_down <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map ?chunk pool f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+      | None -> max 1 (n / (4 * pool.size))
+    in
+    let results = Array.make n None in
+    let rec chunks lo acc =
+      if lo >= n then acc
+      else
+        let hi = min n (lo + chunk) in
+        let task () =
+          for i = lo to hi - 1 do
+            results.(i) <-
+              Some (try Ok (f input.(i)) with e -> Error e)
+          done
+        in
+        chunks hi (task :: acc)
+    in
+    run_all pool (List.rev (chunks 0 []));
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let parmap ?chunk ~jobs f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else
+    with_pool ~domains:(min jobs n) (fun pool ->
+        Array.to_list (map ?chunk pool f (Array.of_list xs)))
+
+let default_jobs () = Domain.recommended_domain_count ()

@@ -29,6 +29,9 @@ type origin =
 
 val origin_to_string : origin -> string
 
+(** Every access-path provenance, in declaration order. *)
+val all_origins : origin list
+
 (** [origin_of_string s] inverts [origin_to_string]. *)
 val origin_of_string : string -> origin option
 

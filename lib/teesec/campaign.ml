@@ -18,7 +18,31 @@ type result = {
   wall_time_s : float;
 }
 
-let run ?(progress = fun _ _ _ -> ()) config testcases =
+(* Everything the merge phase needs from one test case.  Computed
+   in-domain (including the summary line), so the merge is a cheap
+   deterministic fold. *)
+type case_outcome = {
+  co_name : string;
+  co_cases : Case.id list;
+  co_residue : int;
+  co_cycles : int;
+  co_log_records : int;
+  co_summary : string;
+}
+
+let eval_case config tc =
+  let outcome = Runner.run config tc in
+  let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
+  {
+    co_name = Testcase.name tc;
+    co_cases = Checker.distinct_cases findings;
+    co_residue = Checker.residue_warnings findings;
+    co_cycles = outcome.Runner.cycles;
+    co_log_records = outcome.Runner.log_records;
+    co_summary = Report.summary_line tc findings;
+  }
+
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) config testcases =
   let t0 = Unix.gettimeofday () in
   let counts = Hashtbl.create 16 in
   let firsts = Hashtbl.create 16 in
@@ -26,22 +50,30 @@ let run ?(progress = fun _ _ _ -> ()) config testcases =
   let cycles = ref 0 in
   let log_records = ref 0 in
   let total = List.length testcases in
-  List.iteri
-    (fun i tc ->
-      let outcome = Runner.run config tc in
-      let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
-      residue := !residue + Checker.residue_warnings findings;
-      cycles := !cycles + outcome.Runner.cycles;
-      log_records := !log_records + outcome.Runner.log_records;
-      List.iter
-        (fun case ->
-          Hashtbl.replace counts case
-            (1 + Option.value (Hashtbl.find_opt counts case) ~default:0);
-          if not (Hashtbl.mem firsts case) then
-            Hashtbl.replace firsts case (Testcase.name tc))
-        (Checker.distinct_cases findings);
-      progress (i + 1) total (Report.summary_line tc findings))
-    testcases;
+  (* Merging is always sequential and id-ordered, so the aggregate (and
+     the order of [progress] calls) is identical for every job count. *)
+  let merge i co =
+    residue := !residue + co.co_residue;
+    cycles := !cycles + co.co_cycles;
+    log_records := !log_records + co.co_log_records;
+    List.iter
+      (fun case ->
+        Hashtbl.replace counts case
+          (1 + Option.value (Hashtbl.find_opt counts case) ~default:0);
+        if not (Hashtbl.mem firsts case) then
+          Hashtbl.replace firsts case co.co_name)
+      co.co_cases;
+    progress (i + 1) total co.co_summary
+  in
+  if jobs <= 1 then
+    (* Sequential path: [progress] streams as each test case finishes. *)
+    List.iteri (fun i tc -> merge i (eval_case config tc)) testcases
+  else
+    (* Test cases share no mutable state (each [Runner.run] builds its
+       own [Env]), so they fan out across domains; [progress] then fires
+       during the ordered merge. *)
+    List.iteri merge
+      (Parallel.Pool.parmap ~jobs (eval_case config) testcases);
   let stats =
     List.map
       (fun case ->
@@ -66,7 +98,7 @@ let run ?(progress = fun _ _ _ -> ()) config testcases =
     wall_time_s = Unix.gettimeofday () -. t0;
   }
 
-let run_full ?progress config = run ?progress config (Fuzzer.corpus ())
+let run_full ?progress ?jobs config = run ?progress ?jobs config (Fuzzer.corpus ())
 
 let mismatches result =
   List.filter_map

@@ -22,14 +22,27 @@ type result = {
   wall_time_s : float;
 }
 
-(** [run ?progress config testcases] executes every test case on a fresh
-    environment and checks its log.  [progress] is called after each test
-    case with (index, total, summary line). *)
-val run :
-  ?progress:(int -> int -> string -> unit) -> Config.t -> Testcase.t list -> result
+(** [run ?progress ?jobs config testcases] executes every test case on a
+    fresh environment and checks its log.  [progress] is called after
+    each test case with (index, total, summary line).
 
-(** [run_full ?progress config] runs the whole deterministic corpus. *)
-val run_full : ?progress:(int -> int -> string -> unit) -> Config.t -> result
+    [jobs] (default 1) fans the test cases out across that many OCaml 5
+    domains; each case is independent (its own [Env]), and results are
+    merged sequentially in test-case order, so the returned [result] —
+    and the order of [progress] calls — is identical for every [jobs]
+    value.  With [jobs <= 1] no domain is spawned and [progress] streams
+    as cases finish; with [jobs > 1] it fires during the final merge. *)
+val run :
+  ?progress:(int -> int -> string -> unit) ->
+  ?jobs:int ->
+  Config.t ->
+  Testcase.t list ->
+  result
+
+(** [run_full ?progress ?jobs config] runs the whole deterministic
+    corpus. *)
+val run_full :
+  ?progress:(int -> int -> string -> unit) -> ?jobs:int -> Config.t -> result
 
 (** [matches_paper result] is true when the set of found cases equals the
     paper's Table 3 column for this core. *)

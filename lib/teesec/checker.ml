@@ -41,12 +41,7 @@ let cross_boundary_case (owner : Secret.owner) (ctx : Exec_context.t) =
       (Exec_context.Host _ | Exec_context.Enclave _ | Exec_context.Monitor) ) ->
     None
 
-let contains_substring ~needle hay =
-  let n = String.length needle and m = String.length hay in
-  if n = 0 then true
-  else
-    let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
-    at 0
+let contains_substring = Strutil.contains_substring
 
 (* Classify one data observation. *)
 let classify ~(structure : Structure.t) ~origin ~(owner : Secret.owner)
@@ -77,7 +72,8 @@ let classify ~(structure : Structure.t) ~origin ~(owner : Secret.owner)
     None
 
 (* Provenance of a residue hit: the most recent write of the same value
-   into the same structure. *)
+   into the same structure.  Naive reference — rescans the whole record
+   list; the indexed pass below replaces it on the hot path. *)
 let residue_provenance records ~structure ~value ~before_cycle =
   let best = ref None in
   List.iter
@@ -95,9 +91,12 @@ let residue_provenance records ~structure ~value ~before_cycle =
     records;
   Option.map snd !best
 
-(* {2 P1: data leakage} *)
+(* {2 P1: data leakage — naive reference}
 
-let check_data log tracker records =
+   O(secrets × records × entries), kept verbatim as the differential
+   oracle for the indexed implementation below. *)
+
+let check_data_naive log tracker records =
   let findings = ref [] in
   List.iter
     (fun (s : Secret.seeded) ->
@@ -159,6 +158,181 @@ let check_data log tracker records =
         records)
     (Secret.all tracker);
   !findings
+
+(* {2 P1: data leakage — indexed}
+
+   Single pass over the records with three indexes replacing the naive
+   nested loops:
+
+   - a value-keyed table mapping each secret value to the secrets that
+     carry it, so every log entry costs one lookup instead of a scan of
+     all seeded secrets;
+   - a per-(structure, value) list of secret-valued writes in record
+     order, so residue provenance folds over a handful of candidates
+     instead of the full log;
+   - a cycle-sorted commit array, so the last-committed-PC annotation is
+     a binary search instead of a scan per finding.
+
+   Emissions are tagged with (secret, record, entry) positions and
+   sorted back into the naive implementation's emission order, so the
+   returned list — and therefore which duplicate survives [dedupe] — is
+   identical to the reference. *)
+
+let check_data tracker records =
+  match Secret.all tracker with
+  | [] -> []
+  | secrets ->
+    (* Secret value -> [(position in Secret.all, secret)], ascending. *)
+    let by_value : (Word.t, (int * Secret.seeded) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iteri
+      (fun si (s : Secret.seeded) ->
+        let prev =
+          Option.value (Hashtbl.find_opt by_value s.Secret.value) ~default:[]
+        in
+        Hashtbl.replace by_value s.Secret.value ((si, s) :: prev))
+      secrets;
+    Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) by_value;
+    (* Pass A: index secret-valued writes and all commits. *)
+    let writes : (Structure.t * Word.t, (int * Log.origin) list) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let commits = ref [] in
+    List.iter
+      (fun (r : Log.record) ->
+        match r.Log.event with
+        | Log.Write { structure; entries; origin } ->
+          List.iter
+            (fun (e : Log.entry) ->
+              if Hashtbl.mem by_value e.Log.data then
+                let key = (structure, e.Log.data) in
+                let prev =
+                  Option.value (Hashtbl.find_opt writes key) ~default:[]
+                in
+                Hashtbl.replace writes key ((r.Log.cycle, origin) :: prev))
+            entries
+        | Log.Commit { pc; _ } -> commits := (r.Log.cycle, pc) :: !commits
+        | Log.Snapshot _ | Log.Mode_switch _ | Log.Exception_raised _ -> ())
+      records;
+    Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) writes;
+    let commits = Array.of_list (List.rev !commits) in
+    (* Stable by cycle: record order survives among equal cycles, so the
+       last eligible slot is the record-order-last commit of the maximal
+       cycle — exactly what [Log.last_commit_before] returns. *)
+    Array.stable_sort (fun (c1, _) (c2, _) -> Int.compare c1 c2) commits;
+    let last_commit_before ~cycle =
+      let rec bs lo hi =
+        (* invariant: commits below [lo] have cycle <= [cycle], commits
+           from [hi] up have cycle > [cycle] *)
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if fst commits.(mid) <= cycle then bs (mid + 1) hi else bs lo mid
+      in
+      let i = bs 0 (Array.length commits) in
+      if i = 0 then None else Some (snd commits.(i - 1))
+    in
+    let provenance ~structure ~value ~before_cycle =
+      match Hashtbl.find_opt writes (structure, value) with
+      | None -> None
+      | Some l ->
+        Option.map snd
+          (List.fold_left
+             (fun best (cycle, origin) ->
+               if cycle > before_cycle then best
+               else
+                 match best with
+                 | Some (c, _) when c >= cycle -> best
+                 | _ -> Some (cycle, origin))
+             None l)
+    in
+    (* Pass B: detection, tagging each emission with its position in the
+       naive (secret-major, record, entry) emission order. *)
+    let emissions = ref [] in
+    let emit ~si ~ri ~ei ~secret ~structure ~origin ~detection ~note ~cycle ~ctx
+        =
+      let case =
+        classify ~structure ~origin ~owner:secret.Secret.owner ~ctx ~note
+          ~detection
+      in
+      emissions :=
+        ( si,
+          ri,
+          ei,
+          {
+            case;
+            secret = Some secret;
+            structure;
+            cycle;
+            ctx;
+            origin;
+            detection;
+            note;
+            last_pc = last_commit_before ~cycle;
+          } )
+        :: !emissions
+    in
+    List.iteri
+      (fun ri (r : Log.record) ->
+        match r.Log.event with
+        | Log.Write { structure; entries; origin } ->
+          List.iteri
+            (fun ei (e : Log.entry) ->
+              match Hashtbl.find_opt by_value e.Log.data with
+              | None -> ()
+              | Some matches ->
+                List.iter
+                  (fun (si, (s : Secret.seeded)) ->
+                    if not (Secret.authorized s.Secret.owner r.Log.ctx) then
+                      let eligible =
+                        if s.Secret.derived then
+                          Structure.equal structure Structure.Reg_file
+                          && contains_substring ~needle:"transient" e.Log.note
+                        else true
+                      in
+                      if eligible then
+                        emit ~si ~ri ~ei ~secret:s ~structure
+                          ~origin:(Some origin) ~detection:Fetched
+                          ~note:e.Log.note ~cycle:r.Log.cycle ~ctx:r.Log.ctx)
+                  matches)
+            entries
+        | Log.Snapshot { structure; entries } ->
+          (* The naive pass emits at most once per (secret, snapshot). *)
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (fun (e : Log.entry) ->
+              match Hashtbl.find_opt by_value e.Log.data with
+              | None -> ()
+              | Some matches ->
+                List.iter
+                  (fun (si, (s : Secret.seeded)) ->
+                    if
+                      (not s.Secret.derived)
+                      && (not (Hashtbl.mem seen si))
+                      && not (Secret.authorized s.Secret.owner r.Log.ctx)
+                    then begin
+                      Hashtbl.replace seen si ();
+                      let origin =
+                        provenance ~structure ~value:s.Secret.value
+                          ~before_cycle:r.Log.cycle
+                      in
+                      emit ~si ~ri ~ei:0 ~secret:s ~structure ~origin
+                        ~detection:Residue ~note:"snapshot residue"
+                        ~cycle:r.Log.cycle ~ctx:r.Log.ctx
+                    end)
+                  matches)
+            entries
+        | Log.Mode_switch _ | Log.Commit _ | Log.Exception_raised _ -> ())
+      records;
+    (* The naive pass prepends as it emits, so its result is emission
+       order reversed: sort the tags descending. *)
+    List.map
+      (fun (_, _, _, f) -> f)
+      (List.sort
+         (fun (a_si, a_ri, a_ei, _) (b_si, b_ri, b_ei, _) ->
+           compare (b_si, b_ri, b_ei) (a_si, a_ri, a_ei))
+         !emissions)
 
 (* {2 P2: metadata leakage} *)
 
@@ -301,11 +475,10 @@ let dedupe findings =
   List.filter
     (fun f ->
       let key =
-        Printf.sprintf "%s/%s/%s/%s"
-          (match f.case with Some c -> Case.to_string c | None -> "-")
-          (Structure.to_string f.structure)
-          (detection_to_string f.detection)
-          (match f.secret with Some s -> Word.to_hex s.Secret.value | None -> "-")
+        ( f.case,
+          f.structure,
+          f.detection,
+          match f.secret with Some s -> Some s.Secret.value | None -> None )
       in
       if Hashtbl.mem seen key then false
       else begin
@@ -317,13 +490,20 @@ let dedupe findings =
 let case_rank f =
   match f.case with Some _ -> 0 | None -> 1
 
-let check log tracker =
-  let records = Log.to_list log in
-  let findings =
-    check_data log tracker records @ check_btb_residue records @ check_hpc records
-  in
+let finish findings =
   let findings = dedupe findings in
   List.stable_sort (fun a b -> Int.compare (case_rank a) (case_rank b)) findings
+
+let check log tracker =
+  let records = Log.to_list log in
+  finish
+    (check_data tracker records @ check_btb_residue records @ check_hpc records)
+
+let check_reference log tracker =
+  let records = Log.to_list log in
+  finish
+    (check_data_naive log tracker records
+    @ check_btb_residue records @ check_hpc records)
 
 let distinct_cases findings =
   List.sort_uniq Case.compare (List.filter_map (fun f -> f.case) findings)

@@ -43,8 +43,16 @@ type finding = {
 val pp_finding : Format.formatter -> finding -> unit
 
 (** [check log tracker] returns the deduplicated findings, classified
-    cases first. *)
+    cases first.  The data pass runs over value-keyed indexes (one log
+    scan, O(1) secret lookup per entry, indexed residue provenance and
+    last-commit-PC), but its output is exactly that of the naive
+    reference scan. *)
 val check : Log.t -> Secret.tracker -> finding list
+
+(** [check_reference log tracker] is the naive O(secrets × records)
+    implementation of [check], kept as the oracle for differential
+    tests.  [check] must agree with it on every log. *)
+val check_reference : Log.t -> Secret.tracker -> finding list
 
 (** [distinct_cases findings] is the sorted list of classified cases. *)
 val distinct_cases : finding list -> Case.id list

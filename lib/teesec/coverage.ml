@@ -25,24 +25,44 @@ let writable_structures =
     Structure.Prefetcher;
   ]
 
-let measure config testcases =
+(* Distinct structures/origins written by one test case, in
+   first-observed order.  Computed in-domain; the merge below replays
+   them per case in corpus order, so the accumulated tables (and their
+   fold order) match the sequential run exactly. *)
+let observe config tc =
+  let structures = Hashtbl.create 16 in
+  let origins = Hashtbl.create 16 in
+  let structures_seq = ref [] in
+  let origins_seq = ref [] in
+  let outcome = Runner.run config tc in
+  List.iter
+    (fun (r : Log.record) ->
+      match r.Log.event with
+      | Log.Write { structure; origin; _ } ->
+        if not (Hashtbl.mem structures structure) then begin
+          Hashtbl.replace structures structure ();
+          structures_seq := structure :: !structures_seq
+        end;
+        if not (Hashtbl.mem origins origin) then begin
+          Hashtbl.replace origins origin ();
+          origins_seq := origin :: !origins_seq
+        end
+      | _ -> ())
+    (Log.to_list outcome.Runner.log);
+  (List.rev !structures_seq, List.rev !origins_seq)
+
+let measure ?(jobs = 1) config testcases =
   let path_counts = Hashtbl.create 16 in
   let structures = Hashtbl.create 16 in
   let origins = Hashtbl.create 16 in
-  List.iter
-    (fun tc ->
+  let observations = Parallel.Pool.parmap ~jobs (observe config) testcases in
+  List.iter2
+    (fun tc (case_structures, case_origins) ->
       Hashtbl.replace path_counts tc.Testcase.path
         (1 + Option.value (Hashtbl.find_opt path_counts tc.Testcase.path) ~default:0);
-      let outcome = Runner.run config tc in
-      List.iter
-        (fun (r : Log.record) ->
-          match r.Log.event with
-          | Log.Write { structure; origin; _ } ->
-            Hashtbl.replace structures structure ();
-            Hashtbl.replace origins origin ()
-          | _ -> ())
-        (Log.to_list outcome.Runner.log))
-    testcases;
+      List.iter (fun s -> Hashtbl.replace structures s ()) case_structures;
+      List.iter (fun o -> Hashtbl.replace origins o ()) case_origins)
+    testcases observations;
   let per_path =
     List.map
       (fun p -> (p, Option.value (Hashtbl.find_opt path_counts p) ~default:0))
@@ -77,7 +97,7 @@ let measure config testcases =
       /. float_of_int (List.length writable_here);
   }
 
-let measure_full config = measure config (Fuzzer.corpus ())
+let measure_full ?jobs config = measure ?jobs config (Fuzzer.corpus ())
 
 let pp fmt t =
   Format.fprintf fmt "Coverage on %s over %d test cases:@." t.config.Config.name

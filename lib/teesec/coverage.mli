@@ -28,11 +28,13 @@ type t = {
     through snapshots. *)
 val writable_structures : Structure.t list
 
-(** [measure config testcases] runs the corpus and accumulates
-    coverage. *)
-val measure : Config.t -> Testcase.t list -> t
+(** [measure ?jobs config testcases] runs the corpus and accumulates
+    coverage.  [jobs] (default 1) fans the runs out across domains; the
+    per-case observations are merged in corpus order, so the result is
+    identical for every job count. *)
+val measure : ?jobs:int -> Config.t -> Testcase.t list -> t
 
-(** [measure_full config] covers the whole deterministic corpus. *)
-val measure_full : Config.t -> t
+(** [measure_full ?jobs config] covers the whole deterministic corpus. *)
+val measure_full : ?jobs:int -> Config.t -> t
 
 val pp : Format.formatter -> t -> unit

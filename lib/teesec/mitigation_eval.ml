@@ -32,11 +32,11 @@ let slice () =
         params_list)
     Access_path.all
 
-let evaluate config =
+let evaluate ?jobs config =
   let testcases = slice () in
   let found_under mitigations =
     let cfg = Config.with_mitigations config mitigations in
-    (Campaign.run cfg testcases).Campaign.found
+    (Campaign.run ?jobs cfg testcases).Campaign.found
   in
   let baseline_found = found_under [] in
   let verdicts =

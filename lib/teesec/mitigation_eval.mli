@@ -26,9 +26,10 @@ type result = {
     few representative test cases per access path. *)
 val slice : unit -> Testcase.t list
 
-(** [evaluate config] runs the slice under no mitigation and under each
-    knob. *)
-val evaluate : Config.t -> result
+(** [evaluate ?jobs config] runs the slice under no mitigation and under
+    each knob.  [jobs] is forwarded to every underlying
+    {!Campaign.run}. *)
+val evaluate : ?jobs:int -> Config.t -> result
 
 (** [effective result ~case ~mitigation] looks up a verdict. *)
 val effective : result -> case:Case.id -> mitigation:Mitigation.t -> bool option

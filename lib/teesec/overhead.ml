@@ -99,31 +99,41 @@ let workload_cycles config ~workload ~rounds =
   | Error e -> invalid_arg (Security_monitor.error_to_string e));
   (loop_cycles, loop_misses)
 
-let evaluate ?(workload = Mixed) ?(rounds = 16) config =
+let evaluate ?(workload = Mixed) ?(rounds = 16) ?(jobs = 1) config =
   let settings =
     ("baseline (no mitigation)", [])
     :: List.map
          (fun m -> (Mitigation.to_string m, [ m ]))
          (Mitigation.all @ Mitigation.extensions)
   in
-  let baseline_cycles = ref 0 in
-  let measurements =
-    List.map
+  (* Each setting simulates an independent workload (its own [Env]), so
+     the settings fan out across domains; the baseline-relative
+     percentages are derived afterwards from the ordered results. *)
+  let raw =
+    Parallel.Pool.parmap ~jobs
       (fun (label, mitigations) ->
         let cfg = Config.with_mitigations config mitigations in
         let cycles, l1_misses = workload_cycles cfg ~workload ~rounds in
-        if mitigations = [] then baseline_cycles := cycles;
-        let overhead_pct =
-          if !baseline_cycles = 0 then 0.0
-          else
-            100.0
-            *. (float_of_int cycles -. float_of_int !baseline_cycles)
-            /. float_of_int !baseline_cycles
-        in
-        { label; mitigations; cycles; l1_misses; overhead_pct })
+        (label, mitigations, cycles, l1_misses))
       settings
   in
-  { config; workload; baseline_cycles = !baseline_cycles; rounds; measurements }
+  let baseline_cycles =
+    match raw with (_, _, cycles, _) :: _ -> cycles | [] -> 0
+  in
+  let measurements =
+    List.map
+      (fun (label, mitigations, cycles, l1_misses) ->
+        let overhead_pct =
+          if baseline_cycles = 0 then 0.0
+          else
+            100.0
+            *. (float_of_int cycles -. float_of_int baseline_cycles)
+            /. float_of_int baseline_cycles
+        in
+        { label; mitigations; cycles; l1_misses; overhead_pct })
+      raw
+  in
+  { config; workload; baseline_cycles; rounds; measurements }
 
 let pp_result fmt result =
   Format.fprintf fmt

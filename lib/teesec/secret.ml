@@ -26,13 +26,26 @@ let value_for ~seed ~addr =
   let v = Word.splitmix64 (Int64.logxor (Word.splitmix64 seed) addr) in
   if Int64.equal v 0L then 1L else v
 
-type tracker = { mutable seeded : seeded list }
+(* [by_value] indexes the newest registration of each value, so
+   [find_by_value] stays O(1) as campaigns seed thousands of secrets.
+   [n] caches the list length for the same reason. *)
+type tracker = {
+  mutable seeded : seeded list;
+  mutable n : int;
+  by_value : (Word.t, seeded) Hashtbl.t;
+}
 
-let create_tracker () = { seeded = [] }
+let create_tracker () = { seeded = []; n = 0; by_value = Hashtbl.create 64 }
+
+let add t s =
+  t.seeded <- s :: t.seeded;
+  t.n <- t.n + 1;
+  (* Newest registration wins, matching a head-first scan of [seeded]. *)
+  Hashtbl.replace t.by_value s.value s
 
 let register t ~seed ~addr ~owner =
   let value = value_for ~seed ~addr in
-  t.seeded <- { value; addr; owner; derived = false } :: t.seeded;
+  add t { value; addr; owner; derived = false };
   value
 
 let register_line t ~seed ~line_addr ~owner =
@@ -44,11 +57,10 @@ let register_line t ~seed ~line_addr ~owner =
 
 let register_value t ~value ~addr ~owner =
   if not (Int64.equal value 0L) then
-    t.seeded <- { value; addr; owner; derived = true } :: t.seeded
+    add t { value; addr; owner; derived = true }
 
 let all t = List.rev t.seeded
 
-let find_by_value t v =
-  List.find_opt (fun s -> Int64.equal s.value v) t.seeded
+let find_by_value t v = Hashtbl.find_opt t.by_value v
 
-let count t = List.length t.seeded
+let count t = t.n

@@ -53,5 +53,9 @@ val register_line :
 val register_value : tracker -> value:Word.t -> addr:Word.t -> owner:owner -> unit
 
 val all : tracker -> seeded list
+
+(** [find_by_value t v] is the most recent registration of [v], looked
+    up in a value-keyed index (O(1), not a scan of the seeded list). *)
 val find_by_value : tracker -> Word.t -> seeded option
+
 val count : tracker -> int

@@ -1,0 +1,16 @@
+let contains_substring ~needle hay =
+  let n = String.length needle and m = String.length hay in
+  if n = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + n <= m do
+      let j = ref 0 in
+      while !j < n && String.unsafe_get hay (!i + !j) = String.unsafe_get needle !j
+      do
+        incr j
+      done;
+      if !j = n then found := true else incr i
+    done;
+    !found
+  end

@@ -1,0 +1,8 @@
+(** String helpers shared by the checker and the bench harness. *)
+
+(** [contains_substring ~needle hay] is true when [needle] occurs in
+    [hay] (the empty needle always matches).  Naive scan, but
+    allocation-free: the checker calls this per log entry, where the
+    [String.sub]-per-position variant it replaces dominated the
+    classification cost. *)
+val contains_substring : needle:string -> string -> bool
