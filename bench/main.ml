@@ -182,6 +182,45 @@ let write_campaign_json ~path results =
   output_string oc (Buffer.contents buf);
   close_out oc
 
+(* {1 Machine-readable injection record}
+
+   BENCH_inject.json tracks the fault-injection campaign: wall time and
+   faulted-runs-per-second for a small plan batch per core, plus the
+   robustness classification.  The campaign result itself contains no
+   timing (reports must be byte-identical across job counts), so the
+   wall clock is wrapped around the call here. *)
+
+let write_inject_json ~path results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Buffer.add_string buf "  \"campaigns\": [\n";
+  List.iteri
+    (fun i ((r : Inject.Inject_campaign.result), wall_time_s) ->
+      let plans = List.length r.Inject.Inject_campaign.plan_results in
+      let units = plans * r.Inject.Inject_campaign.testcases in
+      Printf.bprintf buf
+        "    {\"core\": \"%s\", \"seed\": \"%s\", \"plans\": %d, \
+         \"testcases\": %d, \"faulted_runs\": %d, \"wall_time_s\": %.3f, \
+         \"cases_per_s\": %.1f, \"plan_totals\": {\"stable\": %d, \
+         \"spurious\": %d, \"masked\": %d}, \"baseline_matches_paper\": %b}%s\n"
+        (String.lowercase_ascii
+           (Uarch.Config.core_kind_to_string
+              r.Inject.Inject_campaign.config.Uarch.Config.kind))
+        (Riscv.Word.to_hex r.Inject.Inject_campaign.seed)
+        plans r.Inject.Inject_campaign.testcases units wall_time_s
+        (float_of_int units /. wall_time_s)
+        r.Inject.Inject_campaign.plan_totals.Inject.Inject_campaign.stable
+        r.Inject.Inject_campaign.plan_totals.Inject.Inject_campaign.spurious
+        r.Inject.Inject_campaign.plan_totals.Inject.Inject_campaign.masked
+        r.Inject.Inject_campaign.baseline_matches_paper
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 (* {1 Experiment regeneration} *)
 
 let section title =
@@ -235,6 +274,27 @@ let () =
   in
   Format.printf "Distinct vulnerabilities across both designs: %d (paper: 10)@."
     (List.length distinct);
+
+  section "Extension: checker-robustness fault injection";
+  let inject_results =
+    List.map
+      (fun config ->
+        Format.printf "injecting 20 fault plans over the slice on %s (%d jobs)...@."
+          config.Uarch.Config.name jobs;
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Inject.Inject_campaign.run ~jobs ~seed:0x5EEDL ~plans:20 config
+            (Teesec.Mitigation_eval.slice ())
+        in
+        (r, Unix.gettimeofday () -. t0))
+      [ boom; xiangshan ]
+  in
+  List.iter
+    (fun ((r : Inject.Inject_campaign.result), wall) ->
+      Format.printf "%a  (%.2fs wall)@.@." Inject.Robustness_report.pp r wall)
+    inject_results;
+  write_inject_json ~path:"BENCH_inject.json" inject_results;
+  Format.printf "injection record written to BENCH_inject.json@.";
 
   section "Table 4 (mitigation matrix per core)";
   let mitigation_results =

@@ -56,6 +56,22 @@ let jobs_arg =
                  (default 1; 0 = all hardware threads). Output is identical \
                  for every value.")))
 
+(* --width: reject anything the gadgets cannot emit, with the valid set
+   in the error message (Params.make would also raise, but this fails at
+   argument-parsing time with cmdliner's usual reporting). *)
+let width_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid width %S (expected an integer)" s))
+    | Some w when List.mem w Teesec.Params.valid_widths -> Ok w
+    | Some w ->
+      Error
+        (`Msg
+          (Printf.sprintf "invalid width %d: access width must be %s" w
+             (String.concat ", " (List.map string_of_int Teesec.Params.valid_widths))))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let mitigation_conv =
   let parse s =
     match
@@ -122,7 +138,7 @@ let testcase_cmd =
     Teesec.Report.render Format.std_formatter outcome findings
   in
   let offset = Arg.(value & opt int 0 & info [ "offset" ] ~doc:"Byte offset in the secret line.") in
-  let width = Arg.(value & opt int 8 & info [ "width" ] ~doc:"Access width (1/2/4/8).") in
+  let width = Arg.(value & opt width_conv 8 & info [ "width" ] ~doc:"Access width (1/2/4/8).") in
   let variant = Arg.(value & opt int 0 & info [ "variant" ] ~doc:"Gadget variant selector.") in
   let seed = Arg.(value & opt int64 0xDEADBEEFL & info [ "seed" ] ~doc:"Secret seed.") in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump the full simulation log.") in
@@ -259,6 +275,51 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc:"Run a leakage-discovery campaign (Table 3).")
     Term.(const run $ core_arg $ full $ quiet $ mitigations $ random $ fuzz_seed $ csv $ jobs_arg)
 
+(* inject: checker-robustness campaign under sampled fault plans. *)
+let inject_cmd =
+  let run config faults seed full quiet json jobs =
+    let testcases =
+      if full then Teesec.Fuzzer.corpus () else Teesec.Mitigation_eval.slice ()
+    in
+    let progress =
+      if quiet then fun _ _ _ -> ()
+      else fun i n line -> Format.printf "[%4d/%4d] %s@." i n line
+    in
+    let result =
+      Inject.Inject_campaign.run ~progress ~jobs ~seed ~plans:faults config testcases
+    in
+    Format.printf "@.%a@." Inject.Robustness_report.pp result;
+    match json with
+    | Some path ->
+      Inject.Robustness_report.save_json ~path result;
+      Format.printf "JSON report written to %s@." path
+    | None -> ()
+  in
+  let faults =
+    Arg.(value & opt int 25 & info [ "faults" ] ~docv:"N"
+           ~doc:"Number of fault plans to sample and inject.")
+  in
+  let seed =
+    Arg.(value & opt int64 0x5EEDL & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; the same seed always reproduces the same \
+                 plans and the same report.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"Inject over all 585 test cases (default: representative slice).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-run progress lines.") in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the robustness report as deterministic JSON.")
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Rerun the corpus under deterministic fault injection and report \
+          whether the checker's verdicts are masked, spurious or stable.")
+    Term.(const run $ core_arg $ faults $ seed $ full $ quiet $ json $ jobs_arg)
+
 (* mitigations *)
 let mitigations_cmd =
   let run config jobs =
@@ -380,6 +441,7 @@ let () =
             testcase_cmd;
             check_cmd;
             campaign_cmd;
+            inject_cmd;
             mitigations_cmd;
             coverage_cmd;
             netlist_cmd;

@@ -1,0 +1,62 @@
+open! Import
+
+type fault = {
+  model : Fault_model.t;
+  window_start : int;
+  window_len : int;
+  select : int;
+  bit : int;
+}
+
+type t = { id : int; plan_seed : Word.t; faults : fault list }
+
+(* Advance the SplitMix64 cursor and draw a value in [0, n).  The low
+   bits of SplitMix64 output are well mixed, but shifting off a byte
+   keeps the draw independent of the modulus used elsewhere. *)
+let pick state n =
+  state := Word.splitmix64 !state;
+  Int64.to_int (Int64.rem (Int64.shift_right_logical !state 8) (Int64.of_int n))
+
+let vocabulary_size = List.length Fault_model.vocabulary
+
+(* Test cases run for a few hundred cycles; windows are drawn so that
+   most faults land while gadgets are still executing. *)
+let max_window_start = 400
+let max_window_len = 200
+
+let sample_fault state =
+  {
+    model = List.nth Fault_model.vocabulary (pick state vocabulary_size);
+    window_start = pick state max_window_start;
+    window_len = 1 + pick state max_window_len;
+    select = pick state 64;
+    bit = pick state 64;
+  }
+
+let sample_plan ~seed i =
+  let plan_seed = Word.splitmix64 (Int64.add seed (Int64.of_int i)) in
+  let state = ref plan_seed in
+  let count = 1 + pick state 3 in
+  let faults = List.init count (fun _ -> sample_fault state) in
+  (* The injector consumes faults in firing order; the stable sort keeps
+     draws with equal start cycles in sampling order. *)
+  let faults =
+    List.stable_sort (fun a b -> Stdlib.compare a.window_start b.window_start) faults
+  in
+  { id = i; plan_seed; faults }
+
+let sample ~seed ~count = List.init count (sample_plan ~seed)
+
+let equal_fault (a : fault) b = a = b
+let equal a b =
+  a.id = b.id
+  && Int64.equal a.plan_seed b.plan_seed
+  && List.equal equal_fault a.faults b.faults
+
+let pp_fault fmt f =
+  Format.fprintf fmt "%s @@cycle %d+%d (select=%d bit=%d)"
+    (Fault_model.to_string f.model) f.window_start f.window_len f.select f.bit
+
+let pp fmt t =
+  Format.fprintf fmt "plan %d (seed %s):" t.id (Word.to_hex t.plan_seed);
+  List.iter (fun f -> Format.fprintf fmt " [%a]" pp_fault f) t.faults

@@ -1,0 +1,12 @@
+(* Shared aliases into the substrate libraries. *)
+module Word = Riscv.Word
+module Log = Simlog.Log
+module Structure = Simlog.Structure
+module Stats = Simlog.Stats
+module Machine = Uarch.Machine
+module Config = Uarch.Config
+module Case = Teesec.Case
+module Checker = Teesec.Checker
+module Runner = Teesec.Runner
+module Testcase = Teesec.Testcase
+module Env = Teesec.Env

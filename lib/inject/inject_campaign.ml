@@ -1,0 +1,185 @@
+open! Import
+
+type outcome = Stable | Spurious | Masked
+
+let outcome_to_string = function
+  | Stable -> "stable"
+  | Spurious -> "spurious"
+  | Masked -> "masked"
+
+(* Masked dominates: a checker that misses a real finding under a fault
+   is worse than one that reports an extra one. *)
+let worst a b =
+  match (a, b) with
+  | Masked, _ | _, Masked -> Masked
+  | Spurious, _ | _, Spurious -> Spurious
+  | Stable, Stable -> Stable
+
+type counts = { stable : int; spurious : int; masked : int }
+
+let zero_counts = { stable = 0; spurious = 0; masked = 0 }
+
+let count_outcome c = function
+  | Stable -> { c with stable = c.stable + 1 }
+  | Spurious -> { c with spurious = c.spurious + 1 }
+  | Masked -> { c with masked = c.masked + 1 }
+
+type unit_diff = {
+  testcase : string;
+  masked_cases : Case.id list;
+  spurious_cases : Case.id list;
+}
+
+type plan_result = {
+  plan : Fault_plan.t;
+  outcome : outcome;
+  diffs : unit_diff list;
+  faults_applied : int;
+}
+
+type result = {
+  config : Config.t;
+  seed : Word.t;
+  testcases : int;
+  baseline_found : Case.id list;
+  baseline_matches_paper : bool;
+  baseline_residue : int;
+  plan_results : plan_result list;
+  plan_totals : counts;
+  unit_totals : counts;
+  by_model : (Fault_model.t * counts) list;
+  by_structure : (Structure.t * counts) list;
+}
+
+(* Per-test-case clean verdict, computed once and diffed against every
+   faulted rerun of the same test case. *)
+type baseline = { b_name : string; b_cases : Case.id list; b_residue : int }
+
+let eval_baseline config tc =
+  let outcome = Runner.run config tc in
+  let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
+  {
+    b_name = Testcase.name tc;
+    b_cases = Checker.distinct_cases findings;
+    b_residue = Checker.residue_warnings findings;
+  }
+
+let eval_unit config (plan, tc, (base : baseline)) =
+  let outcome =
+    Runner.run
+      ~prepare:(fun env -> Injector.arm env.Env.machine plan)
+      config tc
+  in
+  let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
+  let cases = Checker.distinct_cases findings in
+  let masked_cases =
+    List.filter (fun c -> not (List.exists (Case.equal c) cases)) base.b_cases
+  in
+  let spurious_cases =
+    List.filter (fun c -> not (List.exists (Case.equal c) base.b_cases)) cases
+  in
+  let faults = (Stats.of_log outcome.Runner.log).Stats.faults_injected in
+  ({ testcase = base.b_name; masked_cases; spurious_cases }, faults)
+
+let unit_outcome d =
+  if d.masked_cases <> [] then Masked
+  else if d.spurious_cases <> [] then Spurious
+  else Stable
+
+let dedup_sorted compare l =
+  let sorted = List.sort_uniq compare l in
+  sorted
+
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ~seed ~plans config testcases =
+  let plan_list = Fault_plan.sample ~seed ~count:plans in
+  let total_units = plans * List.length testcases in
+  (* Clean baseline first: one run per test case, no faults armed. *)
+  let baselines = Parallel.Pool.parmap ~jobs (eval_baseline config) testcases in
+  let baseline_found =
+    dedup_sorted Case.compare (List.concat_map (fun b -> b.b_cases) baselines)
+  in
+  let expected_cases =
+    List.filter (fun c -> Case.expected c config.Config.kind) Case.all
+  in
+  let baseline_matches_paper = List.equal Case.equal baseline_found expected_cases in
+  let baseline_residue = List.fold_left (fun n b -> n + b.b_residue) 0 baselines in
+  (* Every (plan, test case) pair is an independent faulted rerun; fan
+     them all out and merge sequentially in plan-major order so results
+     are identical for every job count. *)
+  let paired = List.combine testcases baselines in
+  let units =
+    List.concat_map
+      (fun plan -> List.map (fun (tc, b) -> (plan, tc, b)) paired)
+      plan_list
+  in
+  let evaluated = Parallel.Pool.parmap ~jobs (eval_unit config) units in
+  List.iteri
+    (fun i ((d : unit_diff), _) ->
+      progress (i + 1) total_units
+        (Printf.sprintf "plan %d x %s: %s" (i / List.length paired) d.testcase
+           (outcome_to_string (unit_outcome d))))
+    evaluated;
+  (* Regroup the flat unit list back into per-plan chunks. *)
+  let per_testcase = List.length paired in
+  let rec chunk acc rest = function
+    | [] -> List.rev acc
+    | plan :: plans ->
+      let rec take n acc' rest' =
+        if n = 0 then (List.rev acc', rest')
+        else
+          match rest' with
+          | [] -> (List.rev acc', [])
+          | x :: xs -> take (n - 1) (x :: acc') xs
+      in
+      let mine, rest' = take per_testcase [] rest in
+      let diffs = List.map fst mine in
+      let faults_applied = List.fold_left (fun n (_, f) -> n + f) 0 mine in
+      let outcome =
+        List.fold_left (fun o d -> worst o (unit_outcome d)) Stable diffs
+      in
+      chunk ({ plan; outcome; diffs; faults_applied } :: acc) rest' plans
+  in
+  let plan_results = chunk [] evaluated plan_list in
+  let plan_totals =
+    List.fold_left (fun c p -> count_outcome c p.outcome) zero_counts plan_results
+  in
+  let unit_totals =
+    List.fold_left
+      (fun c (d, _) -> count_outcome c (unit_outcome d))
+      zero_counts evaluated
+  in
+  (* Attribute each plan's outcome to every fault model (and structure)
+     the plan contains — a plan with several faults counts towards each. *)
+  let aggregate key_of keys =
+    List.filter_map
+      (fun key ->
+        let counts =
+          List.fold_left
+            (fun c p ->
+              let models =
+                dedup_sorted Fault_model.compare
+                  (List.map (fun f -> f.Fault_plan.model) p.plan.Fault_plan.faults)
+              in
+              if List.exists (fun m -> key_of m = Some key) models then
+                count_outcome c p.outcome
+              else c)
+            zero_counts plan_results
+        in
+        if counts = zero_counts then None else Some (key, counts))
+      keys
+  in
+  let by_model = aggregate (fun m -> Some m) Fault_model.vocabulary in
+  let by_structure = aggregate Fault_model.structure_of Structure.all in
+  {
+    config;
+    seed;
+    testcases = per_testcase;
+    baseline_found;
+    baseline_matches_paper;
+    baseline_residue;
+    plan_results;
+    plan_totals;
+    unit_totals;
+    by_model;
+    by_structure;
+  }

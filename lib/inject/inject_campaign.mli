@@ -1,0 +1,76 @@
+open! Import
+
+(** Checker-robustness campaigns.
+
+    Reruns a test-case corpus under sampled fault plans and diffs each
+    faulted run's checker verdict against the clean baseline of the
+    same test case.  The interesting question is not whether the fault
+    changed the machine (it usually does) but whether it changed what
+    the {e checker} concludes:
+
+    - {e masked} — a leakage case found on the clean run disappears
+      under the fault: a false negative of the detection methodology.
+    - {e spurious} — a case appears that the clean run did not report.
+    - {e stable} — the verdict is unchanged.
+
+    Everything is deterministic: plans derive from the campaign seed,
+    injection is driven by the machine's cycle count, and results are
+    merged in plan-major order, so the same seed yields byte-identical
+    reports for every [jobs] value. *)
+
+type outcome = Stable | Spurious | Masked
+
+val outcome_to_string : outcome -> string
+
+type counts = { stable : int; spurious : int; masked : int }
+
+(** Verdict difference of one faulted (plan, test case) run against the
+    test case's clean baseline. *)
+type unit_diff = {
+  testcase : string;
+  masked_cases : Case.id list;  (** In baseline, missing under fault. *)
+  spurious_cases : Case.id list;  (** Under fault, not in baseline. *)
+}
+
+type plan_result = {
+  plan : Fault_plan.t;
+  outcome : outcome;  (** Worst unit outcome (masked > spurious > stable). *)
+  diffs : unit_diff list;  (** One per test case, in corpus order. *)
+  faults_applied : int;
+      (** Fault events actually logged across the plan's runs — a
+          sampled fault can be a no-op when its target is empty. *)
+}
+
+type result = {
+  config : Config.t;
+  seed : Word.t;
+  testcases : int;
+  baseline_found : Case.id list;  (** Union of clean-run cases. *)
+  baseline_matches_paper : bool;
+      (** Clean baseline reproduces the paper's Table 3 column. *)
+  baseline_residue : int;
+  plan_results : plan_result list;
+  plan_totals : counts;  (** Plan-level classification. *)
+  unit_totals : counts;  (** (plan, test case)-level classification. *)
+  by_model : (Fault_model.t * counts) list;
+      (** Plan outcomes attributed to each fault model a plan contains. *)
+  by_structure : (Structure.t * counts) list;
+      (** Same, keyed by the perturbed structure. *)
+}
+
+(** [run ~seed ~plans config testcases] samples [plans] fault plans from
+    [seed], computes the clean per-test-case baselines, reruns every
+    (plan, test case) pair with the plan armed, and aggregates.
+
+    [jobs] (default 1) fans both the baseline and the faulted runs out
+    over that many OCaml 5 domains; merging is sequential and ordered,
+    so the result is identical for every [jobs] value.  [progress] is
+    called once per faulted unit with (index, total, summary line). *)
+val run :
+  ?progress:(int -> int -> string -> unit) ->
+  ?jobs:int ->
+  seed:Word.t ->
+  plans:int ->
+  Config.t ->
+  Testcase.t list ->
+  result

@@ -1,0 +1,13 @@
+open! Import
+
+(** Arms a fault plan on a machine.
+
+    [arm machine plan] installs an advance hook that watches the cycle
+    counter and applies each of the plan's faults when its window
+    opens: one-shot faults (bit flips, HPC corruption, snapshot delays)
+    fire once; windowed faults (flush misbehaviour, stuck permission
+    checks) are armed at [window_start] and disarmed [window_len]
+    cycles later.  Everything is driven by the machine's own
+    deterministic cycle count, so the same plan on the same test case
+    perturbs the run identically every time. *)
+val arm : Machine.t -> Fault_plan.t -> unit

@@ -1,0 +1,158 @@
+open! Import
+
+let pct part total =
+  if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+let pp_counts fmt (c : Inject_campaign.counts) =
+  Format.fprintf fmt "%d stable / %d spurious / %d masked" c.Inject_campaign.stable
+    c.Inject_campaign.spurious c.Inject_campaign.masked
+
+let pp fmt (r : Inject_campaign.result) =
+  let plans = List.length r.Inject_campaign.plan_results in
+  Format.fprintf fmt
+    "Checker-robustness campaign on %s: %d fault plans x %d test cases (seed %s)@."
+    r.Inject_campaign.config.Config.name plans r.Inject_campaign.testcases
+    (Word.to_hex r.Inject_campaign.seed);
+  Format.fprintf fmt "  clean baseline: %s; matches paper Table 3: %b@."
+    (String.concat " "
+       (List.map Case.to_string r.Inject_campaign.baseline_found))
+    r.Inject_campaign.baseline_matches_paper;
+  Format.fprintf fmt "  plan outcomes: %a@." pp_counts r.Inject_campaign.plan_totals;
+  Format.fprintf fmt "  unit outcomes: %a@." pp_counts r.Inject_campaign.unit_totals;
+  Format.fprintf fmt "  by fault model:@.";
+  List.iter
+    (fun (m, c) ->
+      Format.fprintf fmt "    %-32s %a@." (Fault_model.to_string m) pp_counts c)
+    r.Inject_campaign.by_model;
+  Format.fprintf fmt "  by structure:@.";
+  List.iter
+    (fun (s, c) ->
+      Format.fprintf fmt "    %-32s %a@." (Structure.to_string s) pp_counts c)
+    r.Inject_campaign.by_structure;
+  let interesting =
+    List.filter
+      (fun (p : Inject_campaign.plan_result) -> p.outcome <> Inject_campaign.Stable)
+      r.Inject_campaign.plan_results
+  in
+  if interesting = [] then
+    Format.fprintf fmt "  every plan left the checker verdicts unchanged@."
+  else begin
+    Format.fprintf fmt "  non-stable plans:@.";
+    List.iter
+      (fun (p : Inject_campaign.plan_result) ->
+        Format.fprintf fmt "    %a -> %s@." Fault_plan.pp p.plan
+          (Inject_campaign.outcome_to_string p.outcome);
+        List.iter
+          (fun (d : Inject_campaign.unit_diff) ->
+            if d.masked_cases <> [] || d.spurious_cases <> [] then
+              Format.fprintf fmt "      %s: masked [%s] spurious [%s]@." d.testcase
+                (String.concat " " (List.map Case.to_string d.masked_cases))
+                (String.concat " " (List.map Case.to_string d.spurious_cases)))
+          p.diffs)
+      interesting
+  end;
+  Format.fprintf fmt "  checker stability: %.1f%% of plans, %.1f%% of units@."
+    (pct r.Inject_campaign.plan_totals.stable plans)
+    (pct r.Inject_campaign.unit_totals.stable (plans * r.Inject_campaign.testcases))
+
+(* {2 JSON}
+
+   Hand-rolled like bench/main.ml.  Deliberately contains no wall time
+   or host detail: the acceptance criterion is that reports for the
+   same seed are byte-identical across job counts and reruns. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_cases cases =
+  Printf.sprintf "[%s]"
+    (String.concat ", " (List.map (fun c -> json_string (Case.to_string c)) cases))
+
+let json_counts (c : Inject_campaign.counts) =
+  Printf.sprintf "{\"stable\": %d, \"spurious\": %d, \"masked\": %d}"
+    c.Inject_campaign.stable c.Inject_campaign.spurious c.Inject_campaign.masked
+
+let json_fault (f : Fault_plan.fault) =
+  Printf.sprintf
+    "{\"model\": %s, \"window_start\": %d, \"window_len\": %d, \"select\": %d, \
+     \"bit\": %d}"
+    (json_string (Fault_model.to_string f.model))
+    f.window_start f.window_len f.select f.bit
+
+let json_diff (d : Inject_campaign.unit_diff) =
+  Printf.sprintf "{\"testcase\": %s, \"masked\": %s, \"spurious\": %s}"
+    (json_string d.testcase) (json_cases d.masked_cases)
+    (json_cases d.spurious_cases)
+
+let json_plan_result (p : Inject_campaign.plan_result) =
+  let non_stable =
+    List.filter
+      (fun (d : Inject_campaign.unit_diff) ->
+        d.masked_cases <> [] || d.spurious_cases <> [])
+      p.diffs
+  in
+  Printf.sprintf
+    "{\"id\": %d, \"plan_seed\": %s, \"outcome\": %s, \"faults_applied\": %d, \
+     \"faults\": [%s], \"diffs\": [%s]}"
+    p.plan.Fault_plan.id
+    (json_string (Word.to_hex p.plan.Fault_plan.plan_seed))
+    (json_string (Inject_campaign.outcome_to_string p.outcome))
+    p.faults_applied
+    (String.concat ", " (List.map json_fault p.plan.Fault_plan.faults))
+    (String.concat ", " (List.map json_diff non_stable))
+
+let to_json_string (r : Inject_campaign.result) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"core\": %s,\n" (json_string r.Inject_campaign.config.Config.name);
+  add "  \"seed\": %s,\n" (json_string (Word.to_hex r.Inject_campaign.seed));
+  add "  \"plans\": %d,\n" (List.length r.Inject_campaign.plan_results);
+  add "  \"testcases\": %d,\n" r.Inject_campaign.testcases;
+  add "  \"baseline\": {\"found\": %s, \"matches_paper\": %b, \"residue_warnings\": %d},\n"
+    (json_cases r.Inject_campaign.baseline_found)
+    r.Inject_campaign.baseline_matches_paper r.Inject_campaign.baseline_residue;
+  add "  \"plan_totals\": %s,\n" (json_counts r.Inject_campaign.plan_totals);
+  add "  \"unit_totals\": %s,\n" (json_counts r.Inject_campaign.unit_totals);
+  add "  \"by_model\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun (m, c) ->
+            Printf.sprintf "{\"model\": %s, \"counts\": %s}"
+              (json_string (Fault_model.to_string m))
+              (json_counts c))
+          r.Inject_campaign.by_model));
+  add "  \"by_structure\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun (s, c) ->
+            Printf.sprintf "{\"structure\": %s, \"counts\": %s}"
+              (json_string (Structure.to_string s))
+              (json_counts c))
+          r.Inject_campaign.by_structure));
+  add "  \"plan_results\": [\n    %s\n  ]\n"
+    (String.concat ",\n    "
+       (List.map json_plan_result r.Inject_campaign.plan_results));
+  add "}\n";
+  Buffer.contents buf
+
+let save_json ~path r =
+  let oc = open_out path in
+  (try output_string oc (to_json_string r)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

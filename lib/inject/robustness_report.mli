@@ -1,0 +1,16 @@
+open! Import
+
+(** Rendering for checker-robustness results.
+
+    Both the textual report and the JSON document are fully determined
+    by the campaign result — no wall time, host name or other
+    environment detail — so reports produced from the same seed are
+    byte-identical across reruns and job counts. *)
+
+val pp : Format.formatter -> Inject_campaign.result -> unit
+
+(** [to_json_string r] serialises the result, keeping per-plan detail
+    only for the diffs that changed a verdict. *)
+val to_json_string : Inject_campaign.result -> string
+
+val save_json : path:string -> Inject_campaign.result -> unit

@@ -12,6 +12,7 @@ type origin =
   | Refill
   | Branch_exec
   | Writeback
+  | Fault_inject
 
 let origin_to_string = function
   | Explicit_load -> "explicit-load"
@@ -25,11 +26,13 @@ let origin_to_string = function
   | Refill -> "refill"
   | Branch_exec -> "branch-exec"
   | Writeback -> "writeback"
+  | Fault_inject -> "fault-inject"
 
 let all_origins =
   [
     Explicit_load; Explicit_store; Prefetch; Ptw_walk; Store_drain;
     Memset_destroy; Csr_read; Context_save; Refill; Branch_exec; Writeback;
+    Fault_inject;
   ]
 
 let origin_of_string s = List.find_opt (fun o -> origin_to_string o = s) all_origins
@@ -46,6 +49,7 @@ type event =
   | Mode_switch of { from_ctx : Exec_context.t; to_ctx : Exec_context.t }
   | Commit of { pc : Word.t; instr : string }
   | Exception_raised of { cause : string; pc : Word.t }
+  | Fault_injected of { structure : Structure.t option; detail : string }
 
 type record = { cycle : int; ctx : Exec_context.t; event : event }
 
@@ -67,7 +71,7 @@ let contains_value r v =
   let in_entries entries = List.exists (fun e -> Int64.equal e.data v) entries in
   match r.event with
   | Write { entries; _ } | Snapshot { entries; _ } -> in_entries entries
-  | Mode_switch _ | Commit _ | Exception_raised _ -> false
+  | Mode_switch _ | Commit _ | Exception_raised _ | Fault_injected _ -> false
 
 let occurrences t v = List.filter (fun r -> contains_value r v) (to_list t)
 
@@ -109,6 +113,10 @@ let pp_record fmt r =
   | Commit { pc; instr } -> Format.fprintf fmt "COMMIT %a %s" Word.pp pc instr
   | Exception_raised { cause; pc } ->
     Format.fprintf fmt "EXCPT %s at %a" cause Word.pp pc
+  | Fault_injected { structure; detail } ->
+    Format.fprintf fmt "FAULT %s: %s"
+      (match structure with Some s -> Structure.to_string s | None -> "global")
+      detail
 
 let pp fmt t =
   List.iter (fun r -> Format.fprintf fmt "%a@." pp_record r) (to_list t)

@@ -26,6 +26,10 @@ type origin =
   | Refill  (** Cache refill completing. *)
   | Branch_exec  (** Branch predictor update at branch execution. *)
   | Writeback  (** Ordinary result write-back into the register file. *)
+  | Fault_inject
+      (** Data planted by the deterministic fault injector (lib/inject) —
+          lets the checker attribute corrupted values to the fault, not
+          to an architectural access path. *)
 
 val origin_to_string : origin -> string
 
@@ -55,6 +59,13 @@ type event =
   | Mode_switch of { from_ctx : Exec_context.t; to_ctx : Exec_context.t }
   | Commit of { pc : Word.t; instr : string }
   | Exception_raised of { cause : string; pc : Word.t }
+  | Fault_injected of { structure : Structure.t option; detail : string }
+      (** A fault-injection campaign perturbed the machine here:
+          [structure] names the corrupted storage element ([None] for
+          machine-global faults such as a stuck permission check), and
+          [detail] describes the applied fault.  The event makes every
+          injected perturbation attributable when diffing a faulted log
+          against its clean baseline. *)
 
 type record = { cycle : int; ctx : Exec_context.t; event : event }
 

@@ -67,6 +67,13 @@ let record_to_string (r : Log.record) =
     String.concat "\t" [ head "C"; Printf.sprintf "0x%Lx" pc; escape instr ]
   | Log.Exception_raised { cause; pc } ->
     String.concat "\t" [ head "E"; Printf.sprintf "0x%Lx" pc; escape cause ]
+  | Log.Fault_injected { structure; detail } ->
+    String.concat "\t"
+      [
+        head "F";
+        (match structure with Some s -> Structure.to_string s | None -> "~");
+        escape detail;
+      ]
 
 let write_channel oc log =
   List.iter
@@ -126,6 +133,14 @@ let parse_record line =
       | "E", [ pc; cause ] -> (
         match Int64.of_string_opt pc with
         | Some pc -> record (Log.Exception_raised { cause = unescape cause; pc })
+        | None -> None)
+      | "F", [ structure; detail ] -> (
+        match
+          if structure = "~" then Some None
+          else Option.map Option.some (Structure.of_string structure)
+        with
+        | Some structure ->
+          record (Log.Fault_injected { structure; detail = unescape detail })
         | None -> None)
       | _ -> None)
     | _ -> None)

@@ -7,6 +7,7 @@ type t = {
   commits : int;
   exceptions : int;
   mode_switches : int;
+  faults_injected : int;
   first_cycle : int;
   last_cycle : int;
   by_structure : (Structure.t * int) list;
@@ -15,7 +16,7 @@ type t = {
 
 let of_log log =
   let writes = ref 0 and snapshots = ref 0 and commits = ref 0 in
-  let exceptions = ref 0 and mode_switches = ref 0 in
+  let exceptions = ref 0 and mode_switches = ref 0 and faults = ref 0 in
   let first_cycle = ref max_int and last_cycle = ref 0 in
   let structures = Hashtbl.create 16 and origins = Hashtbl.create 16 in
   let bump table key =
@@ -33,7 +34,8 @@ let of_log log =
       | Log.Snapshot _ -> incr snapshots
       | Log.Commit _ -> incr commits
       | Log.Exception_raised _ -> incr exceptions
-      | Log.Mode_switch _ -> incr mode_switches)
+      | Log.Mode_switch _ -> incr mode_switches
+      | Log.Fault_injected _ -> incr faults)
     (Log.to_list log);
   {
     records = Log.length log;
@@ -42,6 +44,7 @@ let of_log log =
     commits = !commits;
     exceptions = !exceptions;
     mode_switches = !mode_switches;
+    faults_injected = !faults;
     first_cycle = (if !first_cycle = max_int then 0 else !first_cycle);
     last_cycle = !last_cycle;
     by_structure =
@@ -55,9 +58,12 @@ let of_log log =
 let pp fmt t =
   Format.fprintf fmt
     "%d records over cycles %d..%d: %d writes, %d snapshots, %d commits, %d \
-     exceptions, %d mode switches@."
+     exceptions, %d mode switches%s@."
     t.records t.first_cycle t.last_cycle t.writes t.snapshots t.commits t.exceptions
-    t.mode_switches;
+    t.mode_switches
+    (if t.faults_injected > 0 then
+       Printf.sprintf ", %d injected faults" t.faults_injected
+     else "");
   Format.fprintf fmt "  writes by structure:";
   List.iter (fun (s, n) -> Format.fprintf fmt " %s:%d" (Structure.to_string s) n) t.by_structure;
   Format.fprintf fmt "@.  writes by provenance:";

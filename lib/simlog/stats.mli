@@ -13,6 +13,7 @@ type t = {
   commits : int;
   exceptions : int;
   mode_switches : int;
+  faults_injected : int;  (** Deterministic fault-injection events. *)
   first_cycle : int;
   last_cycle : int;
   by_structure : (Structure.t * int) list;  (** Write events per structure. *)

@@ -55,7 +55,8 @@ let classify ~(structure : Structure.t) ~origin ~(owner : Secret.owner)
     | Some Log.Explicit_load when detection = Fetched -> cross_boundary_case owner ctx
     | Some
         ( Log.Explicit_load | Log.Explicit_store | Log.Store_drain | Log.Csr_read
-        | Log.Context_save | Log.Refill | Log.Branch_exec | Log.Writeback )
+        | Log.Context_save | Log.Refill | Log.Branch_exec | Log.Writeback
+        | Log.Fault_inject )
     | None ->
       None)
   | Structure.Reg_file ->
@@ -153,7 +154,9 @@ let check_data_naive log tracker records =
                     ~before_cycle:r.Log.cycle
                 in
                 emit ~structure ~origin ~detection:Residue ~note:"snapshot residue"
-            | Log.Mode_switch _ | Log.Commit _ | Log.Exception_raised _ -> ()
+            | Log.Mode_switch _ | Log.Commit _ | Log.Exception_raised _
+            | Log.Fault_injected _ ->
+              ()
           end)
         records)
     (Secret.all tracker);
@@ -213,7 +216,9 @@ let check_data tracker records =
                 Hashtbl.replace writes key ((r.Log.cycle, origin) :: prev))
             entries
         | Log.Commit { pc; _ } -> commits := (r.Log.cycle, pc) :: !commits
-        | Log.Snapshot _ | Log.Mode_switch _ | Log.Exception_raised _ -> ())
+        | Log.Snapshot _ | Log.Mode_switch _ | Log.Exception_raised _
+        | Log.Fault_injected _ ->
+          ())
       records;
     Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) writes;
     let commits = Array.of_list (List.rev !commits) in
@@ -323,7 +328,9 @@ let check_data tracker records =
                     end)
                   matches)
             entries
-        | Log.Mode_switch _ | Log.Commit _ | Log.Exception_raised _ -> ())
+        | Log.Mode_switch _ | Log.Commit _ | Log.Exception_raised _
+        | Log.Fault_injected _ ->
+          ())
       records;
     (* The naive pass prepends as it emits, so its result is emission
        order reversed: sort the tags descending. *)

@@ -4,7 +4,12 @@ type t = { offset : int; width : int; variant : int; seed : Word.t }
 
 let default = { offset = 0; width = 8; variant = 0; seed = 0xDEADBEEFL }
 
+let valid_widths = [ 1; 2; 4; 8 ]
+
 let make ?(offset = 0) ?(width = 8) ?(variant = 0) ?(seed = 0xDEADBEEFL) () =
+  if not (List.mem width valid_widths) then
+    invalid_arg
+      (Printf.sprintf "Params.make: width must be 1, 2, 4 or 8 (got %d)" width);
   { offset; width; variant; seed }
 
 let pp fmt t =

@@ -9,8 +9,9 @@ type outcome = {
   log_records : int;
 }
 
-let run config (testcase : Testcase.t) =
+let run ?prepare config (testcase : Testcase.t) =
   let env = Env.create config testcase.Testcase.params in
+  (match prepare with Some f -> f env | None -> ());
   List.iter (fun g -> g.Gadget.emit env) testcase.Testcase.gadgets;
   (* Force a final snapshot so residue of the last gadget is logged. *)
   Machine.switch_context env.Env.machine

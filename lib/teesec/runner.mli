@@ -17,5 +17,8 @@ type outcome = {
   log_records : int;
 }
 
-(** [run config testcase] executes the gadget chain in order. *)
-val run : Config.t -> Testcase.t -> outcome
+(** [run config testcase] executes the gadget chain in order.
+    [prepare], if given, runs on the freshly created environment before
+    any gadget emits — the fault injector uses it to arm its machine
+    hooks so faults can fire from the first cycle. *)
+val run : ?prepare:(Env.t -> unit) -> Config.t -> Testcase.t -> outcome

@@ -128,3 +128,19 @@ let snapshot t =
       List.init line_words (fun i ->
           Log.entry ~slot:i ~addr:(Int64.add base (Int64.of_int (i * 8))) data.(i)))
     (valid_lines t)
+
+let corrupt_bit t ~select ~bit =
+  let valid = ref [] in
+  Array.iter
+    (fun set -> Array.iter (fun l -> if l.valid then valid := l :: !valid) set)
+    t.lines;
+  match List.rev !valid with
+  | [] -> None
+  | lines ->
+    let n = List.length lines in
+    let l = List.nth lines (select mod n) in
+    let word = select / n mod line_words in
+    let pos = bit mod 64 in
+    l.data.(word) <- Int64.logxor l.data.(word) (Int64.shift_left 1L pos);
+    l.dirty <- true;
+    Some (Int64.add l.tag (Int64.of_int (word * 8)), l.data.(word))

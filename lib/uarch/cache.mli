@@ -48,3 +48,11 @@ val valid_lines : t -> (Word.t * Word.t array) list
 (** [snapshot t] renders the valid lines as log entries (one entry per
     word so the checker can match secrets directly). *)
 val snapshot : t -> Log.entry list
+
+(** [corrupt_bit t ~select ~bit] flips one bit of one valid line for
+    fault injection: [select] deterministically picks the line and the
+    word inside it, [bit] the bit position (both wrap).  Returns the
+    word's address and its new value, or [None] when the cache holds no
+    valid line.  The line is marked dirty so the corruption propagates
+    on write-back. *)
+val corrupt_bit : t -> select:int -> bit:int -> (Word.t * Word.t) option

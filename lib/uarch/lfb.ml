@@ -47,7 +47,29 @@ let flush t =
       Array.fill s.data 0 line_words 0L)
     t.slots
 
+let flush_partial t =
+  Array.iteri
+    (fun i s ->
+      if i mod 2 = 0 then begin
+        s.valid <- false;
+        s.has_data <- false;
+        Array.fill s.data 0 line_words 0L
+      end)
+    t.slots
+
 let occupied t = Array.fold_left (fun n s -> if s.valid then n + 1 else n) 0 t.slots
+
+let corrupt_bit t ~select ~bit =
+  let holding = List.filter (fun s -> s.has_data) (Array.to_list t.slots) in
+  match holding with
+  | [] -> None
+  | slots ->
+    let n = List.length slots in
+    let s = List.nth slots (select mod n) in
+    let word = select / n mod line_words in
+    let pos = bit mod 64 in
+    s.data.(word) <- Int64.logxor s.data.(word) (Int64.shift_left 1L pos);
+    Some (Int64.add s.addr (Int64.of_int (word * 8)), s.data.(word))
 
 let holds_value t v =
   Array.exists

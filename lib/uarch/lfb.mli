@@ -27,6 +27,10 @@ val complete : t -> slot:int -> unit
 (** [flush t] clears every slot including stale data. *)
 val flush : t -> unit
 
+(** [flush_partial t] models a faulty flush that only clears the
+    even-indexed slots — odd slots keep their (possibly stale) data. *)
+val flush_partial : t -> unit
+
 (** [occupied t] counts in-flight (valid) entries. *)
 val occupied : t -> int
 
@@ -41,3 +45,9 @@ val snapshot : t -> Log.entry list
 (** [entries_of_fill ~slot ~addr ~data] are the log entries for a fill
     event, one per word. *)
 val entries_of_fill : slot:int -> addr:Word.t -> data:Word.t array -> Log.entry list
+
+(** [corrupt_bit t ~select ~bit] flips one bit of one data-holding slot
+    (valid or stale) for fault injection; [select] picks slot and word,
+    [bit] the bit position, both wrapping.  Returns the word's address
+    and new value, or [None] when no slot holds data. *)
+val corrupt_bit : t -> select:int -> bit:int -> (Word.t * Word.t) option

@@ -18,6 +18,11 @@ let cause_to_string = function
 
 type trap = { cause : cause; tval : Word.t }
 
+(* How a flush primitive behaves under fault injection: executed
+   faithfully, silently dropped, or applied to only part of the
+   structure. *)
+type flush_behaviour = Flush_normal | Flush_dropped | Flush_partial
+
 type t = {
   config : Config.t;
   mem : Memory.t;
@@ -46,6 +51,12 @@ type t = {
   mutable pending_interrupt : (t -> unit) option;
   hpc_banks : (string, Word.t array) Hashtbl.t;
       (* Per-context event-counter banks for the Tag_bpu_hpc extension. *)
+  (* Fault-injection state (driven by lib/inject). *)
+  mutable advance_hook : (t -> unit) option;
+  mutable in_advance_hook : bool;
+  mutable flush_faults : (Structure.t * flush_behaviour) list;
+  mutable pmp_stuck_grant : bool;
+  mutable snapshot_delay : int;
 }
 
 let create config =
@@ -86,6 +97,11 @@ let create config =
     ecall_handler = (fun _ -> ());
     pending_interrupt = None;
     hpc_banks = Hashtbl.create 8;
+    advance_hook = None;
+    in_advance_hook = false;
+    flush_faults = [];
+    pmp_stuck_grant = false;
+    snapshot_delay = 0;
   }
 
 let config t = t.config
@@ -98,7 +114,13 @@ let cycle t = t.cycle
 let advance t n =
   assert (n >= 0);
   t.cycle <- t.cycle + n;
-  Csr.bump_counter t.csr 0 ~by:(Int64.of_int n)
+  Csr.bump_counter t.csr 0 ~by:(Int64.of_int n);
+  match t.advance_hook with
+  | Some hook when not t.in_advance_hook ->
+    (* The hook's own perturbations burn cycles too; don't recurse. *)
+    t.in_advance_hook <- true;
+    Fun.protect ~finally:(fun () -> t.in_advance_hook <- false) (fun () -> hook t)
+  | Some _ | None -> ()
 
 let context t = t.ctx
 let set_context t ctx = t.ctx <- ctx
@@ -119,6 +141,16 @@ let record t event = Log.record t.log ~cycle:t.cycle ~ctx:t.ctx event
 let log_exception t ~cause ~pc =
   Hpc.bump t.csr Hpc.Exception_event;
   record t (Log.Exception_raised { cause = cause_to_string cause; pc })
+
+let log_fault t ?structure detail = record t (Log.Fault_injected { structure; detail })
+
+(* Every PMP check in the data path goes through this wrapper so the
+   stuck-at-grant fault can override the verdict. *)
+let pmp_allows t ~priv ~kind ~addr ~size =
+  t.pmp_stuck_grant || Pmp.allows t.pmp ~priv ~kind ~addr ~size
+
+let flush_behaviour_of t structure =
+  Option.value (List.assoc_opt structure t.flush_faults) ~default:Flush_normal
 
 (* Register-file write-back: every produced value lands in a physical
    register and is logged, transient or not. *)
@@ -237,8 +269,7 @@ let merge_into_word ~old ~value ~offset ~size =
       (Int64.logand old (Int64.lognot m))
       (Int64.logand (Int64.shift_left value pos) m)
 
-let drain_store_buffer t =
-  let entries = Store_buffer.drain t.stb in
+let drain_entries t entries =
   List.iter
     (fun (e : Store_buffer.entry) ->
       let g = granule_base e.addr in
@@ -254,6 +285,8 @@ let drain_store_buffer t =
       ignore (Cache.write_word t.l1 ~addr:g merged);
       advance t 1)
     entries
+
+let drain_store_buffer t = drain_entries t (Store_buffer.drain t.stb)
 
 let fence t = drain_store_buffer t
 
@@ -297,7 +330,7 @@ let ptw_walk t ~root ~vaddr ~kind =
     Hpc.bump t.csr Hpc.Ptw_walk_event;
     let pte_address = Page_table.pte_addr ~table_base:table ~vaddr ~level in
     let pte_allowed =
-      Pmp.allows t.pmp ~priv:Priv.Supervisor ~kind:Pmp.Read ~addr:pte_address ~size:8
+      pmp_allows t ~priv:Priv.Supervisor ~kind:Pmp.Read ~addr:pte_address ~size:8
     in
     if t.config.Config.ptw_pmp_precheck && not pte_allowed then begin
       (* No request is created at all; the walk aborts cleanly. *)
@@ -459,7 +492,7 @@ let rec load ?(origin = Log.Explicit_load) t ~vaddr ~size () =
       advance t 2;
       { value = 0L; fault = Some trap; latency = 2; transient_forward = false }
     | Phys paddr ->
-      if Pmp.allows t.pmp ~priv:(priv t) ~kind:Pmp.Read ~addr:paddr ~size then
+      if pmp_allows t ~priv:(priv t) ~kind:Pmp.Read ~addr:paddr ~size then
         normal_load t ~paddr ~size ~origin
       else faulting_load t ~paddr ~size ~origin
   end
@@ -488,7 +521,7 @@ let rec store ?(origin = Log.Explicit_store) t ~vaddr ~size ~value () =
       advance t 2;
       Some trap
     | Phys paddr ->
-      if not (Pmp.allows t.pmp ~priv:(priv t) ~kind:Pmp.Write ~addr:paddr ~size) then begin
+      if not (pmp_allows t ~priv:(priv t) ~kind:Pmp.Write ~addr:paddr ~size) then begin
         advance t 2;
         Some { cause = Store_access_fault; tval = paddr }
       end
@@ -549,39 +582,110 @@ let flush_l1i t =
   advance t (2 + valid)
 
 let flush_l1d t =
-  let valid = List.length (Cache.valid_lines t.l1) in
-  let dirty = Cache.flush t.l1 in
-  List.iter
-    (fun (addr, line) ->
-      insert_l2 t ~addr line;
-      Memory.write_line t.mem ~addr line)
-    dirty;
-  advance t (2 + valid + (4 * List.length dirty))
+  match flush_behaviour_of t Structure.L1d_data with
+  | Flush_dropped ->
+    log_fault t ~structure:Structure.L1d_data "L1D flush dropped";
+    advance t 1
+  | Flush_partial ->
+    (* Only every other valid line actually leaves the cache. *)
+    log_fault t ~structure:Structure.L1d_data "L1D flush partial";
+    let valid = Cache.valid_lines t.l1 in
+    List.iteri
+      (fun i (addr, _line) ->
+        if i mod 2 = 0 then
+          match Cache.evict t.l1 ~addr with
+          | Some (line, dirty) ->
+            insert_l2 t ~addr line;
+            if dirty then Memory.write_line t.mem ~addr line
+          | None -> ())
+      valid;
+    advance t (2 + ((List.length valid + 1) / 2))
+  | Flush_normal ->
+    let valid = List.length (Cache.valid_lines t.l1) in
+    let dirty = Cache.flush t.l1 in
+    List.iter
+      (fun (addr, line) ->
+        insert_l2 t ~addr line;
+        Memory.write_line t.mem ~addr line)
+      dirty;
+    advance t (2 + valid + (4 * List.length dirty))
 
 let flush_lfb t =
-  Lfb.flush t.lfb;
-  Lfb.flush t.wb_buffer;
-  advance t 2
+  match flush_behaviour_of t Structure.Lfb with
+  | Flush_dropped ->
+    log_fault t ~structure:Structure.Lfb "LFB flush dropped";
+    advance t 1
+  | Flush_partial ->
+    log_fault t ~structure:Structure.Lfb "LFB flush partial";
+    Lfb.flush_partial t.lfb;
+    Lfb.flush_partial t.wb_buffer;
+    advance t 2
+  | Flush_normal ->
+    Lfb.flush t.lfb;
+    Lfb.flush t.wb_buffer;
+    advance t 2
 
 let flush_store_buffer t =
-  drain_store_buffer t;
-  Store_buffer.clear t.stb;
-  advance t 2
+  match flush_behaviour_of t Structure.Store_buffer with
+  | Flush_dropped ->
+    log_fault t ~structure:Structure.Store_buffer "store-buffer flush dropped";
+    advance t 1
+  | Flush_partial ->
+    (* Only the oldest half drains; younger stores stay buffered. *)
+    log_fault t ~structure:Structure.Store_buffer "store-buffer flush partial";
+    let count = (Store_buffer.occupancy t.stb + 1) / 2 in
+    drain_entries t (Store_buffer.take_oldest t.stb count);
+    advance t 2
+  | Flush_normal ->
+    drain_store_buffer t;
+    Store_buffer.clear t.stb;
+    advance t 2
 
 let flush_tlb t =
-  Tlb.flush t.dtlb;
-  Tlb.flush t.ptw_cache;
-  advance t 2
+  match flush_behaviour_of t Structure.Dtlb with
+  | Flush_dropped ->
+    log_fault t ~structure:Structure.Dtlb "DTLB flush dropped";
+    advance t 1
+  | Flush_partial ->
+    log_fault t ~structure:Structure.Dtlb "DTLB flush partial";
+    Tlb.drop_half t.dtlb;
+    Tlb.drop_half t.ptw_cache;
+    advance t 2
+  | Flush_normal ->
+    Tlb.flush t.dtlb;
+    Tlb.flush t.ptw_cache;
+    advance t 2
 
 let flush_bpu t =
-  let occupancy = Btb.occupancy t.ubtb + Btb.occupancy t.ftb in
-  Btb.flush t.ubtb;
-  Btb.flush t.ftb;
-  advance t (2 + (occupancy / 8))
+  match flush_behaviour_of t Structure.Ubtb with
+  | Flush_dropped ->
+    log_fault t ~structure:Structure.Ubtb "BPU flush dropped";
+    advance t 1
+  | Flush_partial ->
+    (* The uBTB clears but the main FTB survives the "flush". *)
+    log_fault t ~structure:Structure.Ubtb "BPU flush partial";
+    let occupancy = Btb.occupancy t.ubtb in
+    Btb.flush t.ubtb;
+    advance t (2 + (occupancy / 8))
+  | Flush_normal ->
+    let occupancy = Btb.occupancy t.ubtb + Btb.occupancy t.ftb in
+    Btb.flush t.ubtb;
+    Btb.flush t.ftb;
+    advance t (2 + (occupancy / 8))
 
 let reset_hpcs t =
-  Csr.reset_counters t.csr;
-  advance t 1
+  match flush_behaviour_of t Structure.Hpm_counters with
+  | Flush_dropped ->
+    log_fault t ~structure:Structure.Hpm_counters "HPC reset dropped";
+    advance t 1
+  | Flush_partial ->
+    (* Only the first half of the event counters resets. *)
+    log_fault t ~structure:Structure.Hpm_counters "HPC reset partial";
+    List.iter (fun n -> Csr.raw_write t.csr (Csr.Mhpmcounter n) 0L) [ 3; 4; 5; 6 ];
+    advance t 1
+  | Flush_normal ->
+    Csr.reset_counters t.csr;
+    advance t 1
 
 let evict_line t ~addr =
   match Cache.evict t.l1 ~addr with
@@ -596,9 +700,88 @@ let evict_line_l2 t ~addr =
      dropping the line loses nothing. *)
   ignore (Cache.evict t.l2 ~addr)
 
+(* {2 Fault injection}
+
+   The deterministic fault injector (lib/inject) perturbs the machine
+   through this API.  Every applied fault leaves a [Fault_injected]
+   event in the log so that downstream differences in checker verdicts
+   stay attributable to a specific perturbation. *)
+
+let set_advance_hook t hook = t.advance_hook <- hook
+
+let set_flush_fault t ~structure behaviour =
+  let rest = List.remove_assoc structure t.flush_faults in
+  t.flush_faults <-
+    (match behaviour with
+    | Flush_normal -> rest
+    | Flush_dropped | Flush_partial -> (structure, behaviour) :: rest)
+
+let set_pmp_stuck_grant t armed =
+  if armed && not t.pmp_stuck_grant then
+    log_fault t "PMP checks stuck at grant";
+  t.pmp_stuck_grant <- armed
+
+let delay_snapshots t ~count =
+  assert (count >= 0);
+  t.snapshot_delay <- count
+
+let flip_bit t ~structure ~select ~bit =
+  let flipped =
+    match (structure : Structure.t) with
+    | Structure.Reg_file ->
+      Option.map (fun (slot, v) -> (slot, None, v)) (Regfile.corrupt_bit t.regfile ~select ~bit)
+    | Structure.L1d_data ->
+      Option.map (fun (a, v) -> (0, Some a, v)) (Cache.corrupt_bit t.l1 ~select ~bit)
+    | Structure.L1i_data ->
+      Option.map (fun (a, v) -> (0, Some a, v)) (Cache.corrupt_bit t.l1i ~select ~bit)
+    | Structure.L2_data ->
+      Option.map (fun (a, v) -> (0, Some a, v)) (Cache.corrupt_bit t.l2 ~select ~bit)
+    | Structure.Lfb ->
+      Option.map (fun (a, v) -> (0, Some a, v)) (Lfb.corrupt_bit t.lfb ~select ~bit)
+    | Structure.Wb_buffer ->
+      Option.map (fun (a, v) -> (0, Some a, v)) (Lfb.corrupt_bit t.wb_buffer ~select ~bit)
+    | Structure.Store_buffer ->
+      Option.map (fun (a, v) -> (0, Some a, v)) (Store_buffer.corrupt_bit t.stb ~select ~bit)
+    | Structure.Dtlb ->
+      Option.map (fun (a, v) -> (0, Some a, v)) (Tlb.corrupt_bit t.dtlb ~select ~bit)
+    | Structure.Ptw_cache ->
+      Option.map (fun (a, v) -> (0, Some a, v)) (Tlb.corrupt_bit t.ptw_cache ~select ~bit)
+    | Structure.Hpm_counters ->
+      let n = List.nth [ 3; 4; 5; 6; 7; 8; 9; 10 ] (select mod 8) in
+      let v =
+        Int64.logxor (Csr.raw_read t.csr (Csr.Mhpmcounter n))
+          (Int64.shift_left 1L (bit mod 64))
+      in
+      Csr.raw_write t.csr (Csr.Mhpmcounter n) v;
+      Some (n, None, v)
+    | Structure.Ubtb | Structure.Ftb | Structure.Prefetcher | Structure.Store_queue
+    | Structure.Load_queue ->
+      (* No data payload worth flipping in this model. *)
+      None
+  in
+  match flipped with
+  | None -> false
+  | Some (slot, addr, value) ->
+    log_fault t ~structure (Printf.sprintf "bit-flip select=%d bit=%d" select bit);
+    record t
+      (Log.Write
+         {
+           structure;
+           entries = [ Log.entry ~slot ?addr ~note:"injected bit-flip" value ];
+           origin = Log.Fault_inject;
+         });
+    true
+
 (* {2 Context switching} *)
 
 let snapshot_all t =
+  if t.snapshot_delay > 0 then begin
+    (* Delayed-snapshot fault: the instrumentation misses this context
+       switch entirely. *)
+    t.snapshot_delay <- t.snapshot_delay - 1;
+    log_fault t "context-switch snapshot delayed"
+  end
+  else begin
   let snap structure entries =
     record t (Log.Snapshot { structure; entries })
   in
@@ -614,9 +797,10 @@ let snapshot_all t =
   snap Structure.Ftb (Btb.snapshot t.ftb);
   snap Structure.Hpm_counters (Hpc.snapshot t.csr);
   snap Structure.Wb_buffer (Lfb.snapshot t.wb_buffer);
-  (match t.last_prefetch with
+  match t.last_prefetch with
   | Some addr -> snap Structure.Prefetcher [ Log.entry ~addr addr ]
-  | None -> snap Structure.Prefetcher [])
+  | None -> snap Structure.Prefetcher []
+  end
 
 let apply_mitigation_flushes t =
   let active m = Config.mitigated t.config m in
@@ -676,7 +860,7 @@ let step_limit = 200_000
    execute fault (fetches are checked before the access: the front end
    cannot run ahead of the fault in this model). *)
 let icache_fetch t ~pc =
-  if not (Pmp.allows t.pmp ~priv:(priv t) ~kind:Pmp.Execute ~addr:pc ~size:4) then begin
+  if not (pmp_allows t ~priv:(priv t) ~kind:Pmp.Execute ~addr:pc ~size:4) then begin
     log_exception t ~cause:Load_access_fault ~pc;
     false
   end

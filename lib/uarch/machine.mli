@@ -131,6 +131,51 @@ val evict_line : t -> addr:Word.t -> unit
     only in DRAM. *)
 val evict_line_l2 : t -> addr:Word.t -> unit
 
+(** {1 Fault injection}
+
+    Deterministic perturbation hooks driven by the fault injector
+    ([lib/inject]).  Every applied fault logs a [Fault_injected] event,
+    and injected data is logged with the [Fault_inject] provenance, so
+    robustness campaigns can attribute checker-verdict changes to a
+    specific fault. *)
+
+(** How a flush primitive behaves while a flush fault is armed:
+    [Flush_normal] restores faithful behaviour, [Flush_dropped] turns
+    the flush into a no-op, [Flush_partial] clears only part of the
+    structure (even slots / oldest half, depending on the structure). *)
+type flush_behaviour = Flush_normal | Flush_dropped | Flush_partial
+
+(** [set_advance_hook t (Some f)] calls [f t] after every {!advance}.
+    The injector uses this as its cycle trigger: the hook inspects
+    {!cycle} and applies faults whose window has opened.  Re-entrant
+    calls are suppressed — cycles burnt by the hook's own perturbations
+    do not re-invoke it.  [None] removes the hook. *)
+val set_advance_hook : t -> (t -> unit) option -> unit
+
+(** [set_flush_fault t ~structure behaviour] arms (or, with
+    [Flush_normal], disarms) a flush fault.  The keyed structures are
+    [L1d_data] ({!flush_l1d}), [Lfb] ({!flush_lfb}), [Store_buffer]
+    ({!flush_store_buffer}), [Dtlb] ({!flush_tlb}), [Ubtb]
+    ({!flush_bpu}) and [Hpm_counters] ({!reset_hpcs}). *)
+val set_flush_fault : t -> structure:Structure.t -> flush_behaviour -> unit
+
+(** [set_pmp_stuck_grant t true] forces every data-path PMP check (loads,
+    stores, instruction fetch, PTW accesses) to report "allowed" until
+    disarmed — the stuck-at fault on the permission-check output. *)
+val set_pmp_stuck_grant : t -> bool -> unit
+
+(** [delay_snapshots t ~count] makes the next [count] calls to
+    {!snapshot_all} record nothing (beyond a [Fault_injected] marker) —
+    the instrumentation misses those context switches. *)
+val delay_snapshots : t -> count:int -> unit
+
+(** [flip_bit t ~structure ~select ~bit] flips one bit in one occupied
+    entry of [structure]; [select] deterministically picks the entry
+    (and word) and [bit] the bit position, both wrapping.  Returns
+    [false] when the structure is empty (or carries no data payload in
+    this model), in which case nothing is logged. *)
+val flip_bit : t -> structure:Structure.t -> select:int -> bit:int -> bool
+
 (** {1 Context switching} *)
 
 (** [switch_context t ~to_ctx] logs the mode switch, applies the

@@ -25,6 +25,16 @@ let writeback t ~value ~ctx ~transient =
 let holds_value t v =
   Array.exists (fun c -> c.in_use && Int64.equal c.value v) t.cells
 
+let corrupt_bit t ~select ~bit =
+  let used = ref [] in
+  Array.iteri (fun i c -> if c.in_use then used := (i, c) :: !used) t.cells;
+  match List.rev !used with
+  | [] -> None
+  | cells ->
+    let slot, c = List.nth cells (select mod List.length cells) in
+    c.value <- Int64.logxor c.value (Int64.shift_left 1L (bit mod 64));
+    Some (slot, c.value)
+
 let clear t =
   Array.iter
     (fun c ->

@@ -27,3 +27,9 @@ val holds_value : t -> Word.t -> bool
 val clear : t -> unit
 
 val snapshot : t -> Log.entry list
+
+(** [corrupt_bit t ~select ~bit] flips one bit of one allocated physical
+    register for fault injection ([select] picks the register, both
+    wrap).  Returns the register index and its new value, or [None] when
+    no register is allocated. *)
+val corrupt_bit : t -> select:int -> bit:int -> (int * Word.t) option

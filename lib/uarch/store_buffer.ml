@@ -47,6 +47,35 @@ let drain t =
   t.items <- [];
   oldest_first
 
+let take_oldest t count =
+  let oldest_first = List.rev t.items in
+  let rec split n = function
+    | e :: rest when n > 0 ->
+      let taken, kept = split (n - 1) rest in
+      (e :: taken, kept)
+    | rest -> ([], rest)
+  in
+  let taken, kept = split count oldest_first in
+  t.items <- List.rev kept;
+  taken
+
+let corrupt_bit t ~select ~bit =
+  match t.items with
+  | [] -> None
+  | items ->
+    let index = select mod List.length items in
+    let pos = bit mod 64 in
+    let items =
+      List.mapi
+        (fun i e ->
+          if i = index then { e with value = Int64.logxor e.value (Int64.shift_left 1L pos) }
+          else e)
+        items
+    in
+    t.items <- items;
+    let e = List.nth items index in
+    Some (e.addr, e.value)
+
 let clear t = t.items <- []
 let occupancy t = List.length t.items
 let entries t = List.rev t.items

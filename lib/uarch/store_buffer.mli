@@ -41,6 +41,16 @@ val forward : t -> addr:Word.t -> size:int -> forward_result
 (** [drain t] removes and returns all entries, oldest first. *)
 val drain : t -> entry list
 
+(** [take_oldest t count] removes and returns only the [count] oldest
+    entries (a partial drain, for faulty-flush injection).  Younger
+    entries stay buffered. *)
+val take_oldest : t -> int -> entry list
+
+(** [corrupt_bit t ~select ~bit] flips one bit of one buffered store's
+    value for fault injection ([select] picks the entry, both wrap).
+    Returns the store's address and new value, or [None] when empty. *)
+val corrupt_bit : t -> select:int -> bit:int -> (Word.t * Word.t) option
+
 val clear : t -> unit
 val occupancy : t -> int
 val entries : t -> entry list

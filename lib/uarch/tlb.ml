@@ -50,6 +50,28 @@ let translate entry ~vaddr =
 let flush t = Array.iter (fun s -> s.valid <- false) t.slots
 let occupancy t = Array.fold_left (fun n s -> if s.valid then n + 1 else n) 0 t.slots
 
+let drop_half t =
+  let i = ref 0 in
+  Array.iter
+    (fun s ->
+      if s.valid then begin
+        if !i mod 2 = 0 then s.valid <- false;
+        incr i
+      end)
+    t.slots
+
+let corrupt_bit t ~select ~bit =
+  let valid = List.filter (fun s -> s.valid) (Array.to_list t.slots) in
+  match valid with
+  | [] -> None
+  | slots ->
+    let s = List.nth slots (select mod List.length slots) in
+    (* Flip within the PPN's low bits so the mistranslation stays inside
+       the modelled physical address space. *)
+    let ppn = Int64.logxor s.entry.ppn (Int64.shift_left 1L (bit mod 28)) in
+    s.entry <- { s.entry with ppn };
+    Some (Int64.shift_left s.entry.vpn 12, Int64.shift_left ppn 12)
+
 let snapshot t =
   Array.to_list t.slots
   |> List.mapi (fun i s ->

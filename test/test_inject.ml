@@ -1,0 +1,304 @@
+(* Tests for the fault-injection subsystem (lib/inject).
+
+   The contracts under test are the ones the robustness campaigns rely
+   on: plan sampling is a pure function of the seed, the campaign is
+   bit-identical for every job count, a zero-fault baseline still
+   reproduces the paper's Table 3 verdicts, and the corpus generators
+   the campaigns rerun are themselves deterministic. *)
+
+open Teesec
+module Config = Uarch.Config
+module Machine = Uarch.Machine
+module Structure = Simlog.Structure
+module Fault_model = Inject.Fault_model
+module Fault_plan = Inject.Fault_plan
+module Inject_campaign = Inject.Inject_campaign
+module Robustness_report = Inject.Robustness_report
+
+(* {1 Fault model vocabulary} *)
+
+let test_fault_model_roundtrip () =
+  List.iter
+    (fun m ->
+      let s = Fault_model.to_string m in
+      match Fault_model.of_string s with
+      | Some m' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" s)
+          true
+          (Fault_model.equal m m')
+      | None -> Alcotest.failf "of_string failed on %s" s)
+    Fault_model.vocabulary;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Fault_model.of_string "bit-flip:flux-capacitor" = None)
+
+let test_fault_model_structures () =
+  (* Every model with a structural target reports it; machine-global
+     models report none. *)
+  Alcotest.(check bool) "pmp model is global" true
+    (Fault_model.structure_of Fault_model.Pmp_stuck_grant = None);
+  Alcotest.(check bool) "snapshot delay is global" true
+    (Fault_model.structure_of Fault_model.Snapshot_delay = None);
+  Alcotest.(check bool) "hpc corruption targets the counters" true
+    (Fault_model.structure_of Fault_model.Hpc_corrupt = Some Structure.Hpm_counters);
+  List.iter
+    (fun target ->
+      Alcotest.(check bool)
+        (Structure.to_string target ^ " bit-flip target")
+        true
+        (Fault_model.structure_of (Fault_model.Bit_flip target) = Some target))
+    Fault_model.bit_flip_targets
+
+(* {1 Plan sampling determinism (qcheck)} *)
+
+let plan_sampling_deterministic =
+  let gen = QCheck.Gen.(pair (int_range 0 10_000) (int_range 0 40)) in
+  QCheck.Test.make ~name:"equal seeds yield identical fault plans" ~count:200
+    (QCheck.make
+       ~print:(fun (seed, count) -> Printf.sprintf "seed=%d count=%d" seed count)
+       gen)
+    (fun (seed, count) ->
+      let seed = Int64.of_int seed in
+      let a = Fault_plan.sample ~seed ~count in
+      let b = Fault_plan.sample ~seed ~count in
+      List.length a = count && List.equal Fault_plan.equal a b)
+
+let plan_batches_share_prefix =
+  let gen = QCheck.Gen.(pair (int_range 0 10_000) (int_range 1 30)) in
+  QCheck.Test.make ~name:"smaller batches are prefixes of larger ones" ~count:100
+    (QCheck.make
+       ~print:(fun (seed, count) -> Printf.sprintf "seed=%d count=%d" seed count)
+       gen)
+    (fun (seed, count) ->
+      let seed = Int64.of_int seed in
+      let small = Fault_plan.sample ~seed ~count in
+      let large = Fault_plan.sample ~seed ~count:(count + 10) in
+      List.equal Fault_plan.equal small
+        (List.filteri (fun i _ -> i < count) large))
+
+let test_plan_shape () =
+  List.iter
+    (fun (plan : Fault_plan.t) ->
+      let n = List.length plan.Fault_plan.faults in
+      Alcotest.(check bool)
+        (Printf.sprintf "plan %d has 1-3 faults" plan.Fault_plan.id)
+        true
+        (n >= 1 && n <= 3);
+      (* Faults are sorted by window start for the injector. *)
+      let starts =
+        List.map (fun f -> f.Fault_plan.window_start) plan.Fault_plan.faults
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "plan %d sorted by window start" plan.Fault_plan.id)
+        (List.sort compare starts) starts)
+    (Fault_plan.sample ~seed:0x5EEDL ~count:50)
+
+(* {1 Campaign determinism across job counts} *)
+
+let small_slice () =
+  (* A handful of slice test cases keeps the jobs=1/jobs=4 comparison
+     fast while still crossing several access paths. *)
+  List.filteri (fun i _ -> i < 6) (Mitigation_eval.slice ())
+
+let test_campaign_jobs_identical () =
+  let testcases = small_slice () in
+  let run jobs =
+    Inject_campaign.run ~jobs ~seed:42L ~plans:6 Config.boom testcases
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check bool) "identical results" true (seq = par);
+  Alcotest.(check string) "byte-identical JSON reports"
+    (Robustness_report.to_json_string seq)
+    (Robustness_report.to_json_string par)
+
+let test_campaign_progress_stream () =
+  let testcases = small_slice () in
+  let lines_of jobs =
+    let lines = ref [] in
+    let progress i n line = lines := Printf.sprintf "[%d/%d] %s" i n line :: !lines in
+    let result =
+      Inject_campaign.run ~progress ~jobs ~seed:7L ~plans:3 Config.xiangshan
+        testcases
+    in
+    (result, List.rev !lines)
+  in
+  let seq, seq_lines = lines_of 1 in
+  let par, par_lines = lines_of 3 in
+  Alcotest.(check bool) "identical results" true (seq = par);
+  Alcotest.(check (list string)) "identical progress stream" seq_lines par_lines;
+  Alcotest.(check int) "one progress line per faulted unit"
+    (3 * List.length testcases)
+    (List.length seq_lines)
+
+(* {1 Clean baseline reproduces Table 3} *)
+
+let test_zero_fault_baseline_matches_paper () =
+  List.iter
+    (fun config ->
+      let r =
+        Inject_campaign.run ~jobs:2 ~seed:0x5EEDL ~plans:1 config
+          (Mitigation_eval.slice ())
+      in
+      Alcotest.(check bool)
+        (config.Config.name ^ ": clean baseline matches Table 3")
+        true r.Inject_campaign.baseline_matches_paper;
+      let expected =
+        List.filter (fun c -> Case.expected c config.Config.kind) Case.all
+      in
+      Alcotest.(check (list string))
+        (config.Config.name ^ ": baseline case set")
+        (List.map Case.to_string expected)
+        (List.map Case.to_string r.Inject_campaign.baseline_found))
+    [ Config.boom; Config.xiangshan ]
+
+let test_campaign_counts_consistent () =
+  let testcases = small_slice () in
+  let r = Inject_campaign.run ~seed:9L ~plans:8 Config.boom testcases in
+  let { Inject_campaign.stable; spurious; masked } =
+    r.Inject_campaign.plan_totals
+  in
+  Alcotest.(check int) "plan totals sum to plan count" 8
+    (stable + spurious + masked);
+  let { Inject_campaign.stable; spurious; masked } =
+    r.Inject_campaign.unit_totals
+  in
+  Alcotest.(check int) "unit totals sum to plans * testcases"
+    (8 * List.length testcases)
+    (stable + spurious + masked);
+  List.iter
+    (fun (pr : Inject_campaign.plan_result) ->
+      Alcotest.(check int)
+        (Printf.sprintf "plan %d has one diff per test case"
+           pr.Inject_campaign.plan.Fault_plan.id)
+        (List.length testcases)
+        (List.length pr.Inject_campaign.diffs))
+    r.Inject_campaign.plan_results
+
+(* {1 Machine-level fault hooks} *)
+
+let count_events log p =
+  List.length
+    (List.filter
+       (fun (r : Simlog.Log.record) -> p r.Simlog.Log.event)
+       (Simlog.Log.to_list log))
+
+let test_pmp_stuck_grant_logs_once () =
+  let m = Machine.create Config.boom in
+  let faults () =
+    count_events (Machine.log m) (function
+      | Simlog.Log.Fault_injected _ -> true
+      | _ -> false)
+  in
+  Machine.set_pmp_stuck_grant m true;
+  Machine.set_pmp_stuck_grant m true;
+  Alcotest.(check int) "arming logs exactly once" 1 (faults ());
+  Machine.set_pmp_stuck_grant m false;
+  Machine.set_pmp_stuck_grant m true;
+  Alcotest.(check int) "re-arming logs again" 2 (faults ())
+
+let test_snapshot_delay_counts_down () =
+  let m = Machine.create Config.boom in
+  Machine.delay_snapshots m ~count:2;
+  (* The first two snapshot requests are swallowed; only the third runs
+     and records structure snapshots. *)
+  let snapshots () =
+    count_events (Machine.log m) (function
+      | Simlog.Log.Snapshot _ -> true
+      | _ -> false)
+  in
+  Machine.snapshot_all m;
+  Machine.snapshot_all m;
+  Alcotest.(check int) "delayed snapshots record nothing" 0 (snapshots ());
+  Machine.snapshot_all m;
+  Alcotest.(check bool) "third snapshot goes through" true (snapshots () > 0)
+
+let test_flip_bit_empty_structure () =
+  let m = Machine.create Config.boom in
+  (* A freshly created machine has an empty store buffer and LFB: the
+     flip is a no-op and must say so without logging anything. *)
+  List.iter
+    (fun structure ->
+      Alcotest.(check bool)
+        (Structure.to_string structure ^ ": flip on empty structure is a no-op")
+        false
+        (Machine.flip_bit m ~structure ~select:5 ~bit:17))
+    [ Structure.Store_buffer; Structure.Lfb ]
+
+(* {1 Corpus generator determinism (regression)} *)
+
+let testcase_fingerprint (tc : Testcase.t) = (Testcase.name tc, tc.Testcase.params)
+
+let test_random_corpus_deterministic () =
+  let a = Fuzzer.random_corpus ~seed:0xF00DL ~count:40 in
+  let b = Fuzzer.random_corpus ~seed:0xF00DL ~count:40 in
+  Alcotest.(check int) "requested size" 40 (List.length a);
+  Alcotest.(check bool) "same seed, identical corpus" true
+    (List.map testcase_fingerprint a = List.map testcase_fingerprint b);
+  let c = Fuzzer.random_corpus ~seed:0xBEEFL ~count:40 in
+  Alcotest.(check bool) "different seed, different corpus" false
+    (List.map testcase_fingerprint a = List.map testcase_fingerprint c)
+
+(* {1 Params width validation} *)
+
+let test_params_width_validation () =
+  List.iter
+    (fun width ->
+      let p = Params.make ~width () in
+      Alcotest.(check int)
+        (Printf.sprintf "width %d accepted" width)
+        width p.Params.width)
+    Params.valid_widths;
+  List.iter
+    (fun width ->
+      match Params.make ~width () with
+      | _ -> Alcotest.failf "width %d must be rejected" width
+      | exception Invalid_argument _ -> ())
+    [ 0; 3; 5; 7; 16; -1 ]
+
+let () =
+  Alcotest.run "inject"
+    [
+      ( "fault-model",
+        [
+          Alcotest.test_case "to_string/of_string round-trip" `Quick
+            test_fault_model_roundtrip;
+          Alcotest.test_case "structure attribution" `Quick
+            test_fault_model_structures;
+        ] );
+      ( "fault-plan",
+        [
+          QCheck_alcotest.to_alcotest plan_sampling_deterministic;
+          QCheck_alcotest.to_alcotest plan_batches_share_prefix;
+          Alcotest.test_case "plan shape" `Quick test_plan_shape;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "jobs=1 == jobs=4, byte-identical JSON" `Slow
+            test_campaign_jobs_identical;
+          Alcotest.test_case "progress stream identical across jobs" `Slow
+            test_campaign_progress_stream;
+          Alcotest.test_case "clean baseline reproduces Table 3" `Slow
+            test_zero_fault_baseline_matches_paper;
+          Alcotest.test_case "outcome counts are consistent" `Slow
+            test_campaign_counts_consistent;
+        ] );
+      ( "machine-hooks",
+        [
+          Alcotest.test_case "pmp stuck-at-grant arming logs once" `Quick
+            test_pmp_stuck_grant_logs_once;
+          Alcotest.test_case "snapshot delay counts down" `Quick
+            test_snapshot_delay_counts_down;
+          Alcotest.test_case "flip_bit on empty structure is a no-op" `Quick
+            test_flip_bit_empty_structure;
+        ] );
+      ( "fuzzer",
+        [
+          Alcotest.test_case "random_corpus deterministic in seed" `Quick
+            test_random_corpus_deterministic;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "width validated to {1,2,4,8}" `Quick
+            test_params_width_validation;
+        ] );
+    ]
