@@ -1,451 +1,3 @@
-(* TEESec command-line interface.
-
-   Mirrors the artifact workflow: inspect the verification plan and the
-   gadget inventory, run single parameterised test cases (the
-   TestGadgetConstructor + Checker flow), run full campaigns (Table 3),
-   evaluate mitigations (Table 4), and replay the figure scenarios. *)
-
-open Cmdliner
-
-let core_conv =
-  let parse s =
-    match Uarch.Config.of_core_name (String.lowercase_ascii s) with
-    | Some c -> Ok c
-    | None -> Error (`Msg (Printf.sprintf "unknown core %S (use boom or xiangshan)" s))
-  in
-  let print fmt (c : Uarch.Config.t) =
-    Format.fprintf fmt "%s" (String.lowercase_ascii (Uarch.Config.core_kind_to_string c.Uarch.Config.kind))
-  in
-  Arg.conv (parse, print)
-
-let core_arg =
-  Arg.(value & opt core_conv Uarch.Config.boom & info [ "core" ] ~docv:"CORE"
-         ~doc:"Core under test: boom or xiangshan.")
-
-let path_conv =
-  let parse s =
-    match
-      List.find_opt
-        (fun p -> String.lowercase_ascii (Teesec.Access_path.to_string p) = String.lowercase_ascii s)
-        Teesec.Access_path.all
-    with
-    | Some p -> Ok p
-    | None -> Error (`Msg (Printf.sprintf "unknown access path %S" s))
-  in
-  let print fmt p = Format.fprintf fmt "%s" (Teesec.Access_path.to_string p) in
-  Arg.conv (parse, print)
-
-(* --jobs: 0 resolves to the host's recommended domain count.  Results
-   are deterministic for every value (the campaign merges in test-case
-   order), so this only trades wall time. *)
-let jobs_arg =
-  let parse jobs =
-    if jobs < 0 then
-      `Error (false, Printf.sprintf "--jobs must be >= 0, got %d" jobs)
-    else if jobs = 0 then `Ok (Parallel.Pool.default_jobs ())
-    else `Ok jobs
-  in
-  Term.(
-    ret
-      (const parse
-      $ Arg.(
-          value & opt int 1
-          & info [ "jobs"; "j" ] ~docv:"N"
-              ~doc:
-                "Run independent test cases across $(docv) OCaml domains \
-                 (default 1; 0 = all hardware threads). Output is identical \
-                 for every value.")))
-
-(* --width: reject anything the gadgets cannot emit, with the valid set
-   in the error message (Params.make would also raise, but this fails at
-   argument-parsing time with cmdliner's usual reporting). *)
-let width_conv =
-  let parse s =
-    match int_of_string_opt s with
-    | None -> Error (`Msg (Printf.sprintf "invalid width %S (expected an integer)" s))
-    | Some w when List.mem w Teesec.Params.valid_widths -> Ok w
-    | Some w ->
-      Error
-        (`Msg
-          (Printf.sprintf "invalid width %d: access width must be %s" w
-             (String.concat ", " (List.map string_of_int Teesec.Params.valid_widths))))
-  in
-  Arg.conv (parse, Format.pp_print_int)
-
-let mitigation_conv =
-  let parse s =
-    match
-      List.find_opt
-        (fun m -> Uarch.Mitigation.to_string m = String.lowercase_ascii s)
-        Uarch.Mitigation.all
-    with
-    | Some m -> Ok m
-    | None -> Error (`Msg (Printf.sprintf "unknown mitigation %S" s))
-  in
-  Arg.conv (parse, (fun fmt m -> Format.fprintf fmt "%s" (Uarch.Mitigation.to_string m)))
-
-(* plan *)
-let plan_cmd =
-  let run config =
-    Format.printf "%a@." Teesec.Plan.pp (Teesec.Plan.build config);
-    print_string (Teesec.Tables.table1 ())
-  in
-  Cmd.v (Cmd.info "plan" ~doc:"Print the verification plan for a core.")
-    Term.(const run $ core_arg)
-
-(* gadgets *)
-let gadgets_cmd =
-  let run () =
-    let section title gadgets =
-      Format.printf "%s (%d):@." title (List.length gadgets);
-      List.iter
-        (fun g ->
-          Format.printf "  %-28s %s@." (Teesec.Gadget.name g) g.Teesec.Gadget.description)
-        gadgets
-    in
-    section "Setup gadgets" Teesec.Gadget_library.setup_gadgets;
-    section "Helper gadgets" Teesec.Gadget_library.helper_gadgets;
-    section "Access gadgets" Teesec.Gadget_library.access_gadgets;
-    Format.printf "Total test cases in the deterministic corpus: %d@."
-      (Teesec.Fuzzer.total_cases ())
-  in
-  Cmd.v (Cmd.info "gadgets" ~doc:"List the gadget inventory.") Term.(const run $ const ())
-
-(* testcase *)
-let testcase_cmd =
-  let run config path offset width variant seed verbose save_log dump_asm =
-    let params = Teesec.Params.make ~offset ~width ~variant ~seed () in
-    let tc = Teesec.Assembler.assemble ~id:0 path ~params in
-    Format.printf "%a@.@." Teesec.Testcase.pp tc;
-    let outcome = Teesec.Runner.run config tc in
-    let findings = Teesec.Checker.check outcome.Teesec.Runner.log outcome.Teesec.Runner.tracker in
-    if verbose then Format.printf "%a@." Simlog.Log.pp outcome.Teesec.Runner.log;
-    (match save_log with
-    | Some path ->
-      Simlog.Serialize.save ~path outcome.Teesec.Runner.log;
-      Format.printf "Simulation log saved to %s (%d records)@.@." path
-        outcome.Teesec.Runner.log_records
-    | None -> ());
-    if dump_asm then begin
-      (* The artifact's generated dummy_entry.S equivalent. *)
-      Format.printf "# Generated test-case assembly@.";
-      List.iteri
-        (fun i (label, prog) ->
-          Format.printf "@.# fragment %d (%s)@.%a" i label Riscv.Program.pp prog)
-        (Teesec.Env.programs outcome.Teesec.Runner.env);
-      Format.printf "@."
-    end;
-    Teesec.Report.render Format.std_formatter outcome findings
-  in
-  let offset = Arg.(value & opt int 0 & info [ "offset" ] ~doc:"Byte offset in the secret line.") in
-  let width = Arg.(value & opt width_conv 8 & info [ "width" ] ~doc:"Access width (1/2/4/8).") in
-  let variant = Arg.(value & opt int 0 & info [ "variant" ] ~doc:"Gadget variant selector.") in
-  let seed = Arg.(value & opt int64 0xDEADBEEFL & info [ "seed" ] ~doc:"Secret seed.") in
-  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump the full simulation log.") in
-  let save_log =
-    Arg.(value & opt (some string) None & info [ "save-log" ] ~docv:"FILE"
-           ~doc:"Write the simulation log to FILE (SimLog.txt format).")
-  in
-  let dump_asm =
-    Arg.(value & flag & info [ "dump-asm" ]
-           ~doc:"Print the generated assembly fragments of the test case.")
-  in
-  let path =
-    Arg.(required & pos 0 (some path_conv) None & info [] ~docv:"ACCESS_PATH"
-           ~doc:"Access path, e.g. Exp_Acc_Enc_L1.")
-  in
-  Cmd.v
-    (Cmd.info "testcase"
-       ~doc:"Assemble, run and check a single parameterised test case.")
-    Term.(const run $ core_arg $ path $ offset $ width $ variant $ seed $ verbose $ save_log $ dump_asm)
-
-(* check: the artifact's Checker.py flow — scan a saved SimLog for a
-   secret value. *)
-let check_cmd =
-  let run logfile secrets all_contexts stats =
-    match Simlog.Serialize.load ~path:logfile with
-    | Error msg ->
-      Format.printf "failed to parse %s: %s@." logfile msg;
-      exit 1
-    | Ok log ->
-      if stats then Format.printf "%a@." Simlog.Stats.pp (Simlog.Stats.of_log log);
-      List.iter
-        (fun secret ->
-          let untrusted (r : Simlog.Log.record) =
-            match r.Simlog.Log.ctx with
-            | Simlog.Exec_context.Host _ -> true
-            | Simlog.Exec_context.Enclave _ | Simlog.Exec_context.Monitor -> false
-          in
-          let occurrences =
-            List.filter
-              (fun r -> all_contexts || untrusted r)
-              (Simlog.Log.occurrences log secret)
-          in
-          match occurrences with
-          | [] ->
-            Format.printf "Secret 0x%Lx not observed%s in the log.@." secret
-              (if all_contexts then "" else " by untrusted contexts")
-          | occurrences ->
-            List.iter
-              (fun (r : Simlog.Log.record) ->
-                let where, origin =
-                  match r.Simlog.Log.event with
-                  | Simlog.Log.Write { structure; origin; _ } ->
-                    (Simlog.Structure.to_string structure,
-                     Some (Simlog.Log.origin_to_string origin))
-                  | Simlog.Log.Snapshot { structure; _ } ->
-                    (Simlog.Structure.to_string structure ^ " (residue)", None)
-                  | _ -> ("?", None)
-                in
-                Format.printf "Enclave secret leakage detected!@.";
-                Format.printf "Secret value: 0x%Lx@." secret;
-                Format.printf "Microarchitecture structure: %s@." where;
-                (match origin with
-                | Some o -> Format.printf "Access path origin: %s@." o
-                | None -> ());
-                Format.printf "Sim Cycle No.: %d@." r.Simlog.Log.cycle;
-                Format.printf "Observing context: %s@."
-                  (Simlog.Exec_context.to_string r.Simlog.Log.ctx);
-                (match Simlog.Log.last_commit_before log ~cycle:r.Simlog.Log.cycle with
-                | Some pc -> Format.printf "PC of Last Committed Inst.: 0x%Lx@.@." pc
-                | None -> Format.printf "@."))
-              occurrences)
-        secrets
-  in
-  let logfile =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"SIMLOG"
-           ~doc:"Saved simulation log (from testcase --save-log).")
-  in
-  let secrets =
-    Arg.(value & opt_all int64 [] & info [ "secret" ] ~docv:"VALUE"
-           ~doc:"Secret value to search for (repeatable).")
-  in
-  let all_contexts =
-    Arg.(value & flag & info [ "all" ]
-           ~doc:"Report trusted (enclave/monitor) observations too.")
-  in
-  let stats =
-    Arg.(value & flag & info [ "stats" ] ~doc:"Print log statistics first.")
-  in
-  Cmd.v
-    (Cmd.info "check" ~doc:"Search a saved simulation log for secret values.")
-    Term.(const run $ logfile $ secrets $ all_contexts $ stats)
-
-(* campaign *)
-let campaign_cmd =
-  let run config full quiet mitigations random fuzz_seed csv jobs =
-    let config = Uarch.Config.with_mitigations config mitigations in
-    let testcases =
-      match random with
-      | Some count -> Teesec.Fuzzer.random_corpus ~seed:fuzz_seed ~count
-      | None -> if full then Teesec.Fuzzer.corpus () else Teesec.Mitigation_eval.slice ()
-    in
-    let progress =
-      if quiet then fun _ _ _ -> ()
-      else fun i n line -> Format.printf "[%3d/%3d] %s@." i n line
-    in
-    let result = Teesec.Campaign.run ~progress ~jobs config testcases in
-    Format.printf "@.%a@." Teesec.Campaign.pp_result result;
-    match csv with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Teesec.Tables.table3_csv [ result ]);
-      close_out oc;
-      Format.printf "CSV written to %s@." path
-    | None -> ()
-  in
-  let full = Arg.(value & flag & info [ "full" ] ~doc:"Run all 585 test cases (default: representative slice).") in
-  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-test progress lines.") in
-  let mitigations =
-    Arg.(value & opt_all mitigation_conv [] & info [ "mitigation"; "m" ]
-           ~doc:"Enable a mitigation (repeatable).")
-  in
-  let random =
-    Arg.(value & opt (some int) None & info [ "random" ] ~docv:"N"
-           ~doc:"Long-fuzzing mode: N randomly drawn test cases instead of the grid corpus.")
-  in
-  let fuzz_seed =
-    Arg.(value & opt int64 0x5EEDL & info [ "fuzz-seed" ] ~docv:"SEED"
-           ~doc:"Seed for the random corpus.")
-  in
-  let csv =
-    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
-           ~doc:"Also write the per-case verdicts as CSV.")
-  in
-  Cmd.v (Cmd.info "campaign" ~doc:"Run a leakage-discovery campaign (Table 3).")
-    Term.(const run $ core_arg $ full $ quiet $ mitigations $ random $ fuzz_seed $ csv $ jobs_arg)
-
-(* inject: checker-robustness campaign under sampled fault plans. *)
-let inject_cmd =
-  let run config faults seed full quiet json jobs =
-    let testcases =
-      if full then Teesec.Fuzzer.corpus () else Teesec.Mitigation_eval.slice ()
-    in
-    let progress =
-      if quiet then fun _ _ _ -> ()
-      else fun i n line -> Format.printf "[%4d/%4d] %s@." i n line
-    in
-    let result =
-      Inject.Inject_campaign.run ~progress ~jobs ~seed ~plans:faults config testcases
-    in
-    Format.printf "@.%a@." Inject.Robustness_report.pp result;
-    match json with
-    | Some path ->
-      Inject.Robustness_report.save_json ~path result;
-      Format.printf "JSON report written to %s@." path
-    | None -> ()
-  in
-  let faults =
-    Arg.(value & opt int 25 & info [ "faults" ] ~docv:"N"
-           ~doc:"Number of fault plans to sample and inject.")
-  in
-  let seed =
-    Arg.(value & opt int64 0x5EEDL & info [ "seed" ] ~docv:"SEED"
-           ~doc:"Campaign seed; the same seed always reproduces the same \
-                 plans and the same report.")
-  in
-  let full =
-    Arg.(value & flag & info [ "full" ]
-           ~doc:"Inject over all 585 test cases (default: representative slice).")
-  in
-  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-run progress lines.") in
-  let json =
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-           ~doc:"Also write the robustness report as deterministic JSON.")
-  in
-  Cmd.v
-    (Cmd.info "inject"
-       ~doc:
-         "Rerun the corpus under deterministic fault injection and report \
-          whether the checker's verdicts are masked, spurious or stable.")
-    Term.(const run $ core_arg $ faults $ seed $ full $ quiet $ json $ jobs_arg)
-
-(* mitigations *)
-let mitigations_cmd =
-  let run config jobs =
-    let result = Teesec.Mitigation_eval.evaluate ~jobs config in
-    Format.printf "%a@." Teesec.Mitigation_eval.pp_result result;
-    print_string (Teesec.Tables.table4 [ result ])
-  in
-  Cmd.v (Cmd.info "mitigations" ~doc:"Evaluate the Table 4 mitigation knobs on a core.")
-    Term.(const run $ core_arg $ jobs_arg)
-
-(* scenario *)
-let scenario_cmd =
-  let run config name =
-    let scenarios = Teesec.Scenarios.all config in
-    match name with
-    | None ->
-      List.iter (fun (_, t) -> Format.printf "%a@." Teesec.Scenarios.pp_trace t) scenarios
-    | Some n -> (
-      match List.assoc_opt n scenarios with
-      | Some t -> Format.printf "%a@." Teesec.Scenarios.pp_trace t
-      | None ->
-        Format.printf "unknown scenario %S; available: %s@." n
-          (String.concat ", " (List.map fst scenarios)))
-  in
-  let figure_arg =
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE"
-           ~doc:"figure2 .. figure7 (default: all).")
-  in
-  Cmd.v (Cmd.info "scenario" ~doc:"Replay a paper figure as a trace on a core.")
-    Term.(const run $ core_arg $ figure_arg)
-
-(* coverage *)
-let coverage_cmd =
-  let run config full jobs =
-    let testcases =
-      if full then Teesec.Fuzzer.corpus () else Teesec.Mitigation_eval.slice ()
-    in
-    Format.printf "%a@." Teesec.Coverage.pp
-      (Teesec.Coverage.measure ~jobs config testcases)
-  in
-  let full = Arg.(value & flag & info [ "full" ] ~doc:"Measure over the whole 585-case corpus.") in
-  Cmd.v
-    (Cmd.info "coverage" ~doc:"Report verification-plan coverage of a corpus on a core.")
-    Term.(const run $ core_arg $ full $ jobs_arg)
-
-(* netlist *)
-let netlist_cmd =
-  let run config verilog =
-    let design =
-      match config.Uarch.Config.kind with
-      | Uarch.Config.Boom -> Netlist.Designs.boom
-      | Uarch.Config.Xiangshan -> Netlist.Designs.xiangshan
-    in
-    if verilog then print_string (Netlist.Verilog_gen.design_to_string design)
-    else begin
-      Format.printf "Storage elements of %s (%d bits total):@."
-        config.Uarch.Config.name
-        (Netlist.Memory_pass.total_bits design);
-      List.iter
-        (fun e -> Format.printf "  %a@." Netlist.Memory_pass.pp_element e)
-        (Netlist.Memory_pass.run design)
-    end
-  in
-  let verilog =
-    Arg.(value & flag & info [ "verilog" ]
-           ~doc:"Emit the Verilog skeleton view instead of the element list.")
-  in
-  Cmd.v
-    (Cmd.info "netlist"
-       ~doc:"Inspect a core's storage elements or emit its Verilog skeleton.")
-    Term.(const run $ core_arg $ verilog)
-
-(* report *)
-let report_cmd =
-  let run cores out full =
-    let configs =
-      match cores with [] -> [ Uarch.Config.boom; Uarch.Config.xiangshan ] | l -> l
-    in
-    let options =
-      { Teesec.Verification_report.default_options with full_corpus = full }
-    in
-    let bytes = Teesec.Verification_report.save ~options ~path:out configs in
-    Format.printf "Wrote %s (%d bytes) covering %s.@." out bytes
-      (String.concat ", " (List.map (fun c -> c.Uarch.Config.name) configs))
-  in
-  let cores =
-    Arg.(value & opt_all core_conv [] & info [ "core" ] ~docv:"CORE"
-           ~doc:"Core(s) to cover (repeatable; default both).")
-  in
-  let out =
-    Arg.(value & opt string "VERIFICATION_REPORT.md" & info [ "out"; "o" ]
-           ~docv:"FILE" ~doc:"Output markdown file.")
-  in
-  let full = Arg.(value & flag & info [ "full" ] ~doc:"Use the full 585-case corpus.") in
-  Cmd.v
-    (Cmd.info "report"
-       ~doc:"Generate the complete markdown verification report for one or more cores.")
-    Term.(const run $ cores $ out $ full)
-
-(* tables *)
-let tables_cmd =
-  let run () =
-    print_string (Teesec.Tables.table1 ());
-    print_newline ();
-    print_string (Teesec.Tables.table2 ())
-  in
-  Cmd.v (Cmd.info "tables" ~doc:"Print the static tables (1 and 2).")
-    Term.(const run $ const ())
-
-let () =
-  let doc = "TEESec: pre-silicon vulnerability discovery for trusted execution environments" in
-  let info = Cmd.info "teesec_cli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            plan_cmd;
-            gadgets_cmd;
-            testcase_cmd;
-            check_cmd;
-            campaign_cmd;
-            inject_cmd;
-            mitigations_cmd;
-            coverage_cmd;
-            netlist_cmd;
-            report_cmd;
-            scenario_cmd;
-            tables_cmd;
-          ]))
+(* Thin entry point; the command tree lives in lib/cli so the test
+   suite can evaluate it with a synthetic argv. *)
+let () = exit (Cli.Teesec_cmds.eval ())

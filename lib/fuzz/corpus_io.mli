@@ -1,0 +1,20 @@
+open Import
+
+(** Textual corpus files.
+
+    One test case per line — access path and the four parameters — so a
+    corpus survives a process boundary, can be checked into a repo as a
+    regression seed set, and feeds [teesec_cli corpus-min].  Encoding is
+    canonical: [save] then [load] round-trips, and equal corpora produce
+    byte-identical files. *)
+
+(** [to_string testcases] renders the corpus (header line + one line per
+    test case). *)
+val to_string : Testcase.t list -> string
+
+(** [of_string s] parses a corpus, re-assembling each line's gadget
+    chain with sequential ids.  Errors name the offending line. *)
+val of_string : string -> (Testcase.t list, string) result
+
+val save : path:string -> Testcase.t list -> unit
+val load : path:string -> (Testcase.t list, string) result

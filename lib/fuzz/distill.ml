@@ -1,0 +1,38 @@
+open! Import
+
+(* Work in (edge, bucket)-bit space: an entry's footprint is the set of
+   bits it would set in a fresh bitmap. *)
+let footprint edges =
+  List.sort_uniq compare
+    (List.map (fun (index, count) -> (index * 8) + Bitmap.bucket count) edges)
+
+let minimise entries =
+  let entries = Array.of_list (List.map footprint entries) in
+  let covered = Hashtbl.create 256 in
+  let gain bits =
+    List.length (List.filter (fun b -> not (Hashtbl.mem covered b)) bits)
+  in
+  let selected = ref [] in
+  let continue = ref true in
+  while !continue do
+    (* Strict improvement keeps the earliest entry on ties. *)
+    let best = ref None in
+    Array.iteri
+      (fun i bits ->
+        let g = gain bits in
+        if g > 0 then
+          match !best with
+          | Some (_, bg) when bg >= g -> ()
+          | _ -> best := Some (i, g))
+      entries;
+    match !best with
+    | None -> continue := false
+    | Some (i, _) ->
+      selected := i :: !selected;
+      List.iter (fun b -> Hashtbl.replace covered b ()) entries.(i)
+  done;
+  List.sort compare !selected
+
+let apply entries items =
+  let keep = minimise entries in
+  List.filteri (fun i _ -> List.mem i keep) items

@@ -1,0 +1,15 @@
+(** Corpus distillation: greedy minimal covering set.
+
+    Given each corpus entry's coverage observation, keep a subset that
+    preserves the union coverage.  The greedy order (largest marginal
+    gain, earliest entry on ties) is deterministic, so the same corpus
+    always distils to the same subset — the property the
+    [corpus-min] CLI's determinism test pins. *)
+
+(** [minimise entries] returns the indices (into [entries], ascending)
+    of a subset whose union coverage equals the whole list's, where each
+    entry is its [(Edge.index, raw hit count)] observation list. *)
+val minimise : (int * int) list list -> int list
+
+(** [apply entries items] keeps the items selected by [minimise]. *)
+val apply : (int * int) list list -> 'a list -> 'a list

@@ -1,0 +1,171 @@
+open! Import
+
+type options = {
+  seed : Word.t;
+  budget : int;
+  batch : int;
+  energy : int;
+  stop_on_full : bool;
+}
+
+let default =
+  { seed = 0x5EEDL; budget = 250; batch = 32; energy = 80; stop_on_full = false }
+
+type discovery = { case : Case.id; at : int; testcase : string }
+
+type report = {
+  config : Config.t;
+  options : options;
+  executed : int;
+  edges_covered : int;
+  bits_covered : int;
+  corpus_entries : int;
+  distilled : int;
+  discoveries : discovery list;
+  found : Case.id list;
+  cases_to_full_table3 : int option;
+  residue_warnings : int;
+  total_cycles : int;
+  executed_cases : Testcase.t list;
+  corpus_cases : Testcase.t list;
+}
+
+(* Round-robin over the families (every path's first grid entry, then
+   every path's second): the whole verification plan is touched within
+   the first |paths| executions, which is where the guided mode's
+   head start over blind sampling comes from. *)
+let seed_corpus () =
+  let grids = List.map (fun path -> (path, Fuzzer.grid path)) Access_path.all in
+  let id = ref 0 in
+  List.concat_map
+    (fun rank ->
+      List.filter_map
+        (fun (path, grid) ->
+          Option.map
+            (fun params ->
+              let tc = Assembler.assemble ~id:!id path ~params in
+              incr id;
+              tc)
+            (List.nth_opt grid rank))
+        grids)
+    [ 0; 1 ]
+
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) options config =
+  if options.budget < 0 then invalid_arg "Engine.run: negative budget";
+  if options.batch <= 0 then invalid_arg "Engine.run: batch must be positive";
+  if options.energy < 0 || options.energy > 100 then
+    invalid_arg "Engine.run: energy must be in 0..100";
+  let rng_state = ref options.seed in
+  let bitmap = Bitmap.create () in
+  let sched = Schedule.create () in
+  let executed = ref 0 in
+  let residue = ref 0 in
+  let cycles = ref 0 in
+  let discoveries = ref [] in
+  let found = Hashtbl.create 16 in
+  let full_at = ref None in
+  let kept = ref [] in
+  let stream = ref [] in
+  let expected =
+    List.filter (fun c -> Case.expected c config.Config.kind) Case.all
+  in
+  (* The guided mode starts from a deterministic seed corpus covering
+     every gadget family; the blind baseline (energy 0) starts cold so
+     its stream is exactly [Fuzzer.random_corpus]. *)
+  let pending_seeds =
+    ref (if options.energy > 0 then seed_corpus () else [])
+  in
+  let explore ~id = Fuzzer.random_case ~rng_state ~id in
+  let generate ~id =
+    match !pending_seeds with
+    | tc :: rest ->
+      pending_seeds := rest;
+      (* Renumber: seed ids must agree with the executed stream. *)
+      { tc with Testcase.id = id }
+    | [] ->
+      if options.energy = 0 then explore ~id
+      else if Rng.below ~rng_state 100 >= options.energy then explore ~id
+      else (
+        match Schedule.pick_family sched with
+        | None -> explore ~id
+        | Some family -> (
+          match Schedule.pick_entry sched ~rng_state ~now:!executed family with
+          | None -> explore ~id
+          | Some entry -> (
+            let op = Rng.pick ~rng_state Mutator.all in
+            match
+              Mutator.apply op ~rng_state ~pool:(Schedule.pool sched) ~id
+                entry.Schedule.testcase
+            with
+            | Some tc -> tc
+            | None -> explore ~id)))
+  in
+  (* Merge one observation; sequential and candidate-ordered, so the
+     whole accumulated state is identical for every job count. *)
+  let merge (tc, (obs : Observe.t)) =
+    let at = !executed + 1 in
+    executed := at;
+    stream := tc :: !stream;
+    residue := !residue + obs.Observe.residue;
+    cycles := !cycles + obs.Observe.cycles;
+    let novelty = Bitmap.add bitmap obs.Observe.edges in
+    Schedule.register_exec sched ~family:obs.Observe.path ~reward:novelty;
+    if novelty > 0 then begin
+      Schedule.add_entry sched
+        { Schedule.testcase = tc; novelty; born = at - 1 };
+      kept := (tc, obs.Observe.edges) :: !kept
+    end;
+    List.iter
+      (fun case ->
+        if not (Hashtbl.mem found case) then begin
+          Hashtbl.replace found case ();
+          discoveries :=
+            { case; at; testcase = obs.Observe.name } :: !discoveries;
+          if
+            !full_at = None
+            && List.for_all (fun c -> Hashtbl.mem found c) expected
+          then full_at := Some at
+        end)
+      obs.Observe.cases;
+    progress at options.budget
+      (Printf.sprintf "%s%s  [%d new coverage bit(s), %d edges total]"
+         obs.Observe.name
+         (match obs.Observe.cases with
+         | [] -> ""
+         | cases ->
+           "  -> " ^ String.concat " " (List.map Case.to_string cases))
+         novelty (Bitmap.covered_edges bitmap))
+  in
+  let stop () = options.stop_on_full && !full_at <> None in
+  while !executed < options.budget && not (stop ()) do
+    let n = min options.batch (options.budget - !executed) in
+    (* Generate the whole batch before executing any of it: candidate
+       generation reads corpus state as of the previous batch, so the
+       batch composition is independent of the job count. *)
+    let candidates = ref [] in
+    for i = 0 to n - 1 do
+      candidates := generate ~id:(!executed + i) :: !candidates
+    done;
+    let candidates = List.rev !candidates in
+    let observations =
+      Parallel.Pool.parmap ~jobs (fun tc -> (tc, Observe.run config tc)) candidates
+    in
+    List.iter merge observations
+  done;
+  let kept = List.rev !kept in
+  {
+    config;
+    options;
+    executed = !executed;
+    edges_covered = Bitmap.covered_edges bitmap;
+    bits_covered = Bitmap.covered_bits bitmap;
+    corpus_entries = List.length kept;
+    distilled = List.length (Distill.minimise (List.map snd kept));
+    discoveries = List.rev !discoveries;
+    found = List.sort Case.compare (Hashtbl.fold (fun c () acc -> c :: acc) found []);
+    cases_to_full_table3 = !full_at;
+    residue_warnings = !residue;
+    total_cycles = !cycles;
+    executed_cases = List.rev !stream;
+    corpus_cases = List.map fst kept;
+  }

@@ -1,0 +1,76 @@
+open Import
+
+(** The coverage-guided fuzzing engine.
+
+    An AFL-style feedback loop over the behavioural simulator and the
+    checker: candidates are generated sequentially from a single
+    SplitMix64 cursor (seed corpus → scheduler-picked mutants →
+    exploration draws), executed in fixed-size batches fanned out over
+    {!Parallel.Pool}, and merged back in candidate order.  Because
+    generation never overlaps execution and the merge is ordered, the
+    report is byte-identical for every [?jobs] value.
+
+    [energy] is the percentage of candidates produced by mutating corpus
+    entries (once any exist); the remainder are blind draws through
+    {!Fuzzer.random_case}.  With [energy = 0] the engine performs no
+    seeding and no mutation, so its executed stream {e is}
+    [Fuzzer.random_corpus ~seed ~count:budget] — the random baseline is
+    the same machinery, not a separate code path. *)
+
+type options = {
+  seed : Word.t;
+  budget : int;  (** Total test-case executions. *)
+  batch : int;  (** Candidates per parallel batch (not [jobs]-dependent). *)
+  energy : int;  (** Mutation energy in percent, 0–100; 0 = blind random. *)
+  stop_on_full : bool;
+      (** Stop at the end of the batch in which every leakage case the
+          core is expected to exhibit (paper Table 3) has been found. *)
+}
+
+val default : options
+(** seed [0x5EED], budget 250, batch 32, energy 80, keep running. *)
+
+type discovery = {
+  case : Case.id;
+  at : int;  (** 1-based executed-candidate count at first finding. *)
+  testcase : string;
+}
+
+type report = {
+  config : Config.t;
+  options : options;
+  executed : int;
+  edges_covered : int;
+  bits_covered : int;
+  corpus_entries : int;  (** Interesting candidates kept in the queue. *)
+  distilled : int;  (** Size of the minimal coverage-preserving subset. *)
+  discoveries : discovery list;  (** In discovery order. *)
+  found : Case.id list;  (** Sorted by case. *)
+  cases_to_full_table3 : int option;
+      (** Executed count at which every expected case had been found. *)
+  residue_warnings : int;
+  total_cycles : int;
+  executed_cases : Testcase.t list;
+      (** The full executed stream, in order (for differential tests and
+          corpus export; not part of the JSON report). *)
+  corpus_cases : Testcase.t list;
+      (** The interesting entries, in the order they entered the queue
+          (what [fuzz --save-corpus] writes). *)
+}
+
+(** [run ?progress ?jobs options config] drives a campaign.  [progress]
+    receives (executed, budget, summary line) in candidate order for
+    every job count. *)
+val run :
+  ?progress:(int -> int -> string -> unit) ->
+  ?jobs:int ->
+  options ->
+  Config.t ->
+  report
+
+(** The seed corpus the guided mode starts from: the first two grid
+    parameter sets of every access path, round-robin over the paths
+    (every family's first entry, then every family's second), so the
+    whole verification plan is touched within the first 15
+    executions. *)
+val seed_corpus : unit -> Testcase.t list

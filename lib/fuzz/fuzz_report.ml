@@ -1,0 +1,97 @@
+open! Import
+
+let pp fmt (r : Engine.report) =
+  let o = r.Engine.options in
+  Format.fprintf fmt
+    "%s fuzzing campaign on %s: %d/%d test cases executed (seed %s, batch %d)@."
+    (if o.Engine.energy > 0 then
+       Printf.sprintf "Coverage-guided (energy %d%%)" o.Engine.energy
+     else "Blind random")
+    r.Engine.config.Config.name r.Engine.executed o.Engine.budget
+    (Word.to_hex o.Engine.seed) o.Engine.batch;
+  Format.fprintf fmt "  coverage: %d edges (%d bucket bits)@."
+    r.Engine.edges_covered r.Engine.bits_covered;
+  Format.fprintf fmt "  corpus: %d interesting entries, distils to %d@."
+    r.Engine.corpus_entries r.Engine.distilled;
+  Format.fprintf fmt "  discoveries:@.";
+  List.iter
+    (fun (d : Engine.discovery) ->
+      Format.fprintf fmt "    %-3s at test case %4d  (%s)@."
+        (Case.to_string d.Engine.case) d.Engine.at d.Engine.testcase)
+    r.Engine.discoveries;
+  (match r.Engine.cases_to_full_table3 with
+  | Some n ->
+    Format.fprintf fmt "  full Table 3 coverage reached after %d test cases@." n
+  | None ->
+    Format.fprintf fmt
+      "  full Table 3 coverage NOT reached within the budget (%d/%d cases)@."
+        (List.length r.Engine.found)
+        (List.length
+           (List.filter
+              (fun c -> Case.expected c r.Engine.config.Config.kind)
+              Case.all)));
+  Format.fprintf fmt "  residue warnings: %d; simulated cycles: %d@."
+    r.Engine.residue_warnings r.Engine.total_cycles
+
+(* {2 JSON} — hand-rolled like bench/main.ml and lib/inject. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_discovery (d : Engine.discovery) =
+  Printf.sprintf "{\"case\": %s, \"at\": %d, \"testcase\": %s}"
+    (json_string (Case.to_string d.Engine.case))
+    d.Engine.at
+    (json_string d.Engine.testcase)
+
+let to_json_string (r : Engine.report) =
+  let o = r.Engine.options in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"core\": %s,\n"
+    (json_string
+       (String.lowercase_ascii
+          (Config.core_kind_to_string r.Engine.config.Config.kind)));
+  add "  \"mode\": %s,\n"
+    (json_string (if o.Engine.energy > 0 then "guided" else "random"));
+  add "  \"seed\": %s,\n" (json_string (Word.to_hex o.Engine.seed));
+  add "  \"budget\": %d,\n" o.Engine.budget;
+  add "  \"batch\": %d,\n" o.Engine.batch;
+  add "  \"energy\": %d,\n" o.Engine.energy;
+  add "  \"executed\": %d,\n" r.Engine.executed;
+  add "  \"edges_covered\": %d,\n" r.Engine.edges_covered;
+  add "  \"bits_covered\": %d,\n" r.Engine.bits_covered;
+  add "  \"corpus_entries\": %d,\n" r.Engine.corpus_entries;
+  add "  \"distilled\": %d,\n" r.Engine.distilled;
+  add "  \"found\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun c -> json_string (Case.to_string c)) r.Engine.found));
+  add "  \"discoveries\": [%s],\n"
+    (String.concat ", " (List.map json_discovery r.Engine.discoveries));
+  add "  \"cases_to_full_table3\": %s,\n"
+    (match r.Engine.cases_to_full_table3 with
+    | Some n -> string_of_int n
+    | None -> "null");
+  add "  \"residue_warnings\": %d,\n" r.Engine.residue_warnings;
+  add "  \"total_cycles\": %d\n" r.Engine.total_cycles;
+  add "}\n";
+  Buffer.contents buf
+
+let save_json ~path r =
+  let oc = open_out path in
+  output_string oc (to_json_string r);
+  close_out oc

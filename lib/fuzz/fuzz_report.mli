@@ -1,0 +1,12 @@
+(** Rendering of engine reports.
+
+    The JSON form deliberately contains no wall time or host detail:
+    reports for the same seed must be byte-identical across job counts
+    and reruns (the acceptance criterion the jobs-determinism test
+    pins).  Timing lives in bench/main.ml, wrapped around the call. *)
+
+val pp : Format.formatter -> Engine.report -> unit
+
+val to_json_string : Engine.report -> string
+
+val save_json : path:string -> Engine.report -> unit

@@ -1,0 +1,14 @@
+(* Shared aliases into the substrate and framework libraries. *)
+module Word = Riscv.Word
+module Log = Simlog.Log
+module Structure = Simlog.Structure
+module Edge = Simlog.Edge
+module Config = Uarch.Config
+module Access_path = Teesec.Access_path
+module Params = Teesec.Params
+module Testcase = Teesec.Testcase
+module Assembler = Teesec.Assembler
+module Fuzzer = Teesec.Fuzzer
+module Case = Teesec.Case
+module Checker = Teesec.Checker
+module Runner = Teesec.Runner

@@ -1,0 +1,25 @@
+open! Import
+
+type t = {
+  name : string;
+  path : Access_path.t;
+  edges : (int * int) list;
+  cases : Case.id list;
+  residue : int;
+  cycles : int;
+  log_records : int;
+}
+
+let run config tc =
+  let outcome = Runner.run config tc in
+  let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
+  {
+    name = Testcase.name tc;
+    path = tc.Testcase.path;
+    edges =
+      List.map (fun (e, n) -> (Edge.index e, n)) (Edge.of_log outcome.Runner.log);
+    cases = Checker.distinct_cases findings;
+    residue = Checker.residue_warnings findings;
+    cycles = outcome.Runner.cycles;
+    log_records = outcome.Runner.log_records;
+  }

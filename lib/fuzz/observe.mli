@@ -1,0 +1,20 @@
+open Import
+
+(** One fuzzing execution: run a test case on a core, check the log, and
+    extract its coverage edges.
+
+    This is the engine's unit of parallel work — it builds its own
+    environment and shares no mutable state, so observations fan out
+    across domains and are merged back in candidate order. *)
+
+type t = {
+  name : string;  (** [Testcase.name], for reports. *)
+  path : Access_path.t;
+  edges : (int * int) list;  (** [(Edge.index, raw hit count)] pairs. *)
+  cases : Case.id list;  (** Classified findings of the checker. *)
+  residue : int;
+  cycles : int;
+  log_records : int;
+}
+
+val run : Config.t -> Testcase.t -> t

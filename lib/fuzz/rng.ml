@@ -1,0 +1,32 @@
+open! Import
+
+let word ~rng_state =
+  rng_state := Word.splitmix64 !rng_state;
+  !rng_state
+
+let below ~rng_state n =
+  if n <= 0 then invalid_arg "Rng.below";
+  Int64.to_int
+    (Int64.rem (Int64.logand (word ~rng_state) Int64.max_int) (Int64.of_int n))
+
+let pick ~rng_state l = List.nth l (below ~rng_state (List.length l))
+
+let weighted ~rng_state weights =
+  let n = List.length weights in
+  if n = 0 then invalid_arg "Rng.weighted";
+  let total = List.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then below ~rng_state n
+  else begin
+    (* 20 bits of the draw give a uniform fraction of the total mass;
+       plenty of resolution for corpus-sized weight lists. *)
+    let r =
+      float_of_int (below ~rng_state (1 lsl 20))
+      /. float_of_int (1 lsl 20)
+      *. total
+    in
+    let rec walk i acc = function
+      | [] -> n - 1
+      | w :: rest -> if acc +. w > r then i else walk (i + 1) (acc +. w) rest
+    in
+    walk 0 0.0 weights
+  end

@@ -1,0 +1,24 @@
+open Import
+
+(** SplitMix64 cursor helpers.
+
+    Every stochastic decision in the engine draws from one explicit
+    cursor advanced in a fixed order, which is what makes a whole
+    campaign replayable from a single seed (and byte-identical across
+    job counts: candidate generation is always sequential). *)
+
+(** [below ~rng_state n] advances the cursor once and returns a draw in
+    [0 .. n - 1].  Requires [n > 0]. *)
+val below : rng_state:Word.t ref -> int -> int
+
+(** [word ~rng_state] advances the cursor once and returns the raw
+    64-bit draw. *)
+val word : rng_state:Word.t ref -> Word.t
+
+(** [pick ~rng_state l] draws a uniform element of the non-empty list. *)
+val pick : rng_state:Word.t ref -> 'a list -> 'a
+
+(** [weighted ~rng_state weights] draws an index of [weights]
+    proportionally to the (non-negative) weights; uniform when they sum
+    to zero.  Requires a non-empty list. *)
+val weighted : rng_state:Word.t ref -> float list -> int

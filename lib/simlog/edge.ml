@@ -1,0 +1,116 @@
+open! Import
+
+type ctx_class = Host_user | Host_supervisor | Host_machine | Enclave | Monitor
+
+let ctx_class = function
+  | Exec_context.Host Priv.User -> Host_user
+  | Exec_context.Host Priv.Supervisor -> Host_supervisor
+  | Exec_context.Host Priv.Machine -> Host_machine
+  | Exec_context.Enclave _ -> Enclave
+  | Exec_context.Monitor -> Monitor
+
+let all_ctx_classes = [ Host_user; Host_supervisor; Host_machine; Enclave; Monitor ]
+
+let ctx_class_to_string = function
+  | Host_user -> "host-U"
+  | Host_supervisor -> "host-S"
+  | Host_machine -> "host-M"
+  | Enclave -> "enclave"
+  | Monitor -> "monitor"
+
+let class_index = function
+  | Host_user -> 0
+  | Host_supervisor -> 1
+  | Host_machine -> 2
+  | Enclave -> 3
+  | Monitor -> 4
+
+let n_classes = List.length all_ctx_classes
+let n_origins = List.length Log.all_origins
+let n_structures = List.length Structure.all
+
+let structure_index s =
+  let rec find i = function
+    | [] -> invalid_arg "Edge.structure_index"
+    | x :: rest -> if Structure.equal x s then i else find (i + 1) rest
+  in
+  find 0 Structure.all
+
+let origin_index (o : Log.origin) =
+  let rec find i = function
+    | [] -> invalid_arg "Edge.origin_index"
+    | x :: rest -> if x = o then i else find (i + 1) rest
+  in
+  find 0 Log.all_origins
+
+type t = {
+  structure : Structure.t;
+  origin : Log.origin;
+  from_class : ctx_class;
+  to_class : ctx_class;
+}
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let to_string t =
+  Printf.sprintf "%s<-%s[%s->%s]"
+    (Structure.to_string t.structure)
+    (Log.origin_to_string t.origin)
+    (ctx_class_to_string t.from_class)
+    (ctx_class_to_string t.to_class)
+
+let count = n_structures * n_origins * n_classes * n_classes
+
+let index t =
+  ((((structure_index t.structure * n_origins) + origin_index t.origin)
+    * n_classes)
+   + class_index t.from_class)
+  * n_classes
+  + class_index t.to_class
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Edge.of_index";
+  let to_c = i mod n_classes in
+  let i = i / n_classes in
+  let from_c = i mod n_classes in
+  let i = i / n_classes in
+  let origin = i mod n_origins in
+  let structure = i / n_origins in
+  {
+    structure = List.nth Structure.all structure;
+    origin = List.nth Log.all_origins origin;
+    from_class = List.nth all_ctx_classes from_c;
+    to_class = List.nth all_ctx_classes to_c;
+  }
+
+let of_log log =
+  let counts = Hashtbl.create 64 in
+  let order = ref [] in
+  (* The transition state starts as a self-loop on the first record's
+     context (a log with no mode switch yet has performed none). *)
+  let from_class = ref None in
+  List.iter
+    (fun (r : Log.record) ->
+      match r.Log.event with
+      | Log.Mode_switch { from_ctx; _ } -> from_class := Some (ctx_class from_ctx)
+      | Log.Write { structure; origin; _ } ->
+        let to_class = ctx_class r.Log.ctx in
+        let edge =
+          {
+            structure;
+            origin;
+            from_class = Option.value !from_class ~default:to_class;
+            to_class;
+          }
+        in
+        (match Hashtbl.find_opt counts edge with
+        | Some n -> Hashtbl.replace counts edge (n + 1)
+        | None ->
+          Hashtbl.replace counts edge 1;
+          order := edge :: !order)
+      | Log.Snapshot _ | Log.Commit _ | Log.Exception_raised _
+      | Log.Fault_injected _ ->
+        ())
+    (Log.to_list log);
+  List.rev_map (fun e -> (e, Hashtbl.find counts e)) !order

@@ -104,15 +104,28 @@ let random_params ~rng_state path =
                             (Int64.of_int (List.length g))) in
   List.nth g idx
 
+(* The shared blind-draw derivation: one splitmix advance picks the
+   path, [random_params] advances once more for the parameters.  The
+   guided engine (lib/fuzz) calls this for its exploration draws, which
+   is what makes "mutation energy zero" degenerate to [random_corpus]
+   exactly (same rng stream, same ids). *)
+let random_case ~rng_state ~id =
+  let paths = Array.of_list Access_path.all in
+  rng_state := Word.splitmix64 !rng_state;
+  let path =
+    paths.(Int64.to_int
+             (Int64.rem (Int64.logand !rng_state Int64.max_int)
+                (Int64.of_int (Array.length paths))))
+  in
+  let params = random_params ~rng_state path in
+  Assembler.assemble ~id path ~params
+
 let random_corpus ~seed ~count =
   let rng_state = ref seed in
-  let paths = Array.of_list Access_path.all in
-  List.init count (fun id ->
-      rng_state := Word.splitmix64 !rng_state;
-      let path =
-        paths.(Int64.to_int
-                 (Int64.rem (Int64.logand !rng_state Int64.max_int)
-                    (Int64.of_int (Array.length paths))))
-      in
-      let params = random_params ~rng_state path in
-      Assembler.assemble ~id path ~params)
+  (* Explicit left-to-right loop: the rng cursor must advance in id
+     order, which [List.init]'s evaluation order does not promise. *)
+  let rec go id acc =
+    if id >= count then List.rev acc
+    else go (id + 1) (random_case ~rng_state ~id :: acc)
+  in
+  go 0 []

@@ -31,6 +31,14 @@ val total_cases : unit -> int
     state is a SplitMix64 cursor advanced in place. *)
 val random_params : rng_state:Word.t ref -> Access_path.t -> Params.t
 
+(** [random_case ~rng_state ~id] draws one test case blindly: one
+    splitmix advance selects the access path, {!random_params} selects
+    the parameters.  This is the shared derivation behind
+    {!random_corpus} and the guided engine's exploration draws
+    (lib/fuzz), so both produce identical streams from identical
+    cursors. *)
+val random_case : rng_state:Word.t ref -> id:int -> Testcase.t
+
 (** [random_corpus ~seed ~count] is the long-fuzzing mode: [count] test
     cases with paths and parameters drawn from a SplitMix64 stream.
     Deterministic in [seed]. *)

@@ -1,0 +1,94 @@
+(* Smoke tests for the command tree (lib/cli).
+
+   The binary is a one-liner over [Cli.Teesec_cmds], so evaluating the
+   library's command tree against a synthetic argv exercises exactly
+   what ships: every subcommand accepts [--help] and exits 0, and an
+   unknown flag reports the subcommand's usage instead of raising. *)
+
+module Cmds = Cli.Teesec_cmds
+
+let contains ~needle haystack =
+  Teesec.Strutil.contains_substring ~needle haystack
+
+let test_command_list () =
+  Alcotest.(check bool) "fuzz is a subcommand" true
+    (List.mem "fuzz" Cmds.command_names);
+  Alcotest.(check bool) "corpus-min is a subcommand" true
+    (List.mem "corpus-min" Cmds.command_names);
+  Alcotest.(check bool) "at least a dozen subcommands" true
+    (List.length Cmds.command_names >= 12)
+
+let test_top_level_help () =
+  let code, out = Cmds.eval_captured ~argv:[| "teesec_cli"; "--help" |] in
+  Alcotest.(check int) "--help exits 0" 0 code;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "top-level help lists %s" name)
+        true (contains ~needle:name out))
+    Cmds.command_names
+
+let test_every_subcommand_help () =
+  List.iter
+    (fun name ->
+      let code, out =
+        Cmds.eval_captured ~argv:[| "teesec_cli"; name; "--help" |]
+      in
+      Alcotest.(check int) (Printf.sprintf "%s --help exits 0" name) 0 code;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s --help mentions the subcommand" name)
+        true (contains ~needle:name out))
+    Cmds.command_names
+
+let test_unknown_flag_prints_usage () =
+  List.iter
+    (fun name ->
+      let code, out =
+        Cmds.eval_captured
+          ~argv:[| "teesec_cli"; name; "--definitely-not-a-flag" |]
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s rejects unknown flag with a CLI error" name)
+        124 code;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s unknown-flag message names the flag" name)
+        true
+        (contains ~needle:"definitely-not-a-flag" out);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s unknown-flag message shows its usage" name)
+        true
+        (contains ~needle:("teesec_cli " ^ name) out))
+    Cmds.command_names
+
+let test_unknown_subcommand () =
+  let code, out =
+    Cmds.eval_captured ~argv:[| "teesec_cli"; "no-such-command" |]
+  in
+  Alcotest.(check int) "unknown subcommand is a CLI error" 124 code;
+  Alcotest.(check bool) "message names the bogus command" true
+    (contains ~needle:"no-such-command" out)
+
+let test_fuzz_rejects_bad_energy () =
+  let code, out =
+    Cmds.eval_captured ~argv:[| "teesec_cli"; "fuzz"; "--energy"; "250" |]
+  in
+  Alcotest.(check int) "energy out of range is a CLI error" 124 code;
+  Alcotest.(check bool) "message explains the range" true
+    (contains ~needle:"0" out)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "command list" `Quick test_command_list;
+          Alcotest.test_case "top-level --help" `Quick test_top_level_help;
+          Alcotest.test_case "every subcommand --help exits 0" `Quick
+            test_every_subcommand_help;
+          Alcotest.test_case "unknown flag prints subcommand usage" `Quick
+            test_unknown_flag_prints_usage;
+          Alcotest.test_case "unknown subcommand" `Quick test_unknown_subcommand;
+          Alcotest.test_case "fuzz validates --energy" `Quick
+            test_fuzz_rejects_bad_energy;
+        ] );
+    ]
