@@ -36,6 +36,26 @@ let jobs =
     | _ -> invalid_arg "TEESEC_JOBS must be a positive integer")
   | None -> Parallel.Pool.default_jobs ()
 
+(* All wall-clock measurement goes through one active observability
+   sink: phase timings land in the
+   [teesec_bench_phase_duration_seconds{phase=...}] histogram (and the
+   sink's tracer), and the campaign/inject/fuzz pipelines run with the
+   same sink so their internal spans and counters are exercised by
+   every harness run. *)
+let obs = Obs.create ()
+
+let timed_phase name f =
+  let histogram =
+    Option.map
+      (fun m ->
+        Obs.Metrics.histogram m
+          ~labels:[ ("phase", name) ]
+          ~help:"Wall time of one evaluation-harness phase."
+          "teesec_bench_phase_duration_seconds")
+      (Obs.metrics obs)
+  in
+  Obs.timed obs ?histogram name f
+
 (* {1 Bechamel benches} *)
 
 let bench_gadget_constructor =
@@ -149,7 +169,10 @@ let find_ns results fragment =
 
    BENCH_campaign.json tracks the perf trajectory across PRs: corpus
    size, per-core wall time, simulated cycles, log records, and the job
-   count the campaign ran with. *)
+   count the campaign ran with.  The campaign result itself carries no
+   timing (reports must be byte-identical across job counts and
+   observability), so the wall clock comes from the harness's own
+   [timed_phase] wrapper. *)
 
 let write_campaign_json ~path results =
   let buf = Buffer.create 1024 in
@@ -160,14 +183,14 @@ let write_campaign_json ~path results =
   Printf.bprintf buf "  \"corpus_size\": %d,\n" (Teesec.Fuzzer.total_cases ());
   Buffer.add_string buf "  \"campaigns\": [\n";
   List.iteri
-    (fun i (r : Teesec.Campaign.result) ->
+    (fun i ((r : Teesec.Campaign.result), wall_time_s) ->
       Printf.bprintf buf
         "    {\"core\": \"%s\", \"testcases\": %d, \"wall_time_s\": %.3f, \
          \"total_cycles\": %d, \"total_log_records\": %d, \
          \"residue_warnings\": %d, \"found\": [%s], \"matches_paper\": %b}%s\n"
         (String.lowercase_ascii
            (Uarch.Config.core_kind_to_string r.Teesec.Campaign.config.Uarch.Config.kind))
-        r.Teesec.Campaign.total_cases r.Teesec.Campaign.wall_time_s
+        r.Teesec.Campaign.total_cases wall_time_s
         r.Teesec.Campaign.total_cycles r.Teesec.Campaign.total_log_records
         r.Teesec.Campaign.residue_warnings
         (String.concat ", "
@@ -302,15 +325,17 @@ let () =
       (fun config ->
         Format.printf "running the corpus on %s (%d jobs)...@."
           config.Uarch.Config.name jobs;
-        Teesec.Campaign.run_full ~jobs config)
+        timed_phase "campaign" (fun () ->
+            Teesec.Campaign.run_full ~jobs ~obs config))
       [ boom; xiangshan ]
   in
-  print_string (Teesec.Tables.table3 campaign_results);
+  print_string (Teesec.Tables.table3 (List.map fst campaign_results));
   write_campaign_json ~path:"BENCH_campaign.json" campaign_results;
   Format.printf "campaign record written to BENCH_campaign.json@.";
   (* The paper also evaluated the pre-SonicBOOM release (v2.3). *)
   let v2 =
-    Teesec.Campaign.run ~jobs Uarch.Config.boom_v2 (Teesec.Mitigation_eval.slice ())
+    Teesec.Campaign.run ~jobs ~obs Uarch.Config.boom_v2
+      (Teesec.Mitigation_eval.slice ())
   in
   Format.printf "BOOM v2.3 (corpus slice): %s@."
     (if Teesec.Campaign.matches_paper v2 then
@@ -318,7 +343,7 @@ let () =
      else "DIFFERS from the BOOM column");
   let distinct =
     List.sort_uniq Teesec.Case.compare
-      (List.concat_map (fun r -> r.Teesec.Campaign.found) campaign_results)
+      (List.concat_map (fun (r, _) -> r.Teesec.Campaign.found) campaign_results)
   in
   Format.printf "Distinct vulnerabilities across both designs: %d (paper: 10)@."
     (List.length distinct);
@@ -329,12 +354,10 @@ let () =
       (fun config ->
         Format.printf "injecting 20 fault plans over the slice on %s (%d jobs)...@."
           config.Uarch.Config.name jobs;
-        let t0 = Unix.gettimeofday () in
-        let r =
-          Inject.Inject_campaign.run ~jobs ~seed:0x5EEDL ~plans:20 config
-            (Teesec.Mitigation_eval.slice ())
-        in
-        (r, Unix.gettimeofday () -. t0))
+        timed_phase "inject" (fun () ->
+            Inject.Inject_campaign.run ~jobs ~obs ~seed:0x5EEDL ~plans:20
+              config
+              (Teesec.Mitigation_eval.slice ())))
       [ boom; xiangshan ]
   in
   List.iter
@@ -354,18 +377,15 @@ let () =
           (fun energy ->
             Format.printf "fuzzing %s with energy %d%% (%d jobs)...@."
               config.Uarch.Config.name energy jobs;
-            let t0 = Unix.gettimeofday () in
-            let r =
-              Fuzz.Engine.run ~jobs
-                {
-                  Fuzz.Engine.default with
-                  Fuzz.Engine.seed = fuzz_seed;
-                  budget = fuzz_budget;
-                  energy;
-                }
-                config
-            in
-            (r, Unix.gettimeofday () -. t0))
+            timed_phase "fuzz" (fun () ->
+                Fuzz.Engine.run ~jobs ~obs
+                  {
+                    Fuzz.Engine.default with
+                    Fuzz.Engine.seed = fuzz_seed;
+                    budget = fuzz_budget;
+                    energy;
+                  }
+                  config))
           [ 0; 80 ])
       [ boom; xiangshan ]
   in
@@ -458,7 +478,7 @@ let () =
 
   section "Summary";
   List.iter
-    (fun (r : Teesec.Campaign.result) ->
+    (fun ((r : Teesec.Campaign.result), _) ->
       Format.printf "%s: Table 3 %s@." r.Teesec.Campaign.config.Uarch.Config.name
         (if Teesec.Campaign.matches_paper r then "MATCHES the paper"
          else "DIFFERS from the paper"))

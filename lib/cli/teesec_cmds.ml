@@ -62,6 +62,45 @@ let jobs_arg =
                  (default 1; 0 = all hardware threads). Output is identical \
                  for every value.")))
 
+(* --trace / --metrics: observability exports.  The sink is only
+   created when at least one flag is given, so unobserved runs take the
+   noop path (a single branch per instrumentation point) and observed
+   runs still produce byte-identical verdict output — wall-clock data
+   flows only into these two files. *)
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON of the run's spans to \
+               $(docv) (open in Perfetto or chrome://tracing). Never \
+               changes verdicts or reports.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the metrics registry to $(docv) in Prometheus text \
+               format (JSON when $(docv) ends in .json). Never changes \
+               verdicts or reports.")
+
+let save_obs_outputs obs ~trace ~metrics =
+  (match trace with
+  | Some path ->
+    Obs.save_trace obs ~path;
+    Format.printf "trace written to %s@." path
+  | None -> ());
+  match metrics with
+  | Some path ->
+    (if Filename.check_suffix path ".json" then Obs.save_metrics_json
+     else Obs.save_metrics)
+      obs ~path;
+    Format.printf "metrics written to %s@." path
+  | None -> ()
+
+let with_obs ~trace ~metrics f =
+  let obs =
+    if trace = None && metrics = None then Obs.noop else Obs.create ()
+  in
+  let result = f obs in
+  save_obs_outputs obs ~trace ~metrics;
+  result
+
 (* --width: reject anything the gadgets cannot emit, with the valid set
    in the error message (Params.make would also raise, but this fails at
    argument-parsing time with cmdliner's usual reporting). *)
@@ -239,7 +278,7 @@ let check_cmd =
 
 (* campaign *)
 let campaign_cmd =
-  let run config full quiet mitigations random fuzz_seed csv jobs =
+  let run config full quiet mitigations random fuzz_seed csv jobs trace metrics =
     let config = Uarch.Config.with_mitigations config mitigations in
     let testcases =
       match random with
@@ -250,7 +289,10 @@ let campaign_cmd =
       if quiet then fun _ _ _ -> ()
       else fun i n line -> Format.printf "[%3d/%3d] %s@." i n line
     in
-    let result = Teesec.Campaign.run ~progress ~jobs config testcases in
+    let result =
+      with_obs ~trace ~metrics (fun obs ->
+          Teesec.Campaign.run ~progress ~jobs ~obs config testcases)
+    in
     Format.printf "@.%a@." Teesec.Campaign.pp_result result;
     match csv with
     | Some path ->
@@ -279,11 +321,12 @@ let campaign_cmd =
            ~doc:"Also write the per-case verdicts as CSV.")
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run a leakage-discovery campaign (Table 3).")
-    Term.(const run $ core_arg $ full $ quiet $ mitigations $ random $ fuzz_seed $ csv $ jobs_arg)
+    Term.(const run $ core_arg $ full $ quiet $ mitigations $ random $ fuzz_seed $ csv $ jobs_arg
+          $ trace_arg $ metrics_arg)
 
 (* inject: checker-robustness campaign under sampled fault plans. *)
 let inject_cmd =
-  let run config faults seed full quiet json jobs =
+  let run config faults seed full quiet json jobs trace metrics =
     let testcases =
       if full then Teesec.Fuzzer.corpus () else Teesec.Mitigation_eval.slice ()
     in
@@ -292,7 +335,9 @@ let inject_cmd =
       else fun i n line -> Format.printf "[%4d/%4d] %s@." i n line
     in
     let result =
-      Inject.Inject_campaign.run ~progress ~jobs ~seed ~plans:faults config testcases
+      with_obs ~trace ~metrics (fun obs ->
+          Inject.Inject_campaign.run ~progress ~jobs ~obs ~seed ~plans:faults
+            config testcases)
     in
     Format.printf "@.%a@." Inject.Robustness_report.pp result;
     match json with
@@ -324,12 +369,13 @@ let inject_cmd =
        ~doc:
          "Rerun the corpus under deterministic fault injection and report \
           whether the checker's verdicts are masked, spurious or stable.")
-    Term.(const run $ core_arg $ faults $ seed $ full $ quiet $ json $ jobs_arg)
+    Term.(const run $ core_arg $ faults $ seed $ full $ quiet $ json $ jobs_arg
+          $ trace_arg $ metrics_arg)
 
 (* fuzz: the coverage-guided mutational engine (lib/fuzz). *)
 let fuzz_cmd =
   let run config seed budget batch energy stop_on_full quiet json save_corpus
-      jobs =
+      jobs trace metrics =
     let options =
       { Fuzz.Engine.seed; budget; batch; energy; stop_on_full }
     in
@@ -337,7 +383,10 @@ let fuzz_cmd =
       if quiet then fun _ _ _ -> ()
       else fun i n line -> Format.printf "[%4d/%4d] %s@." i n line
     in
-    let report = Fuzz.Engine.run ~progress ~jobs options config in
+    let report =
+      with_obs ~trace ~metrics (fun obs ->
+          Fuzz.Engine.run ~progress ~jobs ~obs options config)
+    in
     Format.printf "@.%a@." Fuzz.Fuzz_report.pp report;
     (match save_corpus with
     | Some path ->
@@ -404,7 +453,7 @@ let fuzz_cmd =
          "Run the coverage-guided mutational fuzzing engine against a core \
           and report discovery times per leakage case.")
     Term.(const run $ core_arg $ seed $ budget $ batch $ energy $ stop_on_full
-          $ quiet $ json $ save_corpus $ jobs_arg)
+          $ quiet $ json $ save_corpus $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* corpus-min: standalone corpus distillation. *)
 let corpus_min_cmd =
@@ -537,6 +586,113 @@ let report_cmd =
        ~doc:"Generate the complete markdown verification report for one or more cores.")
     Term.(const run $ cores $ out $ full)
 
+(* profile: per-phase wall-time and allocation breakdown over small
+   slices of every pipeline.  Unlike the other subcommands this always
+   runs with an active sink — the timings are the point — and
+   --trace/--metrics additionally export the collected data.  The
+   checker phases re-check prepared simulation logs with both the
+   indexed and the reference implementation, isolating checker cost
+   from simulation cost. *)
+let profile_cmd =
+  let run config jobs budget faults repeat trace metrics =
+    let obs = Obs.create () in
+    let phases = ref [] in
+    let phase name f =
+      let g0 = Gc.quick_stat () in
+      let result, secs = Obs.timed obs name f in
+      let g1 = Gc.quick_stat () in
+      phases :=
+        ( name,
+          secs,
+          g1.Gc.minor_words -. g0.Gc.minor_words,
+          g1.Gc.major_words -. g0.Gc.major_words,
+          g1.Gc.promoted_words -. g0.Gc.promoted_words )
+        :: !phases;
+      Obs.gc_sample obs ~phase:name;
+      result
+    in
+    let slice = Teesec.Mitigation_eval.slice () in
+    let (_ : Teesec.Campaign.result) =
+      phase "campaign" (fun () -> Teesec.Campaign.run ~jobs ~obs config slice)
+    in
+    let outcomes =
+      phase "runner" (fun () -> List.map (Teesec.Runner.run config) slice)
+    in
+    let m =
+      match Obs.metrics obs with Some m -> m | None -> assert false
+    in
+    let h_impl impl =
+      Obs.Metrics.histogram m
+        ~labels:[ ("impl", impl) ]
+        ~help:"Wall time of one checker pass over a log."
+        "teesec_checker_duration_seconds"
+    in
+    let h_indexed = h_impl "indexed" in
+    let h_reference = h_impl "reference" in
+    let check_all name histogram checkfn =
+      phase name (fun () ->
+          for _ = 1 to repeat do
+            List.iter
+              (fun (o : Teesec.Runner.outcome) ->
+                let (_ : Teesec.Checker.finding list), _ =
+                  Obs.timed obs ~histogram name (fun () ->
+                      checkfn o.Teesec.Runner.log o.Teesec.Runner.tracker)
+                in
+                ())
+              outcomes
+          done)
+    in
+    check_all "checker/indexed" h_indexed Teesec.Checker.check;
+    check_all "checker/reference" h_reference Teesec.Checker.check_reference;
+    let (_ : Inject.Inject_campaign.result) =
+      phase "inject" (fun () ->
+          Inject.Inject_campaign.run ~jobs ~obs ~seed:0x5EEDL ~plans:faults
+            config slice)
+    in
+    let (_ : Fuzz.Engine.report) =
+      phase "fuzz" (fun () ->
+          Fuzz.Engine.run ~jobs ~obs
+            { Fuzz.Engine.default with Fuzz.Engine.budget }
+            config)
+    in
+    Format.printf "%-20s %10s %14s %14s %14s@." "phase" "time (s)"
+      "minor words" "major words" "promoted";
+    List.iter
+      (fun (name, secs, minor, major, promoted) ->
+        Format.printf "%-20s %10.4f %14.0f %14.0f %14.0f@." name secs minor
+          major promoted)
+      (List.rev !phases);
+    let idx_t = Obs.Metrics.histogram_sum h_indexed in
+    let ref_t = Obs.Metrics.histogram_sum h_reference in
+    if idx_t > 0. then
+      Format.printf
+        "@.checker: indexed %.4fs vs reference %.4fs over %d passes each \
+         (%.1fx speedup)@."
+        idx_t ref_t
+        (Obs.Metrics.histogram_count h_reference)
+        (ref_t /. idx_t);
+    save_obs_outputs obs ~trace ~metrics
+  in
+  let budget =
+    Arg.(value & opt int 96 & info [ "budget" ] ~docv:"N"
+           ~doc:"Fuzz executions in the fuzz phase.")
+  in
+  let faults =
+    Arg.(value & opt int 5 & info [ "faults" ] ~docv:"N"
+           ~doc:"Fault plans in the inject phase.")
+  in
+  let repeat =
+    Arg.(value & opt int 5 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Checker passes per prepared log, per implementation.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile the pipelines: per-phase wall time and allocation, GC \
+          gauges, and the indexed-vs-reference checker split.")
+    Term.(const run $ core_arg $ jobs_arg $ budget $ faults $ repeat
+          $ trace_arg $ metrics_arg)
+
 (* tables *)
 let tables_cmd =
   let run () =
@@ -558,6 +714,7 @@ let subcommands =
     corpus_min_cmd;
     inject_cmd;
     mitigations_cmd;
+    profile_cmd;
     coverage_cmd;
     netlist_cmd;
     report_cmd;

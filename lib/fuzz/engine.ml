@@ -50,7 +50,61 @@ let seed_corpus () =
         grids)
     [ 0; 1 ]
 
-let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) options config =
+(* Observability handles, registered once per run from the orchestrating
+   domain (so registration order is stable); [None] when the sink is
+   off.  Families are keyed in declaration order, matching
+   [Schedule.stats]. *)
+type instruments = {
+  i_execs : Obs.Metrics.counter;
+  i_novelty : Obs.Metrics.counter;
+  i_edges : Obs.Metrics.gauge;
+  i_bits : Obs.Metrics.gauge;
+  i_corpus : Obs.Metrics.gauge;
+  i_families : (Access_path.t * (Obs.Metrics.gauge * Obs.Metrics.gauge * Obs.Metrics.gauge)) list;
+      (* trials, reward, ucb per family *)
+}
+
+let instruments obs =
+  match Obs.metrics obs with
+  | None -> None
+  | Some m ->
+    Some
+      {
+        i_execs =
+          Obs.Metrics.counter m ~help:"Fuzz candidates executed."
+            "teesec_fuzz_executions_total";
+        i_novelty =
+          Obs.Metrics.counter m
+            ~help:"New coverage bucket bits discovered."
+            "teesec_fuzz_novelty_bits_total";
+        i_edges =
+          Obs.Metrics.gauge m ~help:"Distinct coverage edges hit so far."
+            "teesec_fuzz_edges_covered";
+        i_bits =
+          Obs.Metrics.gauge m ~help:"Coverage bucket bits set so far."
+            "teesec_fuzz_bits_covered";
+        i_corpus =
+          Obs.Metrics.gauge m ~help:"Interesting corpus entries queued."
+            "teesec_fuzz_corpus_entries";
+        i_families =
+          List.map
+            (fun path ->
+              let labels = [ ("family", Access_path.to_string path) ] in
+              ( path,
+                ( Obs.Metrics.gauge m ~labels
+                    ~help:"UCB1 trials per gadget family."
+                    "teesec_fuzz_family_trials",
+                  Obs.Metrics.gauge m ~labels
+                    ~help:"UCB1 novelty reward per gadget family."
+                    "teesec_fuzz_family_reward",
+                  Obs.Metrics.gauge m ~labels
+                    ~help:"UCB1 score per gadget family (NaN until tried)."
+                    "teesec_fuzz_family_ucb" ) ))
+            Access_path.all;
+      }
+
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) options
+    config =
   if options.budget < 0 then invalid_arg "Engine.run: negative budget";
   if options.batch <= 0 then invalid_arg "Engine.run: batch must be positive";
   if options.energy < 0 || options.energy > 100 then
@@ -136,21 +190,65 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) options config =
            "  -> " ^ String.concat " " (List.map Case.to_string cases))
          novelty (Bitmap.covered_edges bitmap))
   in
+  let ins = instruments obs in
+  (* Push the batch's accumulated state into the gauges.  Sampling reads
+     scheduler state without mutating it, so the candidate stream is
+     unchanged by observability. *)
+  let sample_gauges () =
+    Option.iter
+      (fun i ->
+        Obs.Metrics.set i.i_edges (float_of_int (Bitmap.covered_edges bitmap));
+        Obs.Metrics.set i.i_bits (float_of_int (Bitmap.covered_bits bitmap));
+        Obs.Metrics.set i.i_corpus (float_of_int (List.length !kept));
+        List.iter
+          (fun (fs : Schedule.family_stats) ->
+            match List.assq_opt fs.Schedule.family i.i_families with
+            | None -> ()
+            | Some (g_trials, g_reward, g_ucb) ->
+              Obs.Metrics.set g_trials (float_of_int fs.Schedule.trials);
+              Obs.Metrics.set g_reward (float_of_int fs.Schedule.reward);
+              Obs.Metrics.set g_ucb
+                (Option.value fs.Schedule.ucb ~default:Float.nan))
+          (Schedule.stats sched))
+      ins
+  in
   let stop () = options.stop_on_full && !full_at <> None in
+  let batch_no = ref 0 in
   while !executed < options.budget && not (stop ()) do
+    incr batch_no;
+    Obs.begin_span obs
+      ~args:[ ("batch", Obs.Tracer.Int !batch_no) ]
+      "fuzz/batch";
     let n = min options.batch (options.budget - !executed) in
     (* Generate the whole batch before executing any of it: candidate
        generation reads corpus state as of the previous batch, so the
        batch composition is independent of the job count. *)
-    let candidates = ref [] in
-    for i = 0 to n - 1 do
-      candidates := generate ~id:(!executed + i) :: !candidates
-    done;
-    let candidates = List.rev !candidates in
-    let observations =
-      Parallel.Pool.parmap ~jobs (fun tc -> (tc, Observe.run config tc)) candidates
+    let candidates =
+      Obs.span obs "fuzz/generate" (fun () ->
+          let candidates = ref [] in
+          for i = 0 to n - 1 do
+            candidates := generate ~id:(!executed + i) :: !candidates
+          done;
+          List.rev !candidates)
     in
-    List.iter merge observations
+    let observations =
+      Obs.span obs "fuzz/execute" (fun () ->
+          Parallel.Pool.parmap ~obs ~jobs
+            (fun tc -> (tc, Observe.run config tc))
+            candidates)
+    in
+    let novelty_before = Bitmap.covered_bits bitmap in
+    Obs.span obs "fuzz/merge" (fun () -> List.iter merge observations);
+    Option.iter
+      (fun i ->
+        Obs.Metrics.inc ~by:(List.length observations) i.i_execs;
+        Obs.Metrics.inc
+          ~by:(Bitmap.covered_bits bitmap - novelty_before)
+          i.i_novelty)
+      ins;
+    sample_gauges ();
+    Obs.gc_sample obs ~phase:"fuzz";
+    Obs.end_span obs "fuzz/batch"
   done;
   let kept = List.rev !kept in
   {

@@ -58,12 +58,20 @@ type report = {
           (what [fuzz --save-corpus] writes). *)
 }
 
-(** [run ?progress ?jobs options config] drives a campaign.  [progress]
-    receives (executed, budget, summary line) in candidate order for
-    every job count. *)
+(** [run ?progress ?jobs ?obs options config] drives a campaign.
+    [progress] receives (executed, budget, summary line) in candidate
+    order for every job count.
+
+    [obs] (default [Obs.noop]) receives per-batch spans
+    ([fuzz/generate], [fuzz/execute], [fuzz/merge]), execution/novelty
+    counters, coverage and corpus gauges, and per-family UCB1 scheduler
+    gauges ([teesec_fuzz_family_*{family=...}]).  The sink only reads
+    engine state — the candidate stream and the report are byte-identical
+    with or without it. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
+  ?obs:Obs.t ->
   options ->
   Config.t ->
   report

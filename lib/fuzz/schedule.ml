@@ -69,6 +69,32 @@ let pick_family t =
       in
       Option.map fst best)
 
+type family_stats = {
+  family : Access_path.t;
+  trials : int;
+  reward : int;
+  queue_length : int;
+  ucb : float option;
+}
+
+let stats t =
+  let total = float_of_int (max 1 t.total_trials) in
+  List.map
+    (fun (family, (f : family)) ->
+      {
+        family;
+        trials = f.trials;
+        reward = f.reward;
+        queue_length = List.length f.queue;
+        ucb =
+          (if f.trials = 0 then None
+           else
+             Some
+               ((float_of_int f.reward /. float_of_int f.trials)
+               +. sqrt (2.0 *. log total /. float_of_int f.trials)));
+      })
+    t.families
+
 let energy ~now e =
   float_of_int e.novelty /. (1.0 +. (float_of_int (max 0 (now - e.born)) /. 32.0))
 

@@ -46,3 +46,19 @@ val pick_family : t -> Access_path.t option
     with probability proportional to its current energy
     [novelty / (1 + age/32)]. *)
 val pick_entry : t -> rng_state:Word.t ref -> now:int -> Access_path.t -> entry option
+
+(** Read-only snapshot of one family's scheduler state, for
+    observability exports. *)
+type family_stats = {
+  family : Access_path.t;
+  trials : int;  (** Executions accounted to the family. *)
+  reward : int;  (** Total novelty bits those executions earned. *)
+  queue_length : int;
+  ucb : float option;
+      (** The UCB1 score {!pick_family} ranks by; [None] until the
+          family has been tried. *)
+}
+
+(** Per-family snapshot in declaration order.  Pure read — sampling it
+    never changes what the scheduler will pick next. *)
+val stats : t -> family_stats list

@@ -90,11 +90,52 @@ let dedup_sorted compare l =
   let sorted = List.sort_uniq compare l in
   sorted
 
-let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ~seed ~plans config testcases =
+(* Observability handles, registered once per run from the orchestrating
+   domain; [None] when the sink is off.  Outcome counters are registered
+   in a fixed order (stable, spurious, masked) so the exposition output
+   is deterministic. *)
+type instruments = {
+  i_units : Obs.Metrics.counter;
+  i_faults : Obs.Metrics.counter;
+  i_stable : Obs.Metrics.counter;
+  i_spurious : Obs.Metrics.counter;
+  i_masked : Obs.Metrics.counter;
+}
+
+let instruments obs =
+  match Obs.metrics obs with
+  | None -> None
+  | Some m ->
+    let outcome_counter o =
+      Obs.Metrics.counter m
+        ~labels:[ ("outcome", outcome_to_string o) ]
+        ~help:"Faulted (plan, test case) units per verdict-diff outcome."
+        "teesec_inject_unit_outcomes_total"
+    in
+    Some
+      {
+        i_units =
+          Obs.Metrics.counter m ~help:"Faulted (plan, test case) units executed."
+            "teesec_inject_units_total";
+        i_faults =
+          Obs.Metrics.counter m
+            ~help:"Fault events actually applied across all units."
+            "teesec_inject_faults_applied_total";
+        i_stable = outcome_counter Stable;
+        i_spurious = outcome_counter Spurious;
+        i_masked = outcome_counter Masked;
+      }
+
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ~seed ~plans
+    config testcases =
+  let ins = instruments obs in
   let plan_list = Fault_plan.sample ~seed ~count:plans in
   let total_units = plans * List.length testcases in
   (* Clean baseline first: one run per test case, no faults armed. *)
-  let baselines = Parallel.Pool.parmap ~jobs (eval_baseline config) testcases in
+  let baselines =
+    Obs.span obs "inject/baseline" (fun () ->
+        Parallel.Pool.parmap ~obs ~jobs (eval_baseline config) testcases)
+  in
   let baseline_found =
     dedup_sorted Case.compare (List.concat_map (fun b -> b.b_cases) baselines)
   in
@@ -112,13 +153,29 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ~seed ~plans config testcases 
       (fun plan -> List.map (fun (tc, b) -> (plan, tc, b)) paired)
       plan_list
   in
-  let evaluated = Parallel.Pool.parmap ~jobs (eval_unit config) units in
+  let evaluated =
+    Obs.span obs "inject/units" (fun () ->
+        Parallel.Pool.parmap ~obs ~jobs (eval_unit config) units)
+  in
   List.iteri
     (fun i ((d : unit_diff), _) ->
       progress (i + 1) total_units
         (Printf.sprintf "plan %d x %s: %s" (i / List.length paired) d.testcase
            (outcome_to_string (unit_outcome d))))
     evaluated;
+  Option.iter
+    (fun ins ->
+      Obs.Metrics.inc ~by:(List.length evaluated) ins.i_units;
+      List.iter
+        (fun ((d : unit_diff), faults) ->
+          Obs.Metrics.inc ~by:faults ins.i_faults;
+          Obs.Metrics.inc
+            (match unit_outcome d with
+            | Stable -> ins.i_stable
+            | Spurious -> ins.i_spurious
+            | Masked -> ins.i_masked))
+        evaluated)
+    ins;
   (* Regroup the flat unit list back into per-plan chunks. *)
   let per_testcase = List.length paired in
   let rec chunk acc rest = function
@@ -170,6 +227,7 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ~seed ~plans config testcases 
   in
   let by_model = aggregate (fun m -> Some m) Fault_model.vocabulary in
   let by_structure = aggregate Fault_model.structure_of Structure.all in
+  Obs.gc_sample obs ~phase:"inject";
   {
     config;
     seed;

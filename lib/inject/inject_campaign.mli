@@ -65,10 +65,16 @@ type result = {
     [jobs] (default 1) fans both the baseline and the faulted runs out
     over that many OCaml 5 domains; merging is sequential and ordered,
     so the result is identical for every [jobs] value.  [progress] is
-    called once per faulted unit with (index, total, summary line). *)
+    called once per faulted unit with (index, total, summary line).
+
+    [obs] (default [Obs.noop]) receives phase spans ([inject/baseline],
+    [inject/units]) and unit/outcome/fault counters.  The sink only
+    reads campaign state — the result is identical with or without
+    it. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
+  ?obs:Obs.t ->
   seed:Word.t ->
   plans:int ->
   Config.t ->

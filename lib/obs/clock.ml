@@ -1,0 +1,17 @@
+type t = unit -> int64
+
+let monotonic () =
+  let last = Atomic.make 0L in
+  fun () ->
+    let now = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+    let rec clamp () =
+      let prev = Atomic.get last in
+      if Int64.compare now prev <= 0 then prev
+      else if Atomic.compare_and_set last prev now then now
+      else clamp ()
+    in
+    clamp ()
+
+let fake ?(step_ns = 1000L) () =
+  let ticks = Atomic.make 0 in
+  fun () -> Int64.mul step_ns (Int64.of_int (Atomic.fetch_and_add ticks 1))

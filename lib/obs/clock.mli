@@ -1,0 +1,23 @@
+(** Nanosecond clocks for the observability layer.
+
+    A clock is just [unit -> int64] (nanoseconds since an arbitrary
+    origin), so tests can substitute a deterministic one and everything
+    downstream — spans, duration histograms — stays byte-reproducible
+    under the fake.
+
+    Wall-clock readings must only ever flow into trace and metrics
+    outputs, never into verdict or fuzz report data; that boundary is
+    enforced by the determinism tests in [test/test_obs.ml]. *)
+
+type t = unit -> int64
+(** Nanoseconds since an arbitrary origin. *)
+
+val monotonic : unit -> t
+(** A fresh wall clock forced to be non-decreasing across domains: a
+    reading that would go backwards (NTP step, coarse timer) returns the
+    previous maximum instead.  Readings are comparable only within the
+    one returned clock. *)
+
+val fake : ?step_ns:int64 -> unit -> t
+(** [fake ()] ticks [step_ns] (default 1000) nanoseconds per call,
+    starting at 0 — fully deterministic, for tests. *)

@@ -1,0 +1,393 @@
+type hist = {
+  bounds : float array;  (* finite upper bounds, strictly ascending *)
+  counts : int array;  (* per-bucket, non-cumulative; last = overflow *)
+  mutable sum : float;
+  mutable total : int;
+}
+
+type state =
+  | Counter_state of { mutable count : int }
+  | Gauge_state of { mutable value : float }
+  | Histogram_state of hist
+
+type series = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  state : state;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable rev_series : series list;  (* reverse registration order *)
+  by_key : (string, series) Hashtbl.t;  (* name + rendered labels *)
+  kind_of_name : (string, string) Hashtbl.t;
+}
+
+type counter = t * series
+type gauge = t * series
+type histogram = t * hist
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    rev_series = [];
+    by_key = Hashtbl.create 64;
+    kind_of_name = Hashtbl.create 64;
+  }
+
+let default_duration_buckets =
+  [ 0.0001; 0.0004; 0.0016; 0.0064; 0.0256; 0.1024; 0.4096; 1.6384; 6.5536;
+    26.2144; 104.8576 ]
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = ':')
+       name
+  && not (name.[0] >= '0' && name.[0] <= '9')
+
+let valid_label_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       name
+  && not (name.[0] >= '0' && name.[0] <= '9')
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let key_of name labels = name ^ render_labels labels
+
+let kind_string = function
+  | Counter_state _ -> "counter"
+  | Gauge_state _ -> "gauge"
+  | Histogram_state _ -> "histogram"
+
+(* Register (or find) a series under the registry mutex.  [mk] builds
+   the fresh state; [check] validates a pre-existing one. *)
+let register t ~name ~labels ~help ~kind ~mk ~check =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S" k))
+    labels;
+  let key = key_of name labels in
+  Mutex.lock t.mutex;
+  let fail msg =
+    Mutex.unlock t.mutex;
+    invalid_arg msg
+  in
+  let series =
+    match Hashtbl.find_opt t.by_key key with
+    | Some s ->
+      if kind_string s.state <> kind then
+        fail
+          (Printf.sprintf "Metrics: %s already registered as a %s" name
+             (kind_string s.state))
+      else if not (check s.state) then
+        fail (Printf.sprintf "Metrics: %s re-registered with different buckets" name)
+      else s
+    | None ->
+      (match Hashtbl.find_opt t.kind_of_name name with
+      | Some existing when existing <> kind ->
+        fail
+          (Printf.sprintf "Metrics: %s already registered as a %s" name existing)
+      | _ -> ());
+      let s = { name; labels; help; state = mk () } in
+      Hashtbl.add t.by_key key s;
+      Hashtbl.replace t.kind_of_name name kind;
+      t.rev_series <- s :: t.rev_series;
+      s
+  in
+  Mutex.unlock t.mutex;
+  series
+
+let counter t ?(labels = []) ?(help = "") name =
+  ( t,
+    register t ~name ~labels ~help ~kind:"counter"
+      ~mk:(fun () -> Counter_state { count = 0 })
+      ~check:(fun _ -> true) )
+
+let gauge t ?(labels = []) ?(help = "") name =
+  ( t,
+    register t ~name ~labels ~help ~kind:"gauge"
+      ~mk:(fun () -> Gauge_state { value = 0. })
+      ~check:(fun _ -> true) )
+
+let histogram t ?(labels = []) ?(help = "")
+    ?(buckets = default_duration_buckets) name =
+  if buckets = [] then invalid_arg "Metrics.histogram: empty bucket list";
+  let bounds = Array.of_list buckets in
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly ascending")
+    bounds;
+  let series =
+    register t ~name ~labels ~help ~kind:"histogram"
+      ~mk:(fun () ->
+        Histogram_state
+          {
+            bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            sum = 0.;
+            total = 0;
+          })
+      ~check:(function
+        | Histogram_state h -> h.bounds = bounds
+        | Counter_state _ | Gauge_state _ -> false)
+  in
+  match series.state with
+  | Histogram_state h -> (t, h)
+  | Counter_state _ | Gauge_state _ -> assert false
+
+let inc ?(by = 1) ((t, s) : counter) =
+  if by < 0 then invalid_arg "Metrics.inc: negative increment";
+  Mutex.lock t.mutex;
+  (match s.state with
+  | Counter_state c -> c.count <- c.count + by
+  | Gauge_state _ | Histogram_state _ -> ());
+  Mutex.unlock t.mutex
+
+let counter_value ((t, s) : counter) =
+  Mutex.lock t.mutex;
+  let v =
+    match s.state with
+    | Counter_state c -> c.count
+    | Gauge_state _ | Histogram_state _ -> 0
+  in
+  Mutex.unlock t.mutex;
+  v
+
+let set ((t, s) : gauge) v =
+  Mutex.lock t.mutex;
+  (match s.state with
+  | Gauge_state g -> g.value <- v
+  | Counter_state _ | Histogram_state _ -> ());
+  Mutex.unlock t.mutex
+
+let add ((t, s) : gauge) v =
+  Mutex.lock t.mutex;
+  (match s.state with
+  | Gauge_state g -> g.value <- g.value +. v
+  | Counter_state _ | Histogram_state _ -> ());
+  Mutex.unlock t.mutex
+
+let gauge_value ((t, s) : gauge) =
+  Mutex.lock t.mutex;
+  let v =
+    match s.state with
+    | Gauge_state g -> g.value
+    | Counter_state _ | Histogram_state _ -> 0.
+  in
+  Mutex.unlock t.mutex;
+  v
+
+let bucket_index bounds v =
+  (* First bound >= v, else the overflow slot. *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe ((t, h) : histogram) v =
+  Mutex.lock t.mutex;
+  let i = bucket_index h.bounds v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.total <- h.total + 1;
+  Mutex.unlock t.mutex
+
+let histogram_count ((t, h) : histogram) =
+  Mutex.lock t.mutex;
+  let v = h.total in
+  Mutex.unlock t.mutex;
+  v
+
+let histogram_sum ((t, h) : histogram) =
+  Mutex.lock t.mutex;
+  let v = h.sum in
+  Mutex.unlock t.mutex;
+  v
+
+let cumulative_buckets ((t, h) : histogram) =
+  Mutex.lock t.mutex;
+  let acc = ref 0 in
+  let finite =
+    Array.to_list
+      (Array.mapi
+         (fun i b ->
+           acc := !acc + h.counts.(i);
+           (b, !acc))
+         h.bounds)
+  in
+  let result = finite @ [ (infinity, h.total) ] in
+  Mutex.unlock t.mutex;
+  result
+
+let series_count t =
+  Mutex.lock t.mutex;
+  let n = List.length t.rev_series in
+  Mutex.unlock t.mutex;
+  n
+
+(* {2 Rendering}
+
+   Both exporters snapshot under the mutex and render metric families in
+   first-registration order, series within a family in registration
+   order. *)
+
+let render_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let render_bound b = if b = infinity then "+Inf" else render_float b
+
+(* Group the registration-ordered series list into (name, series list)
+   families: families in first-registration order, series within a
+   family in registration order (the exposition format requires all
+   series of a name to be contiguous). *)
+let families t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.name with
+      | Some l -> Hashtbl.replace tbl s.name (s :: l)
+      | None ->
+        Hashtbl.add tbl s.name [ s ];
+        order := s.name :: !order)
+    (List.rev t.rev_series);
+  List.rev_map (fun n -> (n, List.rev (Hashtbl.find tbl n))) !order
+
+let to_prometheus t =
+  Mutex.lock t.mutex;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, series) ->
+      let help =
+        List.fold_left
+          (fun acc s -> if acc = "" then s.help else acc)
+          "" series
+      in
+      if help <> "" then
+        Printf.bprintf buf "# HELP %s %s\n" name (escape_label_value help);
+      (match series with
+      | s :: _ -> Printf.bprintf buf "# TYPE %s %s\n" name (kind_string s.state)
+      | [] -> ());
+      List.iter
+        (fun s ->
+          match s.state with
+          | Counter_state c ->
+            Printf.bprintf buf "%s%s %d\n" name (render_labels s.labels) c.count
+          | Gauge_state g ->
+            Printf.bprintf buf "%s%s %s\n" name (render_labels s.labels)
+              (render_float g.value)
+          | Histogram_state h ->
+            let acc = ref 0 in
+            Array.iteri
+              (fun i b ->
+                acc := !acc + h.counts.(i);
+                Printf.bprintf buf "%s_bucket%s %d\n" name
+                  (render_labels (s.labels @ [ ("le", render_bound b) ]))
+                  !acc)
+              h.bounds;
+            Printf.bprintf buf "%s_bucket%s %d\n" name
+              (render_labels (s.labels @ [ ("le", "+Inf") ]))
+              h.total;
+            Printf.bprintf buf "%s_sum%s %s\n" name (render_labels s.labels)
+              (render_float h.sum);
+            Printf.bprintf buf "%s_count%s %d\n" name (render_labels s.labels)
+              h.total)
+        series)
+    (families t);
+  Mutex.unlock t.mutex;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_labels labels =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+let to_json t =
+  Mutex.lock t.mutex;
+  let series = List.rev t.rev_series in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"metrics\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "  {\"name\": \"%s\", \"type\": \"%s\", \"labels\": %s, "
+        (json_escape s.name) (kind_string s.state) (json_labels s.labels);
+      (match s.state with
+      | Counter_state c -> Printf.bprintf buf "\"value\": %d}" c.count
+      | Gauge_state g ->
+        Printf.bprintf buf "\"value\": %s}"
+          (if Float.is_nan g.value then "null" else render_float g.value)
+      | Histogram_state h ->
+        let acc = ref 0 in
+        let buckets =
+          Array.to_list
+            (Array.mapi
+               (fun i b ->
+                 acc := !acc + h.counts.(i);
+                 Printf.sprintf "{\"le\": \"%s\", \"count\": %d}"
+                   (render_bound b) !acc)
+               h.bounds)
+          @ [ Printf.sprintf "{\"le\": \"+Inf\", \"count\": %d}" h.total ]
+        in
+        Printf.bprintf buf "\"buckets\": [%s], \"sum\": %s, \"count\": %d}"
+          (String.concat ", " buckets)
+          (render_float h.sum) h.total))
+    series;
+  Buffer.add_string buf "\n]}\n";
+  Mutex.unlock t.mutex;
+  Buffer.contents buf

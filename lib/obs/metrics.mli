@@ -1,0 +1,75 @@
+(** A metrics registry: counters, gauges and fixed-bucket histograms
+    with a stable registration order, snapshottable to the Prometheus
+    text exposition format and to JSON.
+
+    Registration is idempotent — registering the same (name, labels)
+    pair again returns the existing series — so instrumented modules can
+    build their handles lazily from whatever sink they are given.  The
+    exposition output lists metric families in first-registration order
+    and series within a family in registration order; to keep that order
+    deterministic, register every series from the orchestrating domain
+    before fanning work out (the worker-side operations [inc], [set],
+    [add] and [observe] are thread-safe).
+
+    Registering a name under two different kinds, or a histogram twice
+    with different buckets, is a programming error and raises
+    [Invalid_argument]. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> counter
+
+val gauge :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> gauge
+
+val histogram :
+  t ->
+  ?labels:(string * string) list ->
+  ?help:string ->
+  ?buckets:float list ->
+  string ->
+  histogram
+(** [buckets] are the finite upper bounds, strictly ascending; an
+    implicit [+Inf] bucket is always appended.  Defaults to
+    {!default_duration_buckets}. *)
+
+val default_duration_buckets : float list
+(** Power-of-four spread from 100µs to 100s, suited to phase and
+    test-case durations. *)
+
+val inc : ?by:int -> counter -> unit
+(** [by] defaults to 1 and must be [>= 0]. *)
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val cumulative_buckets : histogram -> (float * int) list
+(** [(upper_bound, cumulative_count)] per bucket, ascending, ending with
+    [(infinity, total_count)].  Cumulative counts are monotone by
+    construction. *)
+
+val series_count : t -> int
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format, version 0.0.4: [# HELP] and
+    [# TYPE] per metric family, histogram series expanded into
+    [_bucket{le=...}] / [_sum] / [_count]. *)
+
+val to_json : t -> string
+(** The same snapshot as a deterministic JSON document
+    [{"metrics": [...]}]. *)

@@ -1,0 +1,164 @@
+type arg = String of string | Int of int | Float of float | Bool of bool
+
+type phase = Begin | End | Instant | Metadata
+
+type event = {
+  ph : phase;
+  name : string;
+  ts : int64;  (* ns *)
+  tid : int;
+  args : (string * arg) list;
+}
+
+type dbuf = {
+  tid : int;
+  mutable rev_events : event list;
+  mutable stack : string list;  (* open span names, innermost first *)
+}
+
+type t = {
+  clock : Clock.t;
+  mutex : Mutex.t;
+  bufs : (int, dbuf) Hashtbl.t;
+  mutable tid_order : int list;  (* first-seen order, reversed *)
+}
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Clock.monotonic () in
+  { clock; mutex = Mutex.create (); bufs = Hashtbl.create 8; tid_order = [] }
+
+(* Callers hold [t.mutex]. *)
+let buf_for t =
+  let tid = (Domain.self () :> int) in
+  match Hashtbl.find_opt t.bufs tid with
+  | Some b -> b
+  | None ->
+    let b = { tid; rev_events = []; stack = [] } in
+    Hashtbl.add t.bufs tid b;
+    t.tid_order <- tid :: t.tid_order;
+    b
+
+let record t ph ?(args = []) name =
+  let ts = t.clock () in
+  Mutex.lock t.mutex;
+  let b = buf_for t in
+  (match ph with
+  | Begin -> b.stack <- name :: b.stack
+  | End -> (
+    match b.stack with
+    | top :: rest when top = name -> b.stack <- rest
+    | top :: _ ->
+      Mutex.unlock t.mutex;
+      invalid_arg
+        (Printf.sprintf "Tracer.end_span: %S does not match open span %S" name
+           top)
+    | [] ->
+      Mutex.unlock t.mutex;
+      invalid_arg (Printf.sprintf "Tracer.end_span: no open span for %S" name))
+  | Instant | Metadata -> ());
+  b.rev_events <- { ph; name; ts; tid = b.tid; args } :: b.rev_events;
+  Mutex.unlock t.mutex
+
+let begin_span t ?args name = record t Begin ?args name
+let end_span t name = record t End name
+let instant t ?args name = record t Instant ?args name
+
+let span t ?args name f =
+  begin_span t ?args name;
+  Fun.protect ~finally:(fun () -> end_span t name) f
+
+let name_thread t name =
+  record t Metadata ~args:[ ("name", String name) ] "thread_name"
+
+let event_count t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold (fun _ b acc -> acc + List.length b.rev_events) t.bufs 0
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let unclosed t =
+  Mutex.lock t.mutex;
+  let names =
+    List.concat_map
+      (fun tid -> (Hashtbl.find t.bufs tid).stack)
+      (List.rev t.tid_order)
+  in
+  Mutex.unlock t.mutex;
+  names
+
+(* {2 Chrome trace-event JSON} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_arg = function
+  | String s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Int i -> string_of_int i
+  | Float f -> if Float.is_nan f then "null" else Printf.sprintf "%.9g" f
+  | Bool b -> string_of_bool b
+
+let render_args = function
+  | [] -> ""
+  | args ->
+    Printf.sprintf ", \"args\": {%s}"
+      (String.concat ", "
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "\"%s\": %s" (json_escape k) (render_arg v))
+            args))
+
+let render_event e =
+  let ts_us = Int64.to_float e.ts /. 1e3 in
+  match e.ph with
+  | Metadata ->
+    Printf.sprintf "{\"name\": \"%s\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d%s}"
+      (json_escape e.name) e.tid (render_args e.args)
+  | ph ->
+    let ph_str, extra =
+      match ph with
+      | Begin -> ("B", "")
+      | End -> ("E", "")
+      | Instant -> ("i", ", \"s\": \"t\"")
+      | Metadata -> assert false
+    in
+    Printf.sprintf
+      "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \
+       \"tid\": %d%s%s}"
+      (json_escape e.name) ph_str ts_us e.tid extra (render_args e.args)
+
+let to_chrome_json t =
+  Mutex.lock t.mutex;
+  let events =
+    List.concat_map
+      (fun tid -> List.rev (Hashtbl.find t.bufs tid).rev_events)
+      (List.rev t.tid_order)
+  in
+  Mutex.unlock t.mutex;
+  (* Stable by timestamp: per-domain begin/end order survives among
+     equal stamps (the fake test clock never repeats, the wall clock
+     rarely does). *)
+  let events =
+    List.stable_sort (fun a b -> Int64.compare a.ts b.ts) events
+  in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (render_event e))
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

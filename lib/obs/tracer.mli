@@ -1,0 +1,44 @@
+(** A span-based tracer exporting Chrome trace-event JSON.
+
+    Spans are begin/end pairs with optional attributes, stamped with a
+    {!Clock.t} reading and the calling domain's id.  Each domain appends
+    to its own buffer (one mutex guards the whole tracer, but events are
+    coarse — per task, batch or phase — so contention is negligible);
+    {!to_chrome_json} merges the buffers into one time-sorted event list
+    loadable in Perfetto or [chrome://tracing], with one track (tid) per
+    domain.
+
+    Begin/end pairs must nest properly {e within a domain}:
+    [end_span] raises [Invalid_argument] on a name that does not match
+    the innermost open span.  Prefer the scoped {!span}, which closes on
+    exceptions too; use explicit pairs only for phases that cross
+    function boundaries. *)
+
+type arg = String of string | Int of int | Float of float | Bool of bool
+
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+(** [clock] defaults to a fresh {!Clock.monotonic}. *)
+
+val begin_span : t -> ?args:(string * arg) list -> string -> unit
+val end_span : t -> string -> unit
+
+val span : t -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Scoped span: always closed, even if the thunk raises. *)
+
+val instant : t -> ?args:(string * arg) list -> string -> unit
+(** A zero-duration marker event. *)
+
+val name_thread : t -> string -> unit
+(** Label the calling domain's track in the exported trace. *)
+
+val event_count : t -> int
+
+val unclosed : t -> string list
+(** Names of currently open spans across all domains (innermost first
+    per domain); [[]] once every begin has been ended. *)
+
+val to_chrome_json : t -> string
+(** The merged buffers as a Chrome trace-event JSON object
+    [{"traceEvents": [...]}], sorted by timestamp (microseconds). *)

@@ -9,27 +9,52 @@ type t = {
   mutable shutting_down : bool;
   mutable workers : unit Domain.t list;
   size : int;
+  obs : Obs.t;
+  (* Per-worker task counters, registered from the orchestrator at
+     [create] so the metrics registration order is deterministic; empty
+     when the sink is off. *)
+  task_counts : Obs.Metrics.counter array;
 }
 
-let rec worker_loop pool =
+let rec worker_loop pool index =
   Mutex.lock pool.mutex;
-  while Queue.is_empty pool.queue && not pool.shutting_down do
-    Condition.wait pool.work_available pool.mutex
-  done;
+  (* Span the wait only when the worker actually has to idle, so traces
+     show real starvation rather than a haze of zero-length idles.  The
+     tracer's own mutex nests strictly inside [pool.mutex] (tracer calls
+     never take pool locks), so the ordering is acyclic. *)
+  if Queue.is_empty pool.queue && not pool.shutting_down then begin
+    Obs.begin_span pool.obs "pool/idle";
+    while Queue.is_empty pool.queue && not pool.shutting_down do
+      Condition.wait pool.work_available pool.mutex
+    done;
+    Obs.end_span pool.obs "pool/idle"
+  end;
   if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
   else begin
     let task = Queue.pop pool.queue in
     Mutex.unlock pool.mutex;
-    (try task () with _ -> ());
+    Obs.span pool.obs "pool/task" (fun () -> try task () with _ -> ());
+    if Array.length pool.task_counts > 0 then
+      Obs.Metrics.inc pool.task_counts.(index);
     Mutex.lock pool.mutex;
     pool.pending <- pool.pending - 1;
     if pool.pending = 0 then Condition.broadcast pool.all_done;
     Mutex.unlock pool.mutex;
-    worker_loop pool
+    worker_loop pool index
   end
 
-let create ~domains =
+let create ?(obs = Obs.noop) ~domains () =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let task_counts =
+    match Obs.metrics obs with
+    | None -> [||]
+    | Some m ->
+      Array.init domains (fun i ->
+          Obs.Metrics.counter m
+            ~labels:[ ("worker", string_of_int i) ]
+            ~help:"Tasks executed per pool worker."
+            "teesec_pool_tasks_total")
+  in
   let pool =
     {
       mutex = Mutex.create ();
@@ -40,10 +65,18 @@ let create ~domains =
       shutting_down = false;
       workers = [];
       size = domains;
+      obs;
+      task_counts;
     }
   in
   pool.workers <-
-    List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            Option.iter
+              (fun tr ->
+                Obs.Tracer.name_thread tr (Printf.sprintf "pool-worker-%d" i))
+              (Obs.tracer obs);
+            worker_loop pool i));
   pool
 
 let size pool = pool.size
@@ -77,8 +110,8 @@ let shutdown pool =
   Mutex.unlock pool.mutex;
   List.iter Domain.join workers
 
-let with_pool ~domains f =
-  let pool = create ~domains in
+let with_pool ?obs ~domains f =
+  let pool = create ?obs ~domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 let map ?chunk pool f input =
@@ -113,11 +146,18 @@ let map ?chunk pool f input =
       results
   end
 
-let parmap ?chunk ~jobs f xs =
+let parmap ?obs ?chunk ~jobs f xs =
+  let obs = Option.value obs ~default:Obs.noop in
   let n = List.length xs in
-  if jobs <= 1 || n <= 1 then List.map f xs
+  if jobs <= 1 || n <= 1 then
+    (* Degenerate sequential path: same results and exceptions as
+       [List.map]; with an active sink each element still gets its
+       [pool/task] span (on the caller's track — no domain is spawned). *)
+    if Obs.enabled obs then
+      List.map (fun x -> Obs.span obs "pool/task" (fun () -> f x)) xs
+    else List.map f xs
   else
-    with_pool ~domains:(min jobs n) (fun pool ->
+    with_pool ~obs ~domains:(min jobs n) (fun pool ->
         Array.to_list (map ?chunk pool f (Array.of_list xs)))
 
 let default_jobs () = Domain.recommended_domain_count ()

@@ -16,13 +16,22 @@
     traffic.
 
     The pool is intended for one orchestrating caller at a time:
-    [run_all] waits for the pool-wide pending count to reach zero. *)
+    [run_all] waits for the pool-wide pending count to reach zero.
+
+    With an active {!Obs.t} sink the pool reports per-worker busy/idle
+    spans ([pool/task] / [pool/idle], one trace track per worker domain)
+    and per-worker task counters ([teesec_pool_tasks_total]); with
+    [Obs.noop] (the default) instrumentation is a single branch and the
+    run-time behaviour is exactly the uninstrumented one. *)
 
 type t
 
-(** [create ~domains] spawns [domains] worker domains ([domains >= 1]).
-    The workers idle on a condition variable until work arrives. *)
-val create : domains:int -> t
+(** [create ?obs ~domains ()] spawns [domains] worker domains
+    ([domains >= 1]).  The workers idle on a condition variable until
+    work arrives.  [obs] (default [Obs.noop]) receives the worker
+    spans and task counters; its per-worker series are registered here,
+    before any worker runs, so registration order is deterministic. *)
+val create : ?obs:Obs.t -> domains:int -> unit -> t
 
 (** Number of worker domains. *)
 val size : t -> int
@@ -44,16 +53,18 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
     the pool must not be used afterwards. *)
 val shutdown : t -> unit
 
-(** [with_pool ~domains f] runs [f] over a fresh pool and always shuts
-    it down, even if [f] raises. *)
-val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ?obs ~domains f] runs [f] over a fresh pool and always
+    shuts it down, even if [f] raises. *)
+val with_pool : ?obs:Obs.t -> domains:int -> (t -> 'a) -> 'a
 
-(** [parmap ?chunk ~jobs f xs] is [map] over a transient pool of
+(** [parmap ?obs ?chunk ~jobs f xs] is [map] over a transient pool of
     [min jobs (length xs)] domains, returning a list in input order.
     [jobs <= 1] (or a short list) degrades to plain [List.map] on the
     calling domain — no domain is ever spawned, so results and exception
-    behaviour are exactly the sequential ones. *)
-val parmap : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    behaviour are exactly the sequential ones (each element still gets
+    its [pool/task] span when [obs] is active). *)
+val parmap :
+  ?obs:Obs.t -> ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** The host's recommended domain count
     ([Domain.recommended_domain_count]); what [--jobs 0] resolves to. *)

@@ -15,7 +15,6 @@ type result = {
   residue_warnings : int;
   total_cycles : int;
   total_log_records : int;
-  wall_time_s : float;
 }
 
 (* Everything the merge phase needs from one test case.  Computed
@@ -30,9 +29,57 @@ type case_outcome = {
   co_summary : string;
 }
 
-let eval_case config tc =
-  let outcome = Runner.run config tc in
-  let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
+(* Observability handles, registered once per run from the orchestrating
+   domain (stable registration order); [None] when the sink is off. *)
+type instruments = {
+  i_cases : Obs.Metrics.counter;
+  i_findings : Obs.Metrics.counter;
+  i_runner : Obs.Metrics.histogram;
+  i_checker : Obs.Metrics.histogram;
+  i_case_cycles : Obs.Metrics.histogram;
+}
+
+let instruments obs =
+  match Obs.metrics obs with
+  | None -> None
+  | Some m ->
+    Some
+      {
+        i_cases =
+          Obs.Metrics.counter m ~help:"Test cases executed by the campaign."
+            "teesec_campaign_cases_total";
+        i_findings =
+          Obs.Metrics.counter m
+            ~help:"Checker findings carrying a Table 3 case."
+            "teesec_campaign_findings_total";
+        i_runner =
+          Obs.Metrics.histogram m ~help:"Wall time of one simulated test case."
+            "teesec_runner_duration_seconds";
+        i_checker =
+          Obs.Metrics.histogram m
+            ~labels:[ ("impl", "indexed") ]
+            ~help:"Wall time of one checker pass over a log."
+            "teesec_checker_duration_seconds";
+        i_case_cycles =
+          Obs.Metrics.histogram m
+            ~buckets:[ 100.; 300.; 1000.; 3000.; 10000.; 30000.; 100000. ]
+            ~help:"Simulated cycles per test case."
+            "teesec_campaign_case_cycles";
+      }
+
+let eval_case obs ins config tc =
+  let outcome, _ =
+    Obs.timed obs
+      ?histogram:(Option.map (fun i -> i.i_runner) ins)
+      "campaign/runner"
+      (fun () -> Runner.run config tc)
+  in
+  let findings, _ =
+    Obs.timed obs
+      ?histogram:(Option.map (fun i -> i.i_checker) ins)
+      "campaign/checker"
+      (fun () -> Checker.check outcome.Runner.log outcome.Runner.tracker)
+  in
   {
     co_name = Testcase.name tc;
     co_cases = Checker.distinct_cases findings;
@@ -42,8 +89,9 @@ let eval_case config tc =
     co_summary = Report.summary_line tc findings;
   }
 
-let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) config testcases =
-  let t0 = Unix.gettimeofday () in
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) config
+    testcases =
+  let ins = instruments obs in
   let counts = Hashtbl.create 16 in
   let firsts = Hashtbl.create 16 in
   let residue = ref 0 in
@@ -56,6 +104,12 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) config testcases =
     residue := !residue + co.co_residue;
     cycles := !cycles + co.co_cycles;
     log_records := !log_records + co.co_log_records;
+    Option.iter
+      (fun ins ->
+        Obs.Metrics.inc ins.i_cases;
+        Obs.Metrics.inc ~by:(List.length co.co_cases) ins.i_findings;
+        Obs.Metrics.observe ins.i_case_cycles (float_of_int co.co_cycles))
+      ins;
     List.iter
       (fun case ->
         Hashtbl.replace counts case
@@ -67,13 +121,19 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) config testcases =
   in
   if jobs <= 1 then
     (* Sequential path: [progress] streams as each test case finishes. *)
-    List.iteri (fun i tc -> merge i (eval_case config tc)) testcases
-  else
+    Obs.span obs "campaign/cases" (fun () ->
+        List.iteri (fun i tc -> merge i (eval_case obs ins config tc)) testcases)
+  else begin
     (* Test cases share no mutable state (each [Runner.run] builds its
        own [Env]), so they fan out across domains; [progress] then fires
        during the ordered merge. *)
-    List.iteri merge
-      (Parallel.Pool.parmap ~jobs (eval_case config) testcases);
+    let outcomes =
+      Obs.span obs "campaign/execute" (fun () ->
+          Parallel.Pool.parmap ~obs ~jobs (eval_case obs ins config) testcases)
+    in
+    Obs.span obs "campaign/merge" (fun () -> List.iteri merge outcomes)
+  end;
+  Obs.gc_sample obs ~phase:"campaign";
   let stats =
     List.map
       (fun case ->
@@ -95,10 +155,10 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) config testcases =
     residue_warnings = !residue;
     total_cycles = !cycles;
     total_log_records = !log_records;
-    wall_time_s = Unix.gettimeofday () -. t0;
   }
 
-let run_full ?progress ?jobs config = run ?progress ?jobs config (Fuzzer.corpus ())
+let run_full ?progress ?jobs ?obs config =
+  run ?progress ?jobs ?obs config (Fuzzer.corpus ())
 
 let mismatches result =
   List.filter_map
@@ -110,9 +170,8 @@ let mismatches result =
 let matches_paper result = mismatches result = []
 
 let pp_result fmt result =
-  Format.fprintf fmt "Campaign on %s: %d test cases, %.2fs, %d cycles simulated@."
-    result.config.Config.name result.total_cases result.wall_time_s
-    result.total_cycles;
+  Format.fprintf fmt "Campaign on %s: %d test cases, %d cycles simulated@."
+    result.config.Config.name result.total_cases result.total_cycles;
   List.iter
     (fun (case, (s : case_stats)) ->
       Format.fprintf fmt "  %-3s %-70s %s (%d test cases%s)@." (Case.to_string case)

@@ -19,30 +19,42 @@ type result = {
   residue_warnings : int;
   total_cycles : int;
   total_log_records : int;
-  wall_time_s : float;
 }
+(** Deliberately carries no wall-clock data: campaign results (and
+    everything rendered from them) are byte-identical across job counts
+    and observability settings.  Timing lives in the {!Obs} sink. *)
 
-(** [run ?progress ?jobs config testcases] executes every test case on a
-    fresh environment and checks its log.  [progress] is called after
-    each test case with (index, total, summary line).
+(** [run ?progress ?jobs ?obs config testcases] executes every test case
+    on a fresh environment and checks its log.  [progress] is called
+    after each test case with (index, total, summary line).
 
     [jobs] (default 1) fans the test cases out across that many OCaml 5
     domains; each case is independent (its own [Env]), and results are
     merged sequentially in test-case order, so the returned [result] —
     and the order of [progress] calls — is identical for every [jobs]
     value.  With [jobs <= 1] no domain is spawned and [progress] streams
-    as cases finish; with [jobs > 1] it fires during the final merge. *)
+    as cases finish; with [jobs > 1] it fires during the final merge.
+
+    [obs] (default [Obs.noop]) receives phase spans
+    ([campaign/execute], [campaign/merge]), per-case runner and checker
+    duration histograms, case/finding counters and a GC sample; it never
+    influences the returned result. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
+  ?obs:Obs.t ->
   Config.t ->
   Testcase.t list ->
   result
 
-(** [run_full ?progress ?jobs config] runs the whole deterministic
+(** [run_full ?progress ?jobs ?obs config] runs the whole deterministic
     corpus. *)
 val run_full :
-  ?progress:(int -> int -> string -> unit) -> ?jobs:int -> Config.t -> result
+  ?progress:(int -> int -> string -> unit) ->
+  ?jobs:int ->
+  ?obs:Obs.t ->
+  Config.t ->
+  result
 
 (** [matches_paper result] is true when the set of found cases equals the
     paper's Table 3 column for this core. *)

@@ -1,0 +1,684 @@
+(* Tests for the deterministic observability layer (lib/obs).
+
+   Two families of contracts:
+
+   - the exporters themselves: Prometheus text output that survives a
+     round trip through a minimal parser with monotone histogram
+     buckets, and Chrome trace-event JSON in which every begin event
+     has a matching end on the same track;
+
+   - the determinism boundary: campaign CSV, inject JSON and fuzz JSON
+     are byte-identical whether the sink is noop or active, at jobs 1
+     and jobs 4 — wall-clock readings must never reach a verdict
+     report. *)
+
+open Teesec
+module Config = Uarch.Config
+module Metrics = Obs.Metrics
+module Tracer = Obs.Tracer
+module Clock = Obs.Clock
+
+(* {1 A minimal JSON parser}
+
+   Just enough to validate the exporters' output (objects, arrays,
+   strings with escapes, numbers, booleans, null).  Deliberately
+   hand-rolled: the repo has no JSON dependency, and the trace/metrics
+   files must be consumable by stock tooling, so the test parses them
+   from scratch rather than trusting the producer. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Json_error of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Json_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+        | Some '/' -> Buffer.add_char buf '/'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?'  (* non-ASCII: presence is enough *)
+          | None -> fail "bad \\u escape");
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); J_obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((key, v) :: acc)
+          | Some '}' -> advance (); J_obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); J_arr [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); J_arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let obj_field name = function
+  | J_obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* {1 A minimal Prometheus text-format parser}
+
+   Returns the # TYPE declarations and every sample line as
+   (metric name, label list, value). *)
+
+type prom_sample = {
+  p_name : string;
+  p_labels : (string * string) list;
+  p_value : float;
+}
+
+let parse_prometheus text =
+  let types = ref [] in
+  let samples = ref [] in
+  let parse_labels s =
+    (* comma-separated key=value pairs, values double-quoted with
+       backslash escapes for backslash, quote and newline *)
+    let n = String.length s in
+    let pos = ref 0 in
+    let rec labels acc =
+      let eq = String.index_from s !pos '=' in
+      let key = String.sub s !pos (eq - !pos) in
+      assert (s.[eq + 1] = '"');
+      let buf = Buffer.create 16 in
+      let i = ref (eq + 2) in
+      let rec value () =
+        match s.[!i] with
+        | '\\' ->
+          (match s.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> Buffer.add_char buf c);
+          i := !i + 2;
+          value ()
+        | '"' -> incr i
+        | c ->
+          Buffer.add_char buf c;
+          incr i;
+          value ()
+      in
+      value ();
+      let acc = (key, Buffer.contents buf) :: acc in
+      if !i < n && s.[!i] = ',' then begin
+        pos := !i + 1;
+        labels acc
+      end
+      else List.rev acc
+    in
+    if n = 0 then [] else labels []
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+           match String.split_on_char ' ' line with
+           | [ _; _; name; kind ] -> types := (name, kind) :: !types
+           | _ -> Alcotest.failf "malformed TYPE line: %s" line
+         end
+         else if line.[0] = '#' then ()
+         else begin
+           (* name{labels} value | name value *)
+           let name_end =
+             match String.index_opt line '{' with
+             | Some i -> i
+             | None -> String.index line ' '
+           in
+           let p_name = String.sub line 0 name_end in
+           let p_labels, value_start =
+             if line.[name_end] = '{' then begin
+               let close = String.rindex line '}' in
+               ( parse_labels (String.sub line (name_end + 1) (close - name_end - 1)),
+                 close + 2 )
+             end
+             else ([], name_end + 1)
+           in
+           let p_value =
+             float_of_string
+               (String.sub line value_start (String.length line - value_start))
+           in
+           samples := { p_name; p_labels; p_value } :: !samples
+         end);
+  (List.rev !types, List.rev !samples)
+
+(* {1 Metrics registry} *)
+
+let test_counter_gauge_histogram () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"a counter" "test_counter_total" in
+  Metrics.inc c;
+  Metrics.inc ~by:4 c;
+  Alcotest.(check int) "counter value" 5 (Metrics.counter_value c);
+  let g = Metrics.gauge m "test_gauge" in
+  Metrics.set g 2.5;
+  Metrics.add g 1.0;
+  Alcotest.(check (float 1e-9)) "gauge value" 3.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram m ~buckets:[ 1.; 2.; 4. ] "test_histogram" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  Alcotest.(check int) "histogram count" 4 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "histogram sum" 105.0 (Metrics.histogram_sum h);
+  Alcotest.(check int) "series count" 3 (Metrics.series_count m)
+
+let test_registration_idempotent () =
+  let m = Metrics.create () in
+  let c1 = Metrics.counter m ~labels:[ ("k", "v") ] "idem_total" in
+  let c2 = Metrics.counter m ~labels:[ ("k", "v") ] "idem_total" in
+  Metrics.inc c1;
+  Metrics.inc c2;
+  Alcotest.(check int) "both handles hit one series" 2 (Metrics.counter_value c1);
+  Alcotest.(check int) "one series registered" 1 (Metrics.series_count m);
+  (* A different label value is a fresh series of the same family. *)
+  let c3 = Metrics.counter m ~labels:[ ("k", "w") ] "idem_total" in
+  Metrics.inc c3;
+  Alcotest.(check int) "second series" 2 (Metrics.series_count m)
+
+let test_registration_conflicts () =
+  let m = Metrics.create () in
+  let (_ : Metrics.counter) = Metrics.counter m "conflicted" in
+  Alcotest.(check bool) "kind clash raises" true
+    (try
+       ignore (Metrics.gauge m "conflicted");
+       false
+     with Invalid_argument _ -> true);
+  let (_ : Metrics.histogram) = Metrics.histogram m ~buckets:[ 1.; 2. ] "hist" in
+  Alcotest.(check bool) "bucket clash raises" true
+    (try
+       ignore (Metrics.histogram m ~buckets:[ 1.; 3. ] "hist");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "descending buckets raise" true
+    (try
+       ignore (Metrics.histogram m ~buckets:[ 2.; 1. ] "hist2");
+       false
+     with Invalid_argument _ -> true)
+
+(* qcheck: cumulative bucket counts are monotone and end at the total,
+   for arbitrary observation streams. *)
+let cumulative_buckets_monotone =
+  QCheck.Test.make ~count:100 ~name:"cumulative histogram buckets are monotone"
+    QCheck.(list (float_bound_exclusive 10.0))
+    (fun observations ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m ~buckets:[ 0.5; 1.; 2.; 5. ] "qcheck_hist" in
+      List.iter (Metrics.observe h) observations;
+      let buckets = Metrics.cumulative_buckets h in
+      let counts = List.map snd buckets in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone counts
+      && List.length buckets = 5
+      && fst (List.nth buckets 4) = infinity
+      && snd (List.nth buckets 4) = List.length observations)
+
+let test_prometheus_round_trip () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"cases run" "rt_cases_total" in
+  Metrics.inc ~by:7 c;
+  let g = Metrics.gauge m ~labels:[ ("phase", "fuzz") ] "rt_heap_words" in
+  Metrics.set g 1234.0;
+  let h =
+    Metrics.histogram m ~help:"durations" ~buckets:[ 0.1; 0.2; 0.4 ]
+      ~labels:[ ("impl", "indexed") ]
+      "rt_duration_seconds"
+  in
+  List.iter (Metrics.observe h) [ 0.05; 0.15; 0.15; 0.3; 9.0 ];
+  let types, samples = parse_prometheus (Metrics.to_prometheus m) in
+  Alcotest.(check (list (pair string string)))
+    "TYPE declarations in registration order"
+    [ ("rt_cases_total", "counter"); ("rt_heap_words", "gauge");
+      ("rt_duration_seconds", "histogram") ]
+    types;
+  let find name labels =
+    match
+      List.find_opt (fun s -> s.p_name = name && s.p_labels = labels) samples
+    with
+    | Some s -> s.p_value
+    | None -> Alcotest.failf "sample %s%s missing" name (String.concat "," (List.map fst labels))
+  in
+  Alcotest.(check (float 0.)) "counter sample" 7.0 (find "rt_cases_total" []);
+  Alcotest.(check (float 0.)) "gauge sample" 1234.0
+    (find "rt_heap_words" [ ("phase", "fuzz") ]);
+  (* Histogram expansion: cumulative, monotone, +Inf == _count. *)
+  let bucket le = find "rt_duration_seconds_bucket" [ ("impl", "indexed"); ("le", le) ] in
+  Alcotest.(check (float 0.)) "le=0.1" 1.0 (bucket "0.1");
+  Alcotest.(check (float 0.)) "le=0.2" 3.0 (bucket "0.2");
+  Alcotest.(check (float 0.)) "le=0.4" 4.0 (bucket "0.4");
+  Alcotest.(check (float 0.)) "le=+Inf" 5.0 (bucket "+Inf");
+  Alcotest.(check (float 0.)) "_count" 5.0
+    (find "rt_duration_seconds_count" [ ("impl", "indexed") ]);
+  Alcotest.(check (float 1e-9)) "_sum" 9.65
+    (find "rt_duration_seconds_sum" [ ("impl", "indexed") ])
+
+let test_metrics_json_parses () =
+  let m = Metrics.create () in
+  Metrics.inc (Metrics.counter m "json_total");
+  Metrics.set (Metrics.gauge m "json_gauge") Float.nan;  (* NaN must render as null *)
+  Metrics.observe (Metrics.histogram m ~buckets:[ 1. ] "json_hist") 0.5;
+  match parse_json (Metrics.to_json m) with
+  | J_obj [ ("metrics", J_arr entries) ] ->
+    Alcotest.(check int) "three series" 3 (List.length entries);
+    List.iter
+      (fun e ->
+        match obj_field "name" e with
+        | Some (J_str _) -> ()
+        | _ -> Alcotest.fail "entry without a name")
+      entries
+  | _ -> Alcotest.fail "unexpected top-level JSON shape"
+
+(* {1 Tracer} *)
+
+let test_tracer_spans_and_chrome_json () =
+  let tracer = Tracer.create ~clock:(Clock.fake ()) () in
+  Tracer.name_thread tracer "main";
+  Tracer.span tracer "outer" (fun () ->
+      Tracer.span tracer ~args:[ ("batch", Tracer.Int 1) ] "inner" (fun () -> ());
+      Tracer.instant tracer "marker");
+  Alcotest.(check (list string)) "all spans closed" [] (Tracer.unclosed tracer);
+  let json = parse_json (Tracer.to_chrome_json tracer) in
+  let events =
+    match obj_field "traceEvents" json with
+    | Some (J_arr events) -> events
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  (* Per-track begin/end stack check: every B has a matching E, properly
+     nested, and timestamps never decrease. *)
+  let stacks = Hashtbl.create 4 in
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun e ->
+      let field name =
+        match obj_field name e with
+        | Some v -> v
+        | None -> Alcotest.failf "event missing %s" name
+      in
+      let ph = match field "ph" with J_str s -> s | _ -> Alcotest.fail "ph" in
+      let tid = match field "tid" with J_num f -> int_of_float f | _ -> Alcotest.fail "tid" in
+      let name = match field "name" with J_str s -> s | _ -> Alcotest.fail "name" in
+      (* Metadata events carry no timestamp (per the trace-event spec). *)
+      (if ph <> "M" then
+         match field "ts" with
+         | J_num ts ->
+           Alcotest.(check bool) "timestamps sorted" true (ts >= !last_ts);
+           last_ts := ts
+         | _ -> Alcotest.fail "ts");
+      let stack = try Hashtbl.find stacks tid with Not_found -> [] in
+      match ph with
+      | "B" -> Hashtbl.replace stacks tid (name :: stack)
+      | "E" -> (
+        match stack with
+        | top :: rest when top = name -> Hashtbl.replace stacks tid rest
+        | _ -> Alcotest.failf "end %S does not match the open span" name)
+      | "i" | "M" -> ()
+      | ph -> Alcotest.failf "unexpected phase %S" ph)
+    events;
+  Hashtbl.iter
+    (fun _ stack -> Alcotest.(check (list string)) "track stack empty" [] stack)
+    stacks;
+  let phases =
+    List.filter_map
+      (fun e -> match obj_field "ph" e with Some (J_str s) -> Some s | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "has an instant event" true (List.mem "i" phases);
+  Alcotest.(check bool) "has a metadata event" true (List.mem "M" phases)
+
+let test_tracer_mismatch_raises () =
+  let tracer = Tracer.create ~clock:(Clock.fake ()) () in
+  Tracer.begin_span tracer "a";
+  Alcotest.(check bool) "mismatched end raises" true
+    (try
+       Tracer.end_span tracer "b";
+       false
+     with Invalid_argument _ -> true);
+  Tracer.end_span tracer "a";
+  Alcotest.(check bool) "end on empty stack raises" true
+    (try
+       Tracer.end_span tracer "a";
+       false
+     with Invalid_argument _ -> true)
+
+let test_fake_clock_deterministic () =
+  let c1 = Clock.fake ~step_ns:10L () in
+  let first = c1 () in
+  let second = c1 () in
+  Alcotest.(check bool) "fake clock ticks" true (first < second);
+  let c2 = Clock.monotonic () in
+  let a = c2 () in
+  let b = c2 () in
+  Alcotest.(check bool) "monotonic clock never decreases" true (b >= a)
+
+(* {1 The sink} *)
+
+let test_noop_sink_is_inert () =
+  let obs = Obs.noop in
+  Alcotest.(check bool) "noop is disabled" false (Obs.enabled obs);
+  Alcotest.(check bool) "noop has no metrics" true (Obs.metrics obs = None);
+  Alcotest.(check bool) "noop has no tracer" true (Obs.tracer obs = None);
+  (* All operations are no-ops rather than errors. *)
+  Obs.begin_span obs "x";
+  Obs.end_span obs "y";  (* even mismatched: there is no stack *)
+  Obs.instant obs "z";
+  Obs.gc_sample obs ~phase:"none";
+  let result, seconds = Obs.timed obs "phase" (fun () -> 42) in
+  Alcotest.(check int) "timed passes the result through" 42 result;
+  Alcotest.(check (float 0.)) "timed reads no clock on noop" 0. seconds
+
+let test_active_sink_collects () =
+  let obs = Obs.create ~clock:(Clock.fake ()) () in
+  let m = match Obs.metrics obs with Some m -> m | None -> Alcotest.fail "active sink" in
+  let h = Metrics.histogram m "sink_duration_seconds" in
+  let result, seconds = Obs.timed obs ~histogram:h "phase" (fun () -> "ok") in
+  Alcotest.(check string) "result" "ok" result;
+  Alcotest.(check bool) "elapsed > 0 on the fake clock" true (seconds > 0.);
+  Alcotest.(check int) "histogram observed" 1 (Metrics.histogram_count h);
+  Obs.gc_sample obs ~phase:"test";
+  let words =
+    Metrics.gauge_value
+      (Metrics.gauge m ~labels:[ ("phase", "test") ] "teesec_gc_minor_words")
+  in
+  Alcotest.(check bool) "gc gauge sampled" true (words > 0.)
+
+(* {1 Pool instrumentation} *)
+
+let test_pool_task_counters () =
+  let obs = Obs.create ~clock:(Clock.fake ()) () in
+  let xs = List.init 40 Fun.id in
+  let ys = Parallel.Pool.parmap ~obs ~chunk:1 ~jobs:3 (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "parmap result" (List.map (fun x -> x * x) xs) ys;
+  let m = match Obs.metrics obs with Some m -> m | None -> assert false in
+  let total =
+    List.fold_left
+      (fun acc worker ->
+        acc
+        + Metrics.counter_value
+            (Metrics.counter m
+               ~labels:[ ("worker", string_of_int worker) ]
+               "teesec_pool_tasks_total"))
+      0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "every task counted exactly once" 40 total;
+  (* The trace is well-formed: workers close their idle spans at exit. *)
+  match Obs.tracer obs with
+  | Some tr -> Alcotest.(check (list string)) "no unclosed spans" [] (Tracer.unclosed tr)
+  | None -> assert false
+
+(* {1 The determinism boundary}
+
+   The tentpole guarantee: verdict artifacts are byte-identical across
+   {noop, active} x {jobs 1, jobs 4}.  Campaign results are compared
+   through the Table 3 CSV, inject and fuzz through their JSON
+   reports — exactly the artifacts the CLI writes. *)
+
+let small_slice () = List.filteri (fun i _ -> i < 6) (Mitigation_eval.slice ())
+
+let all_equal label = function
+  | [] | [ _ ] -> ()
+  | reference :: rest ->
+    List.iteri
+      (fun i other -> Alcotest.(check string) (Printf.sprintf "%s (variant %d)" label (i + 1)) reference other)
+      rest
+
+let variants f =
+  List.concat_map
+    (fun jobs -> List.map (fun obs -> f ~jobs ~obs) [ Obs.noop; Obs.create () ])
+    [ 1; 4 ]
+
+let test_campaign_determinism () =
+  let testcases = small_slice () in
+  variants (fun ~jobs ~obs ->
+      Tables.table3_csv [ Campaign.run ~jobs ~obs Config.boom testcases ])
+  |> all_equal "campaign CSV"
+
+let test_inject_determinism () =
+  let testcases = small_slice () in
+  variants (fun ~jobs ~obs ->
+      Inject.Robustness_report.to_json_string
+        (Inject.Inject_campaign.run ~jobs ~obs ~seed:42L ~plans:3 Config.boom
+           testcases))
+  |> all_equal "inject JSON"
+
+let test_fuzz_determinism () =
+  let options =
+    { Fuzz.Engine.default with Fuzz.Engine.seed = 42L; budget = 48; batch = 16 }
+  in
+  variants (fun ~jobs ~obs ->
+      Fuzz.Fuzz_report.to_json_string (Fuzz.Engine.run ~jobs ~obs options Config.xiangshan))
+  |> all_equal "fuzz JSON"
+
+(* {1 CLI acceptance}
+
+   The ISSUE's acceptance criterion, end to end: `fuzz --trace --metrics`
+   writes a loadable trace and a parseable metrics file while the JSON
+   report stays byte-identical to a flagless run, at jobs 1 and 4. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let test_cli_fuzz_observability () =
+  let tmp suffix = Filename.temp_file "teesec_obs" suffix in
+  let reports =
+    List.concat_map
+      (fun jobs ->
+        List.map
+          (fun observed ->
+            let json = tmp ".json" in
+            let extra =
+              if observed then
+                let trace = tmp ".trace.json" in
+                let metrics = tmp ".prom" in
+                [| "--trace"; trace; "--metrics"; metrics |]
+              else [||]
+            in
+            let argv =
+              Array.append
+                [| "teesec_cli"; "fuzz"; "--quiet"; "--budget"; "48";
+                   "--batch"; "16"; "--seed"; "42"; "--json"; json;
+                   "--jobs"; string_of_int jobs |]
+                extra
+            in
+            let code, _ = Cli.Teesec_cmds.eval_captured ~argv in
+            Alcotest.(check int) "fuzz exits 0" 0 code;
+            let report = read_file json in
+            Sys.remove json;
+            (if observed then
+               match extra with
+               | [| _; trace; _; metrics |] ->
+                 (* The trace must be well-formed Chrome JSON with every
+                    span closed (B/E balanced per track). *)
+                 let trace_json = parse_json (read_file trace) in
+                 (match obj_field "traceEvents" trace_json with
+                 | Some (J_arr events) ->
+                   Alcotest.(check bool) "trace has events" true (events <> []);
+                   let opens = Hashtbl.create 4 in
+                   List.iter
+                     (fun e ->
+                       match (obj_field "ph" e, obj_field "tid" e) with
+                       | Some (J_str "B"), Some (J_num tid) ->
+                         Hashtbl.replace opens tid
+                           (1 + try Hashtbl.find opens tid with Not_found -> 0)
+                       | Some (J_str "E"), Some (J_num tid) ->
+                         Hashtbl.replace opens tid
+                           ((try Hashtbl.find opens tid with Not_found -> 0) - 1)
+                       | _ -> ())
+                     events;
+                   Hashtbl.iter
+                     (fun _ depth ->
+                       Alcotest.(check int) "begin/end balanced" 0 depth)
+                     opens
+                 | _ -> Alcotest.fail "trace file has no traceEvents");
+                 (* The metrics file must parse and carry the fuzz counters. *)
+                 let _, samples = parse_prometheus (read_file metrics) in
+                 let exec =
+                   List.find_opt
+                     (fun s -> s.p_name = "teesec_fuzz_executions_total")
+                     samples
+                 in
+                 (match exec with
+                 | Some s -> Alcotest.(check (float 0.)) "executions counted" 48.0 s.p_value
+                 | None -> Alcotest.fail "teesec_fuzz_executions_total missing");
+                 Sys.remove trace;
+                 Sys.remove metrics
+               | _ -> assert false);
+            report)
+          [ false; true ])
+      [ 1; 4 ]
+  in
+  all_equal "fuzz report JSON across flags and jobs" reports
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter, gauge, histogram basics" `Quick
+            test_counter_gauge_histogram;
+          Alcotest.test_case "registration is idempotent per (name, labels)"
+            `Quick test_registration_idempotent;
+          Alcotest.test_case "kind and bucket conflicts raise" `Quick
+            test_registration_conflicts;
+          QCheck_alcotest.to_alcotest cumulative_buckets_monotone;
+          Alcotest.test_case "prometheus text round-trips through a parser"
+            `Quick test_prometheus_round_trip;
+          Alcotest.test_case "JSON export parses" `Quick test_metrics_json_parses;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "spans export as balanced Chrome JSON" `Quick
+            test_tracer_spans_and_chrome_json;
+          Alcotest.test_case "mismatched end_span raises" `Quick
+            test_tracer_mismatch_raises;
+          Alcotest.test_case "clocks tick and never decrease" `Quick
+            test_fake_clock_deterministic;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "noop sink is inert" `Quick test_noop_sink_is_inert;
+          Alcotest.test_case "active sink collects spans, metrics and GC" `Quick
+            test_active_sink_collects;
+          Alcotest.test_case "pool counts every task exactly once" `Quick
+            test_pool_task_counters;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "campaign CSV identical across sink and jobs" `Slow
+            test_campaign_determinism;
+          Alcotest.test_case "inject JSON identical across sink and jobs" `Slow
+            test_inject_determinism;
+          Alcotest.test_case "fuzz JSON identical across sink and jobs" `Slow
+            test_fuzz_determinism;
+          Alcotest.test_case
+            "cli fuzz --trace/--metrics leaves the report byte-identical" `Slow
+            test_cli_fuzz_observability;
+        ] );
+    ]
