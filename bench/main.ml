@@ -186,11 +186,13 @@ let write_campaign_json ~path results =
     (fun i ((r : Teesec.Campaign.result), wall_time_s) ->
       Printf.bprintf buf
         "    {\"core\": \"%s\", \"testcases\": %d, \"wall_time_s\": %.3f, \
+         \"cases_per_s\": %.1f, \
          \"total_cycles\": %d, \"total_log_records\": %d, \
          \"residue_warnings\": %d, \"found\": [%s], \"matches_paper\": %b}%s\n"
         (String.lowercase_ascii
            (Uarch.Config.core_kind_to_string r.Teesec.Campaign.config.Uarch.Config.kind))
         r.Teesec.Campaign.total_cases wall_time_s
+        (float_of_int r.Teesec.Campaign.total_cases /. wall_time_s)
         r.Teesec.Campaign.total_cycles r.Teesec.Campaign.total_log_records
         r.Teesec.Campaign.residue_warnings
         (String.concat ", "
@@ -239,6 +241,156 @@ let write_inject_json ~path results =
         r.Inject.Inject_campaign.baseline_matches_paper
         (if i < List.length results - 1 then "," else ""))
     results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+(* {1 Machine-readable snapshot/fork record}
+
+   BENCH_snapshot.json measures the snapshot/fork execution engine
+   (Teesec.Snapshot) against the replay-everything oracle on the same
+   workloads.  Both paths produce byte-identical reports — the
+   differential suites pin campaign CSV, inject JSON and fuzz JSON
+   across them — so this record tracks only throughput.
+
+   Each phase runs [snapshot_reps] repetitions per path and reports the
+   median; a phase's repetitions share one engine, so the median
+   reflects the steady-state (warm-cache) cost while [snapshot_cold_s]
+   keeps the first, cache-building repetition honest.  The setup-bound
+   phases exclude the Imp_Acc_Destroy_Memset family: its cost is the
+   measured destroy-residue behaviour itself (the access gadget and the
+   checker, not enclave setup), which no amount of prefix sharing can
+   remove and which therefore Amdahl-bounds the full-workload ratios
+   reported alongside. *)
+
+type snapshot_phase = {
+  sp_name : string;
+  sp_units : int;  (** Executions evaluated per repetition. *)
+  sp_replay_s : float;  (** Median over repetitions. *)
+  sp_snap_cold_s : float;  (** First repetition: cache still filling. *)
+  sp_snap_s : float;  (** Median over repetitions (warm-inclusive). *)
+  sp_stats : Teesec.Snapshot.stats;  (** Cumulative over repetitions. *)
+}
+
+let snapshot_reps = 3
+
+let median l =
+  List.nth (List.sort compare l) (List.length l / 2)
+
+let run_snapshot_phase ~name ~units ~replay ~snap =
+  let runs f =
+    let acc = ref [] in
+    for _ = 1 to snapshot_reps do
+      Gc.compact ();
+      acc := snd (timed_phase ("snapshot/" ^ name) f) :: !acc
+    done;
+    List.rev !acc
+  in
+  let replay_times = runs replay in
+  let engine = Teesec.Snapshot.create ~obs boom in
+  let snap_times = runs (fun () -> snap engine) in
+  {
+    sp_name = name;
+    sp_units = units;
+    sp_replay_s = median replay_times;
+    sp_snap_cold_s = List.hd snap_times;
+    sp_snap_s = median snap_times;
+    sp_stats = Teesec.Snapshot.stats engine;
+  }
+
+let setup_bound_only tcs =
+  List.filter
+    (fun tc ->
+      (Teesec.Testcase.access_gadget tc).Teesec.Gadget.name
+      <> "Imp_Acc_Destroy_Memset")
+    tcs
+
+let run_snapshot_phases () =
+  let slice = Teesec.Mitigation_eval.slice () in
+  let corpus = Teesec.Fuzzer.corpus () in
+  (* The inner runs deliberately use the noop sink (the CLI default):
+     active-sink instrumentation adds a uniform per-case cost to both
+     paths, which would understate the engine's ratio. *)
+  let inject tcs ?snapshots () =
+    ignore
+      (Inject.Inject_campaign.run ~jobs ?snapshots ~seed:0x5EEDL ~plans:20
+         boom tcs)
+  in
+  let campaign tcs ?snapshots () =
+    ignore (Teesec.Campaign.run ~jobs ?snapshots boom tcs)
+  in
+  (* The full-corpus campaign goes first: a user's campaign runs in a
+     fresh process, and the replay baseline measurably speeds up once a
+     few workloads have already grown and warmed the heap — measuring
+     it at process start keeps the baseline honest.  The later phases'
+     ratios are far from 1, so warm-heap skew cannot change their
+     story. *)
+  let phases =
+    [
+      (run_snapshot_phase ~name:"campaign-full"
+         ~units:(List.length corpus)
+         ~replay:(campaign corpus ?snapshots:None)
+         ~snap:(fun e -> campaign corpus ~snapshots:e ()));
+      (let tcs = setup_bound_only corpus in
+       run_snapshot_phase ~name:"campaign-setup-bound"
+         ~units:(List.length tcs)
+         ~replay:(campaign tcs ?snapshots:None)
+         ~snap:(fun e -> campaign tcs ~snapshots:e ()));
+      (* (plan x case) units per repetition: the snapshot path proves
+         most of them equal the clean baseline (span pruning) instead
+         of executing them — that is the throughput being measured. *)
+      (let tcs = setup_bound_only slice in
+       run_snapshot_phase ~name:"inject-setup-bound"
+         ~units:(20 * List.length tcs)
+         ~replay:(inject tcs ?snapshots:None)
+         ~snap:(fun e -> inject tcs ~snapshots:e ()));
+      (run_snapshot_phase ~name:"inject-full-slice"
+         ~units:(20 * List.length slice)
+         ~replay:(inject slice ?snapshots:None)
+         ~snap:(fun e -> inject slice ~snapshots:e ()));
+    ]
+  in
+  List.iter
+    (fun p ->
+      Format.printf
+        "  %-22s %6d units: replay %6.0f/s, snapshot %6.0f/s (%.2fx; cold \
+         %.2fx); %d hits / %d misses@."
+        p.sp_name p.sp_units
+        (float_of_int p.sp_units /. p.sp_replay_s)
+        (float_of_int p.sp_units /. p.sp_snap_s)
+        (p.sp_replay_s /. p.sp_snap_s)
+        (p.sp_replay_s /. p.sp_snap_cold_s)
+        p.sp_stats.Teesec.Snapshot.hits p.sp_stats.Teesec.Snapshot.misses)
+    phases;
+  phases
+
+let write_snapshot_json ~path phases =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf buf "  \"reps\": %d,\n" snapshot_reps;
+  Buffer.add_string buf "  \"phases\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.bprintf buf
+        "    {\"phase\": \"%s\", \"core\": \"boom\", \"units\": %d, \
+         \"replay_s\": %.3f, \"replay_units_per_s\": %.1f, \
+         \"snapshot_cold_s\": %.3f, \"snapshot_s\": %.3f, \
+         \"snapshot_units_per_s\": %.1f, \"speedup\": %.2f, \
+         \"snapshot\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \
+         \"restored_gadgets\": %d, \"replayed_gadgets\": %d}}%s\n"
+        p.sp_name p.sp_units p.sp_replay_s
+        (float_of_int p.sp_units /. p.sp_replay_s)
+        p.sp_snap_cold_s p.sp_snap_s
+        (float_of_int p.sp_units /. p.sp_snap_s)
+        (p.sp_replay_s /. p.sp_snap_s)
+        p.sp_stats.Teesec.Snapshot.hits p.sp_stats.Teesec.Snapshot.misses
+        p.sp_stats.Teesec.Snapshot.stores
+        p.sp_stats.Teesec.Snapshot.restored_gadgets
+        p.sp_stats.Teesec.Snapshot.replayed_gadgets
+        (if i < List.length phases - 1 then "," else ""))
+    phases;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -301,7 +453,16 @@ let () =
   Format.printf
     "TEESec evaluation harness: regenerating every table and figure of the paper@.@.";
 
-  (* Micro-benchmarks first; their estimates feed Table 2. *)
+  (* Measured before anything else: once the table/figure phases have
+     run, the harness heap is large enough to shift both paths' absolute
+     times (see the caveat in EXPERIMENTS.md), so the throughput record
+     is taken while the process still looks like a fresh one. *)
+  section "Extension: snapshot/fork engine vs replay oracle";
+  let snapshot_phases = run_snapshot_phases () in
+  write_snapshot_json ~path:"BENCH_snapshot.json" snapshot_phases;
+  Format.printf "snapshot record written to BENCH_snapshot.json@.";
+
+  (* Micro-benchmarks next; their estimates feed Table 2. *)
   let bench_results = run_benches () in
 
   section "Table 1";

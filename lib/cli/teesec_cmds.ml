@@ -101,6 +101,35 @@ let with_obs ~trace ~metrics f =
   save_obs_outputs obs ~trace ~metrics;
   result
 
+(* --snapshot / --no-snapshot: the fork-point execution engine
+   (lib/teesec/snapshot.ml).  On by default; the differential suite pins
+   that reports are byte-identical either way, so the flag only trades
+   wall time — --no-snapshot is the oracle path the engine is checked
+   against. *)
+let snapshot_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "snapshot" ]
+              ~doc:
+                "Establish shared enclave-setup prefixes through the \
+                 snapshot engine: run each distinct prefix once, restore \
+                 the captured machine state for every later test case \
+                 (default). Reports are byte-identical with or without \
+                 it." );
+          ( false,
+            info [ "no-snapshot" ]
+              ~doc:
+                "Replay every gadget of every test case from scratch \
+                 (the replay oracle the snapshot engine is verified \
+                 against)." );
+        ])
+
+let make_snapshots ~snapshot ~obs config =
+  if snapshot then Some (Teesec.Snapshot.create ~obs config) else None
+
 (* --width: reject anything the gadgets cannot emit, with the valid set
    in the error message (Params.make would also raise, but this fails at
    argument-parsing time with cmdliner's usual reporting). *)
@@ -278,7 +307,8 @@ let check_cmd =
 
 (* campaign *)
 let campaign_cmd =
-  let run config full quiet mitigations random fuzz_seed csv jobs trace metrics =
+  let run config full quiet mitigations random fuzz_seed csv jobs snapshot
+      trace metrics =
     let config = Uarch.Config.with_mitigations config mitigations in
     let testcases =
       match random with
@@ -291,7 +321,8 @@ let campaign_cmd =
     in
     let result =
       with_obs ~trace ~metrics (fun obs ->
-          Teesec.Campaign.run ~progress ~jobs ~obs config testcases)
+          let snapshots = make_snapshots ~snapshot ~obs config in
+          Teesec.Campaign.run ~progress ~jobs ~obs ?snapshots config testcases)
     in
     Format.printf "@.%a@." Teesec.Campaign.pp_result result;
     match csv with
@@ -322,11 +353,11 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run a leakage-discovery campaign (Table 3).")
     Term.(const run $ core_arg $ full $ quiet $ mitigations $ random $ fuzz_seed $ csv $ jobs_arg
-          $ trace_arg $ metrics_arg)
+          $ snapshot_arg $ trace_arg $ metrics_arg)
 
 (* inject: checker-robustness campaign under sampled fault plans. *)
 let inject_cmd =
-  let run config faults seed full quiet json jobs trace metrics =
+  let run config faults seed full quiet json jobs snapshot trace metrics =
     let testcases =
       if full then Teesec.Fuzzer.corpus () else Teesec.Mitigation_eval.slice ()
     in
@@ -336,8 +367,9 @@ let inject_cmd =
     in
     let result =
       with_obs ~trace ~metrics (fun obs ->
-          Inject.Inject_campaign.run ~progress ~jobs ~obs ~seed ~plans:faults
-            config testcases)
+          let snapshots = make_snapshots ~snapshot ~obs config in
+          Inject.Inject_campaign.run ~progress ~jobs ~obs ?snapshots ~seed
+            ~plans:faults config testcases)
     in
     Format.printf "@.%a@." Inject.Robustness_report.pp result;
     match json with
@@ -370,12 +402,12 @@ let inject_cmd =
          "Rerun the corpus under deterministic fault injection and report \
           whether the checker's verdicts are masked, spurious or stable.")
     Term.(const run $ core_arg $ faults $ seed $ full $ quiet $ json $ jobs_arg
-          $ trace_arg $ metrics_arg)
+          $ snapshot_arg $ trace_arg $ metrics_arg)
 
 (* fuzz: the coverage-guided mutational engine (lib/fuzz). *)
 let fuzz_cmd =
   let run config seed budget batch energy stop_on_full quiet json save_corpus
-      jobs trace metrics =
+      jobs snapshot trace metrics =
     let options =
       { Fuzz.Engine.seed; budget; batch; energy; stop_on_full }
     in
@@ -385,7 +417,8 @@ let fuzz_cmd =
     in
     let report =
       with_obs ~trace ~metrics (fun obs ->
-          Fuzz.Engine.run ~progress ~jobs ~obs options config)
+          let snapshots = make_snapshots ~snapshot ~obs config in
+          Fuzz.Engine.run ~progress ~jobs ~obs ?snapshots options config)
     in
     Format.printf "@.%a@." Fuzz.Fuzz_report.pp report;
     (match save_corpus with
@@ -453,7 +486,8 @@ let fuzz_cmd =
          "Run the coverage-guided mutational fuzzing engine against a core \
           and report discovery times per leakage case.")
     Term.(const run $ core_arg $ seed $ budget $ batch $ energy $ stop_on_full
-          $ quiet $ json $ save_corpus $ jobs_arg $ trace_arg $ metrics_arg)
+          $ quiet $ json $ save_corpus $ jobs_arg $ snapshot_arg $ trace_arg
+          $ metrics_arg)
 
 (* corpus-min: standalone corpus distillation. *)
 let corpus_min_cmd =
@@ -618,6 +652,18 @@ let profile_cmd =
     let outcomes =
       phase "runner" (fun () -> List.map (Teesec.Runner.run config) slice)
     in
+    (* The snapshot engine over the same slice: the first pass replays
+       and populates the cache (second-touch admission), the second pass
+       restores from it — the delta against [runner] is the engine's
+       win, and the restore histogram isolates per-restore cost. *)
+    let snap = Teesec.Snapshot.create ~obs config in
+    let run_snap () =
+      List.iter
+        (fun tc -> ignore (Teesec.Runner.run ~snapshots:snap config tc))
+        slice
+    in
+    phase "snapshot/warmup" run_snap;
+    phase "snapshot/hot" run_snap;
     let m =
       match Obs.metrics obs with Some m -> m | None -> assert false
     in
@@ -671,6 +717,17 @@ let profile_cmd =
         idx_t ref_t
         (Obs.Metrics.histogram_count h_reference)
         (ref_t /. idx_t);
+    let s = Teesec.Snapshot.stats snap in
+    let h_restore = Obs.Metrics.histogram m "teesec_snapshot_restore_seconds" in
+    Format.printf
+      "@.snapshot: %d hit(s) / %d miss(es), %d store(s); %d gadget \
+       replay(s) avoided vs %d replayed; restore cost %.4fs over %d \
+       restore(s)@."
+      s.Teesec.Snapshot.hits s.Teesec.Snapshot.misses
+      s.Teesec.Snapshot.stores s.Teesec.Snapshot.restored_gadgets
+      s.Teesec.Snapshot.replayed_gadgets
+      (Obs.Metrics.histogram_sum h_restore)
+      (Obs.Metrics.histogram_count h_restore);
     save_obs_outputs obs ~trace ~metrics
   in
   let budget =

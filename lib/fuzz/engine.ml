@@ -103,8 +103,8 @@ let instruments obs =
             Access_path.all;
       }
 
-let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) options
-    config =
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
+    options config =
   if options.budget < 0 then invalid_arg "Engine.run: negative budget";
   if options.batch <= 0 then invalid_arg "Engine.run: batch must be positive";
   if options.energy < 0 || options.energy > 100 then
@@ -234,7 +234,7 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) options
     let observations =
       Obs.span obs "fuzz/execute" (fun () ->
           Parallel.Pool.parmap ~obs ~jobs
-            (fun tc -> (tc, Observe.run config tc))
+            (fun tc -> (tc, Observe.run ?snapshots config tc))
             candidates)
     in
     let novelty_before = Bitmap.covered_bits bitmap in

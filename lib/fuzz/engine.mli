@@ -67,11 +67,16 @@ type report = {
     counters, coverage and corpus gauges, and per-family UCB1 scheduler
     gauges ([teesec_fuzz_family_*{family=...}]).  The sink only reads
     engine state — the candidate stream and the report are byte-identical
-    with or without it. *)
+    with or without it.
+
+    [snapshots], if given, establishes each candidate's setup prefix
+    through the snapshot engine (see {!Teesec.Snapshot}); the report
+    stays byte-identical either way. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
   ?obs:Obs.t ->
+  ?snapshots:Snapshot.t ->
   options ->
   Config.t ->
   report

@@ -12,3 +12,4 @@ module Fuzzer = Teesec.Fuzzer
 module Case = Teesec.Case
 module Checker = Teesec.Checker
 module Runner = Teesec.Runner
+module Snapshot = Teesec.Snapshot

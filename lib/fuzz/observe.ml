@@ -10,8 +10,8 @@ type t = {
   log_records : int;
 }
 
-let run config tc =
-  let outcome = Runner.run config tc in
+let run ?snapshots config tc =
+  let outcome = Runner.run ?snapshots config tc in
   let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
   {
     name = Testcase.name tc;

@@ -17,4 +17,7 @@ type t = {
   log_records : int;
 }
 
-val run : Config.t -> Testcase.t -> t
+(** [snapshots], if given, establishes the candidate's setup prefix
+    through the snapshot engine instead of replaying it (see
+    {!Teesec.Snapshot}); the observation is identical either way. *)
+val run : ?snapshots:Snapshot.t -> Config.t -> Testcase.t -> t

@@ -8,5 +8,6 @@ module Config = Uarch.Config
 module Case = Teesec.Case
 module Checker = Teesec.Checker
 module Runner = Teesec.Runner
+module Snapshot = Teesec.Snapshot
 module Testcase = Teesec.Testcase
 module Env = Teesec.Env

@@ -53,20 +53,39 @@ type result = {
 
 (* Per-test-case clean verdict, computed once and diffed against every
    faulted rerun of the same test case. *)
-type baseline = { b_name : string; b_cases : Case.id list; b_residue : int }
+type baseline = {
+  b_name : string;
+  b_cases : Case.id list;
+  b_residue : int;
+  b_span : int;
+      (* Cycles the clean run spent past the fork point.  The injector
+         fires a fault once the cycle count {e relative to arming} (= the
+         fork point) reaches its window start, so a plan whose every
+         window opens strictly after this span can never fire: the
+         faulted run is instruction-for-instruction the clean run. *)
+}
 
-let eval_baseline config tc =
-  let outcome = Runner.run config tc in
+let eval_baseline ?snapshots config tc =
+  let outcome = Runner.run ?snapshots config tc in
   let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
   {
     b_name = Testcase.name tc;
     b_cases = Checker.distinct_cases findings;
     b_residue = Checker.residue_warnings findings;
+    b_span = outcome.Runner.cycles - outcome.Runner.fork_cycle;
   }
 
-let eval_unit config (plan, tc, (base : baseline)) =
+(* True when no fault in [plan] can fire within [span] cycles of the
+   fork point.  Strict comparison: a window opening exactly at the final
+   cycle still fires (and logs a fault event), so it must run. *)
+let plan_never_fires (plan : Fault_plan.t) ~span =
+  List.for_all
+    (fun (f : Fault_plan.fault) -> f.Fault_plan.window_start > span)
+    plan.Fault_plan.faults
+
+let eval_unit ?snapshots config (plan, tc, (base : baseline)) =
   let outcome =
-    Runner.run
+    Runner.run ?snapshots
       ~prepare:(fun env -> Injector.arm env.Env.machine plan)
       config tc
   in
@@ -80,6 +99,32 @@ let eval_unit config (plan, tc, (base : baseline)) =
   in
   let faults = (Stats.of_log outcome.Runner.log).Stats.faults_injected in
   ({ testcase = base.b_name; masked_cases; spurious_cases }, faults)
+
+(* One parallel task = one test case: the clean baseline plus every
+   faulted rerun, evaluated back to back on the same domain so all of
+   them fork from the snapshot the first run captured. *)
+type case_eval = {
+  ce_base : baseline;
+  ce_units : (unit_diff * int) array;  (* one per plan, in plan order *)
+}
+
+let eval_case ?snapshots config plan_list tc =
+  let base = eval_baseline ?snapshots config tc in
+  (* Span pruning rides with the snapshot engine: a provably-inert plan
+     diffs to the baseline verdict with zero faults applied, exactly
+     what executing it would produce.  The replay path ([snapshots =
+     None]) still runs every unit — it is the oracle the differential
+     suite diffs the pruned path against. *)
+  let prune = Option.is_some snapshots in
+  let units =
+    List.map
+      (fun plan ->
+        if prune && plan_never_fires plan ~span:base.b_span then
+          ({ testcase = base.b_name; masked_cases = []; spurious_cases = [] }, 0)
+        else eval_unit ?snapshots config (plan, tc, base))
+      plan_list
+  in
+  { ce_base = base; ce_units = Array.of_list units }
 
 let unit_outcome d =
   if d.masked_cases <> [] then Masked
@@ -126,16 +171,23 @@ let instruments obs =
         i_masked = outcome_counter Masked;
       }
 
-let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ~seed ~plans
-    config testcases =
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
+    ~seed ~plans config testcases =
   let ins = instruments obs in
   let plan_list = Fault_plan.sample ~seed ~count:plans in
   let total_units = plans * List.length testcases in
-  (* Clean baseline first: one run per test case, no faults armed. *)
-  let baselines =
-    Obs.span obs "inject/baseline" (fun () ->
-        Parallel.Pool.parmap ~obs ~jobs (eval_baseline config) testcases)
+  (* One task per test case: baseline plus every faulted rerun, so the
+     reruns fork from the snapshot the baseline run captured.  Results
+     are merged sequentially in corpus order, then flattened plan-major,
+     so the report is identical for every job count (and with or
+     without the snapshot engine). *)
+  let evals =
+    Obs.span obs "inject/cases" (fun () ->
+        Parallel.Pool.parmap ~obs ~jobs
+          (eval_case ?snapshots config plan_list)
+          testcases)
   in
+  let baselines = List.map (fun e -> e.ce_base) evals in
   let baseline_found =
     dedup_sorted Case.compare (List.concat_map (fun b -> b.b_cases) baselines)
   in
@@ -144,18 +196,13 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ~seed ~plans
   in
   let baseline_matches_paper = List.equal Case.equal baseline_found expected_cases in
   let baseline_residue = List.fold_left (fun n b -> n + b.b_residue) 0 baselines in
-  (* Every (plan, test case) pair is an independent faulted rerun; fan
-     them all out and merge sequentially in plan-major order so results
-     are identical for every job count. *)
-  let paired = List.combine testcases baselines in
-  let units =
-    List.concat_map
-      (fun plan -> List.map (fun (tc, b) -> (plan, tc, b)) paired)
-      plan_list
-  in
+  (* Flatten back to the plan-major unit order the report is built in. *)
+  let paired = testcases in
   let evaluated =
-    Obs.span obs "inject/units" (fun () ->
-        Parallel.Pool.parmap ~obs ~jobs (eval_unit config) units)
+    List.concat
+      (List.mapi
+         (fun j _plan -> List.map (fun e -> e.ce_units.(j)) evals)
+         plan_list)
   in
   List.iteri
     (fun i ((d : unit_diff), _) ->

@@ -62,19 +62,27 @@ type result = {
     [seed], computes the clean per-test-case baselines, reruns every
     (plan, test case) pair with the plan armed, and aggregates.
 
-    [jobs] (default 1) fans both the baseline and the faulted runs out
-    over that many OCaml 5 domains; merging is sequential and ordered,
-    so the result is identical for every [jobs] value.  [progress] is
-    called once per faulted unit with (index, total, summary line).
+    [jobs] (default 1) fans the test cases out over that many OCaml 5
+    domains — one task evaluates a test case's baseline and all its
+    faulted reruns back to back; merging is sequential and ordered, so
+    the result is identical for every [jobs] value.  [progress] is
+    called once per faulted unit with (index, total, summary line), in
+    plan-major order.
 
-    [obs] (default [Obs.noop]) receives phase spans ([inject/baseline],
-    [inject/units]) and unit/outcome/fault counters.  The sink only
-    reads campaign state — the result is identical with or without
-    it. *)
+    [snapshots], if given, establishes each run's setup prefix through
+    the snapshot engine (see {!Teesec.Snapshot}); because a test case's
+    baseline and faulted reruns share one prefix and run on one domain,
+    every rerun after the first forks from a cached snapshot.  The
+    report stays byte-identical either way.
+
+    [obs] (default [Obs.noop]) receives a phase span ([inject/cases])
+    and unit/outcome/fault counters.  The sink only reads campaign
+    state — the result is identical with or without it. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
   ?obs:Obs.t ->
+  ?snapshots:Snapshot.t ->
   seed:Word.t ->
   plans:int ->
   Config.t ->

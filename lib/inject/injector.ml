@@ -33,12 +33,18 @@ let deactivate machine (f : Fault_plan.fault) =
     assert false
 
 let arm machine (plan : Fault_plan.t) =
+  (* Windows are relative to the arming cycle, so a plan perturbs the
+     run identically whether the setup prefix was replayed or restored
+     from a snapshot (the two paths arm at the same cycle, but relative
+     windows make the contract independent of where the fork point
+     lands). *)
+  let base = Machine.cycle machine in
   (* [faults] is sorted by window start, so the head is always the next
      fault to fire. *)
   let pending = ref plan.Fault_plan.faults in
   let active = ref [] in
   let hook m =
-    let cycle = Machine.cycle m in
+    let cycle = Machine.cycle m - base in
     (* Close expired windows before opening new ones, so a window of
        length zero cycles never sticks. *)
     let expired, still =

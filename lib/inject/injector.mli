@@ -7,7 +7,9 @@ open! Import
     opens: one-shot faults (bit flips, HPC corruption, snapshot delays)
     fire once; windowed faults (flush misbehaviour, stuck permission
     checks) are armed at [window_start] and disarmed [window_len]
-    cycles later.  Everything is driven by the machine's own
-    deterministic cycle count, so the same plan on the same test case
-    perturbs the run identically every time. *)
+    cycles later.  Window positions are relative to the cycle count at
+    arming time — the runner arms at the fork point (after the setup
+    prefix), so the same plan on the same test case perturbs the run
+    identically every time, whether the prefix was replayed or restored
+    from a snapshot. *)
 val arm : Machine.t -> Fault_plan.t -> unit

@@ -135,6 +135,12 @@ let create () : t =
   Hashtbl.replace t Scounteren (Word.mask 32);
   t
 
+let copy (t : t) : t = Hashtbl.copy t
+
+let restore_into (src : t) ~(into : t) =
+  Hashtbl.reset into;
+  Hashtbl.iter (fun id v -> Hashtbl.replace into id v) src
+
 let raw_read t id = Option.value (Hashtbl.find_opt t (canonical id)) ~default:0L
 let raw_write t id v = Hashtbl.replace t (canonical id) v
 

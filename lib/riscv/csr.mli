@@ -63,6 +63,14 @@ type t
 
 val create : unit -> t
 
+(** [copy t] is an independent copy of the register file. *)
+val copy : t -> t
+
+(** [restore_into src ~into] overwrites [into] with [src]'s contents.
+    Nothing in the model iterates the table, so insertion order cannot
+    affect behaviour. *)
+val restore_into : t -> into:t -> unit
+
 (** [raw_read t id] reads without any permission check — this is what the
     hardware datapath does before (or in parallel with) the privilege
     check, and is the source of the transient leak in case M1. *)

@@ -2,6 +2,23 @@ type t = (int64, Word.t) Hashtbl.t
 
 let line_bytes = 64
 let create () : t = Hashtbl.create 4096
+let copy (t : t) : t = Hashtbl.copy t
+
+let restore_into (src : t) ~(into : t) =
+  Hashtbl.reset into;
+  Hashtbl.iter (fun g w -> Hashtbl.replace into g w) src
+
+(* Snapshot form: the written granules as a flat pair array, without
+   the source table's bucket array (which dominates a [Hashtbl.copy] of
+   a mostly-empty memory). *)
+type capture = (int64 * Word.t) array
+
+let capture (t : t) : capture = Array.of_seq (Hashtbl.to_seq t)
+
+let restore_capture (cap : capture) ~(into : t) =
+  Hashtbl.reset into;
+  Array.iter (fun (g, w) -> Hashtbl.replace into g w) cap
+
 let granule addr = Int64.shift_right_logical addr 3
 let granule_base addr = Word.align_down addr ~alignment:8
 

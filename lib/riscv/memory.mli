@@ -12,6 +12,22 @@ val line_bytes : int
 
 val create : unit -> t
 
+(** [copy t] is an independent copy of the backing store. *)
+val copy : t -> t
+
+(** [restore_into src ~into] overwrites [into] with [src]'s granules.
+    Nothing in the model iterates memory, so insertion order cannot
+    affect behaviour. *)
+val restore_into : t -> into:t -> unit
+
+(** Snapshot form holding only the written granules — unlike [copy] it
+    does not drag the backing table's bucket array along, so it stays
+    proportional to the words actually written. *)
+type capture
+
+val capture : t -> capture
+val restore_capture : capture -> into:t -> unit
+
 (** [read t ~addr ~size] reads [size] bytes (1, 2, 4 or 8) little-endian
     at [addr].  Misaligned reads are assembled byte by byte. *)
 val read : t -> addr:Word.t -> size:int -> Word.t

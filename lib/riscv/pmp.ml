@@ -23,6 +23,10 @@ let get t i = t.(i)
 let set t i e = t.(i) <- e
 let clear t = Array.fill t 0 entry_count disabled_entry
 
+(* Entries are immutable records, so a shallow array copy is deep. *)
+let copy (t : t) : t = Array.copy t
+let restore_into (src : t) ~(into : t) = Array.blit src 0 into 0 entry_count
+
 let napot_entry ~base ~size ~perm ~locked =
   assert (size >= 8 && size land (size - 1) = 0);
   assert (Word.is_aligned base ~alignment:size);

@@ -48,6 +48,12 @@ val set : t -> int -> entry -> unit
 (** [clear t] turns every entry [Off]. *)
 val clear : t -> unit
 
+(** [copy t] is an independent copy (entries are immutable). *)
+val copy : t -> t
+
+(** [restore_into src ~into] overwrites [into] with [src]'s entries. *)
+val restore_into : t -> into:t -> unit
+
 (** [napot_entry ~base ~size ~perm ~locked] builds a NAPOT entry covering
     [size] bytes starting at [base].  [size] must be a power of two of at
     least 8 and [base] must be [size]-aligned. *)

@@ -64,6 +64,16 @@ let record t ~cycle ~ctx event =
 let to_list t = List.rev t.records
 let length t = t.count
 
+type mark = { marked_records : record list; marked_count : int }
+
+(* Records are immutable, so sharing the spine is safe: appends after
+   the mark cons onto a new head and never touch the saved tail. *)
+let mark t = { marked_records = t.records; marked_count = t.count }
+
+let reset_to t m =
+  t.records <- m.marked_records;
+  t.count <- m.marked_count
+
 let writes_of t =
   List.filter (fun r -> match r.event with Write _ -> true | _ -> false) (to_list t)
 

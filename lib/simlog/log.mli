@@ -80,6 +80,17 @@ val to_list : t -> record list
 
 val length : t -> int
 
+(** A saved log position, for the snapshot engine. *)
+type mark
+
+(** [mark t] captures the current position.  Records are immutable, so
+    the capture is O(1) structural sharing. *)
+val mark : t -> mark
+
+(** [reset_to t m] truncates the log back to the position saved by
+    [mark]; records appended since are discarded. *)
+val reset_to : t -> mark -> unit
+
 (** [writes_of t] keeps only the [Write] records. *)
 val writes_of : t -> record list
 

@@ -23,6 +23,16 @@ type t = {
 let create ~id ~base ~size =
   { id; base; size; state = Fresh; measurement = 0L; saved_regs = None }
 
+let copy t =
+  {
+    id = t.id;
+    base = t.base;
+    size = t.size;
+    state = t.state;
+    measurement = t.measurement;
+    saved_regs = Option.map Array.copy t.saved_regs;
+  }
+
 let legal from_state to_state =
   match (from_state, to_state) with
   | Fresh, Running

@@ -24,6 +24,10 @@ type t = {
 
 val create : id:int -> base:Word.t -> size:int -> t
 
+(** [copy t] is a deep copy (the saved register bank is duplicated), so
+    mutating either record never affects the other. *)
+val copy : t -> t
+
 (** [transition t ~to_state] applies the state machine; [Error] carries
     the current state when the transition is illegal. *)
 val transition : t -> to_state:state -> (unit, state) result

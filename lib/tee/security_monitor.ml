@@ -21,6 +21,38 @@ type t = {
 (* Raised by the SBI handler when the running enclave requests exit. *)
 exception Enclave_exit_requested of int
 
+(* {2 Snapshot/restore}
+
+   Captures the monitor's own mutable state; the machine it drives is
+   snapshotted separately by [Machine.snapshot].  The installed ecall
+   handler closes over the monitor record itself, so restoring fields in
+   place keeps the binding valid — no reinstall is needed. *)
+
+type snapshot = {
+  snap_enclaves : Enclave.t list;
+  snap_programs : (int, Program.t) Hashtbl.t;
+  snap_enclave_satp : (int, Word.t) Hashtbl.t;
+  snap_host_reg_bank : Word.t array option;
+}
+
+let snapshot t =
+  {
+    snap_enclaves = List.map Enclave.copy t.enclaves;
+    snap_programs = Hashtbl.copy t.programs;
+    snap_enclave_satp = Hashtbl.copy t.enclave_satp;
+    snap_host_reg_bank = Option.map Array.copy t.host_reg_bank;
+  }
+
+let restore t s =
+  (* Enclave records are mutable: copy again on every restore so two
+     runs restored from the same snapshot never share them. *)
+  t.enclaves <- List.map Enclave.copy s.snap_enclaves;
+  Hashtbl.reset t.programs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.programs k v) s.snap_programs;
+  Hashtbl.reset t.enclave_satp;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.enclave_satp k v) s.snap_enclave_satp;
+  t.host_reg_bank <- Option.map Array.copy s.snap_host_reg_bank
+
 let machine t = t.machine
 let enclaves t = List.rev t.enclaves
 

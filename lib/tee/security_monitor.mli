@@ -37,6 +37,20 @@ val install : Machine.t -> t
 
 val machine : t -> Machine.t
 
+(** {1 Snapshot/restore (execution-engine forking)} *)
+
+type snapshot
+
+(** [snapshot t] deep-copies the monitor's mutable state (enclave
+    records, registered programs, satp table, banked host registers).
+    The machine is captured separately via {!Machine.snapshot}. *)
+val snapshot : t -> snapshot
+
+(** [restore t s] overwrites [t]'s state in place.  The ecall handler
+    installed by {!install} closes over the monitor record itself, so it
+    stays valid across restores. *)
+val restore : t -> snapshot -> unit
+
 (** Enclaves in creation order (including destroyed ones). *)
 val enclaves : t -> Enclave.t list
 

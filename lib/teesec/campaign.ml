@@ -67,12 +67,12 @@ let instruments obs =
             "teesec_campaign_case_cycles";
       }
 
-let eval_case obs ins config tc =
+let eval_case obs ins ?snapshots config tc =
   let outcome, _ =
     Obs.timed obs
       ?histogram:(Option.map (fun i -> i.i_runner) ins)
       "campaign/runner"
-      (fun () -> Runner.run config tc)
+      (fun () -> Runner.run ?snapshots config tc)
   in
   let findings, _ =
     Obs.timed obs
@@ -89,8 +89,8 @@ let eval_case obs ins config tc =
     co_summary = Report.summary_line tc findings;
   }
 
-let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) config
-    testcases =
+let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
+    config testcases =
   let ins = instruments obs in
   let counts = Hashtbl.create 16 in
   let firsts = Hashtbl.create 16 in
@@ -122,14 +122,18 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) config
   if jobs <= 1 then
     (* Sequential path: [progress] streams as each test case finishes. *)
     Obs.span obs "campaign/cases" (fun () ->
-        List.iteri (fun i tc -> merge i (eval_case obs ins config tc)) testcases)
+        List.iteri
+          (fun i tc -> merge i (eval_case obs ins ?snapshots config tc))
+          testcases)
   else begin
     (* Test cases share no mutable state (each [Runner.run] builds its
        own [Env]), so they fan out across domains; [progress] then fires
        during the ordered merge. *)
     let outcomes =
       Obs.span obs "campaign/execute" (fun () ->
-          Parallel.Pool.parmap ~obs ~jobs (eval_case obs ins config) testcases)
+          Parallel.Pool.parmap ~obs ~jobs
+            (eval_case obs ins ?snapshots config)
+            testcases)
     in
     Obs.span obs "campaign/merge" (fun () -> List.iteri merge outcomes)
   end;
@@ -157,8 +161,8 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) config
     total_log_records = !log_records;
   }
 
-let run_full ?progress ?jobs ?obs config =
-  run ?progress ?jobs ?obs config (Fuzzer.corpus ())
+let run_full ?progress ?jobs ?obs ?snapshots config =
+  run ?progress ?jobs ?obs ?snapshots config (Fuzzer.corpus ())
 
 let mismatches result =
   List.filter_map

@@ -38,11 +38,16 @@ type result = {
     [obs] (default [Obs.noop]) receives phase spans
     ([campaign/execute], [campaign/merge]), per-case runner and checker
     duration histograms, case/finding counters and a GC sample; it never
-    influences the returned result. *)
+    influences the returned result.
+
+    [snapshots], if given, establishes each test case's setup prefix
+    through the snapshot engine instead of replaying it (see
+    {!Snapshot}); the result stays byte-identical either way. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
   ?obs:Obs.t ->
+  ?snapshots:Snapshot.t ->
   Config.t ->
   Testcase.t list ->
   result
@@ -53,6 +58,7 @@ val run_full :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
   ?obs:Obs.t ->
+  ?snapshots:Snapshot.t ->
   Config.t ->
   result
 

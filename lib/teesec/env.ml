@@ -25,6 +25,36 @@ let create config params =
     program_trace = [];
   }
 
+type snapshot = {
+  snap_machine : Machine.snapshot;
+  snap_sm : Security_monitor.snapshot;
+  snap_tracker : Secret.tracker;
+  snap_victim : int option;
+  snap_attacker : int option;
+  snap_hpc_baseline : (int * Word.t) list;
+  snap_program_trace : (string * Program.t) list;
+}
+
+let snapshot t =
+  {
+    snap_machine = Machine.snapshot t.machine;
+    snap_sm = Security_monitor.snapshot t.sm;
+    snap_tracker = Secret.copy_tracker t.tracker;
+    snap_victim = t.victim;
+    snap_attacker = t.attacker;
+    snap_hpc_baseline = t.hpc_baseline;
+    snap_program_trace = t.program_trace;
+  }
+
+let restore t s =
+  Machine.restore t.machine s.snap_machine;
+  Security_monitor.restore t.sm s.snap_sm;
+  Secret.restore_tracker s.snap_tracker ~into:t.tracker;
+  t.victim <- s.snap_victim;
+  t.attacker <- s.snap_attacker;
+  t.hpc_baseline <- s.snap_hpc_baseline;
+  t.program_trace <- s.snap_program_trace
+
 let record_program t ~label prog = t.program_trace <- (label, prog) :: t.program_trace
 let programs t = List.rev t.program_trace
 

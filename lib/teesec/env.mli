@@ -32,6 +32,24 @@ val programs : t -> (string * Program.t) list
 
 val create : Config.t -> Params.t -> t
 
+(** {1 Snapshot/restore}
+
+    The execution-engine fork point: a deep capture of the whole
+    environment (machine, security monitor, secret tracker, enclave
+    handles).  [restore] targets a {e fresh} environment created with
+    the same config — typically [Env.create config params] followed by
+    [Env.restore] in place of replaying the setup-gadget prefix. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** [restore t s] overwrites [t] with the captured state.  [t.params] is
+    left untouched (it belongs to the test case being run); everything
+    else — including the machine's log position — is restored.  Raises
+    [Invalid_argument] when [t]'s config has different geometry. *)
+val restore : t -> snapshot -> unit
+
 (** [victim_exn t] / [attacker_exn t] — the enclave ids; raises
     [Invalid_argument] when the setup gadget has not run. *)
 val victim_exn : t -> int

@@ -7,10 +7,23 @@ let kind_to_string = function
   | Helper -> "helper"
   | Access p -> Printf.sprintf "access(%s)" (Access_path.to_string p)
 
+(* Which test-case parameters a gadget's emitted behaviour actually
+   depends on.  The snapshot engine keys shared prefixes on the union of
+   the prefix gadgets' dependencies, so two cases whose parameters differ
+   only in components no prefix gadget reads share one snapshot. *)
+type param_dep = Dep_offset | Dep_width | Dep_variant | Dep_seed
+
+let param_dep_to_string = function
+  | Dep_offset -> "offset"
+  | Dep_width -> "width"
+  | Dep_variant -> "variant"
+  | Dep_seed -> "seed"
+
 type t = {
   name : string;
   kind : kind;
   description : string;
+  param_deps : param_dep list;
   pre : Exec_model.t -> bool;
   post : Exec_model.t -> unit;
   emit : Env.t -> unit;

@@ -15,10 +15,21 @@ type kind = Setup | Helper | Access of Access_path.t
 
 val kind_to_string : kind -> string
 
+(** Which components of {!Params.t} a gadget's [emit] reads.  Declared
+    per gadget so the snapshot engine can key a shared setup prefix on
+    only the parameters that actually shape it — cases differing in
+    other components then share one snapshot. *)
+type param_dep = Dep_offset | Dep_width | Dep_variant | Dep_seed
+
+val param_dep_to_string : param_dep -> string
+
 type t = {
   name : string;
   kind : kind;
   description : string;
+  param_deps : param_dep list;
+      (** Parameter components [emit] depends on (beyond the machine
+          state it receives). *)
   pre : Exec_model.t -> bool;
   post : Exec_model.t -> unit;
   emit : Env.t -> unit;

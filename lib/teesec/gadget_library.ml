@@ -182,6 +182,7 @@ let victim_owner env = Secret.Enclave_owner (Env.victim_exn env)
 let create_enclave =
   {
     Gadget.name = "Create_Enclave";
+    param_deps = [];
     kind = Gadget.Setup;
     description = "allocate and measure a fresh victim enclave (SBI create)";
     pre = (fun m -> m.Exec_model.victim_state = None);
@@ -196,6 +197,7 @@ let create_enclave =
 let create_attacker_enclave =
   {
     Gadget.name = "Create_Attacker_Enclave";
+    param_deps = [];
     kind = Gadget.Setup;
     description = "allocate a second (attacker) enclave for cross-enclave tests";
     pre =
@@ -215,6 +217,7 @@ let runnable = function
 let exe_enclave =
   {
     Gadget.name = "Exe_Enclave";
+    param_deps = [];
     kind = Gadget.Setup;
     description = "run the victim enclave with a representative workload";
     pre = (fun m -> runnable m.Exec_model.victim_state);
@@ -230,6 +233,7 @@ let exe_enclave =
 let stop_enclave =
   {
     Gadget.name = "Stop_Enclave";
+    param_deps = [];
     kind = Gadget.Setup;
     description = "host SBI request acknowledging the enclave stop";
     pre = (fun m -> m.Exec_model.victim_state = Some Enclave.Stopped);
@@ -243,6 +247,7 @@ let stop_enclave =
 let resume_enclave =
   {
     Gadget.name = "Resume_Enclave";
+    param_deps = [];
     kind = Gadget.Setup;
     description = "resume a stopped enclave with an idle program";
     pre = (fun m -> m.Exec_model.victim_state = Some Enclave.Stopped);
@@ -254,6 +259,7 @@ let resume_enclave =
 let exit_enclave =
   {
     Gadget.name = "Exit_Enclave";
+    param_deps = [];
     kind = Gadget.Setup;
     description = "enclave-side SBI exit";
     pre = (fun m -> runnable m.Exec_model.victim_state);
@@ -267,6 +273,7 @@ let exit_enclave =
 let destroy_enclave =
   {
     Gadget.name = "Destroy_Enclave";
+    param_deps = [];
     kind = Gadget.Setup;
     description = "host SBI destroy: state check, memset, PMP release";
     pre =
@@ -281,6 +288,7 @@ let destroy_enclave =
 let attest_enclave =
   {
     Gadget.name = "Attest_Enclave";
+    param_deps = [];
     kind = Gadget.Setup;
     description = "host SBI attestation readout";
     pre = (fun m -> m.Exec_model.victim_state <> None);
@@ -296,6 +304,7 @@ let attest_enclave =
 let fill_enc_mem =
   {
     Gadget.name = "Fill_Enc_Mem";
+    param_deps = [ Gadget.Dep_seed ];
     kind = Gadget.Helper;
     description =
       "enclave seeds address-hash secrets into its secret and boundary lines, then drains";
@@ -324,6 +333,7 @@ let fill_enc_mem =
 let fill_enc_mem_nodrain =
   {
     Gadget.name = "Fill_Enc_Mem_NoDrain";
+    param_deps = [ Gadget.Dep_seed ];
     kind = Gadget.Helper;
     description = "enclave stores secrets and yields without draining the store buffer";
     pre = (fun m -> runnable m.Exec_model.victim_state);
@@ -345,6 +355,7 @@ let fill_enc_mem_nodrain =
 let enc_secret_to_l1 =
   {
     Gadget.name = "Enc_Mem_To_L1";
+    param_deps = [];
     kind = Gadget.Helper;
     description = "enclave loads its secret line to warm the L1D";
     pre =
@@ -373,6 +384,7 @@ let enc_secret_to_l1 =
 let evict_enc_l1 =
   {
     Gadget.name = "Evict_Enc_L1";
+    param_deps = [];
     kind = Gadget.Helper;
     description = "evict the secret lines from the L1D (write-back to L2 and memory)";
     pre = (fun m -> m.Exec_model.secret.Exec_model.in_l1);
@@ -392,6 +404,7 @@ let evict_enc_l1 =
 let evict_enc_l2 =
   {
     Gadget.name = "Evict_Enc_L2";
+    param_deps = [];
     kind = Gadget.Helper;
     description = "drop the secret lines from the L2, leaving them only in memory";
     pre = (fun m -> m.Exec_model.secret.Exec_model.in_l2);
@@ -410,6 +423,7 @@ let evict_enc_l2 =
 let seed_sm_secret =
   {
     Gadget.name = "Seed_SM_Secret";
+    param_deps = [ Gadget.Dep_seed ];
     kind = Gadget.Helper;
     description = "seed an address-hash secret line inside security-monitor memory";
     pre = (fun _ -> true);
@@ -429,6 +443,7 @@ let seed_sm_secret =
 let touch_sm_secret =
   {
     Gadget.name = "Touch_SM_Secret";
+    param_deps = [];
     kind = Gadget.Helper;
     description = "the monitor reads its secret, pulling it into the L1D";
     pre = (fun _ -> true);
@@ -452,6 +467,7 @@ let touch_sm_secret =
 let seed_host_secret =
   {
     Gadget.name = "Seed_Host_Secret";
+    param_deps = [ Gadget.Dep_seed ];
     kind = Gadget.Helper;
     description = "host stores its own secret data, leaving it hot in the L1D";
     pre = (fun _ -> true);
@@ -482,6 +498,7 @@ let legit_vaddr_base = 0x4000_0000L
 let build_host_page_tables =
   {
     Gadget.name = "Build_Host_Page_Tables";
+    param_deps = [];
     kind = Gadget.Helper;
     description = "construct legitimate sv39 page tables for the host";
     pre = (fun _ -> true);
@@ -503,6 +520,7 @@ let hpc_csrs = List.map (fun n -> Csr.Hpmcounter n) [ 3; 4; 5; 6; 7; 8 ]
 let prime_hpcs =
   {
     Gadget.name = "Prime_HPCs";
+    param_deps = [];
     kind = Gadget.Helper;
     description = "host records a performance-counter baseline before enclave entry";
     pre = (fun _ -> true);
@@ -521,6 +539,7 @@ let prime_hpcs =
 let prime_ubtb =
   {
     Gadget.name = "Prime_uBTB";
+    param_deps = [ Gadget.Dep_variant ];
     kind = Gadget.Helper;
     description = "host executes a taken branch to prime the aliasing uBTB entry";
     pre = (fun _ -> true);
@@ -539,6 +558,7 @@ let prime_ubtb =
 let enclave_branch_workload =
   {
     Gadget.name = "Enclave_Branch_Workload";
+    param_deps = [ Gadget.Dep_variant ];
     kind = Gadget.Helper;
     description =
       "enclave executes a secret-dependent conditional branch at the aliasing PC";
@@ -561,6 +581,8 @@ let enclave_branch_workload =
 let make_access path ~pre ~emit =
   {
     Gadget.name = Access_path.to_string path;
+    param_deps =
+      [ Gadget.Dep_offset; Gadget.Dep_width; Gadget.Dep_variant; Gadget.Dep_seed ];
     kind = Gadget.Access path;
     description = Access_path.description path;
     pre;

@@ -6,13 +6,37 @@ type outcome = {
   tracker : Secret.tracker;
   env : Env.t;
   cycles : int;
+  fork_cycle : int;
   log_records : int;
 }
 
-let run ?prepare config (testcase : Testcase.t) =
-  let env = Env.create config testcase.Testcase.params in
+let split_last gadgets =
+  let rec go acc = function
+    | [] -> invalid_arg "Runner.run: test case with no gadgets"
+    | [ last ] -> (List.rev acc, last)
+    | g :: rest -> go (g :: acc) rest
+  in
+  go [] gadgets
+
+let run ?snapshots ?prepare config (testcase : Testcase.t) =
+  let prefix, access = split_last testcase.Testcase.gadgets in
+  let env =
+    match snapshots with
+    | Some engine ->
+      if Snapshot.config_hash engine <> Config.hash config then
+        invalid_arg "Runner.run: snapshot engine built for a different config";
+      Snapshot.establish engine testcase
+    | None ->
+      let env = Env.create config testcase.Testcase.params in
+      List.iter (fun g -> g.Gadget.emit env) prefix;
+      env
+  in
+  (* [prepare] runs at the fork point — after the shared setup prefix,
+     before the access gadget — so a faulted run behaves identically
+     whether the prefix was replayed or restored from a snapshot. *)
+  let fork_cycle = Machine.cycle env.Env.machine in
   (match prepare with Some f -> f env | None -> ());
-  List.iter (fun g -> g.Gadget.emit env) testcase.Testcase.gadgets;
+  access.Gadget.emit env;
   (* Force a final snapshot so residue of the last gadget is logged. *)
   Machine.switch_context env.Env.machine
     ~to_ctx:(Exec_context.Host Priv.Supervisor);
@@ -23,5 +47,6 @@ let run ?prepare config (testcase : Testcase.t) =
     tracker = env.Env.tracker;
     env;
     cycles = Machine.cycle env.Env.machine;
+    fork_cycle;
     log_records = Log.length log;
   }

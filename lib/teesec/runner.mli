@@ -2,11 +2,18 @@ open! Import
 
 (** Test-case runner.
 
-    Executes one assembled test case on a freshly created machine with
-    the security monitor installed, and hands the resulting simulation
-    log (plus the seeded secrets) to the caller — normally the checker.
-    A final context-switch snapshot is forced at the end of the run so
-    residue left by the last gadget is visible. *)
+    Executes one assembled test case with the security monitor
+    installed, and hands the resulting simulation log (plus the seeded
+    secrets) to the caller — normally the checker.  A final
+    context-switch snapshot is forced at the end of the run so residue
+    left by the last gadget is visible.
+
+    The setup/helper prefix (every gadget but the last) either replays
+    on a freshly created machine or, when a {!Snapshot} engine is
+    supplied, is restored from a cached snapshot of an earlier identical
+    prefix.  Both paths produce byte-identical outcomes; the replay path
+    is the determinism oracle the differential tests diff the engine
+    against. *)
 
 type outcome = {
   testcase : Testcase.t;
@@ -14,11 +21,28 @@ type outcome = {
   tracker : Secret.tracker;
   env : Env.t;
   cycles : int;
+  fork_cycle : int;
+      (** Cycle count at the fork point — after the setup prefix, before
+          [prepare] and the access gadget.  [cycles - fork_cycle] is the
+          span the access phase executed for, the window the fault
+          injector's relative firing cycles are measured against. *)
   log_records : int;
 }
 
 (** [run config testcase] executes the gadget chain in order.
-    [prepare], if given, runs on the freshly created environment before
-    any gadget emits — the fault injector uses it to arm its machine
-    hooks so faults can fire from the first cycle. *)
-val run : ?prepare:(Env.t -> unit) -> Config.t -> Testcase.t -> outcome
+
+    [snapshots], if given, establishes the setup prefix through the
+    snapshot engine (which must have been created for [config] —
+    [Invalid_argument] otherwise) instead of replaying it.
+
+    [prepare], if given, runs at the fork point: after the setup prefix
+    is established (replayed or restored), before the access gadget
+    emits.  The fault injector uses it to arm its machine hooks; arming
+    at the fork point keeps faulted runs identical across the two prefix
+    paths. *)
+val run :
+  ?snapshots:Snapshot.t ->
+  ?prepare:(Env.t -> unit) ->
+  Config.t ->
+  Testcase.t ->
+  outcome

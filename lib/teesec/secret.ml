@@ -37,6 +37,15 @@ type tracker = {
 
 let create_tracker () = { seeded = []; n = 0; by_value = Hashtbl.create 64 }
 
+(* Seeded records are immutable, so sharing the list spine is safe. *)
+let copy_tracker t = { seeded = t.seeded; n = t.n; by_value = Hashtbl.copy t.by_value }
+
+let restore_tracker src ~into =
+  into.seeded <- src.seeded;
+  into.n <- src.n;
+  Hashtbl.reset into.by_value;
+  Hashtbl.iter (fun k v -> Hashtbl.replace into.by_value k v) src.by_value
+
 let add t s =
   t.seeded <- s :: t.seeded;
   t.n <- t.n + 1;

@@ -38,6 +38,13 @@ type tracker
 
 val create_tracker : unit -> tracker
 
+(** [copy_tracker t] is an independent copy (seeded records are
+    immutable and shared). *)
+val copy_tracker : tracker -> tracker
+
+(** [restore_tracker src ~into] overwrites [into] with [src]'s state. *)
+val restore_tracker : tracker -> into:tracker -> unit
+
 (** [register t ~seed ~addr ~owner] computes and records the secret for
     [addr], returning its value. *)
 val register : tracker -> seed:Word.t -> addr:Word.t -> owner:owner -> Word.t

@@ -1,3 +1,12 @@
+let hash_fold h v = Riscv.Word.splitmix64 (Int64.logxor h v)
+
+let hash_string h s =
+  let acc = ref (hash_fold h (Int64.of_int (String.length s))) in
+  String.iter
+    (fun c -> acc := hash_fold !acc (Int64.of_int (Char.code c)))
+    s;
+  !acc
+
 let contains_substring ~needle hay =
   let n = String.length needle and m = String.length hay in
   if n = 0 then true

@@ -1,5 +1,14 @@
 (** String helpers shared by the checker and the bench harness. *)
 
+(** [hash_fold h v] folds [v] into the running SplitMix64 hash [h].
+    Used by the snapshot engine's cache keys; deterministic across runs
+    and domains. *)
+val hash_fold : int64 -> int64 -> int64
+
+(** [hash_string h s] folds [s] (length-prefixed, byte by byte) into
+    [h]. *)
+val hash_string : int64 -> string -> int64
+
 (** [contains_substring ~needle hay] is true when [needle] occurs in
     [hay] (the empty needle always matches).  Naive scan, but
     allocation-free: the checker calls this per log entry, where the

@@ -7,7 +7,14 @@ type t = {
   params : Params.t;
 }
 
-let access_gadget t = List.nth t.gadgets (List.length t.gadgets - 1)
+let rec last_gadget = function
+  | [] -> invalid_arg "Testcase.access_gadget: empty gadget list"
+  | [ g ] -> g
+  | _ :: rest -> last_gadget rest
+
+(* Single traversal; the old [List.nth gadgets (length - 1)] walked the
+   list twice. *)
+let access_gadget t = last_gadget t.gadgets
 
 let name t =
   Printf.sprintf "#%d %s [%s]" t.id (Access_path.to_string t.path)

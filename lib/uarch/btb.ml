@@ -41,6 +41,71 @@ let create ?(tagged_by_owner = false) ~entries ~tag_bits ~ways () =
 
 let tagged_by_owner t = t.tagged_by_owner
 
+let copy t =
+  {
+    t with
+    slots = Array.map (Array.map (fun s -> { valid = s.valid; entry = s.entry })) t.slots;
+    next_way = Array.copy t.next_way;
+  }
+
+(* Live-slots-only snapshot form; see {!Cache.capture} for the
+   rationale.  Entries are immutable, so a capture shares them. *)
+type capture = {
+  cap_sets : int;
+  cap_ways : int;
+  cap_tag_bits : int;
+  cap_tagged_by_owner : bool;
+  cap_slots : (int * int * entry) array;  (* set, way, entry *)
+  cap_next_way : int array;
+}
+
+let capture t =
+  let acc = ref [] in
+  for si = t.sets - 1 downto 0 do
+    let set = t.slots.(si) in
+    for wi = t.ways - 1 downto 0 do
+      if set.(wi).valid then acc := (si, wi, set.(wi).entry) :: !acc
+    done
+  done;
+  {
+    cap_sets = t.sets;
+    cap_ways = t.ways;
+    cap_tag_bits = t.tag_bits;
+    cap_tagged_by_owner = t.tagged_by_owner;
+    cap_slots = Array.of_list !acc;
+    cap_next_way = Array.copy t.next_way;
+  }
+
+let restore_capture cap ~into =
+  if
+    cap.cap_sets <> into.sets || cap.cap_ways <> into.ways
+    || cap.cap_tag_bits <> into.tag_bits
+    || cap.cap_tagged_by_owner <> into.tagged_by_owner
+  then invalid_arg "Btb.restore_capture: geometry mismatch";
+  Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) into.slots;
+  Array.iter
+    (fun (si, wi, entry) ->
+      let s = into.slots.(si).(wi) in
+      s.valid <- true;
+      s.entry <- entry)
+    cap.cap_slots;
+  Array.blit cap.cap_next_way 0 into.next_way 0 cap.cap_sets
+
+let restore_into src ~into =
+  if
+    src.sets <> into.sets || src.ways <> into.ways || src.tag_bits <> into.tag_bits
+    || src.tagged_by_owner <> into.tagged_by_owner
+  then invalid_arg "Btb.restore_into: geometry mismatch";
+  for si = 0 to src.sets - 1 do
+    let a = src.slots.(si) and b = into.slots.(si) in
+    for wi = 0 to src.ways - 1 do
+      b.(wi).valid <- a.(wi).valid;
+      (* Entries are immutable records, so sharing them is safe. *)
+      b.(wi).entry <- a.(wi).entry
+    done
+  done;
+  Array.blit src.next_way 0 into.next_way 0 src.sets
+
 (* Instructions are 4-byte aligned in this model; bit 1 upward indexes. *)
 let index_of t ~pc = Int64.to_int (Word.extract pc ~pos:1 ~len:t.index_bits)
 

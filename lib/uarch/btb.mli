@@ -29,6 +29,20 @@ val create : ?tagged_by_owner:bool -> entries:int -> tag_bits:int -> ways:int ->
 
 val tagged_by_owner : t -> bool
 
+(** [copy t] is an independent copy (entries are immutable and shared). *)
+val copy : t -> t
+
+(** [restore_into src ~into] overwrites [into] with [src] without
+    allocating.  Raises [Invalid_argument] on a geometry mismatch. *)
+val restore_into : t -> into:t -> unit
+
+(** Valid-slots-only snapshot form (see {!Cache.capture}); prediction
+    entries are immutable and shared with the source. *)
+type capture
+
+val capture : t -> capture
+val restore_capture : capture -> into:t -> unit
+
 (** [index_of t ~pc] and [tag_of t ~pc] expose the PC slicing, used by
     the M2 gadget to construct aliasing branch pairs. *)
 val index_of : t -> pc:Word.t -> int

@@ -135,6 +135,43 @@ let of_core_name = function
   | "xiangshan" -> Some xiangshan
   | _ -> None
 
+let hash t =
+  let fold h v = Riscv.Word.splitmix64 (Int64.logxor h v) in
+  let fold_int h v = fold h (Int64.of_int v) in
+  let fold_bool h v = fold h (if v then 1L else 0L) in
+  let fold_string h s =
+    String.fold_left
+      (fun acc c -> fold_int acc (Char.code c))
+      (fold_int h (String.length s))
+      s
+  in
+  let h = fold_string 0x7ee5ec0de5eedL t.name in
+  let h =
+    List.fold_left fold_int h
+      [
+        (match t.kind with Boom -> 1 | Xiangshan -> 2);
+        t.l1_sets; t.l1_ways; t.l1i_sets; t.l1i_ways; t.l2_sets; t.l2_ways;
+        t.lfb_entries; t.wb_buffer_entries; t.store_buffer_entries;
+        t.dtlb_entries; t.ptw_cache_entries; t.ubtb_entries; t.ubtb_tag_bits;
+        t.ftb_sets; t.ftb_ways; t.ftb_tag_bits; t.phys_regs;
+      ]
+  in
+  let h =
+    List.fold_left fold_bool h
+      [
+        t.has_l1_prefetcher; t.ptw_pmp_precheck; t.faulting_miss_fake_hit;
+        t.store_buffer_forwards_faulting; t.lazy_csr_priv_check;
+        t.lfb_retains_stale;
+      ]
+  in
+  let l = t.latencies in
+  let h =
+    List.fold_left fold_int h
+      [ l.l1_hit; l.l1_miss; l.l2_hit; l.memory; l.mispredict_penalty ]
+  in
+  List.fold_left (fun acc m -> fold_string acc (Mitigation.to_string m)) h
+    t.mitigations
+
 let with_mitigations t ms = { t with mitigations = ms }
 let mitigated t m = Mitigation.active t.mitigations m
 

@@ -76,6 +76,13 @@ val xiangshan : t
 
 val of_core_name : string -> t option
 
+(** [hash t] is a deterministic 64-bit digest of every field that shapes
+    machine behaviour (structure sizes, behavioural knobs, latencies,
+    mitigations).  The snapshot engine keys cached machine states on it
+    so a snapshot is never restored into a differently-configured
+    machine. *)
+val hash : t -> int64
+
 (** [with_mitigations t ms] is [t] with the mitigation set replaced. *)
 val with_mitigations : t -> Mitigation.t list -> t
 

@@ -20,6 +20,32 @@ let create ~entries ~retains_stale =
     next = 0;
   }
 
+let copy t =
+  {
+    slots =
+      Array.map
+        (fun s ->
+          { valid = s.valid; addr = s.addr; has_data = s.has_data; data = Array.copy s.data })
+        t.slots;
+    retains_stale = t.retains_stale;
+    next = t.next;
+  }
+
+let restore_into src ~into =
+  if
+    Array.length src.slots <> Array.length into.slots
+    || src.retains_stale <> into.retains_stale
+  then invalid_arg "Lfb.restore_into: geometry mismatch";
+  Array.iteri
+    (fun i s ->
+      let d = into.slots.(i) in
+      d.valid <- s.valid;
+      d.addr <- s.addr;
+      d.has_data <- s.has_data;
+      Array.blit s.data 0 d.data 0 line_words)
+    src.slots;
+  into.next <- src.next
+
 let fill t ~addr ~data =
   assert (Array.length data = line_words);
   let slot_index = t.next in

@@ -16,6 +16,13 @@ type t
 
 val create : entries:int -> retains_stale:bool -> t
 
+(** [copy t] is a deep copy; slot payloads are duplicated. *)
+val copy : t -> t
+
+(** [restore_into src ~into] overwrites [into] with [src] without
+    allocating.  Raises [Invalid_argument] on a geometry mismatch. *)
+val restore_into : t -> into:t -> unit
+
 (** [fill t ~addr ~data] allocates a slot (round-robin over the oldest)
     and stores the incoming line.  Returns the slot index. *)
 val fill : t -> addr:Word.t -> data:Word.t array -> int

@@ -571,6 +571,107 @@ let ubtb t = t.ubtb
 let ftb t = t.ftb
 let dtlb t = t.dtlb
 
+(* {2 Machine snapshot/restore}
+
+   A [snapshot] captures every piece of mutable machine state except the
+   ecall handler (which is a binding into the installed security monitor
+   and stays valid across restores) and the fault-injection advance hook
+   (snapshots are only taken of clean prefixes; [restore] clears it).
+   Restores blit into the live machine's preallocated storage, so the
+   hot path allocates nothing beyond the hashtable refills. *)
+
+type snapshot = {
+  snap_mem : Memory.capture;
+  snap_csr : Csr.t;
+  snap_pmp : Pmp.t;
+  snap_log : Log.mark;
+  snap_l1 : Cache.capture;
+  snap_l1i : Cache.capture;
+  snap_l2 : Cache.capture;
+  snap_lfb : Lfb.t;
+  snap_stb : Store_buffer.t;
+  snap_dtlb : Tlb.t;
+  snap_ptw_cache : Tlb.t;
+  snap_ubtb : Btb.capture;
+  snap_ftb : Btb.capture;
+  snap_regfile : Regfile.t;
+  snap_regs : Word.t array;
+  snap_wb_buffer : Lfb.t;
+  snap_fetch_image : (Word.t * int) option;
+  snap_last_prefetch : Word.t option;
+  snap_prefetch_inhibit : bool;
+  snap_cycle : int;
+  snap_ctx : Exec_context.t;
+  snap_pending_interrupt : (t -> unit) option;
+  snap_hpc_banks : (string, Word.t array) Hashtbl.t;
+  snap_flush_faults : (Structure.t * flush_behaviour) list;
+  snap_pmp_stuck_grant : bool;
+  snap_snapshot_delay : int;
+}
+
+let snapshot t =
+  let hpc_banks = Hashtbl.create (max 1 (Hashtbl.length t.hpc_banks)) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace hpc_banks k (Array.copy v)) t.hpc_banks;
+  {
+    snap_mem = Memory.capture t.mem;
+    snap_csr = Csr.copy t.csr;
+    snap_pmp = Pmp.copy t.pmp;
+    snap_log = Log.mark t.log;
+    snap_l1 = Cache.capture t.l1;
+    snap_l1i = Cache.capture t.l1i;
+    snap_l2 = Cache.capture t.l2;
+    snap_lfb = Lfb.copy t.lfb;
+    snap_stb = Store_buffer.copy t.stb;
+    snap_dtlb = Tlb.copy t.dtlb;
+    snap_ptw_cache = Tlb.copy t.ptw_cache;
+    snap_ubtb = Btb.capture t.ubtb;
+    snap_ftb = Btb.capture t.ftb;
+    snap_regfile = Regfile.copy t.regfile;
+    snap_regs = Array.copy t.regs;
+    snap_wb_buffer = Lfb.copy t.wb_buffer;
+    snap_fetch_image = t.fetch_image;
+    snap_last_prefetch = t.last_prefetch;
+    snap_prefetch_inhibit = t.prefetch_inhibit;
+    snap_cycle = t.cycle;
+    snap_ctx = t.ctx;
+    snap_pending_interrupt = t.pending_interrupt;
+    snap_hpc_banks = hpc_banks;
+    snap_flush_faults = t.flush_faults;
+    snap_pmp_stuck_grant = t.pmp_stuck_grant;
+    snap_snapshot_delay = t.snapshot_delay;
+  }
+
+let restore t s =
+  Memory.restore_capture s.snap_mem ~into:t.mem;
+  Csr.restore_into s.snap_csr ~into:t.csr;
+  Pmp.restore_into s.snap_pmp ~into:t.pmp;
+  Log.reset_to t.log s.snap_log;
+  Cache.restore_capture s.snap_l1 ~into:t.l1;
+  Cache.restore_capture s.snap_l1i ~into:t.l1i;
+  Cache.restore_capture s.snap_l2 ~into:t.l2;
+  Lfb.restore_into s.snap_lfb ~into:t.lfb;
+  Store_buffer.restore_into s.snap_stb ~into:t.stb;
+  Tlb.restore_into s.snap_dtlb ~into:t.dtlb;
+  Tlb.restore_into s.snap_ptw_cache ~into:t.ptw_cache;
+  Btb.restore_capture s.snap_ubtb ~into:t.ubtb;
+  Btb.restore_capture s.snap_ftb ~into:t.ftb;
+  Regfile.restore_into s.snap_regfile ~into:t.regfile;
+  Array.blit s.snap_regs 0 t.regs 0 32;
+  Lfb.restore_into s.snap_wb_buffer ~into:t.wb_buffer;
+  t.fetch_image <- s.snap_fetch_image;
+  t.last_prefetch <- s.snap_last_prefetch;
+  t.prefetch_inhibit <- s.snap_prefetch_inhibit;
+  t.cycle <- s.snap_cycle;
+  t.ctx <- s.snap_ctx;
+  t.pending_interrupt <- s.snap_pending_interrupt;
+  Hashtbl.reset t.hpc_banks;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.hpc_banks k (Array.copy v)) s.snap_hpc_banks;
+  t.advance_hook <- None;
+  t.in_advance_hook <- false;
+  t.flush_faults <- s.snap_flush_faults;
+  t.pmp_stuck_grant <- s.snap_pmp_stuck_grant;
+  t.snapshot_delay <- s.snap_snapshot_delay
+
 (* {2 Flushes} *)
 
 (* Flushes cost cycles: one per invalidated line plus the write-back

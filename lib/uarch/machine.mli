@@ -131,6 +131,30 @@ val evict_line : t -> addr:Word.t -> unit
     only in DRAM. *)
 val evict_line_l2 : t -> addr:Word.t -> unit
 
+(** {1 Machine snapshot/restore}
+
+    The execution-engine snapshot (distinct from the {!Log.Snapshot}
+    events recorded at context switches): a deep copy of every mutable
+    piece of machine state, used by the snapshot/fork engine
+    ([Teesec.Snapshot]) to run a shared setup prefix once and restore it
+    per test case. *)
+
+type snapshot
+
+(** [snapshot t] deep-copies all mutable machine state, including the
+    log position.  The ecall handler is not captured (it is a binding
+    into the installed security monitor and stays valid across
+    restores); the fault-injection advance hook must not be armed when a
+    snapshot is taken. *)
+val snapshot : t -> snapshot
+
+(** [restore t s] overwrites [t] with the state captured by [snapshot],
+    blitting into [t]'s preallocated structures, truncating the log back
+    to the captured position, and clearing any armed advance hook.
+    Raises [Invalid_argument] when [t] was created from a config with
+    different structure geometry. *)
+val restore : t -> snapshot -> unit
+
 (** {1 Fault injection}
 
     Deterministic perturbation hooks driven by the fault injector

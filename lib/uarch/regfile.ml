@@ -11,6 +11,24 @@ type t = { cells : cell array; mutable next : int }
 let create ~regs =
   { cells = Array.init regs (fun _ -> { in_use = false; value = 0L; note = "" }); next = 0 }
 
+let copy t =
+  {
+    cells = Array.map (fun c -> { in_use = c.in_use; value = c.value; note = c.note }) t.cells;
+    next = t.next;
+  }
+
+let restore_into src ~into =
+  if Array.length src.cells <> Array.length into.cells then
+    invalid_arg "Regfile.restore_into: size mismatch";
+  Array.iteri
+    (fun i c ->
+      let d = into.cells.(i) in
+      d.in_use <- c.in_use;
+      d.value <- c.value;
+      d.note <- c.note)
+    src.cells;
+  into.next <- src.next
+
 let writeback t ~value ~ctx ~transient =
   let index = t.next in
   t.next <- (t.next + 1) mod Array.length t.cells;

@@ -13,6 +13,14 @@ type t
 
 val create : regs:int -> t
 
+(** [copy t] is a deep copy: mutating either file never affects the
+    other. *)
+val copy : t -> t
+
+(** [restore_into src ~into] overwrites [into] with [src] without
+    allocating.  Raises [Invalid_argument] on a size mismatch. *)
+val restore_into : t -> into:t -> unit
+
 (** [writeback t ~value ~ctx ~transient] allocates a physical register
     for a produced [value] and returns its index.  [transient] marks
     values produced by instructions that are later squashed. *)

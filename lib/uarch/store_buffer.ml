@@ -10,6 +10,15 @@ type entry = {
 type t = { capacity : int; mutable items : entry list (* youngest first *) }
 
 let create ~entries = { capacity = entries; items = [] }
+
+(* Entries are immutable records, so sharing the list is a deep copy. *)
+let copy t = { capacity = t.capacity; items = t.items }
+
+let restore_into src ~into =
+  if src.capacity <> into.capacity then
+    invalid_arg "Store_buffer.restore_into: capacity mismatch";
+  into.items <- src.items
+
 let is_full t = List.length t.items >= t.capacity
 
 let push t entry =

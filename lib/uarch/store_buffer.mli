@@ -21,6 +21,14 @@ type t
 
 val create : entries:int -> t
 
+(** [copy t] is an independent copy (entries are immutable, so the list
+    is shared structurally). *)
+val copy : t -> t
+
+(** [restore_into src ~into] overwrites [into] with [src]'s contents.
+    Raises [Invalid_argument] on a capacity mismatch. *)
+val restore_into : t -> into:t -> unit
+
 (** [is_full t] — the LSU must drain before pushing when full. *)
 val is_full : t -> bool
 

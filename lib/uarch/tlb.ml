@@ -16,6 +16,24 @@ let dummy_entry =
 let create ~entries =
   { slots = Array.init entries (fun _ -> { valid = false; entry = dummy_entry }); next = 0 }
 
+let copy t =
+  {
+    slots = Array.map (fun s -> { valid = s.valid; entry = s.entry }) t.slots;
+    next = t.next;
+  }
+
+let restore_into src ~into =
+  if Array.length src.slots <> Array.length into.slots then
+    invalid_arg "Tlb.restore_into: geometry mismatch";
+  Array.iteri
+    (fun i s ->
+      let d = into.slots.(i) in
+      d.valid <- s.valid;
+      (* Entries are immutable records, so sharing them is safe. *)
+      d.entry <- s.entry)
+    src.slots;
+  into.next <- src.next
+
 let vpn_of vaddr = Int64.shift_right_logical vaddr 12
 
 let lookup t ~vaddr =

@@ -13,6 +13,14 @@ type t
 
 val create : entries:int -> t
 
+(** [copy t] is an independent copy (entries themselves are immutable and
+    shared). *)
+val copy : t -> t
+
+(** [restore_into src ~into] overwrites [into] with [src] without
+    allocating.  Raises [Invalid_argument] on a size mismatch. *)
+val restore_into : t -> into:t -> unit
+
 (** [lookup t ~vaddr] finds a translation for the page of [vaddr]. *)
 val lookup : t -> vaddr:Word.t -> entry option
 
