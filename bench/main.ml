@@ -444,6 +444,129 @@ let write_fuzz_json ~path ~seed ~budget results =
   output_string oc (Buffer.contents buf);
   close_out oc
 
+(* {1 Machine-readable campaign-service record}
+
+   BENCH_serve.json measures the lib/serve daemon on the slice campaign:
+   end-to-end submit-to-artifact latency against a cold store (every
+   shard executes on a worker) and against a warm store after a daemon
+   restart (every shard hits, nothing executes), at 1 and 4 worker
+   processes.  The artifact bytes are pinned equal to the one-shot CLI
+   by the test suite, so this record tracks only the orchestration cost:
+   shards/s through the workers when cold, and the pure
+   plan-lookup-assemble overhead when warm. *)
+
+type serve_phase = {
+  se_workers : int;
+  se_shards : int;
+  se_cold_s : float;
+  se_warm_s : float;
+  se_warm_hits : int;
+}
+
+let run_serve_phase () =
+  let module Daemon = Serve.Daemon in
+  let module Client = Serve.Client in
+  let dir = Filename.temp_dir "teesec_bench_serve" "" in
+  let rec rm_rf path =
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let spec =
+    Serve.Request.Campaign
+      { core = "boom"; mitigations = []; corpus = Serve.Request.Slice }
+  in
+  let submit_timed cfg =
+    let pid = Daemon.spawn cfg in
+    let finish () =
+      (try Unix.kill pid Sys.sigkill with _ -> ());
+      try ignore (Unix.waitpid [] pid) with _ -> ()
+    in
+    Fun.protect ~finally:finish (fun () ->
+        match Client.connect_retry ~socket_path:cfg.Daemon.socket_path () with
+        | Error e -> failwith e
+        | Ok client ->
+          Fun.protect
+            ~finally:(fun () -> Client.close client)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let js =
+                match Client.submit client spec with
+                | Ok js -> js
+                | Error e -> failwith e
+              in
+              (match Client.results client js.Serve.Protocol.js_job with
+              | Ok (Ok _) -> ()
+              | Ok (Error _) -> failwith "serve bench: job still pending"
+              | Error e -> failwith e);
+              let dt = Unix.gettimeofday () -. t0 in
+              (match Client.shutdown client with
+              | Ok () -> ignore (Unix.waitpid [] pid)
+              | Error _ -> ());
+              (js, dt)))
+  in
+  let phases =
+    List.map
+      (fun workers ->
+        let store_root =
+          Filename.concat dir (Printf.sprintf "store-w%d" workers)
+        in
+        let cfg =
+          {
+            (Daemon.default_config
+               ~socket_path:
+                 (Filename.concat dir (Printf.sprintf "w%d.sock" workers))
+               ~store_root)
+            with
+            Daemon.workers;
+          }
+        in
+        let js_cold, cold_s = submit_timed cfg in
+        let js_warm, warm_s = submit_timed cfg in
+        {
+          se_workers = workers;
+          se_shards = js_cold.Serve.Protocol.js_total;
+          se_cold_s = cold_s;
+          se_warm_s = warm_s;
+          se_warm_hits = js_warm.Serve.Protocol.js_hits;
+        })
+      [ 1; 4 ]
+  in
+  rm_rf dir;
+  List.iter
+    (fun p ->
+      Format.printf
+        "  %d worker(s): %d shards; cold %.3fs (%.1f shards/s), warm %.3fs \
+         (%d/%d hits)@."
+        p.se_workers p.se_shards p.se_cold_s
+        (float_of_int p.se_shards /. p.se_cold_s)
+        p.se_warm_s p.se_warm_hits p.se_shards)
+    phases;
+  phases
+
+let write_serve_json ~path phases =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"request\": \"campaign slice on boom\",\n";
+  Buffer.add_string buf "  \"phases\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.bprintf buf
+        "    {\"workers\": %d, \"shards\": %d, \"cold_s\": %.3f, \
+         \"cold_shards_per_s\": %.1f, \"warm_s\": %.3f, \"warm_hits\": %d}%s\n"
+        p.se_workers p.se_shards p.se_cold_s
+        (float_of_int p.se_shards /. p.se_cold_s)
+        p.se_warm_s p.se_warm_hits
+        (if i < List.length phases - 1 then "," else ""))
+    phases;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 (* {1 Experiment regeneration} *)
 
 let section title =
@@ -453,10 +576,18 @@ let () =
   Format.printf
     "TEESec evaluation harness: regenerating every table and figure of the paper@.@.";
 
-  (* Measured before anything else: once the table/figure phases have
-     run, the harness heap is large enough to shift both paths' absolute
-     times (see the caveat in EXPERIMENTS.md), so the throughput record
-     is taken while the process still looks like a fresh one. *)
+  (* The service phase MUST run first: Daemon.spawn forks, and forking
+     is only safe while this process has a single domain — every later
+     phase may fan out across domains via the parallel pool. *)
+  section "Extension: campaign service (daemon, workers, store)";
+  let serve_phases = run_serve_phase () in
+  write_serve_json ~path:"BENCH_serve.json" serve_phases;
+  Format.printf "service record written to BENCH_serve.json@.";
+
+  (* Measured before the table/figure phases: once those have run, the
+     harness heap is large enough to shift both paths' absolute times
+     (see the caveat in EXPERIMENTS.md), so the throughput record is
+     taken while the process still looks like a fresh one. *)
   section "Extension: snapshot/fork engine vs replay oracle";
   let snapshot_phases = run_snapshot_phases () in
   write_snapshot_json ~path:"BENCH_snapshot.json" snapshot_phases;

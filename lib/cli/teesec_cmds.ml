@@ -728,6 +728,38 @@ let profile_cmd =
       s.Teesec.Snapshot.replayed_gadgets
       (Obs.Metrics.histogram_sum h_restore)
       (Obs.Metrics.histogram_count h_restore);
+    (* Per-gadget-family throughput over the slice, on the warm snapshot
+       engine: the families are wildly uneven (a memset access gadget
+       touches a whole line per access), and this is where that shows. *)
+    let families =
+      List.fold_left
+        (fun acc tc ->
+          let family = Teesec.Access_path.to_string tc.Teesec.Testcase.path in
+          let cases = try List.assoc family acc with Not_found -> [] in
+          (family, tc :: cases) :: List.remove_assoc family acc)
+        [] slice
+      |> List.rev_map (fun (family, cases) -> (family, List.rev cases))
+      |> List.rev
+    in
+    Format.printf "@.%-28s %6s %10s %12s@." "gadget family" "cases" "time (s)"
+      "cases/s";
+    List.iter
+      (fun (family, cases) ->
+        let (), secs =
+          Obs.timed obs ("family/" ^ family) (fun () ->
+              for _ = 1 to repeat do
+                List.iter
+                  (fun tc ->
+                    ignore
+                      (Teesec.Campaign.eval_case ~obs ~snapshots:snap config
+                         tc))
+                  cases
+              done)
+        in
+        let n = repeat * List.length cases in
+        Format.printf "%-28s %6d %10.4f %12.1f@." family n secs
+          (if secs > 0. then float_of_int n /. secs else 0.))
+      families;
     save_obs_outputs obs ~trace ~metrics
   in
   let budget =
@@ -760,6 +792,304 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print the static tables (1 and 2).")
     Term.(const run $ const ())
 
+(* {2 The campaign service (lib/serve)} *)
+
+let socket_arg =
+  Arg.(value & opt string "teesec.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket of the daemon.")
+
+let core_name_of config =
+  String.lowercase_ascii
+    (Uarch.Config.core_kind_to_string config.Uarch.Config.kind)
+
+(* Poll briefly before failing: scripts background `teesec serve` and
+   immediately submit, racing the daemon's bind. *)
+let with_client ~socket_path f =
+  match
+    Serve.Client.connect_retry ~attempts:40 ~delay:0.05 ~socket_path ()
+  with
+  | Error e ->
+    Format.printf "error: %s@." e;
+    exit 1
+  | Ok client ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () ->
+        f client)
+
+let pp_job_status (js : Serve.Protocol.job_status) =
+  Format.printf "job %s: %s, %d shard(s), %d done, %d from store (%d%%)%s@."
+    js.Serve.Protocol.js_job js.Serve.Protocol.js_kind
+    js.Serve.Protocol.js_total js.Serve.Protocol.js_done
+    js.Serve.Protocol.js_hits
+    (if js.Serve.Protocol.js_total = 0 then 100
+     else 100 * js.Serve.Protocol.js_hits / js.Serve.Protocol.js_total)
+    (match js.Serve.Protocol.js_failed with
+    | Some reason -> Printf.sprintf ", FAILED: %s" reason
+    | None -> if js.Serve.Protocol.js_complete then ", complete" else "")
+
+(* version: what the handshake negotiates — scripts parse this to pick a
+   matching client, so the format is pinned by the smoke tests. *)
+let version_cmd =
+  let run () = Format.printf "%s@." Serve.Protocol.version_string in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the build and wire-protocol version.")
+    Term.(const run $ const ())
+
+(* serve: the daemon, in the foreground.  Runs until a client sends
+   shutdown. *)
+let serve_cmd =
+  let run socket_path store workers http_port max_shard_cases max_retries
+      quiet =
+    if workers < 1 then begin
+      Format.printf "error: --workers must be >= 1@.";
+      exit 1
+    end;
+    let cfg =
+      {
+        (Serve.Daemon.default_config ~socket_path ~store_root:store) with
+        Serve.Daemon.workers;
+        http_port;
+        max_shard_cases;
+        max_retries;
+        log =
+          (if quiet then ignore
+           else fun line -> Format.printf "teesec serve: %s@." line);
+      }
+    in
+    Serve.Daemon.run cfg
+  in
+  let store =
+    Arg.(value & opt string ".teesec-store" & info [ "store" ] ~docv:"DIR"
+           ~doc:"Persistent content-addressed store directory.")
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker processes (the scaling unit; each executes one \
+                 shard at a time).")
+  in
+  let http_port =
+    Arg.(value & opt (some int) None & info [ "http-port" ] ~docv:"PORT"
+           ~doc:"Serve GET /metrics (Prometheus text) and /healthz on \
+                 127.0.0.1:$(docv).")
+  in
+  let max_shard_cases =
+    Arg.(value & opt int Serve.Planner.default_max_shard_cases
+         & info [ "max-shard-cases" ] ~docv:"N"
+             ~doc:"Test cases per shard (after the gadget-family split).")
+  in
+  let max_retries =
+    Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Assignment attempts per shard before it is poisoned.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress lines.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign-service daemon: plan submitted requests into \
+          shards, execute them on forked workers, cache verdicts in a \
+          persistent content-addressed store.")
+    Term.(const run $ socket_arg $ store $ workers $ http_port
+          $ max_shard_cases $ max_retries $ quiet)
+
+(* submit: build a Request.spec from the same flags the one-shot
+   subcommands take, and hand it to the daemon. *)
+let submit_cmd =
+  let run socket_path config kind mitigations full random fuzz_seed faults
+      seed budget batch energy stop_on_full wait out =
+    let core = core_name_of config in
+    let spec =
+      match kind with
+      | "campaign" ->
+        let corpus =
+          match random with
+          | Some count -> Serve.Request.Random { count; seed = fuzz_seed }
+          | None -> if full then Serve.Request.Full else Serve.Request.Slice
+        in
+        let mitigations = List.map Uarch.Mitigation.to_string mitigations in
+        Ok (Serve.Request.Campaign { core; mitigations; corpus })
+      | "inject" -> Ok (Serve.Request.Inject { core; faults; seed; full })
+      | "fuzz" ->
+        Ok
+          (Serve.Request.Fuzz
+             {
+               core;
+               options = { Fuzz.Engine.seed; budget; batch; energy; stop_on_full };
+             })
+      | k -> Error (Printf.sprintf "unknown kind %S (use campaign, inject or fuzz)" k)
+    in
+    match spec with
+    | Error e ->
+      Format.printf "error: %s@." e;
+      exit 1
+    | Ok spec ->
+      with_client ~socket_path (fun client ->
+          match Serve.Client.submit client spec with
+          | Error e ->
+            Format.printf "error: %s@." e;
+            exit 1
+          | Ok js ->
+            pp_job_status js;
+            if wait then (
+              match Serve.Client.results client js.Serve.Protocol.js_job with
+              | Error e ->
+                Format.printf "error: %s@." e;
+                exit 1
+              | Ok (Error js) ->
+                pp_job_status js;
+                exit 1
+              | Ok (Ok data) -> (
+                match out with
+                | Some path ->
+                  let oc = open_out path in
+                  output_string oc data;
+                  close_out oc;
+                  Format.printf "artifact written to %s (%d bytes)@." path
+                    (String.length data)
+                | None -> print_string data)))
+  in
+  let kind =
+    Arg.(value & opt string "campaign" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Request kind: campaign, inject or fuzz.")
+  in
+  let mitigations =
+    Arg.(value & opt_all mitigation_conv [] & info [ "mitigation"; "m" ]
+           ~doc:"(campaign) Enable a mitigation (repeatable).")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"(campaign/inject) All 585 grid cases instead of the slice.")
+  in
+  let random =
+    Arg.(value & opt (some int) None & info [ "random" ] ~docv:"N"
+           ~doc:"(campaign) N randomly drawn test cases instead of the grid.")
+  in
+  let fuzz_seed =
+    Arg.(value & opt int64 0x5EEDL & info [ "fuzz-seed" ] ~docv:"SEED"
+           ~doc:"(campaign) Seed for the random corpus.")
+  in
+  let faults =
+    Arg.(value & opt int 25 & info [ "faults" ] ~docv:"N"
+           ~doc:"(inject) Fault plans to sample.")
+  in
+  let seed =
+    Arg.(value & opt int64 0x5EEDL & info [ "seed" ] ~docv:"SEED"
+           ~doc:"(inject/fuzz) Campaign seed.")
+  in
+  let budget =
+    Arg.(value & opt int 250 & info [ "budget" ] ~docv:"N"
+           ~doc:"(fuzz) Total test-case executions.")
+  in
+  let batch =
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N"
+           ~doc:"(fuzz) Candidates per batch.")
+  in
+  let energy =
+    Arg.(value & opt int 80 & info [ "energy" ] ~docv:"PCT"
+           ~doc:"(fuzz) Mutation energy in 0..100.")
+  in
+  let stop_on_full =
+    Arg.(value & flag & info [ "stop-on-full" ]
+           ~doc:"(fuzz) Stop once every expected case is found.")
+  in
+  let wait =
+    Arg.(
+      value
+      & vflag false
+          [
+            ( true,
+              info [ "wait" ]
+                ~doc:"Block until the job completes and fetch the artifact." );
+            (false, info [ "no-wait" ] ~doc:"Submit and return (default).");
+          ])
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"With --wait: write the artifact to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign/inject/fuzz request to a running daemon.  \
+          Shards already in the store are never re-executed; artifacts \
+          are byte-identical to the one-shot subcommands.")
+    Term.(const run $ socket_arg $ core_arg $ kind $ mitigations $ full
+          $ random $ fuzz_seed $ faults $ seed $ budget $ batch $ energy
+          $ stop_on_full $ wait $ out)
+
+(* status *)
+let status_cmd =
+  let run socket_path =
+    with_client ~socket_path (fun client ->
+        match Serve.Client.status client with
+        | Error e ->
+          Format.printf "error: %s@." e;
+          exit 1
+        | Ok st ->
+          Format.printf "%s@." st.Serve.Protocol.st_version;
+          Format.printf
+            "workers %d (restarts %d); shards executed %d; store hits %d, \
+             misses %d@."
+            st.Serve.Protocol.st_workers
+            st.Serve.Protocol.st_worker_restarts
+            st.Serve.Protocol.st_shards_executed
+            st.Serve.Protocol.st_store_hits st.Serve.Protocol.st_store_misses;
+          (match st.Serve.Protocol.st_jobs with
+          | [] -> Format.printf "no jobs@."
+          | jobs -> List.iter pp_job_status jobs))
+  in
+  Cmd.v (Cmd.info "status" ~doc:"Print a running daemon's status and jobs.")
+    Term.(const run $ socket_arg)
+
+(* results *)
+let results_cmd =
+  let run socket_path job out no_wait =
+    with_client ~socket_path (fun client ->
+        match Serve.Client.results ~wait:(not no_wait) client job with
+        | Error e ->
+          Format.printf "error: %s@." e;
+          exit 1
+        | Ok (Error js) ->
+          pp_job_status js;
+          exit 1
+        | Ok (Ok data) -> (
+          match out with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc data;
+            close_out oc;
+            Format.printf "artifact written to %s (%d bytes)@." path
+              (String.length data)
+          | None -> print_string data))
+  in
+  let job =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB"
+           ~doc:"Job id (printed by submit).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the artifact to FILE instead of stdout.")
+  in
+  let no_wait =
+    Arg.(value & flag & info [ "no-wait" ]
+           ~doc:"Do not block on an incomplete job; print its status and \
+                 exit nonzero.")
+  in
+  Cmd.v
+    (Cmd.info "results" ~doc:"Fetch a job's artifact from a running daemon.")
+    Term.(const run $ socket_arg $ job $ out $ no_wait)
+
+(* shutdown *)
+let shutdown_cmd =
+  let run socket_path =
+    with_client ~socket_path (fun client ->
+        match Serve.Client.shutdown client with
+        | Error e ->
+          Format.printf "error: %s@." e;
+          exit 1
+        | Ok () -> Format.printf "daemon shutting down@.")
+  in
+  Cmd.v (Cmd.info "shutdown" ~doc:"Ask a running daemon to exit.")
+    Term.(const run $ socket_arg)
+
 let subcommands =
   [
     plan_cmd;
@@ -777,13 +1107,19 @@ let subcommands =
     report_cmd;
     scenario_cmd;
     tables_cmd;
+    version_cmd;
+    serve_cmd;
+    submit_cmd;
+    status_cmd;
+    results_cmd;
+    shutdown_cmd;
   ]
 
 let command_names = List.map Cmd.name subcommands
 
 let cmd =
   let doc = "TEESec: pre-silicon vulnerability discovery for trusted execution environments" in
-  let info = Cmd.info "teesec_cli" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "teesec_cli" ~version:Serve.Protocol.build_version ~doc in
   Cmd.group info subcommands
 
 let eval ?argv () =

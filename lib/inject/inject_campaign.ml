@@ -171,22 +171,15 @@ let instruments obs =
         i_masked = outcome_counter Masked;
       }
 
-let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
-    ~seed ~plans config testcases =
-  let ins = instruments obs in
-  let plan_list = Fault_plan.sample ~seed ~count:plans in
-  let total_units = plans * List.length testcases in
-  (* One task per test case: baseline plus every faulted rerun, so the
-     reruns fork from the snapshot the baseline run captured.  Results
-     are merged sequentially in corpus order, then flattened plan-major,
-     so the report is identical for every job count (and with or
-     without the snapshot engine). *)
-  let evals =
-    Obs.span obs "inject/cases" (fun () ->
-        Parallel.Pool.parmap ~obs ~jobs
-          (eval_case ?snapshots config plan_list)
-          testcases)
-  in
+(* Everything after the per-case evaluations is a pure, sequential fold
+   over [evals] in corpus order — shared by [run] and by the campaign
+   service (lib/serve), whose daemon concatenates worker-computed
+   [case_eval]s shard by shard and must reproduce [run]'s result
+   byte for byte. *)
+let aggregate_with ins ?(progress = fun _ _ _ -> ()) ~obs ~seed ~plan_list
+    config evals =
+  let plans = List.length plan_list in
+  let total_units = plans * List.length evals in
   let baselines = List.map (fun e -> e.ce_base) evals in
   let baseline_found =
     dedup_sorted Case.compare (List.concat_map (fun b -> b.b_cases) baselines)
@@ -197,7 +190,7 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
   let baseline_matches_paper = List.equal Case.equal baseline_found expected_cases in
   let baseline_residue = List.fold_left (fun n b -> n + b.b_residue) 0 baselines in
   (* Flatten back to the plan-major unit order the report is built in. *)
-  let paired = testcases in
+  let per_testcase = List.length evals in
   let evaluated =
     List.concat
       (List.mapi
@@ -207,7 +200,7 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
   List.iteri
     (fun i ((d : unit_diff), _) ->
       progress (i + 1) total_units
-        (Printf.sprintf "plan %d x %s: %s" (i / List.length paired) d.testcase
+        (Printf.sprintf "plan %d x %s: %s" (i / per_testcase) d.testcase
            (outcome_to_string (unit_outcome d))))
     evaluated;
   Option.iter
@@ -224,7 +217,6 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
         evaluated)
     ins;
   (* Regroup the flat unit list back into per-plan chunks. *)
-  let per_testcase = List.length paired in
   let rec chunk acc rest = function
     | [] -> List.rev acc
     | plan :: plans ->
@@ -288,3 +280,25 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
     by_model;
     by_structure;
   }
+
+let aggregate ?progress ?(obs = Obs.noop) ~seed ~plan_list config evals =
+  aggregate_with (instruments obs) ?progress ~obs ~seed ~plan_list config evals
+
+let run ?progress ?(jobs = 1) ?(obs = Obs.noop) ?snapshots ~seed ~plans config
+    testcases =
+  (* Instruments are registered before any worker domain runs, so
+     registration order (and the exposition output) is deterministic. *)
+  let ins = instruments obs in
+  let plan_list = Fault_plan.sample ~seed ~count:plans in
+  (* One task per test case: baseline plus every faulted rerun, so the
+     reruns fork from the snapshot the baseline run captured.  Results
+     are merged sequentially in corpus order, then flattened plan-major,
+     so the report is identical for every job count (and with or
+     without the snapshot engine). *)
+  let evals =
+    Obs.span obs "inject/cases" (fun () ->
+        Parallel.Pool.parmap ~obs ~jobs
+          (eval_case ?snapshots config plan_list)
+          testcases)
+  in
+  aggregate_with ins ?progress ~obs ~seed ~plan_list config evals

@@ -58,6 +58,44 @@ type result = {
       (** Same, keyed by the perturbed structure. *)
 }
 
+type baseline = {
+  b_name : string;
+  b_cases : Case.id list;
+  b_residue : int;
+  b_span : int;  (** Cycles the clean run spent past the fork point. *)
+}
+(** Per-test-case clean verdict, computed once and diffed against every
+    faulted rerun of the same test case. *)
+
+type case_eval = {
+  ce_base : baseline;
+  ce_units : (unit_diff * int) array;
+      (** One per plan, in plan order; the int is faults applied. *)
+}
+(** The evaluation of one test case under every plan — the unit of work
+    the campaign service (lib/serve) ships between worker processes and
+    the daemon.  [case_eval]s for any partition of a corpus, concatenated
+    back in corpus order and folded through {!aggregate}, produce exactly
+    the {!result} a single {!run} would. *)
+
+(** [eval_case ?snapshots config plan_list tc] evaluates the clean
+    baseline and every faulted rerun of one test case. *)
+val eval_case :
+  ?snapshots:Snapshot.t -> Config.t -> Fault_plan.t list -> Testcase.t -> case_eval
+
+(** [aggregate ?progress ?obs ~seed ~plan_list config evals] folds
+    per-case evaluations (in corpus order; [plan_list] must be the plan
+    list the evaluations ran against, i.e. [Fault_plan.sample ~seed]) into
+    the campaign result.  Deterministic: a pure sequential fold. *)
+val aggregate :
+  ?progress:(int -> int -> string -> unit) ->
+  ?obs:Obs.t ->
+  seed:Word.t ->
+  plan_list:Fault_plan.t list ->
+  Config.t ->
+  case_eval list ->
+  result
+
 (** [run ~seed ~plans config testcases] samples [plans] fault plans from
     [seed], computes the clean per-test-case baselines, reruns every
     (plan, test case) pair with the plan armed, and aggregates.

@@ -98,6 +98,13 @@ let save_trace t ~path =
   | Noop -> ()
   | Active a -> write_file ~path (Tracer.to_chrome_json a.tracer)
 
+(** The metrics registry rendered as Prometheus exposition text, or
+    [None] on {!noop}.  What the serve daemon's HTTP scrape endpoint
+    returns. *)
+let prometheus_text = function
+  | Noop -> None
+  | Active a -> Some (Metrics.to_prometheus a.metrics)
+
 (** Write the metrics registry in Prometheus text format.  No-op on
     {!noop}. *)
 let save_metrics t ~path =

@@ -1,0 +1,43 @@
+(** Batch client for the campaign service.
+
+    All calls are synchronous request/response over one Unix-domain
+    connection.  {!connect} performs the version handshake; a protocol
+    mismatch is an [Error] before any request is sent. *)
+
+type t
+
+(** [connect ~socket_path] connects and handshakes.  [Error] on a
+    missing socket, a refused connection or a protocol mismatch. *)
+val connect : socket_path:string -> (t, string) result
+
+(** [connect_retry ~socket_path ()] polls for the socket (the daemon may
+    still be binding after {!Daemon.spawn}), then {!connect}s.
+    [attempts] * [delay] bounds the wait (default 100 * 0.05s = 5s). *)
+val connect_retry :
+  ?attempts:int -> ?delay:float -> socket_path:string -> unit ->
+  (t, string) result
+
+(** Daemon build string, as reported by the handshake. *)
+val server_build : t -> string
+
+(** [submit t spec] plans, stores and queues the request; returns its
+    job status (which may already be complete on a warm store). *)
+val submit : t -> Request.spec -> (Protocol.job_status, string) result
+
+val status : t -> (Protocol.status, string) result
+
+(** [results t job] fetches the artifact, blocking inside the daemon
+    until the job completes (or fails) when [wait] (default).  With
+    [~wait:false] an incomplete job returns [Ok (Error status)]. *)
+val results :
+  ?wait:bool ->
+  t ->
+  string ->
+  ((string, Protocol.job_status) result, string) result
+
+val ping : t -> (string, string) result
+
+(** Ask the daemon to exit; the reply confirms it began shutting down. *)
+val shutdown : t -> (unit, string) result
+
+val close : t -> unit

@@ -1,0 +1,80 @@
+exception Decode_error of string
+
+type enc = Buffer.t
+
+let enc () = Buffer.create 256
+let to_string = Buffer.contents
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let bool b v = u8 b (if v then 1 else 0)
+
+let i64 b v =
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let int b v = i64 b (Int64.of_int v)
+
+let str b s =
+  int b (String.length s);
+  Buffer.add_string b s
+
+let option b f = function
+  | None -> u8 b 0
+  | Some v ->
+    u8 b 1;
+    f b v
+
+let list b f xs =
+  int b (List.length xs);
+  List.iter (f b) xs
+
+type dec = { s : string; mutable pos : int }
+
+let of_string s = { s; pos = 0 }
+let at_end d = d.pos = String.length d.s
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode_error m)) fmt
+
+let u8' d =
+  if d.pos >= String.length d.s then fail "truncated input at byte %d" d.pos;
+  let v = Char.code d.s.[d.pos] in
+  d.pos <- d.pos + 1;
+  v
+
+let bool' d =
+  match u8' d with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail "invalid boolean byte %d" v
+
+let i64' d =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8' d))
+  done;
+  !v
+
+let int' d =
+  let v = i64' d in
+  match Int64.unsigned_to_int v with
+  | Some i when Int64.equal (Int64.of_int i) v -> i
+  | _ ->
+    let i = Int64.to_int v in
+    if Int64.equal (Int64.of_int i) v then i
+    else fail "integer 0x%Lx does not fit in an OCaml int" v
+
+let str' d =
+  let n = int' d in
+  if n < 0 || d.pos + n > String.length d.s then
+    fail "truncated string of length %d at byte %d" n d.pos;
+  let s = String.sub d.s d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let option' d f = match u8' d with 0 -> None | _ -> Some (f d)
+
+let list' d f =
+  let n = int' d in
+  if n < 0 then fail "negative list length %d" n;
+  List.init n (fun _ -> f d)

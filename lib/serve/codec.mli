@@ -1,0 +1,39 @@
+(** Binary encoding primitives shared by the wire protocol and the
+    content-addressed store.
+
+    Fixed-width big-endian integers and length-prefixed strings: no
+    escaping, no locale, no float formatting — the same value always
+    encodes to the same bytes, which is what lets store payloads and
+    shard digests be compared byte for byte across processes. *)
+
+exception Decode_error of string
+
+type enc
+
+val enc : unit -> enc
+val to_string : enc -> string
+
+val u8 : enc -> int -> unit
+val bool : enc -> bool -> unit
+val int : enc -> int -> unit
+val i64 : enc -> int64 -> unit
+val str : enc -> string -> unit
+val option : enc -> (enc -> 'a -> unit) -> 'a option -> unit
+val list : enc -> (enc -> 'a -> unit) -> 'a list -> unit
+
+type dec
+
+val of_string : string -> dec
+
+(** True when every byte has been consumed. *)
+val at_end : dec -> bool
+
+(** Decoders raise {!Decode_error} on truncated or malformed input. *)
+
+val u8' : dec -> int
+val bool' : dec -> bool
+val int' : dec -> int
+val i64' : dec -> int64
+val str' : dec -> string
+val option' : dec -> (dec -> 'a) -> 'a option
+val list' : dec -> (dec -> 'a) -> 'a list

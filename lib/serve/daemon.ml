@@ -1,0 +1,721 @@
+type config = {
+  socket_path : string;
+  store_root : string;
+  workers : int;
+  http_port : int option;
+  max_shard_cases : int;
+  max_retries : int;
+  backoff_base : float;
+  backoff_cap : float;
+  test_crash_assignments : int;
+  log : string -> unit;
+}
+
+let default_config ~socket_path ~store_root =
+  {
+    socket_path;
+    store_root;
+    workers = 1;
+    http_port = None;
+    max_shard_cases = Planner.default_max_shard_cases;
+    max_retries = 3;
+    backoff_base = 0.05;
+    backoff_cap = 1.0;
+    test_crash_assignments = 0;
+    log = ignore;
+  }
+
+(* {2 Daemon state} *)
+
+type shard_state =
+  | S_queued
+  | S_running of int  (* worker slot *)
+  | S_backoff of float  (* eligible at (monotonic-ish Unix time) *)
+  | S_done
+  | S_poisoned
+
+type shard_rec = {
+  shard : Planner.shard;
+  mutable state : shard_state;
+  mutable attempts : int;  (* assignments made so far *)
+  mutable payload : string option;
+}
+
+type job = {
+  j_id : string;
+  j_spec : Request.spec;
+  j_shards : shard_rec array;
+  j_hits : int;  (* shards satisfied from the store at submit time *)
+  mutable j_artifact : string option;
+  mutable j_failed : string option;
+  mutable j_waiters : Unix.file_descr list;
+}
+
+type worker = {
+  w_slot : int;
+  mutable w_pid : int;
+  mutable w_fd : Unix.file_descr;
+  mutable w_task : (job * int) option;  (* job, shard index *)
+  mutable w_idle : bool;  (* announced W_ready and has no task *)
+}
+
+type client = { c_fd : Unix.file_descr; mutable c_hello : bool }
+
+type counters = {
+  mutable n_restarts : int;
+  mutable n_executed : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_poisoned : int;
+}
+
+type instruments = {
+  i_submits : Obs.Metrics.counter;
+  i_hits : Obs.Metrics.counter;
+  i_misses : Obs.Metrics.counter;
+  i_executed : Obs.Metrics.counter;
+  i_restarts : Obs.Metrics.counter;
+  i_poisoned : Obs.Metrics.counter;
+  i_artifacts : Obs.Metrics.counter;
+  i_http : Obs.Metrics.counter;
+  i_workers : Obs.Metrics.gauge;
+  i_jobs : Obs.Metrics.gauge;
+}
+
+let null_counter =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.counter m "teesec_null"
+
+let null_gauge =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.gauge m "teesec_null"
+
+let make_instruments obs =
+  match Obs.metrics obs with
+  | None ->
+    {
+      i_submits = null_counter;
+      i_hits = null_counter;
+      i_misses = null_counter;
+      i_executed = null_counter;
+      i_restarts = null_counter;
+      i_poisoned = null_counter;
+      i_artifacts = null_counter;
+      i_http = null_counter;
+      i_workers = null_gauge;
+      i_jobs = null_gauge;
+    }
+  | Some m ->
+    let c name help = Obs.Metrics.counter m ~help name in
+    {
+      i_submits = c "teesec_serve_submits_total" "Requests submitted.";
+      i_hits =
+        c "teesec_serve_store_hits_total"
+          "Shards satisfied from the persistent store.";
+      i_misses =
+        c "teesec_serve_store_misses_total" "Shards queued for execution.";
+      i_executed =
+        c "teesec_serve_shards_executed_total" "Shards executed by workers.";
+      i_restarts =
+        c "teesec_serve_worker_restarts_total" "Worker processes respawned.";
+      i_poisoned =
+        c "teesec_serve_shards_poisoned_total"
+          "Shards abandoned after exhausting retries.";
+      i_artifacts =
+        c "teesec_serve_artifacts_total" "Artifacts assembled and cached.";
+      i_http = c "teesec_serve_http_requests_total" "Metrics-endpoint hits.";
+      i_workers =
+        Obs.Metrics.gauge m ~help:"Live worker processes."
+          "teesec_serve_workers";
+      i_jobs =
+        Obs.Metrics.gauge m ~help:"Jobs known to the daemon."
+          "teesec_serve_jobs";
+    }
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  obs : Obs.t;
+  ins : instruments;
+  listen_fd : Unix.file_descr;
+  http_fd : Unix.file_descr option;
+  mutable pool : worker array;
+  mutable clients : client list;
+  jobs : (string, job) Hashtbl.t;
+  mutable job_order : string list;  (* reverse submission order *)
+  queue : (job * int) Queue.t;  (* ready shards, dispatch order *)
+  mutable backoffs : (job * int) list;
+  counters : counters;
+  mutable crash_budget : int;
+  mutable running : bool;
+}
+
+let logf t fmt = Printf.ksprintf t.cfg.log fmt
+
+(* {2 Worker lifecycle} *)
+
+(* Every daemon-side fd is closed in the worker child: a child holding a
+   copy of the listening socket or a sibling's socketpair would keep
+   them alive past daemon shutdown and mask EOF-based death detection. *)
+let close_daemon_fds t ~keep =
+  let close fd = if fd <> keep then try Unix.close fd with _ -> () in
+  close t.listen_fd;
+  Option.iter close t.http_fd;
+  List.iter (fun c -> close c.c_fd) t.clients;
+  Array.iter (fun w -> if w.w_pid <> 0 then close w.w_fd) t.pool
+
+let spawn_worker t slot =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close parent_fd;
+    close_daemon_fds t ~keep:child_fd;
+    Worker.loop child_fd
+  | pid ->
+    Unix.close child_fd;
+    { w_slot = slot; w_pid = pid; w_fd = parent_fd; w_task = None; w_idle = false }
+
+(* {2 Job bookkeeping} *)
+
+let job_status job =
+  let done_ = ref 0 and poisoned = ref 0 in
+  Array.iter
+    (fun s ->
+      match s.state with
+      | S_done -> incr done_
+      | S_poisoned -> incr poisoned
+      | _ -> ())
+    job.j_shards;
+  {
+    Protocol.js_job = job.j_id;
+    js_kind = Request.kind job.j_spec;
+    js_total = Array.length job.j_shards;
+    js_done = !done_;
+    js_hits = job.j_hits;
+    js_poisoned = !poisoned;
+    js_complete = job.j_artifact <> None;
+    js_failed = job.j_failed;
+  }
+
+let send_to_client fd msg =
+  try
+    Protocol.write_frame fd (Protocol.encode_server_msg msg);
+    true
+  with _ -> false
+
+let notify_waiters job msg =
+  List.iter (fun fd -> ignore (send_to_client fd msg)) job.j_waiters;
+  job.j_waiters <- []
+
+let fail_job t job reason =
+  if job.j_failed = None then begin
+    job.j_failed <- Some reason;
+    logf t "job %s failed: %s" job.j_id reason;
+    notify_waiters job (Protocol.Failed { job = job.j_id; reason })
+  end
+
+(* Called whenever a shard reaches [S_done]; assembles the artifact once
+   every shard has a payload.  Merge order is plan order — the payloads
+   array is indexed by shard index — which is what makes the artifact
+   independent of execution interleaving. *)
+let maybe_complete t job =
+  if
+    job.j_artifact = None
+    && job.j_failed = None
+    && Array.for_all (fun s -> s.state = S_done) job.j_shards
+  then begin
+    let payloads =
+      Array.to_list (Array.map (fun s -> Option.get s.payload) job.j_shards)
+    in
+    match Artifact.assemble job.j_spec payloads with
+    | Ok data ->
+      job.j_artifact <- Some data;
+      Obs.Metrics.inc t.ins.i_artifacts;
+      logf t "job %s complete (%d bytes)" job.j_id (String.length data);
+      notify_waiters job (Protocol.Artifact { job = job.j_id; data })
+    | Error e -> fail_job t job (Printf.sprintf "artifact assembly: %s" e)
+  end
+
+let complete_shard t job sr payload =
+  sr.state <- S_done;
+  sr.payload <- Some payload;
+  maybe_complete t job
+
+(* {2 Scheduling} *)
+
+let now () = Unix.gettimeofday ()
+
+let requeue_due_backoffs t =
+  let t_now = now () in
+  let still =
+    List.filter
+      (fun (job, idx) ->
+        let sr = job.j_shards.(idx) in
+        match sr.state with
+        | S_backoff until when until <= t_now ->
+          sr.state <- S_queued;
+          Queue.add (job, idx) t.queue;
+          false
+        | S_backoff _ -> true
+        | _ -> false)
+      t.backoffs
+  in
+  t.backoffs <- still
+
+(* Pop the next shard that still needs executing.  A queued shard whose
+   digest has meanwhile appeared in the store (produced by an identical
+   shard of another job) completes without a worker. *)
+let rec next_ready_shard t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some (job, idx) -> (
+    let sr = job.j_shards.(idx) in
+    match sr.state with
+    | S_queued -> (
+      if job.j_failed <> None then begin
+        (* The job is already failed (a sibling shard poisoned it);
+           executing the rest would be wasted work. *)
+        sr.state <- S_poisoned;
+        next_ready_shard t
+      end
+      else
+        match Store.get t.store Store.Verdicts ~digest:sr.shard.Planner.digest with
+        | Some payload ->
+          t.counters.n_hits <- t.counters.n_hits + 1;
+          Obs.Metrics.inc t.ins.i_hits;
+          complete_shard t job sr payload;
+          next_ready_shard t
+        | None -> Some (job, idx))
+    | _ -> next_ready_shard t)
+
+let assign_shard t w job idx =
+  let sr = job.j_shards.(idx) in
+  let crash = t.crash_budget > 0 in
+  if crash then t.crash_budget <- t.crash_budget - 1;
+  sr.attempts <- sr.attempts + 1;
+  sr.state <- S_running w.w_slot;
+  w.w_task <- Some (job, idx);
+  w.w_idle <- false;
+  try
+    Protocol.write_frame w.w_fd
+      (Protocol.encode_worker_msg
+         (Protocol.W_shard
+            { digest = sr.shard.Planner.digest; crash; work = sr.shard.Planner.work }))
+  with _ ->
+    (* The worker died between W_ready and this write; the EOF on its fd
+       is already pending and the death path will requeue the shard. *)
+    ()
+
+let dispatch t =
+  requeue_due_backoffs t;
+  Array.iter
+    (fun w ->
+      if w.w_idle && w.w_pid <> 0 then
+        match next_ready_shard t with
+        | None -> ()
+        | Some (job, idx) -> assign_shard t w job idx)
+    t.pool
+
+(* {2 Worker events} *)
+
+let on_worker_death t w =
+  (try Unix.close w.w_fd with _ -> ());
+  (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
+  t.counters.n_restarts <- t.counters.n_restarts + 1;
+  Obs.Metrics.inc t.ins.i_restarts;
+  (match w.w_task with
+  | None -> ()
+  | Some (job, idx) ->
+    let sr = job.j_shards.(idx) in
+    w.w_task <- None;
+    if sr.attempts > t.cfg.max_retries then begin
+      sr.state <- S_poisoned;
+      t.counters.n_poisoned <- t.counters.n_poisoned + 1;
+      Obs.Metrics.inc t.ins.i_poisoned;
+      fail_job t job
+        (Printf.sprintf "shard %d (%s) poisoned after %d attempts" idx
+           sr.shard.Planner.digest sr.attempts)
+    end
+    else begin
+      let delay =
+        min t.cfg.backoff_cap
+          (t.cfg.backoff_base *. (2. ** float_of_int (sr.attempts - 1)))
+      in
+      sr.state <- S_backoff (now () +. delay);
+      t.backoffs <- (job, idx) :: t.backoffs;
+      logf t "worker %d died; shard %d of job %s retried in %.2fs (attempt %d)"
+        w.w_pid idx job.j_id delay sr.attempts
+    end);
+  let fresh = spawn_worker t w.w_slot in
+  w.w_pid <- fresh.w_pid;
+  w.w_fd <- fresh.w_fd;
+  w.w_idle <- false
+
+let on_worker_readable t w =
+  match (try Protocol.read_frame w.w_fd with _ -> None) with
+  | None -> on_worker_death t w
+  | Some frame -> (
+    match (try Some (Protocol.decode_worker_reply frame) with _ -> None) with
+    | None -> on_worker_death t w
+    | Some Protocol.W_ready -> w.w_idle <- true
+    | Some (Protocol.W_done { digest; payload }) -> (
+      match w.w_task with
+      | Some (job, idx)
+        when job.j_shards.(idx).shard.Planner.digest = digest ->
+        let sr = job.j_shards.(idx) in
+        w.w_task <- None;
+        t.counters.n_executed <- t.counters.n_executed + 1;
+        Obs.Metrics.inc t.ins.i_executed;
+        Store.put t.store Store.Verdicts ~digest payload;
+        complete_shard t job sr payload
+      | _ ->
+        (* A reply for a shard we no longer track — a protocol bug.
+           Restart the worker to resynchronise. *)
+        on_worker_death t w))
+
+(* {2 Client events} *)
+
+let handle_submit t spec =
+  Obs.Metrics.inc t.ins.i_submits;
+  match Planner.plan ~max_shard_cases:t.cfg.max_shard_cases spec with
+  | Error e -> Protocol.Error_msg e
+  | Ok shards -> (
+    let job_id = Store.digest_of_fields (Request.digest_fields spec) in
+    match Hashtbl.find_opt t.jobs job_id with
+    | Some job -> Protocol.Submitted (job_status job)
+    | None ->
+      let hits = ref 0 in
+      let shard_recs =
+        List.map
+          (fun (shard : Planner.shard) ->
+            let sr = { shard; state = S_queued; attempts = 0; payload = None } in
+            (match Store.get t.store Store.Verdicts ~digest:shard.Planner.digest with
+            | Some payload ->
+              incr hits;
+              t.counters.n_hits <- t.counters.n_hits + 1;
+              Obs.Metrics.inc t.ins.i_hits;
+              sr.state <- S_done;
+              sr.payload <- Some payload
+            | None ->
+              t.counters.n_misses <- t.counters.n_misses + 1;
+              Obs.Metrics.inc t.ins.i_misses;
+              if
+                shard.Planner.corpus_digest <> ""
+                && not
+                     (Store.mem t.store Store.Corpus
+                        ~digest:shard.Planner.corpus_digest)
+              then
+                Store.put t.store Store.Corpus
+                  ~digest:shard.Planner.corpus_digest
+                  (Planner.corpus_text shard.Planner.work));
+            sr)
+          shards
+      in
+      let job =
+        {
+          j_id = job_id;
+          j_spec = spec;
+          j_shards = Array.of_list shard_recs;
+          j_hits = !hits;
+          j_artifact = None;
+          j_failed = None;
+          j_waiters = [];
+        }
+      in
+      Hashtbl.replace t.jobs job_id job;
+      t.job_order <- job_id :: t.job_order;
+      Obs.Metrics.set t.ins.i_jobs (float_of_int (Hashtbl.length t.jobs));
+      Array.iteri
+        (fun idx sr -> if sr.state = S_queued then Queue.add (job, idx) t.queue)
+        job.j_shards;
+      logf t "job %s: %d shard(s), %d from store" job_id
+        (Array.length job.j_shards) !hits;
+      maybe_complete t job;
+      Protocol.Submitted (job_status job))
+
+let build_status t =
+  let jobs =
+    List.rev_map
+      (fun id -> job_status (Hashtbl.find t.jobs id))
+      t.job_order
+  in
+  {
+    Protocol.st_version = Protocol.version_string;
+    st_workers = Array.length t.pool;
+    st_worker_restarts = t.counters.n_restarts;
+    st_shards_executed = t.counters.n_executed;
+    st_store_hits = t.counters.n_hits;
+    st_store_misses = t.counters.n_misses;
+    st_jobs = jobs;
+  }
+
+let drop_client t c =
+  (try Unix.close c.c_fd with _ -> ());
+  t.clients <- List.filter (fun c' -> c' != c) t.clients;
+  Hashtbl.iter
+    (fun _ job ->
+      job.j_waiters <- List.filter (fun fd -> fd <> c.c_fd) job.j_waiters)
+    t.jobs
+
+let on_client_readable t c =
+  let drop () = drop_client t c in
+  match (try Protocol.read_frame c.c_fd with _ -> None) with
+  | None -> drop ()
+  | Some frame -> (
+    match (try Some (Protocol.decode_client_msg frame) with _ -> None) with
+    | None ->
+      ignore (send_to_client c.c_fd (Protocol.Error_msg "undecodable message"));
+      drop ()
+    | Some msg -> (
+      match msg with
+      | Protocol.Hello { proto; build } ->
+        if proto = Protocol.protocol_version then begin
+          c.c_hello <- true;
+          if
+            not
+              (send_to_client c.c_fd
+                 (Protocol.Hello_ok
+                    {
+                      proto = Protocol.protocol_version;
+                      build = Protocol.build_version;
+                    }))
+          then drop ()
+        end
+        else begin
+          ignore
+            (send_to_client c.c_fd
+               (Protocol.Hello_err
+                  (Printf.sprintf
+                     "protocol mismatch: server speaks %d (build %s), client \
+                      speaks %d (build %s)"
+                     Protocol.protocol_version Protocol.build_version proto
+                     build)));
+          drop ()
+        end
+      | _ when not c.c_hello ->
+        ignore
+          (send_to_client c.c_fd (Protocol.Hello_err "handshake required"));
+        drop ()
+      | Protocol.Submit spec ->
+        let reply = handle_submit t spec in
+        if not (send_to_client c.c_fd reply) then drop ()
+      | Protocol.Status ->
+        if not (send_to_client c.c_fd (Protocol.Status_report (build_status t)))
+        then drop ()
+      | Protocol.Results { job = job_id; wait } -> (
+        match Hashtbl.find_opt t.jobs job_id with
+        | None ->
+          if
+            not
+              (send_to_client c.c_fd
+                 (Protocol.Error_msg
+                    (Printf.sprintf "unknown job %s" job_id)))
+          then drop ()
+        | Some job -> (
+          match (job.j_artifact, job.j_failed) with
+          | Some data, _ ->
+            if
+              not
+                (send_to_client c.c_fd
+                   (Protocol.Artifact { job = job_id; data }))
+            then drop ()
+          | None, Some reason ->
+            if
+              not
+                (send_to_client c.c_fd
+                   (Protocol.Failed { job = job_id; reason }))
+            then drop ()
+          | None, None ->
+            if wait then job.j_waiters <- c.c_fd :: job.j_waiters
+            else if
+              not
+                (send_to_client c.c_fd (Protocol.Pending (job_status job)))
+            then drop ()))
+      | Protocol.Ping ->
+        if
+          not
+            (send_to_client c.c_fd
+               (Protocol.Pong { build = Protocol.build_version }))
+        then drop ()
+      | Protocol.Shutdown ->
+        ignore (send_to_client c.c_fd Protocol.Shutting_down);
+        t.running <- false))
+
+(* {2 HTTP metrics endpoint} *)
+
+let http_respond fd ~status ~content_type body =
+  let response =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n%s"
+      status content_type (String.length body) body
+  in
+  let len = String.length response in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd response off (len - off) in
+      go (off + n)
+  in
+  try go 0 with _ -> ()
+
+let on_http_readable t listen =
+  match (try Some (Unix.accept listen) with _ -> None) with
+  | None -> ()
+  | Some (fd, _) ->
+    Obs.Metrics.inc t.ins.i_http;
+    let buf = Bytes.create 2048 in
+    let n = try Unix.read fd buf 0 2048 with _ -> 0 in
+    let request = Bytes.sub_string buf 0 n in
+    let path =
+      match String.split_on_char ' ' request with
+      | _meth :: path :: _ -> path
+      | _ -> ""
+    in
+    (match path with
+    | "/metrics" ->
+      let body =
+        match Obs.prometheus_text t.obs with
+        | Some text -> text
+        | None -> "# metrics disabled\n"
+      in
+      http_respond fd ~status:"200 OK"
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8" body
+    | "/healthz" ->
+      http_respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+    | _ ->
+      http_respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+        "not found\n");
+    (try Unix.close fd with _ -> ())
+
+(* {2 Main loop} *)
+
+let select_timeout t =
+  match t.backoffs with
+  | [] -> 0.5
+  | bs ->
+    let t_now = now () in
+    let soonest =
+      List.fold_left
+        (fun acc (job, idx) ->
+          match job.j_shards.(idx).state with
+          | S_backoff until -> min acc (until -. t_now)
+          | _ -> acc)
+        0.5 bs
+    in
+    max 0.01 soonest
+
+let shutdown t =
+  logf t "shutting down";
+  Array.iter
+    (fun w ->
+      if w.w_pid <> 0 then begin
+        (try
+           Protocol.write_frame w.w_fd
+             (Protocol.encode_worker_msg Protocol.W_exit)
+         with _ -> ());
+        (try Unix.close w.w_fd with _ -> ());
+        (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
+        w.w_pid <- 0
+      end)
+    t.pool;
+  List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) t.clients;
+  t.clients <- [];
+  (try Unix.close t.listen_fd with _ -> ());
+  Option.iter (fun fd -> try Unix.close fd with _ -> ()) t.http_fd;
+  (try Unix.unlink t.cfg.socket_path with _ -> ())
+
+let run ?obs cfg =
+  if cfg.workers < 1 then invalid_arg "Daemon.run: workers must be >= 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let ins = make_instruments obs in
+  (if Sys.file_exists cfg.socket_path then
+     try Unix.unlink cfg.socket_path with _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 16;
+  let http_fd =
+    match cfg.http_port with
+    | None -> None
+    | Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 16;
+      Some fd
+  in
+  let t =
+    {
+      cfg;
+      store = Store.open_ ~root:cfg.store_root;
+      obs;
+      ins;
+      listen_fd;
+      http_fd;
+      pool = [||];
+      clients = [];
+      jobs = Hashtbl.create 16;
+      job_order = [];
+      queue = Queue.create ();
+      backoffs = [];
+      counters =
+        {
+          n_restarts = 0;
+          n_executed = 0;
+          n_hits = 0;
+          n_misses = 0;
+          n_poisoned = 0;
+        };
+      crash_budget = cfg.test_crash_assignments;
+      running = true;
+    }
+  in
+  t.pool <- Array.init cfg.workers (fun slot -> spawn_worker t slot);
+  (* Restarts are counted from zero: the initial spawns are not
+     restarts, so the counter starts clean for the crash tests. *)
+  Obs.Metrics.set ins.i_workers (float_of_int cfg.workers);
+  logf t "listening on %s (%d worker(s), store %s)" cfg.socket_path
+    cfg.workers cfg.store_root;
+  while t.running do
+    dispatch t;
+    let read_fds =
+      (t.listen_fd :: Option.to_list t.http_fd)
+      @ List.map (fun c -> c.c_fd) t.clients
+      @ (Array.to_list t.pool
+        |> List.filter_map (fun w ->
+               if w.w_pid <> 0 then Some w.w_fd else None))
+    in
+    let readable, _, _ =
+      try Unix.select read_fds [] [] (select_timeout t)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        if fd = t.listen_fd then (
+          match (try Some (Unix.accept t.listen_fd) with _ -> None) with
+          | None -> ()
+          | Some (cfd, _) ->
+            t.clients <- { c_fd = cfd; c_hello = false } :: t.clients)
+        else if Some fd = t.http_fd then on_http_readable t fd
+        else
+          match
+            Array.find_opt
+              (fun w -> w.w_pid <> 0 && w.w_fd = fd)
+              t.pool
+          with
+          | Some w -> on_worker_readable t w
+          | None -> (
+            match List.find_opt (fun c -> c.c_fd = fd) t.clients with
+            | Some c -> on_client_readable t c
+            | None -> ()))
+      readable;
+    dispatch t
+  done;
+  shutdown t
+
+let spawn cfg =
+  match Unix.fork () with
+  | 0 ->
+    (try run cfg with _ -> ());
+    Unix._exit 0
+  | pid -> pid

@@ -1,0 +1,146 @@
+open! Import
+
+type engines = (int64, Snapshot.t) Hashtbl.t
+
+let create_engines () : engines = Hashtbl.create 4
+
+let engine_for engines config =
+  let key = Config.hash config in
+  match Hashtbl.find_opt engines key with
+  | Some snap -> snap
+  | None ->
+    let snap = Snapshot.create config in
+    Hashtbl.add engines key snap;
+    snap
+
+let config_exn ~core ~mitigations =
+  match
+    Request.config_of
+      (Request.Campaign
+         { core; mitigations; corpus = Request.Slice })
+  with
+  | Ok config -> config
+  | Error msg -> invalid_arg ("Executor: " ^ msg)
+
+(* {2 Payload codecs} *)
+
+let case_of_string s =
+  match List.find_opt (fun c -> Case.to_string c = s) Case.all with
+  | Some c -> c
+  | None -> raise (Codec.Decode_error (Printf.sprintf "unknown case id %S" s))
+
+let encode_case b c = Codec.str b (Case.to_string c)
+let decode_case d = case_of_string (Codec.str' d)
+
+let encode_campaign_outcome b (co : Campaign.case_outcome) =
+  Codec.str b co.Campaign.co_name;
+  Codec.list b encode_case co.Campaign.co_cases;
+  Codec.int b co.Campaign.co_residue;
+  Codec.int b co.Campaign.co_cycles;
+  Codec.int b co.Campaign.co_log_records;
+  Codec.str b co.Campaign.co_summary
+
+let decode_campaign_outcome d =
+  let co_name = Codec.str' d in
+  let co_cases = Codec.list' d decode_case in
+  let co_residue = Codec.int' d in
+  let co_cycles = Codec.int' d in
+  let co_log_records = Codec.int' d in
+  let co_summary = Codec.str' d in
+  {
+    Campaign.co_name;
+    co_cases;
+    co_residue;
+    co_cycles;
+    co_log_records;
+    co_summary;
+  }
+
+let encode_campaign_outcomes outcomes =
+  let b = Codec.enc () in
+  Codec.list b encode_campaign_outcome outcomes;
+  Codec.to_string b
+
+let decode_campaign_outcomes s =
+  let d = Codec.of_string s in
+  let outcomes = Codec.list' d decode_campaign_outcome in
+  if not (Codec.at_end d) then
+    raise (Codec.Decode_error "trailing bytes after campaign payload");
+  outcomes
+
+let encode_unit_diff b ((u : Inject_campaign.unit_diff), faults) =
+  Codec.str b u.Inject_campaign.testcase;
+  Codec.list b encode_case u.Inject_campaign.masked_cases;
+  Codec.list b encode_case u.Inject_campaign.spurious_cases;
+  Codec.int b faults
+
+let decode_unit_diff d =
+  let testcase = Codec.str' d in
+  let masked_cases = Codec.list' d decode_case in
+  let spurious_cases = Codec.list' d decode_case in
+  let faults = Codec.int' d in
+  ({ Inject_campaign.testcase; masked_cases; spurious_cases }, faults)
+
+let encode_inject_eval b (e : Inject_campaign.case_eval) =
+  let base = e.Inject_campaign.ce_base in
+  Codec.str b base.Inject_campaign.b_name;
+  Codec.list b encode_case base.Inject_campaign.b_cases;
+  Codec.int b base.Inject_campaign.b_residue;
+  Codec.int b base.Inject_campaign.b_span;
+  Codec.list b encode_unit_diff (Array.to_list e.Inject_campaign.ce_units)
+
+let decode_inject_eval d =
+  let b_name = Codec.str' d in
+  let b_cases = Codec.list' d decode_case in
+  let b_residue = Codec.int' d in
+  let b_span = Codec.int' d in
+  let units = Codec.list' d decode_unit_diff in
+  {
+    Inject_campaign.ce_base =
+      { Inject_campaign.b_name; b_cases; b_residue; b_span };
+    ce_units = Array.of_list units;
+  }
+
+let encode_inject_evals evals =
+  let b = Codec.enc () in
+  Codec.list b encode_inject_eval evals;
+  Codec.to_string b
+
+let decode_inject_evals s =
+  let d = Codec.of_string s in
+  let evals = Codec.list' d decode_inject_eval in
+  if not (Codec.at_end d) then
+    raise (Codec.Decode_error "trailing bytes after inject payload");
+  evals
+
+(* {2 Execution} *)
+
+let execute ~engines = function
+  | Request.W_campaign { core; mitigations; cases } ->
+    let config = config_exn ~core ~mitigations in
+    let snapshots = engine_for engines config in
+    let outcomes =
+      List.map
+        (fun cd ->
+          Campaign.eval_case ~snapshots config
+            (Request.testcase_of_case_desc cd))
+        cases
+    in
+    encode_campaign_outcomes outcomes
+  | Request.W_inject { core; faults; seed; cases } ->
+    let config = config_exn ~core ~mitigations:[] in
+    let snapshots = engine_for engines config in
+    let plan_list = Fault_plan.sample ~seed ~count:faults in
+    let evals =
+      List.map
+        (fun cd ->
+          Inject_campaign.eval_case ~snapshots config plan_list
+            (Request.testcase_of_case_desc cd))
+        cases
+    in
+    encode_inject_evals evals
+  | Request.W_fuzz { core; options } ->
+    let config = config_exn ~core ~mitigations:[] in
+    let snapshots = engine_for engines config in
+    let report = Engine.run ~snapshots options config in
+    Fuzz_report.to_json_string report

@@ -1,0 +1,27 @@
+open! Import
+
+(** Shard execution: what one worker process does with one work item.
+
+    The outcome payload is the Codec-encoded unit-of-merge of the
+    corresponding pipeline — {!Campaign.case_outcome}s for campaigns,
+    {!Inject_campaign.case_eval}s for injection, the report JSON for
+    fuzzing — which is also exactly what the store keeps under
+    [verdicts/].  Execution is deterministic, so payload bytes are a
+    pure function of the work item. *)
+
+type engines
+(** Per-process snapshot-engine cache, keyed by configuration hash, so a
+    worker re-uses captured machine prefixes across every shard of the
+    same configuration. *)
+
+val create_engines : unit -> engines
+
+(** [execute ~engines work] runs the shard to its outcome payload.
+    Raises on invalid work items (unknown core — excluded by submit-time
+    validation). *)
+val execute : engines:engines -> Request.work -> string
+
+val encode_campaign_outcomes : Campaign.case_outcome list -> string
+val decode_campaign_outcomes : string -> Campaign.case_outcome list
+val encode_inject_evals : Inject_campaign.case_eval list -> string
+val decode_inject_evals : string -> Inject_campaign.case_eval list

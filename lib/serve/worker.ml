@@ -1,0 +1,28 @@
+let loop fd =
+  let engines = Executor.create_engines () in
+  Protocol.write_frame fd (Protocol.encode_worker_reply Protocol.W_ready);
+  let rec go () =
+    match Protocol.read_frame fd with
+    | None -> Unix._exit 0
+    | Some frame -> (
+      match Protocol.decode_worker_msg frame with
+      | Protocol.W_exit -> Unix._exit 0
+      | Protocol.W_shard { digest; crash; work } ->
+        if crash then Unix._exit 42;
+        let payload =
+          try Executor.execute ~engines work
+          with exn ->
+            (* An execution failure is indistinguishable from a crash to
+               the daemon (no reply, process gone), which is the right
+               semantics: the shard is retried and eventually poisoned. *)
+            Printf.eprintf "teesec worker %d: shard %s failed: %s\n%!"
+              (Unix.getpid ()) digest (Printexc.to_string exn);
+            Unix._exit 1
+        in
+        Protocol.write_frame fd
+          (Protocol.encode_worker_reply (Protocol.W_done { digest; payload }));
+        Protocol.write_frame fd (Protocol.encode_worker_reply Protocol.W_ready);
+        go ())
+  in
+  try go ()
+  with _ -> Unix._exit 0

@@ -1,0 +1,13 @@
+(** Worker-process main loop.
+
+    A worker is a forked child of the daemon holding one end of a
+    socketpair.  It announces readiness, then serves shard assignments
+    until it reads [W_exit] or the daemon closes the channel.  The
+    [crash] flag on an assignment is the deterministic fault hook the
+    crash-recovery tests use: the worker exits without replying, exactly
+    like a worker dying mid-shard. *)
+
+(** [loop fd] never returns: it exits the process (status 0 on a clean
+    channel close or [W_exit], 42 on an instructed crash, 1 on an
+    execution failure). *)
+val loop : Unix.file_descr -> 'a

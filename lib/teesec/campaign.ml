@@ -67,7 +67,7 @@ let instruments obs =
             "teesec_campaign_case_cycles";
       }
 
-let eval_case obs ins ?snapshots config tc =
+let eval_case_with obs ins ?snapshots config tc =
   let outcome, _ =
     Obs.timed obs
       ?histogram:(Option.map (fun i -> i.i_runner) ins)
@@ -89,41 +89,98 @@ let eval_case obs ins ?snapshots config tc =
     co_summary = Report.summary_line tc findings;
   }
 
+(* [eval_case] is the public per-case evaluator: the serve layer runs it
+   shard by shard in worker processes and merges the outcomes with
+   {!aggregate}, so the split must produce exactly what [run] produces. *)
+let eval_case ?(obs = Obs.noop) ?snapshots config tc =
+  eval_case_with obs (instruments obs) ?snapshots config tc
+
+(* The merge accumulator shared by [run] (which folds streamingly) and
+   [aggregate] (which folds a prepared outcome list).  Merging is always
+   sequential and id-ordered, so the aggregate (and the order of
+   [progress] calls) is identical for every job count — and identical
+   whether the outcomes were computed here or shipped in from worker
+   processes. *)
+type accum = {
+  counts : (Case.id, int) Hashtbl.t;
+  firsts : (Case.id, string) Hashtbl.t;
+  mutable a_residue : int;
+  mutable a_cycles : int;
+  mutable a_log_records : int;
+}
+
+let accum_create () =
+  {
+    counts = Hashtbl.create 16;
+    firsts = Hashtbl.create 16;
+    a_residue = 0;
+    a_cycles = 0;
+    a_log_records = 0;
+  }
+
+let accum_add ~ins ~progress ~total acc i co =
+  acc.a_residue <- acc.a_residue + co.co_residue;
+  acc.a_cycles <- acc.a_cycles + co.co_cycles;
+  acc.a_log_records <- acc.a_log_records + co.co_log_records;
+  Option.iter
+    (fun ins ->
+      Obs.Metrics.inc ins.i_cases;
+      Obs.Metrics.inc ~by:(List.length co.co_cases) ins.i_findings;
+      Obs.Metrics.observe ins.i_case_cycles (float_of_int co.co_cycles))
+    ins;
+  List.iter
+    (fun case ->
+      Hashtbl.replace acc.counts case
+        (1 + Option.value (Hashtbl.find_opt acc.counts case) ~default:0);
+      if not (Hashtbl.mem acc.firsts case) then
+        Hashtbl.replace acc.firsts case co.co_name)
+    co.co_cases;
+  progress (i + 1) total co.co_summary
+
+let accum_result config ~total acc =
+  let stats =
+    List.map
+      (fun case ->
+        let testcases =
+          Option.value (Hashtbl.find_opt acc.counts case) ~default:0
+        in
+        ( case,
+          {
+            case;
+            found = testcases > 0;
+            testcases;
+            first_testcase = Hashtbl.find_opt acc.firsts case;
+          } ))
+      Case.all
+  in
+  {
+    config;
+    total_cases = total;
+    stats;
+    found = List.filter (fun c -> Hashtbl.mem acc.counts c) Case.all;
+    residue_warnings = acc.a_residue;
+    total_cycles = acc.a_cycles;
+    total_log_records = acc.a_log_records;
+  }
+
+let aggregate ?(progress = fun _ _ _ -> ()) ?(obs = Obs.noop) config outcomes =
+  let ins = instruments obs in
+  let total = List.length outcomes in
+  let acc = accum_create () in
+  List.iteri (accum_add ~ins ~progress ~total acc) outcomes;
+  accum_result config ~total acc
+
 let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
     config testcases =
   let ins = instruments obs in
-  let counts = Hashtbl.create 16 in
-  let firsts = Hashtbl.create 16 in
-  let residue = ref 0 in
-  let cycles = ref 0 in
-  let log_records = ref 0 in
+  let acc = accum_create () in
   let total = List.length testcases in
-  (* Merging is always sequential and id-ordered, so the aggregate (and
-     the order of [progress] calls) is identical for every job count. *)
-  let merge i co =
-    residue := !residue + co.co_residue;
-    cycles := !cycles + co.co_cycles;
-    log_records := !log_records + co.co_log_records;
-    Option.iter
-      (fun ins ->
-        Obs.Metrics.inc ins.i_cases;
-        Obs.Metrics.inc ~by:(List.length co.co_cases) ins.i_findings;
-        Obs.Metrics.observe ins.i_case_cycles (float_of_int co.co_cycles))
-      ins;
-    List.iter
-      (fun case ->
-        Hashtbl.replace counts case
-          (1 + Option.value (Hashtbl.find_opt counts case) ~default:0);
-        if not (Hashtbl.mem firsts case) then
-          Hashtbl.replace firsts case co.co_name)
-      co.co_cases;
-    progress (i + 1) total co.co_summary
-  in
+  let merge i co = accum_add ~ins ~progress ~total acc i co in
   if jobs <= 1 then
     (* Sequential path: [progress] streams as each test case finishes. *)
     Obs.span obs "campaign/cases" (fun () ->
         List.iteri
-          (fun i tc -> merge i (eval_case obs ins ?snapshots config tc))
+          (fun i tc -> merge i (eval_case_with obs ins ?snapshots config tc))
           testcases)
   else begin
     (* Test cases share no mutable state (each [Runner.run] builds its
@@ -132,34 +189,13 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
     let outcomes =
       Obs.span obs "campaign/execute" (fun () ->
           Parallel.Pool.parmap ~obs ~jobs
-            (eval_case obs ins ?snapshots config)
+            (eval_case_with obs ins ?snapshots config)
             testcases)
     in
     Obs.span obs "campaign/merge" (fun () -> List.iteri merge outcomes)
   end;
   Obs.gc_sample obs ~phase:"campaign";
-  let stats =
-    List.map
-      (fun case ->
-        let testcases = Option.value (Hashtbl.find_opt counts case) ~default:0 in
-        ( case,
-          {
-            case;
-            found = testcases > 0;
-            testcases;
-            first_testcase = Hashtbl.find_opt firsts case;
-          } ))
-      Case.all
-  in
-  {
-    config;
-    total_cases = total;
-    stats;
-    found = List.filter (fun c -> Hashtbl.mem counts c) Case.all;
-    residue_warnings = !residue;
-    total_cycles = !cycles;
-    total_log_records = !log_records;
-  }
+  accum_result config ~total acc
 
 let run_full ?progress ?jobs ?obs ?snapshots config =
   run ?progress ?jobs ?obs ?snapshots config (Fuzzer.corpus ())

@@ -24,6 +24,37 @@ type result = {
     everything rendered from them) are byte-identical across job counts
     and observability settings.  Timing lives in the {!Obs} sink. *)
 
+type case_outcome = {
+  co_name : string;
+  co_cases : Case.id list;
+  co_residue : int;
+  co_cycles : int;
+  co_log_records : int;
+  co_summary : string;
+}
+(** Everything the merge phase needs from one test case.  This is the
+    unit of work the campaign service (lib/serve) ships between worker
+    processes and the daemon: outcomes for any partition of a corpus,
+    concatenated back in corpus order and folded through {!aggregate},
+    produce exactly the {!result} a single {!run} over the whole corpus
+    would. *)
+
+(** [eval_case ?obs ?snapshots config tc] runs and checks one test case.
+    [run] is (observably) [aggregate] over [eval_case] of every test
+    case in corpus order. *)
+val eval_case :
+  ?obs:Obs.t -> ?snapshots:Snapshot.t -> Config.t -> Testcase.t -> case_outcome
+
+(** [aggregate ?progress ?obs config outcomes] merges per-case outcomes
+    (in corpus order) into a campaign result.  Deterministic: a plain
+    sequential fold. *)
+val aggregate :
+  ?progress:(int -> int -> string -> unit) ->
+  ?obs:Obs.t ->
+  Config.t ->
+  case_outcome list ->
+  result
+
 (** [run ?progress ?jobs ?obs config testcases] executes every test case
     on a fresh environment and checks its log.  [progress] is called
     after each test case with (index, total, summary line).

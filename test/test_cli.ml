@@ -76,6 +76,17 @@ let test_fuzz_rejects_bad_energy () =
   Alcotest.(check bool) "message explains the range" true
     (contains ~needle:"0" out)
 
+(* The `version` subcommand prints Serve.Protocol.version_string, and
+   scripts parse it to pick a matching client — pin the format here. *)
+let test_version_string () =
+  Alcotest.(check bool) "version is a subcommand" true
+    (List.mem "version" Cmds.command_names);
+  let v = Serve.Protocol.version_string in
+  Alcotest.(check string) "version string format"
+    (Printf.sprintf "teesec %s (protocol %d)" Serve.Protocol.build_version
+       Serve.Protocol.protocol_version)
+    v
+
 let () =
   Alcotest.run "cli"
     [
@@ -90,5 +101,7 @@ let () =
           Alcotest.test_case "unknown subcommand" `Quick test_unknown_subcommand;
           Alcotest.test_case "fuzz validates --energy" `Quick
             test_fuzz_rejects_bad_energy;
+          Alcotest.test_case "version string format" `Quick
+            test_version_string;
         ] );
     ]

@@ -1,0 +1,688 @@
+(* Tests for the campaign service (lib/serve).
+
+   Four layers of contracts:
+
+   - mechanics: the binary codec and the length-prefixed framing
+     round-trip, and the content-addressed store round-trips objects,
+     survives field reordering in its digests, and treats corrupt
+     objects as misses;
+
+   - the planner: shards partition the request's corpus exactly — no
+     dropped and no duplicated case, for arbitrary corpus shapes (a
+     qcheck property) — and shard digests are independent of shard
+     position;
+
+   - the determinism contract, locally: executing every planned shard
+     in-process and assembling the payloads reproduces the one-shot
+     artifact byte for byte, for all three request kinds;
+
+   - the daemon, end to end: a forked daemon with real worker processes
+     serves artifacts identical to the one-shot path, a daemon restart
+     against the same store re-serves the request from verdicts alone
+     (every shard hits, nothing executes), a worker crashed mid-shard is
+     respawned and the shard retried without corrupting the artifact,
+     and a protocol-mismatched client is rejected at the handshake.
+
+   All campaign/inject runs here use jobs:1, so this process never
+   spawns a domain and forking the daemon is safe at any point. *)
+
+module Config = Uarch.Config
+module Request = Serve.Request
+module Planner = Serve.Planner
+module Store = Serve.Store
+module Codec = Serve.Codec
+module Protocol = Serve.Protocol
+module Daemon = Serve.Daemon
+module Client = Serve.Client
+
+let temp_dir prefix = Filename.temp_dir ("teesec_" ^ prefix) ""
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_temp_dir prefix f =
+  let dir = temp_dir prefix in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || go (i + 1)
+  in
+  go 0
+
+(* {1 Codec} *)
+
+let roundtrip enc_f dec_f v =
+  let b = Codec.enc () in
+  enc_f b v;
+  let d = Codec.of_string (Codec.to_string b) in
+  let v' = dec_f d in
+  Alcotest.(check bool) "decoder consumed everything" true (Codec.at_end d);
+  v'
+
+let test_codec_primitives () =
+  let b = Codec.enc () in
+  Codec.u8 b 0xab;
+  Codec.bool b true;
+  Codec.int b (-12345);
+  Codec.int b max_int;
+  Codec.i64 b 0xDEADBEEFCAFEL;
+  Codec.str b "hello \x00 world";
+  Codec.option b Codec.str None;
+  Codec.option b Codec.str (Some "x");
+  Codec.list b Codec.int [ 1; 2; 3 ];
+  let d = Codec.of_string (Codec.to_string b) in
+  Alcotest.(check int) "u8" 0xab (Codec.u8' d);
+  Alcotest.(check bool) "bool" true (Codec.bool' d);
+  Alcotest.(check int) "int" (-12345) (Codec.int' d);
+  Alcotest.(check int) "max_int" max_int (Codec.int' d);
+  Alcotest.(check int64) "i64" 0xDEADBEEFCAFEL (Codec.i64' d);
+  Alcotest.(check string) "str" "hello \x00 world" (Codec.str' d);
+  Alcotest.(check bool) "none" true (Codec.option' d Codec.str' = None);
+  Alcotest.(check bool) "some" true (Codec.option' d Codec.str' = Some "x");
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.list' d Codec.int');
+  Alcotest.(check bool) "at end" true (Codec.at_end d)
+
+let sample_specs =
+  [
+    Request.Campaign { core = "boom"; mitigations = []; corpus = Request.Slice };
+    Request.Campaign
+      {
+        core = "xiangshan";
+        mitigations = [ "flush-l1d"; "tag-bpu-hpc" ];
+        corpus = Request.Full;
+      };
+    Request.Campaign
+      {
+        core = "boom";
+        mitigations = [];
+        corpus = Request.Random { count = 40; seed = 0x5EEDL };
+      };
+    Request.Inject { core = "boom"; faults = 7; seed = 0xABCL; full = false };
+    Request.Fuzz
+      {
+        core = "xiangshan";
+        options =
+          {
+            Fuzz.Engine.seed = 0x1234L;
+            budget = 99;
+            batch = 8;
+            energy = 55;
+            stop_on_full = true;
+          };
+      };
+  ]
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      let spec' = roundtrip Request.encode_spec Request.decode_spec spec in
+      Alcotest.(check bool) "spec round-trips" true (spec = spec'))
+    sample_specs
+
+let test_message_roundtrips () =
+  let client_msgs =
+    [
+      Protocol.Hello { proto = 1; build = "1.1.0" };
+      Protocol.Submit (List.hd sample_specs);
+      Protocol.Status;
+      Protocol.Results { job = "abc123"; wait = true };
+      Protocol.Ping;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun m ->
+      let m' = Protocol.decode_client_msg (Protocol.encode_client_msg m) in
+      Alcotest.(check bool) "client msg round-trips" true (m = m'))
+    client_msgs;
+  let js =
+    {
+      Protocol.js_job = "deadbeef";
+      js_kind = "campaign";
+      js_total = 10;
+      js_done = 4;
+      js_hits = 2;
+      js_poisoned = 1;
+      js_complete = false;
+      js_failed = Some "because";
+    }
+  in
+  let server_msgs =
+    [
+      Protocol.Hello_ok { proto = 1; build = "1.1.0" };
+      Protocol.Hello_err "mismatch";
+      Protocol.Submitted js;
+      Protocol.Status_report
+        {
+          Protocol.st_version = "teesec 1.1.0 (protocol 1)";
+          st_workers = 4;
+          st_worker_restarts = 1;
+          st_shards_executed = 9;
+          st_store_hits = 3;
+          st_store_misses = 6;
+          st_jobs = [ js ];
+        };
+      Protocol.Artifact { job = "deadbeef"; data = "line1\nline2\n" };
+      Protocol.Pending js;
+      Protocol.Failed { job = "deadbeef"; reason = "poisoned" };
+      Protocol.Pong { build = "1.1.0" };
+      Protocol.Shutting_down;
+      Protocol.Error_msg "nope";
+    ]
+  in
+  List.iter
+    (fun m ->
+      let m' = Protocol.decode_server_msg (Protocol.encode_server_msg m) in
+      Alcotest.(check bool) "server msg round-trips" true (m = m'))
+    server_msgs
+
+let test_decode_rejects_trailing () =
+  let frame = Protocol.encode_client_msg Protocol.Ping ^ "x" in
+  Alcotest.check_raises "trailing bytes rejected"
+    (Codec.Decode_error "trailing bytes after message") (fun () ->
+      ignore (Protocol.decode_client_msg frame))
+
+(* {1 Framing} *)
+
+let test_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      let payloads = [ ""; "x"; String.make 70000 'q'; "last" ] in
+      List.iter (fun p -> Protocol.write_frame a p) payloads;
+      List.iter
+        (fun expected ->
+          match Protocol.read_frame b with
+          | Some got -> Alcotest.(check string) "frame" expected got
+          | None -> Alcotest.fail "unexpected EOF")
+        payloads;
+      Unix.close a;
+      Alcotest.(check bool) "clean EOF reads as None" true
+        (Protocol.read_frame b = None))
+
+(* {1 Store} *)
+
+let test_store_roundtrip () =
+  with_temp_dir "store" (fun root ->
+      let store = Store.open_ ~root in
+      let digest = Store.digest_of_fields [ ("k", "v") ] in
+      Alcotest.(check bool) "absent" true
+        (Store.get store Store.Verdicts ~digest = None);
+      Store.put store Store.Verdicts ~digest "payload \x00 bytes";
+      Alcotest.(check bool) "mem" true (Store.mem store Store.Verdicts ~digest);
+      Alcotest.(check bool) "get" true
+        (Store.get store Store.Verdicts ~digest = Some "payload \x00 bytes");
+      (* Buckets are independent namespaces. *)
+      Alcotest.(check bool) "other bucket" true
+        (Store.get store Store.Corpus ~digest = None);
+      Store.put store Store.Corpus ~digest "corpus text";
+      Alcotest.(check int) "corpus count" 1 (Store.count store Store.Corpus);
+      Alcotest.(check int) "verdict count" 1 (Store.count store Store.Verdicts);
+      (* Overwrite is idempotent. *)
+      Store.put store Store.Verdicts ~digest "payload \x00 bytes";
+      Alcotest.(check int) "still one object" 1
+        (Store.count store Store.Verdicts);
+      Store.evict store Store.Verdicts ~digest;
+      Alcotest.(check bool) "evicted" true
+        (Store.get store Store.Verdicts ~digest = None);
+      Store.evict store Store.Verdicts ~digest)
+
+let test_store_corrupt_is_miss () =
+  with_temp_dir "store" (fun root ->
+      let store = Store.open_ ~root in
+      let digest = Store.digest_of_fields [ ("k", "v") ] in
+      Store.put store Store.Verdicts ~digest "good";
+      (* Truncate below the magic prefix: must read as a miss. *)
+      let path = Filename.concat (Filename.concat root "verdicts") digest in
+      let oc = open_out path in
+      output_string oc "teesec";
+      close_out oc;
+      Alcotest.(check bool) "truncated object is a miss" true
+        (Store.get store Store.Verdicts ~digest = None);
+      (* A foreign file with the wrong magic likewise. *)
+      let oc = open_out path in
+      output_string oc "not a teesec object at all, definitely long enough";
+      close_out oc;
+      Alcotest.(check bool) "foreign object is a miss" true
+        (Store.get store Store.Verdicts ~digest = None))
+
+let field_list_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 8)
+      (pair (string_size ~gen:printable (int_range 1 12))
+         (string_size ~gen:printable (int_range 0 20))))
+
+let test_digest_reorder_stable =
+  QCheck.Test.make ~count:200 ~name:"store digest is order-independent"
+    (QCheck.make field_list_gen) (fun fields ->
+      let d1 = Store.digest_of_fields fields in
+      let d2 = Store.digest_of_fields (List.rev fields) in
+      String.length d1 = 32 && d1 = d2)
+
+let test_digest_distinguishes =
+  QCheck.Test.make ~count:200 ~name:"store digest separates field lists"
+    (QCheck.make (QCheck.Gen.pair field_list_gen field_list_gen))
+    (fun (f1, f2) ->
+      let canon fields = List.sort compare fields in
+      canon f1 = canon f2
+      || Store.digest_of_fields f1 <> Store.digest_of_fields f2)
+
+(* {1 Planner} *)
+
+let corpus_kind_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return Request.Slice);
+        (1, return Request.Full);
+        ( 3,
+          map2
+            (fun count seed ->
+              Request.Random { count; seed = Int64.of_int seed })
+            (int_range 1 150) (int_range 0 10_000) );
+      ])
+
+let campaign_spec_gen =
+  QCheck.Gen.(
+    map2
+      (fun core corpus -> Request.Campaign { core; mitigations = []; corpus })
+      (oneofl [ "boom"; "xiangshan" ])
+      corpus_kind_gen)
+
+let spec_arbitrary =
+  QCheck.make campaign_spec_gen ~print:(fun spec ->
+      Format.asprintf "%a" Request.pp_spec spec)
+
+let test_planner_partitions =
+  QCheck.Test.make ~count:60 ~name:"planner partitions the corpus exactly"
+    spec_arbitrary (fun spec ->
+      let corpus = Request.corpus_of spec in
+      match Planner.plan spec with
+      | Error e -> QCheck.Test.fail_reportf "plan failed: %s" e
+      | Ok shards ->
+        let recovered =
+          List.concat_map
+            (fun (s : Planner.shard) -> Request.work_cases s.Planner.work)
+            shards
+        in
+        let expected = List.map Request.case_desc_of_testcase corpus in
+        List.length recovered = List.length expected
+        && List.for_all2 Request.case_desc_equal recovered expected
+        && (* indices are the merge order *)
+        List.for_all2
+          (fun (s : Planner.shard) i -> s.Planner.index = i)
+          shards
+          (List.init (List.length shards) Fun.id))
+
+let test_planner_respects_cap =
+  QCheck.Test.make ~count:60 ~name:"planner respects max_shard_cases"
+    spec_arbitrary (fun spec ->
+      match Planner.plan ~max_shard_cases:10 spec with
+      | Error e -> QCheck.Test.fail_reportf "plan failed: %s" e
+      | Ok shards ->
+        List.for_all
+          (fun (s : Planner.shard) ->
+            List.length (Request.work_cases s.Planner.work) <= 10)
+          shards)
+
+let test_planner_family_boundaries () =
+  match
+    Planner.plan
+      (Request.Campaign
+         { core = "boom"; mitigations = []; corpus = Request.Slice })
+  with
+  | Error e -> Alcotest.fail e
+  | Ok shards ->
+    List.iter
+      (fun (s : Planner.shard) ->
+        let cases = Request.work_cases s.Planner.work in
+        List.iter
+          (fun (cd : Request.case_desc) ->
+            Alcotest.(check string)
+              "all cases of a grid shard share its family" s.Planner.family
+              cd.Request.cd_path)
+          cases)
+      shards
+
+let test_planner_digest_excludes_position () =
+  (* The same slice submitted as part of two different requests (slice
+     vs full corpus) must yield the same shard digests for the common
+     prefix families, so verdicts transfer between jobs. *)
+  let plan spec =
+    match Planner.plan spec with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  let slice =
+    plan
+      (Request.Campaign
+         { core = "boom"; mitigations = []; corpus = Request.Slice })
+  in
+  let slice' =
+    plan
+      (Request.Campaign
+         { core = "boom"; mitigations = []; corpus = Request.Slice })
+  in
+  List.iter2
+    (fun (a : Planner.shard) (b : Planner.shard) ->
+      Alcotest.(check string) "plan is deterministic" a.Planner.digest
+        b.Planner.digest)
+    slice slice';
+  (* Mitigations change execution, so they must change every digest. *)
+  let mitigated =
+    plan
+      (Request.Campaign
+         { core = "boom"; mitigations = [ "flush-l1d" ]; corpus = Request.Slice })
+  in
+  List.iter2
+    (fun (a : Planner.shard) (b : Planner.shard) ->
+      Alcotest.(check bool) "mitigation changes the digest" false
+        (a.Planner.digest = b.Planner.digest))
+    slice mitigated
+
+let test_planner_rejects_unknown () =
+  (match
+     Planner.plan
+       (Request.Campaign
+          { core = "pentium"; mitigations = []; corpus = Request.Slice })
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown core accepted");
+  match
+    Planner.plan
+      (Request.Campaign
+         { core = "boom"; mitigations = [ "prayer" ]; corpus = Request.Slice })
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown mitigation accepted"
+
+(* {1 Local differential: plan + execute + assemble = one-shot} *)
+
+let assemble_locally spec =
+  match Planner.plan spec with
+  | Error e -> Alcotest.fail e
+  | Ok shards ->
+    let engines = Serve.Executor.create_engines () in
+    let payloads =
+      List.map
+        (fun (s : Planner.shard) -> Serve.Executor.execute ~engines s.Planner.work)
+        shards
+    in
+    (match Serve.Artifact.assemble spec payloads with
+    | Ok artifact -> artifact
+    | Error e -> Alcotest.fail e)
+
+let test_local_campaign_matches_oneshot () =
+  let config = Config.boom in
+  let result =
+    Teesec.Campaign.run ~jobs:1 config (Teesec.Mitigation_eval.slice ())
+  in
+  let expected = Teesec.Tables.table3_csv [ result ] in
+  let got =
+    assemble_locally
+      (Request.Campaign
+         { core = "boom"; mitigations = []; corpus = Request.Slice })
+  in
+  Alcotest.(check string) "campaign CSV byte-identical" expected got
+
+let test_local_random_campaign_matches_oneshot () =
+  let config = Config.xiangshan in
+  let corpus = Teesec.Fuzzer.random_corpus ~seed:0x77L ~count:30 in
+  let result = Teesec.Campaign.run ~jobs:1 config corpus in
+  let expected = Teesec.Tables.table3_csv [ result ] in
+  let got =
+    assemble_locally
+      (Request.Campaign
+         {
+           core = "xiangshan";
+           mitigations = [];
+           corpus = Request.Random { count = 30; seed = 0x77L };
+         })
+  in
+  Alcotest.(check string) "random campaign CSV byte-identical" expected got
+
+let test_local_inject_matches_oneshot () =
+  let config = Config.boom in
+  let result =
+    Inject.Inject_campaign.run ~jobs:1 ~seed:0x5EEDL ~plans:3 config
+      (Teesec.Mitigation_eval.slice ())
+  in
+  let expected = Inject.Robustness_report.to_json_string result in
+  let got =
+    assemble_locally
+      (Request.Inject { core = "boom"; faults = 3; seed = 0x5EEDL; full = false })
+  in
+  Alcotest.(check string) "inject JSON byte-identical" expected got
+
+let test_local_fuzz_matches_oneshot () =
+  let options = { Fuzz.Engine.default with Fuzz.Engine.budget = 60 } in
+  let report = Fuzz.Engine.run ~jobs:1 options Config.boom in
+  let expected = Fuzz.Fuzz_report.to_json_string report in
+  let got = assemble_locally (Request.Fuzz { core = "boom"; options }) in
+  Alcotest.(check string) "fuzz JSON byte-identical" expected got
+
+(* {1 The daemon, end to end} *)
+
+let daemon_config dir =
+  let cfg =
+    Daemon.default_config
+      ~socket_path:(Filename.concat dir "teesec.sock")
+      ~store_root:(Filename.concat dir "store")
+  in
+  { cfg with Daemon.backoff_base = 0.01; backoff_cap = 0.05 }
+
+let with_daemon cfg f =
+  let pid = Daemon.spawn cfg in
+  let finally () =
+    (try Unix.kill pid Sys.sigkill with _ -> ());
+    try ignore (Unix.waitpid [] pid) with _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      match Client.connect_retry ~socket_path:cfg.Daemon.socket_path () with
+      | Error e -> Alcotest.fail e
+      | Ok client ->
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            let result = f client in
+            (* Clean shutdown: the daemon exits and reaps its workers;
+               the kill in [finally] then finds the pid already gone. *)
+            (match Client.shutdown client with
+            | Ok () -> ignore (Unix.waitpid [] pid)
+            | Error _ -> ());
+            result))
+
+let slice_spec =
+  Request.Campaign { core = "boom"; mitigations = []; corpus = Request.Slice }
+
+let expected_slice_csv () =
+  Teesec.Tables.table3_csv
+    [ Teesec.Campaign.run ~jobs:1 Config.boom (Teesec.Mitigation_eval.slice ()) ]
+
+let submit_and_fetch client spec =
+  match Client.submit client spec with
+  | Error e -> Alcotest.fail e
+  | Ok js -> (
+    match Client.results client js.Protocol.js_job with
+    | Ok (Ok data) -> (js, data)
+    | Ok (Error _) -> Alcotest.fail "results returned pending despite wait"
+    | Error e -> Alcotest.fail e)
+
+let test_daemon_end_to_end () =
+  let expected = expected_slice_csv () in
+  with_temp_dir "serve_e2e" (fun dir ->
+      let cfg = { (daemon_config dir) with Daemon.workers = 2 } in
+      (* Cold run: everything executes. *)
+      let hits_cold, executed_cold =
+        with_daemon cfg (fun client ->
+            Alcotest.(check bool)
+              "handshake reports the build" true
+              (Client.server_build client = Protocol.build_version);
+            let js, data = submit_and_fetch client slice_spec in
+            Alcotest.(check string) "cold artifact = one-shot" expected data;
+            let st =
+              match Client.status client with
+              | Ok st -> st
+              | Error e -> Alcotest.fail e
+            in
+            Alcotest.(check int)
+              "every shard executed exactly once" js.Protocol.js_total
+              st.Protocol.st_shards_executed;
+            (js.Protocol.js_hits, st.Protocol.st_shards_executed))
+      in
+      Alcotest.(check int) "cold store has no hits" 0 hits_cold;
+      Alcotest.(check bool) "cold run executed shards" true (executed_cold > 0);
+      (* Warm run: a fresh daemon on the same store serves the request
+         from verdicts alone — the resubmission executes zero shards. *)
+      with_daemon cfg (fun client ->
+          let js, data = submit_and_fetch client slice_spec in
+          Alcotest.(check string) "warm artifact = one-shot" expected data;
+          Alcotest.(check int) "every shard hits" js.Protocol.js_total
+            js.Protocol.js_hits;
+          let st =
+            match Client.status client with
+            | Ok st -> st
+            | Error e -> Alcotest.fail e
+          in
+          Alcotest.(check int) "warm run executes nothing" 0
+            st.Protocol.st_shards_executed))
+
+let test_daemon_worker_crash_recovery () =
+  let expected = expected_slice_csv () in
+  with_temp_dir "serve_crash" (fun dir ->
+      let cfg =
+        { (daemon_config dir) with Daemon.workers = 1; test_crash_assignments = 2 }
+      in
+      with_daemon cfg (fun client ->
+          let _, data = submit_and_fetch client slice_spec in
+          Alcotest.(check string)
+            "artifact unaffected by worker crashes" expected data;
+          match Client.status client with
+          | Error e -> Alcotest.fail e
+          | Ok st ->
+            Alcotest.(check bool)
+              "crashed workers were respawned" true
+              (st.Protocol.st_worker_restarts >= 2)))
+
+let test_daemon_poisons_doomed_shards () =
+  with_temp_dir "serve_poison" (fun dir ->
+      (* Enough instructed crashes that the first shard exhausts its
+         retry budget: the job must fail, not hang. *)
+      let cfg =
+        {
+          (daemon_config dir) with
+          Daemon.workers = 1;
+          max_retries = 2;
+          test_crash_assignments = 1000;
+        }
+      in
+      with_daemon cfg (fun client ->
+          match Client.submit client slice_spec with
+          | Error e -> Alcotest.fail e
+          | Ok js -> (
+            match Client.results client js.Protocol.js_job with
+            | Ok (Ok _) -> Alcotest.fail "doomed job produced an artifact"
+            | Ok (Error _) -> Alcotest.fail "waited results returned pending"
+            | Error reason ->
+              Alcotest.(check bool) "failure names poisoning" true
+                (contains reason "poisoned"))))
+
+let test_daemon_rejects_protocol_mismatch () =
+  with_temp_dir "serve_proto" (fun dir ->
+      let cfg = daemon_config dir in
+      let pid = Daemon.spawn cfg in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          try ignore (Unix.waitpid [] pid) with _ -> ())
+        (fun () ->
+          (* Wait for the socket with a well-behaved client first. *)
+          (match Client.connect_retry ~socket_path:cfg.Daemon.socket_path () with
+          | Ok c -> Client.close c
+          | Error e -> Alcotest.fail e);
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              Unix.connect fd (Unix.ADDR_UNIX cfg.Daemon.socket_path);
+              Protocol.write_frame fd
+                (Protocol.encode_client_msg
+                   (Protocol.Hello { proto = 999; build = "future" }));
+              match Protocol.read_frame fd with
+              | None -> Alcotest.fail "no handshake reply"
+              | Some frame -> (
+                match Protocol.decode_server_msg frame with
+                | Protocol.Hello_err reason ->
+                  Alcotest.(check bool) "reason names both versions" true
+                    (contains reason "999"
+                    && contains reason (string_of_int Protocol.protocol_version))
+                | _ -> Alcotest.fail "mismatched client not rejected"));
+          (* And the daemon survives to serve matching clients. *)
+          match Client.connect ~socket_path:cfg.Daemon.socket_path with
+          | Error e -> Alcotest.fail e
+          | Ok client ->
+            (match Client.ping client with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e);
+            (match Client.shutdown client with
+            | Ok () -> ignore (Unix.waitpid [] pid)
+            | Error _ -> ());
+            Client.close client))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let qcheck = QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [
+      ( "codec",
+        [
+          quick "primitive round-trips" test_codec_primitives;
+          quick "spec round-trips" test_spec_roundtrip;
+          quick "message round-trips" test_message_roundtrips;
+          quick "trailing bytes rejected" test_decode_rejects_trailing;
+        ] );
+      ("framing", [ quick "frames round-trip a socketpair" test_framing ]);
+      ( "store",
+        [
+          quick "put/get/evict round-trip" test_store_roundtrip;
+          quick "corrupt objects are misses" test_store_corrupt_is_miss;
+          qcheck test_digest_reorder_stable;
+          qcheck test_digest_distinguishes;
+        ] );
+      ( "planner",
+        [
+          qcheck test_planner_partitions;
+          qcheck test_planner_respects_cap;
+          quick "grid shards stay inside one family"
+            test_planner_family_boundaries;
+          quick "digests are positional-independent and config-sensitive"
+            test_planner_digest_excludes_position;
+          quick "unknown cores and mitigations rejected"
+            test_planner_rejects_unknown;
+        ] );
+      ( "differential",
+        [
+          quick "campaign slice = one-shot CSV" test_local_campaign_matches_oneshot;
+          quick "random campaign = one-shot CSV"
+            test_local_random_campaign_matches_oneshot;
+          quick "inject = one-shot JSON" test_local_inject_matches_oneshot;
+          quick "fuzz = one-shot JSON" test_local_fuzz_matches_oneshot;
+        ] );
+      ( "daemon",
+        [
+          quick "end to end, cold then warm store" test_daemon_end_to_end;
+          quick "worker crash recovery" test_daemon_worker_crash_recovery;
+          quick "doomed shards poison the job" test_daemon_poisons_doomed_shards;
+          quick "protocol mismatch rejected at handshake"
+            test_daemon_rejects_protocol_mismatch;
+        ] );
+    ]
