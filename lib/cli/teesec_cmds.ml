@@ -838,11 +838,23 @@ let version_cmd =
    shutdown. *)
 let serve_cmd =
   let run socket_path store workers http_port max_shard_cases max_retries
-      quiet =
+      quiet log_file log_level =
     if workers < 1 then begin
       Format.printf "error: --workers must be >= 1@.";
       exit 1
     end;
+    let level =
+      match Obs.Log.level_of_string log_level with
+      | Some l -> l
+      | None ->
+        Format.printf "error: --log-level must be debug, info, warn or error@.";
+        exit 1
+    in
+    let slog =
+      match log_file with
+      | None -> Obs.Log.null
+      | Some path -> Obs.Log.open_file ~level path
+    in
     let cfg =
       {
         (Serve.Daemon.default_config ~socket_path ~store_root:store) with
@@ -853,9 +865,11 @@ let serve_cmd =
         log =
           (if quiet then ignore
            else fun line -> Format.printf "teesec serve: %s@." line);
+        slog;
       }
     in
-    Serve.Daemon.run cfg
+    Fun.protect ~finally:(fun () -> Obs.Log.close slog) (fun () ->
+        Serve.Daemon.run cfg)
   in
   let store =
     Arg.(value & opt string ".teesec-store" & info [ "store" ] ~docv:"DIR"
@@ -881,6 +895,15 @@ let serve_cmd =
            ~doc:"Assignment attempts per shard before it is poisoned.")
   in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress lines.") in
+  let log_file =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Write structured JSONL events (submit, dispatch, crash, \
+                 backoff, poison, job_done, ...) to $(docv).")
+  in
+  let log_level =
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Structured-log threshold: debug, info, warn or error.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -888,13 +911,20 @@ let serve_cmd =
           shards, execute them on forked workers, cache verdicts in a \
           persistent content-addressed store.")
     Term.(const run $ socket_arg $ store $ workers $ http_port
-          $ max_shard_cases $ max_retries $ quiet)
+          $ max_shard_cases $ max_retries $ quiet $ log_file $ log_level)
 
 (* submit: build a Request.spec from the same flags the one-shot
    subcommands take, and hand it to the daemon. *)
+let write_file_report ~what path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Format.printf "%s written to %s (%d bytes)@." what path
+    (String.length contents)
+
 let submit_cmd =
   let run socket_path config kind mitigations full random fuzz_seed faults
-      seed budget batch energy stop_on_full wait out =
+      seed budget batch energy stop_on_full wait out trace_out =
     let core = core_name_of config in
     let spec =
       match kind with
@@ -922,13 +952,15 @@ let submit_cmd =
       exit 1
     | Ok spec ->
       with_client ~socket_path (fun client ->
-          match Serve.Client.submit client spec with
+          match
+            Serve.Client.submit ~trace:(trace_out <> None) client spec
+          with
           | Error e ->
             Format.printf "error: %s@." e;
             exit 1
           | Ok js ->
             pp_job_status js;
-            if wait then (
+            if wait || trace_out <> None then (
               match Serve.Client.results client js.Serve.Protocol.js_job with
               | Error e ->
                 Format.printf "error: %s@." e;
@@ -936,15 +968,20 @@ let submit_cmd =
               | Ok (Error js) ->
                 pp_job_status js;
                 exit 1
-              | Ok (Ok data) -> (
-                match out with
-                | Some path ->
-                  let oc = open_out path in
-                  output_string oc data;
-                  close_out oc;
-                  Format.printf "artifact written to %s (%d bytes)@." path
-                    (String.length data)
-                | None -> print_string data)))
+              | Ok (Ok { Serve.Client.data; trace }) ->
+                (match (trace_out, trace) with
+                | Some path, Some json ->
+                  write_file_report ~what:"trace" path json
+                | Some path, None ->
+                  Format.printf
+                    "warning: no trace collected (job already complete?); \
+                     %s not written@."
+                    path
+                | None, _ -> ());
+                if wait then (
+                  match out with
+                  | Some path -> write_file_report ~what:"artifact" path data
+                  | None -> print_string data)))
   in
   let kind =
     Arg.(value & opt string "campaign" & info [ "kind" ] ~docv:"KIND"
@@ -1005,6 +1042,13 @@ let submit_cmd =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
            ~doc:"With --wait: write the artifact to FILE instead of stdout.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Collect a merged cross-process Chrome trace of the job \
+                 (daemon scheduling instants plus every worker's spans, \
+                 clock-aligned) and write it to $(docv); implies waiting \
+                 for completion.")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
@@ -1013,7 +1057,7 @@ let submit_cmd =
           are byte-identical to the one-shot subcommands.")
     Term.(const run $ socket_arg $ core_arg $ kind $ mitigations $ full
           $ random $ fuzz_seed $ faults $ seed $ budget $ batch $ energy
-          $ stop_on_full $ wait $ out)
+          $ stop_on_full $ wait $ out $ trace_out)
 
 (* status *)
 let status_cmd =
@@ -1041,7 +1085,7 @@ let status_cmd =
 
 (* results *)
 let results_cmd =
-  let run socket_path job out no_wait =
+  let run socket_path job out no_wait trace_out =
     with_client ~socket_path (fun client ->
         match Serve.Client.results ~wait:(not no_wait) client job with
         | Error e ->
@@ -1050,14 +1094,17 @@ let results_cmd =
         | Ok (Error js) ->
           pp_job_status js;
           exit 1
-        | Ok (Ok data) -> (
-          match out with
-          | Some path ->
-            let oc = open_out path in
-            output_string oc data;
-            close_out oc;
-            Format.printf "artifact written to %s (%d bytes)@." path
-              (String.length data)
+        | Ok (Ok { Serve.Client.data; trace }) ->
+          (match (trace_out, trace) with
+          | Some path, Some json -> write_file_report ~what:"trace" path json
+          | Some path, None ->
+            Format.printf
+              "warning: job has no trace (submit it with --trace); %s not \
+               written@."
+              path
+          | None, _ -> ());
+          (match out with
+          | Some path -> write_file_report ~what:"artifact" path data
           | None -> print_string data))
   in
   let job =
@@ -1073,9 +1120,190 @@ let results_cmd =
            ~doc:"Do not block on an incomplete job; print its status and \
                  exit nonzero.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Also write the job's merged Chrome trace to $(docv) \
+                 (requires the job to have been submitted with --trace).")
+  in
   Cmd.v
     (Cmd.info "results" ~doc:"Fetch a job's artifact from a running daemon.")
-    Term.(const run $ socket_arg $ job $ out $ no_wait)
+    Term.(const run $ socket_arg $ job $ out $ no_wait $ trace_out)
+
+(* watch: live per-job shard progress, polled from status. *)
+let watch_cmd =
+  let render st =
+    Format.printf "workers %d (restarts %d); shards executed %d; store \
+                   hits %d, misses %d@."
+      st.Serve.Protocol.st_workers st.Serve.Protocol.st_worker_restarts
+      st.Serve.Protocol.st_shards_executed st.Serve.Protocol.st_store_hits
+      st.Serve.Protocol.st_store_misses;
+    match st.Serve.Protocol.st_jobs with
+    | [] -> Format.printf "no jobs@."
+    | jobs ->
+      List.iter
+        (fun (js : Serve.Protocol.job_status) ->
+          let total = js.Serve.Protocol.js_total in
+          let done_ = js.Serve.Protocol.js_done in
+          let width = 24 in
+          let filled =
+            if total = 0 then width else width * done_ / total
+          in
+          let bar =
+            String.concat ""
+              [ String.make filled '#'; String.make (width - filled) '.' ]
+          in
+          Format.printf "job %s %s [%s] %d/%d done, %d running%s%s@."
+            js.Serve.Protocol.js_job js.Serve.Protocol.js_kind bar done_
+            total js.Serve.Protocol.js_running
+            (if js.Serve.Protocol.js_poisoned > 0 then
+               Printf.sprintf ", %d poisoned" js.Serve.Protocol.js_poisoned
+             else "")
+            (match js.Serve.Protocol.js_failed with
+            | Some reason -> Printf.sprintf ", FAILED: %s" reason
+            | None ->
+              if js.Serve.Protocol.js_complete then ", complete" else ""))
+        jobs
+  in
+  let all_settled st =
+    List.for_all
+      (fun (js : Serve.Protocol.job_status) ->
+        js.Serve.Protocol.js_complete || js.Serve.Protocol.js_failed <> None)
+      st.Serve.Protocol.st_jobs
+  in
+  let run socket_path interval once until_done =
+    with_client ~socket_path (fun client ->
+        let rec poll first =
+          match Serve.Client.status client with
+          | Error e ->
+            Format.printf "error: %s@." e;
+            exit 1
+          | Ok st ->
+            if not first then Format.printf "---@.";
+            render st;
+            if once then ()
+            else if until_done && st.Serve.Protocol.st_jobs <> [] && all_settled st
+            then ()
+            else begin
+              Unix.sleepf interval;
+              poll false
+            end
+        in
+        poll true)
+  in
+  let interval =
+    Arg.(value & opt float 1.0 & info [ "interval"; "n" ] ~docv:"SECS"
+           ~doc:"Seconds between polls.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Print one snapshot and exit.")
+  in
+  let until_done =
+    Arg.(value & flag & info [ "until-done" ]
+           ~doc:"Exit once every known job is complete or failed.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Poll a running daemon and render live per-job shard progress \
+          (done/running/poisoned counts as a progress bar).")
+    Term.(const run $ socket_arg $ interval $ once $ until_done)
+
+(* trace-check: offline validation of a merged Chrome trace file.  The
+   CI pipeline runs this against the trace submit --trace produced; the
+   same checks back the test-suite's hand-rolled parser. *)
+let trace_check_cmd =
+  let fail fmt = Format.kasprintf (fun m -> Format.printf "error: %s@." m; exit 1) fmt in
+  let run path quiet =
+    let contents =
+      match
+        try Ok (In_channel.with_open_bin path In_channel.input_all)
+        with Sys_error e -> Error e
+      with
+      | Ok s -> s
+      | Error e -> fail "%s" e
+    in
+    let doc =
+      match Obs.Json.parse contents with
+      | Ok doc -> doc
+      | Error e -> fail "%s: invalid JSON: %s" path e
+    in
+    let events =
+      match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+      | Some evs -> evs
+      | None -> fail "%s: no traceEvents array" path
+    in
+    (* Stack discipline per (pid, tid): every E must close the innermost
+       open B of the same name, and no B may stay open. *)
+    let stacks : (int * int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+    let pids = Hashtbl.create 8 in
+    let stack_for key =
+      match Hashtbl.find_opt stacks key with
+      | Some s -> s
+      | None ->
+        let s = ref [] in
+        Hashtbl.add stacks key s;
+        s
+    in
+    List.iteri
+      (fun i ev ->
+        let str name = Option.bind (Obs.Json.member name ev) Obs.Json.to_string in
+        let num name = Option.bind (Obs.Json.member name ev) Obs.Json.to_number in
+        let ph = match str "ph" with Some p -> p | None -> fail "event %d: no ph" i in
+        let name = match str "name" with Some n -> n | None -> fail "event %d: no name" i in
+        let pid =
+          match num "pid" with
+          | Some p -> int_of_float p
+          | None -> fail "event %d: no pid" i
+        in
+        let tid =
+          match num "tid" with
+          | Some t -> int_of_float t
+          | None -> fail "event %d: no tid" i
+        in
+        Hashtbl.replace pids pid ();
+        (match ph with
+        | "M" -> ()
+        | _ when num "ts" = None -> fail "event %d (%s): no ts" i name
+        | "B" ->
+          let s = stack_for (pid, tid) in
+          s := name :: !s
+        | "E" -> (
+          let s = stack_for (pid, tid) in
+          match !s with
+          | top :: rest when top = name -> s := rest
+          | top :: _ ->
+            fail "event %d: E %S does not match open span %S (pid %d tid %d)"
+              i name top pid tid
+          | [] -> fail "event %d: E %S with no open span (pid %d tid %d)" i name pid tid)
+        | "i" -> ()
+        | other -> fail "event %d: unknown phase %S" i other))
+      events;
+    Hashtbl.iter
+      (fun (pid, tid) s ->
+        match !s with
+        | [] -> ()
+        | names ->
+          fail "unclosed span(s) %s (pid %d tid %d)"
+            (String.concat ", " (List.map (Printf.sprintf "%S") names))
+            pid tid)
+      stacks;
+    if not quiet then
+      Format.printf "trace OK: %d event(s) across %d process(es)@."
+        (List.length events) (Hashtbl.length pids)
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No output on success.") in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace-event JSON file: parseable, every \
+          event carries ph/name/pid/tid (and ts), and begin/end spans \
+          balance per (pid, tid) track.  Exits nonzero on the first \
+          violation.")
+    Term.(const run $ path $ quiet)
 
 (* shutdown *)
 let shutdown_cmd =
@@ -1112,6 +1340,8 @@ let subcommands =
     submit_cmd;
     status_cmd;
     results_cmd;
+    watch_cmd;
+    trace_check_cmd;
     shutdown_cmd;
   ]
 

@@ -1,0 +1,40 @@
+(** A minimal hand-rolled JSON reader for validating the layer's own
+    exports — traces, metrics dumps, bench records — without adding a
+    JSON dependency.
+
+    This is a consumer-side tool: producers in this library render JSON
+    with purpose-built printers (byte-determinism matters there), and
+    this parser exists so tests, the [trace-check] subcommand and the
+    bench comparator can read those documents back structurally instead
+    of by grep. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [parse src] parses one complete JSON value; trailing non-whitespace
+    bytes are an error. *)
+val parse : string -> (t, string) result
+
+(** Like {!parse} but raises {!Parse_error}. *)
+val parse_exn : string -> t
+
+(** [member key v] is the field [key] of an object, [None] on a missing
+    key or a non-object. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_number : t -> float option
+val to_bool : t -> bool option
+
+(** [number_field key v] = [Option.bind (member key v) to_number]. *)
+val number_field : string -> t -> float option
+
+val string_field : string -> t -> string option

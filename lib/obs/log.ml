@@ -1,0 +1,127 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type value = String of string | Int of int | Float of float | Bool of bool
+
+type sink = {
+  threshold : level;
+  deterministic : bool;
+  clock : Clock.t;
+  pid : int;
+  mutex : Mutex.t;
+  writer : string -> unit;
+  close_fn : unit -> unit;
+}
+
+type t = Null | Sink of sink
+
+let null = Null
+
+let make ?(level = Info) ?(deterministic = false) ?clock ~writer
+    ~close_fn () =
+  let clock = match clock with Some c -> c | None -> Clock.monotonic () in
+  Sink
+    {
+      threshold = level;
+      deterministic;
+      clock;
+      pid = Unix.getpid ();
+      mutex = Mutex.create ();
+      writer;
+      close_fn;
+    }
+
+let create ?level ?deterministic ?clock ~writer () =
+  make ?level ?deterministic ?clock ~writer ~close_fn:ignore ()
+
+let to_channel ?level ?deterministic ?clock oc =
+  make ?level ?deterministic ?clock
+    ~writer:(fun line ->
+      output_string oc line;
+      flush oc)
+    ~close_fn:ignore ()
+
+let open_file ?level ?deterministic ?clock path =
+  let oc = open_out path in
+  make ?level ?deterministic ?clock
+    ~writer:(fun line ->
+      output_string oc line;
+      flush oc)
+    ~close_fn:(fun () -> close_out oc)
+    ()
+
+let close = function Null -> () | Sink s -> s.close_fn ()
+
+let enabled t level =
+  match t with
+  | Null -> false
+  | Sink s -> level_rank level >= level_rank s.threshold
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_value = function
+  | String s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_nan f then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.9g" f
+  | Bool b -> string_of_bool b
+
+let event t level ~event fields =
+  match t with
+  | Null -> ()
+  | Sink s when level_rank level < level_rank s.threshold -> ()
+  | Sink s ->
+    let buf = Buffer.create 128 in
+    Buffer.add_char buf '{';
+    Printf.bprintf buf "\"level\": \"%s\"" (level_to_string level);
+    if not s.deterministic then begin
+      (* The monotonic stamp and pid are exactly the fields that vary
+         between runs; deterministic mode drops both so test suites can
+         compare log bytes directly. *)
+      Printf.bprintf buf ", \"ts\": %Ld" (s.clock ());
+      Printf.bprintf buf ", \"pid\": %d" s.pid
+    end;
+    Printf.bprintf buf ", \"event\": \"%s\"" (json_escape event);
+    List.iter
+      (fun (k, v) ->
+        Printf.bprintf buf ", \"%s\": %s" (json_escape k) (render_value v))
+      fields;
+    Buffer.add_string buf "}\n";
+    let line = Buffer.contents buf in
+    Mutex.lock s.mutex;
+    (try s.writer line with exn -> Mutex.unlock s.mutex; raise exn);
+    Mutex.unlock s.mutex
+
+let debug t ~event:e fields = event t Debug ~event:e fields
+let info t ~event:e fields = event t Info ~event:e fields
+let warn t ~event:e fields = event t Warn ~event:e fields
+let error t ~event:e fields = event t Error ~event:e fields

@@ -260,6 +260,113 @@ let series_count t =
   Mutex.unlock t.mutex;
   n
 
+(* {2 Snapshots: cross-process metric transfer}
+
+   A snapshot is the registry as plain data — serializable, diffable,
+   absorbable into another registry.  Workers snapshot after every
+   shard, diff against the previous snapshot, and ship the delta; the
+   daemon absorbs deltas under a per-worker label.  Counters and
+   histogram buckets add; gauges carry the latest value. *)
+
+type snapshot_value =
+  | Counter_snapshot of int
+  | Gauge_snapshot of float
+  | Histogram_snapshot of {
+      bounds : float list;
+      counts : int list;  (* per-bucket, non-cumulative; last = overflow *)
+      sum : float;
+      total : int;
+    }
+
+type snapshot_entry = {
+  e_name : string;
+  e_labels : (string * string) list;
+  e_help : string;
+  e_value : snapshot_value;
+}
+
+let snapshot t =
+  Mutex.lock t.mutex;
+  let entries =
+    List.rev_map
+      (fun s ->
+        let e_value =
+          match s.state with
+          | Counter_state c -> Counter_snapshot c.count
+          | Gauge_state g -> Gauge_snapshot g.value
+          | Histogram_state h ->
+            Histogram_snapshot
+              {
+                bounds = Array.to_list h.bounds;
+                counts = Array.to_list h.counts;
+                sum = h.sum;
+                total = h.total;
+              }
+        in
+        { e_name = s.name; e_labels = s.labels; e_help = s.help; e_value })
+      t.rev_series
+  in
+  Mutex.unlock t.mutex;
+  entries
+
+let diff ~before ~after =
+  let prior = Hashtbl.create 32 in
+  List.iter
+    (fun e -> Hashtbl.replace prior (key_of e.e_name e.e_labels) e.e_value)
+    before;
+  List.filter_map
+    (fun e ->
+      match (e.e_value, Hashtbl.find_opt prior (key_of e.e_name e.e_labels)) with
+      | Counter_snapshot n, Some (Counter_snapshot n0) ->
+        if n = n0 then None
+        else Some { e with e_value = Counter_snapshot (n - n0) }
+      | Counter_snapshot 0, None -> None
+      | Gauge_snapshot v, Some (Gauge_snapshot v0) when v = v0 -> None
+      | ( Histogram_snapshot { bounds; counts; sum; total },
+          Some (Histogram_snapshot h0) )
+        when h0.bounds = bounds ->
+        if total = h0.total then None
+        else
+          Some
+            {
+              e with
+              e_value =
+                Histogram_snapshot
+                  {
+                    bounds;
+                    counts = List.map2 (fun a b -> a - b) counts h0.counts;
+                    sum = sum -. h0.sum;
+                    total = total - h0.total;
+                  };
+            }
+      (* New series, a kind change (a programming error absorb will
+         surface) or a gauge update: ship as-is. *)
+      | _, _ -> Some e)
+    after
+
+let absorb ?(extra_labels = []) t entries =
+  List.iter
+    (fun e ->
+      let labels = e.e_labels @ extra_labels in
+      match e.e_value with
+      | Counter_snapshot n ->
+        if n > 0 then
+          inc ~by:n (counter t ~labels ~help:e.e_help e.e_name)
+      | Gauge_snapshot v -> set (gauge t ~labels ~help:e.e_help e.e_name) v
+      | Histogram_snapshot { bounds; counts; sum; total } ->
+        let _, h =
+          histogram t ~labels ~help:e.e_help ~buckets:bounds e.e_name
+        in
+        if List.length counts <> Array.length h.counts then
+          invalid_arg
+            (Printf.sprintf "Metrics.absorb: %s bucket count mismatch" e.e_name);
+        Mutex.lock t.mutex;
+        List.iteri (fun i n -> h.counts.(i) <- h.counts.(i) + n) counts;
+        h.sum <- h.sum +. sum;
+        h.total <- h.total + total;
+        Mutex.unlock t.mutex)
+    entries
+
 (* {2 Rendering}
 
    Both exporters snapshot under the mutex and render metric families in

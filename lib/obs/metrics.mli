@@ -65,6 +65,52 @@ val cumulative_buckets : histogram -> (float * int) list
 
 val series_count : t -> int
 
+(** {2 Snapshots — cross-process metric transfer}
+
+    A snapshot is the registry as plain, serializable data.  The worker
+    side of the campaign service snapshots after every shard, {!diff}s
+    against the previous snapshot and ships the delta in its reply; the
+    daemon {!absorb}s each delta under a per-worker label, which is what
+    puts worker-side histograms on the daemon's [/metrics] page. *)
+
+type snapshot_value =
+  | Counter_snapshot of int
+  | Gauge_snapshot of float
+  | Histogram_snapshot of {
+      bounds : float list;
+      counts : int list;
+          (** Per-bucket (non-cumulative); one longer than [bounds],
+              the last being the overflow bucket. *)
+      sum : float;
+      total : int;
+    }
+
+type snapshot_entry = {
+  e_name : string;
+  e_labels : (string * string) list;
+  e_help : string;
+  e_value : snapshot_value;
+}
+
+val snapshot : t -> snapshot_entry list
+(** Every series, in registration order. *)
+
+val diff :
+  before:snapshot_entry list ->
+  after:snapshot_entry list ->
+  snapshot_entry list
+(** Activity between two snapshots of the same registry: counter and
+    histogram entries become their increments, unchanged entries are
+    dropped, gauges carry the latest value.  Series keyed by
+    (name, labels). *)
+
+val absorb : ?extra_labels:(string * string) list -> t -> snapshot_entry list -> unit
+(** Merge a snapshot (usually a {!diff} delta) into [t], appending
+    [extra_labels] to every series: counters add, gauges set, histogram
+    buckets add element-wise.  Registers missing series on the fly;
+    raises [Invalid_argument] on a kind or bucket-layout conflict, like
+    registration does. *)
+
 val to_prometheus : t -> string
 (** Prometheus text exposition format, version 0.0.4: [# HELP] and
     [# TYPE] per metric family, histogram series expanded into

@@ -14,6 +14,8 @@
 module Clock = Clock
 module Metrics = Metrics
 module Tracer = Tracer
+module Log = Log
+module Json = Json
 
 type active = { metrics : Metrics.t; tracer : Tracer.t; clock : Clock.t }
 type t = Noop | Active of active
@@ -31,6 +33,11 @@ let create ?clock () =
 let enabled = function Noop -> false | Active _ -> true
 let metrics = function Noop -> None | Active a -> Some a.metrics
 let tracer = function Noop -> None | Active a -> Some a.tracer
+
+(** The sink's clock, in nanoseconds; [0L] on {!noop}.  The daemon reads
+    it to timestamp queue-wait/execute intervals and to align worker
+    span buffers onto its own timeline. *)
+let now_ns = function Noop -> 0L | Active a -> a.clock ()
 
 (* {2 Spans} *)
 

@@ -88,6 +88,34 @@ let unclosed t =
   Mutex.unlock t.mutex;
   names
 
+(* Stable by timestamp: per-domain begin/end order survives among equal
+   stamps (the fake test clock never repeats, the wall clock rarely
+   does). *)
+let sort_events events =
+  List.stable_sort (fun a b -> Int64.compare a.ts b.ts) events
+
+(* Callers hold [t.mutex]. *)
+let collect t =
+  List.concat_map
+    (fun tid -> List.rev (Hashtbl.find t.bufs tid).rev_events)
+    (List.rev t.tid_order)
+
+let events t =
+  Mutex.lock t.mutex;
+  let events = collect t in
+  Mutex.unlock t.mutex;
+  sort_events events
+
+let drain t =
+  Mutex.lock t.mutex;
+  let events = collect t in
+  Hashtbl.iter (fun _ b -> b.rev_events <- []) t.bufs;
+  Mutex.unlock t.mutex;
+  sort_events events
+
+let shift_events offset events =
+  List.map (fun e -> { e with ts = Int64.add e.ts offset }) events
+
 (* {2 Chrome trace-event JSON} *)
 
 let json_escape s =
@@ -120,12 +148,13 @@ let render_args = function
               Printf.sprintf "\"%s\": %s" (json_escape k) (render_arg v))
             args))
 
-let render_event e =
+let render_event ~pid e =
   let ts_us = Int64.to_float e.ts /. 1e3 in
   match e.ph with
   | Metadata ->
-    Printf.sprintf "{\"name\": \"%s\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d%s}"
-      (json_escape e.name) e.tid (render_args e.args)
+    Printf.sprintf
+      "{\"name\": \"%s\", \"ph\": \"M\", \"pid\": %d, \"tid\": %d%s}"
+      (json_escape e.name) pid e.tid (render_args e.args)
   | ph ->
     let ph_str, extra =
       match ph with
@@ -135,30 +164,49 @@ let render_event e =
       | Metadata -> assert false
     in
     Printf.sprintf
-      "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \
+      "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": %d, \
        \"tid\": %d%s%s}"
-      (json_escape e.name) ph_str ts_us e.tid extra (render_args e.args)
+      (json_escape e.name) ph_str ts_us pid e.tid extra (render_args e.args)
 
-let to_chrome_json t =
-  Mutex.lock t.mutex;
-  let events =
-    List.concat_map
-      (fun tid -> List.rev (Hashtbl.find t.bufs tid).rev_events)
-      (List.rev t.tid_order)
-  in
-  Mutex.unlock t.mutex;
-  (* Stable by timestamp: per-domain begin/end order survives among
-     equal stamps (the fake test clock never repeats, the wall clock
-     rarely does). *)
-  let events =
-    List.stable_sort (fun a b -> Int64.compare a.ts b.ts) events
-  in
+let render_trace pid_events =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   List.iteri
-    (fun i e ->
+    (fun i (pid, e) ->
       if i > 0 then Buffer.add_string buf ",\n";
-      Buffer.add_string buf (render_event e))
-    events;
+      Buffer.add_string buf (render_event ~pid e))
+    pid_events;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
+
+let to_chrome_json t =
+  render_trace (List.map (fun e -> (1, e)) (events t))
+
+(* The merged-trace assembler the daemon uses: one process group per
+   worker pid (plus the daemon's own), named via [process_name]
+   metadata, all events interleaved on one timeline.  Events must
+   already be aligned to a common clock; sorting is global, so spans of
+   different pids order correctly against each other. *)
+let chrome_json_of_processes processes =
+  let metadata =
+    List.map
+      (fun (pid, name, _) ->
+        ( pid,
+          {
+            ph = Metadata;
+            name = "process_name";
+            ts = 0L;
+            tid = 0;
+            args = [ ("name", String name) ];
+          } ))
+      processes
+  in
+  let tagged =
+    List.concat_map
+      (fun (pid, _, events) -> List.map (fun e -> (pid, e)) events)
+      processes
+  in
+  let tagged =
+    List.stable_sort (fun (_, a) (_, b) -> Int64.compare a.ts b.ts) tagged
+  in
+  render_trace (metadata @ tagged)

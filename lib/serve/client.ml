@@ -67,8 +67,8 @@ let connect_retry ?(attempts = 100) ?(delay = 0.05) ~socket_path () =
 
 let server_build t = t.build
 
-let submit t spec =
-  match rpc t (Protocol.Submit spec) with
+let submit ?(trace = false) t spec =
+  match rpc t (Protocol.Submit { spec; trace }) with
   | Ok (Protocol.Submitted js) -> Ok js
   | Ok (Protocol.Error_msg e) -> Error e
   | Ok _ -> Error "unexpected reply to submit"
@@ -81,9 +81,11 @@ let status t =
   | Ok _ -> Error "unexpected reply to status"
   | Error e -> Error e
 
+type artifact = { data : string; trace : string option }
+
 let results ?(wait = true) t job =
   match rpc t (Protocol.Results { job; wait }) with
-  | Ok (Protocol.Artifact { data; _ }) -> Ok (Ok data)
+  | Ok (Protocol.Artifact { data; trace; _ }) -> Ok (Ok { data; trace })
   | Ok (Protocol.Pending js) -> Ok (Error js)
   | Ok (Protocol.Failed { reason; _ }) -> Error reason
   | Ok (Protocol.Error_msg e) -> Error e

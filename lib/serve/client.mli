@@ -21,10 +21,17 @@ val connect_retry :
 val server_build : t -> string
 
 (** [submit t spec] plans, stores and queues the request; returns its
-    job status (which may already be complete on a warm store). *)
-val submit : t -> Request.spec -> (Protocol.job_status, string) result
+    job status (which may already be complete on a warm store).  With
+    [~trace:true] the daemon collects a merged cross-process Chrome
+    trace for the job, delivered beside the artifact by {!results}. *)
+val submit :
+  ?trace:bool -> t -> Request.spec -> (Protocol.job_status, string) result
 
 val status : t -> (Protocol.status, string) result
+
+(** A completed job's payload: the assembled artifact and, when the job
+    was submitted with [~trace:true], its merged Chrome trace JSON. *)
+type artifact = { data : string; trace : string option }
 
 (** [results t job] fetches the artifact, blocking inside the daemon
     until the job completes (or fails) when [wait] (default).  With
@@ -33,7 +40,7 @@ val results :
   ?wait:bool ->
   t ->
   string ->
-  ((string, Protocol.job_status) result, string) result
+  ((artifact, Protocol.job_status) result, string) result
 
 val ping : t -> (string, string) result
 

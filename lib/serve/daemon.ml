@@ -9,6 +9,7 @@ type config = {
   backoff_cap : float;
   test_crash_assignments : int;
   log : string -> unit;
+  slog : Obs.Log.t;
 }
 
 let default_config ~socket_path ~store_root =
@@ -23,6 +24,7 @@ let default_config ~socket_path ~store_root =
     backoff_cap = 1.0;
     test_crash_assignments = 0;
     log = ignore;
+    slog = Obs.Log.null;
   }
 
 (* {2 Daemon state} *)
@@ -39,6 +41,8 @@ type shard_rec = {
   mutable state : shard_state;
   mutable attempts : int;  (* assignments made so far *)
   mutable payload : string option;
+  mutable enqueued_ns : int64;  (* daemon clock at (re)queueing *)
+  mutable assigned_ns : int64;  (* daemon clock at last assignment *)
 }
 
 type job = {
@@ -46,9 +50,16 @@ type job = {
   j_spec : Request.spec;
   j_shards : shard_rec array;
   j_hits : int;  (* shards satisfied from the store at submit time *)
+  j_trace : bool;  (* collect a merged cross-process trace *)
   mutable j_artifact : string option;
   mutable j_failed : string option;
   mutable j_waiters : Unix.file_descr list;
+  (* Trace state, populated only when [j_trace]: daemon-side instant
+     events (reverse order) and each worker's clock-aligned span
+     buffers, keyed by worker pid. *)
+  mutable j_events : Obs.Tracer.event list;
+  j_worker_events : (int, Obs.Tracer.event list ref) Hashtbl.t;
+  mutable j_trace_json : string option;
 }
 
 type worker = {
@@ -151,6 +162,76 @@ type t = {
 }
 
 let logf t fmt = Printf.ksprintf t.cfg.log fmt
+let slog t = t.cfg.slog
+let now_ns t = Obs.now_ns t.obs
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+(* On-demand labelled histograms.  Registration is idempotent, so
+   looking the series up at every observation is cheap and keeps the
+   label sets open — one series per request family and per worker slot
+   appears as the corresponding traffic does. *)
+let observe_hist t name ~help ~labels v =
+  match Obs.metrics t.obs with
+  | None -> ()
+  | Some m -> Obs.Metrics.observe (Obs.Metrics.histogram m ~labels ~help name) v
+
+let observe_queue_wait t ~family v =
+  observe_hist t "teesec_serve_queue_wait_seconds"
+    ~help:"Seconds from shard enqueue (or requeue) to worker assignment."
+    ~labels:[ ("family", family) ] v
+
+let observe_execute t ~family ~worker v =
+  observe_hist t "teesec_serve_execute_seconds"
+    ~help:"Seconds from shard assignment to the worker's reply."
+    ~labels:[ ("family", family); ("worker", worker) ] v
+
+let observe_backoff t v =
+  observe_hist t "teesec_serve_retry_backoff_seconds"
+    ~help:"Backoff delays scheduled after worker deaths." ~labels:[] v
+
+(* Store accesses timed on the daemon clock; noop sinks never read the
+   clock (it returns 0, the subtraction is 0) and drop the observation. *)
+let timed_store t name ~help f =
+  let t0 = now_ns t in
+  let r = f () in
+  observe_hist t name ~help ~labels:[] (ns_to_s (Int64.sub (now_ns t) t0));
+  r
+
+let store_get t section ~digest =
+  timed_store t "teesec_serve_store_read_seconds"
+    ~help:"Store verdict lookups, hits and misses alike." (fun () ->
+      Store.get t.store section ~digest)
+
+let store_put t section ~digest payload =
+  timed_store t "teesec_serve_store_write_seconds"
+    ~help:"Store verdict writes." (fun () ->
+      Store.put t.store section ~digest payload)
+
+(* Daemon-side trace events are instants only, built directly as event
+   records on the daemon clock: B/E balance of the merged trace rests
+   solely on worker spans, which nest properly by construction. *)
+let job_event t job name args =
+  if job.j_trace then
+    job.j_events <-
+      ({ ph = Obs.Tracer.Instant; name; ts = now_ns t; tid = 0; args }
+        : Obs.Tracer.event)
+      :: job.j_events
+
+(* The merged Chrome trace: one process group for the daemon's lifecycle
+   instants, one per worker pid that executed a traced shard.  Worker
+   buffers were re-based onto the daemon clock at reply time, so the
+   global timestamp sort in [chrome_json_of_processes] interleaves them
+   correctly. *)
+let build_trace job =
+  let workers =
+    Hashtbl.fold
+      (fun pid events acc ->
+        (pid, Printf.sprintf "teesec-worker-%d" pid, !events) :: acc)
+      job.j_worker_events []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare (a : int) b)
+  in
+  Obs.Tracer.chrome_json_of_processes
+    ((Unix.getpid (), "teesec-daemon", List.rev job.j_events) :: workers)
 
 (* {2 Worker lifecycle} *)
 
@@ -173,16 +254,19 @@ let spawn_worker t slot =
     Worker.loop child_fd
   | pid ->
     Unix.close child_fd;
+    Obs.Log.info t.cfg.slog ~event:"worker_spawn"
+      [ ("slot", Obs.Log.Int slot); ("worker_pid", Obs.Log.Int pid) ];
     { w_slot = slot; w_pid = pid; w_fd = parent_fd; w_task = None; w_idle = false }
 
 (* {2 Job bookkeeping} *)
 
 let job_status job =
-  let done_ = ref 0 and poisoned = ref 0 in
+  let done_ = ref 0 and running = ref 0 and poisoned = ref 0 in
   Array.iter
     (fun s ->
       match s.state with
       | S_done -> incr done_
+      | S_running _ -> incr running
       | S_poisoned -> incr poisoned
       | _ -> ())
     job.j_shards;
@@ -191,6 +275,7 @@ let job_status job =
     js_kind = Request.kind job.j_spec;
     js_total = Array.length job.j_shards;
     js_done = !done_;
+    js_running = !running;
     js_hits = job.j_hits;
     js_poisoned = !poisoned;
     js_complete = job.j_artifact <> None;
@@ -211,6 +296,8 @@ let fail_job t job reason =
   if job.j_failed = None then begin
     job.j_failed <- Some reason;
     logf t "job %s failed: %s" job.j_id reason;
+    Obs.Log.error (slog t) ~event:"job_failed"
+      [ ("job", Obs.Log.String job.j_id); ("reason", Obs.Log.String reason) ];
     notify_waiters job (Protocol.Failed { job = job.j_id; reason })
   end
 
@@ -231,8 +318,17 @@ let maybe_complete t job =
     | Ok data ->
       job.j_artifact <- Some data;
       Obs.Metrics.inc t.ins.i_artifacts;
+      job_event t job "job_done"
+        [ ("bytes", Obs.Tracer.Int (String.length data)) ];
+      if job.j_trace then job.j_trace_json <- Some (build_trace job);
       logf t "job %s complete (%d bytes)" job.j_id (String.length data);
-      notify_waiters job (Protocol.Artifact { job = job.j_id; data })
+      Obs.Log.info (slog t) ~event:"job_done"
+        [
+          ("job", Obs.Log.String job.j_id);
+          ("bytes", Obs.Log.Int (String.length data));
+        ];
+      notify_waiters job
+        (Protocol.Artifact { job = job.j_id; data; trace = job.j_trace_json })
     | Error e -> fail_job t job (Printf.sprintf "artifact assembly: %s" e)
   end
 
@@ -254,6 +350,7 @@ let requeue_due_backoffs t =
         match sr.state with
         | S_backoff until when until <= t_now ->
           sr.state <- S_queued;
+          sr.enqueued_ns <- now_ns t;
           Queue.add (job, idx) t.queue;
           false
         | S_backoff _ -> true
@@ -279,10 +376,17 @@ let rec next_ready_shard t =
         next_ready_shard t
       end
       else
-        match Store.get t.store Store.Verdicts ~digest:sr.shard.Planner.digest with
+        match store_get t Store.Verdicts ~digest:sr.shard.Planner.digest with
         | Some payload ->
           t.counters.n_hits <- t.counters.n_hits + 1;
           Obs.Metrics.inc t.ins.i_hits;
+          Obs.Log.info (slog t) ~event:"late_store_hit"
+            [
+              ("job", Obs.Log.String job.j_id);
+              ("shard", Obs.Log.Int idx);
+              ("digest", Obs.Log.String sr.shard.Planner.digest);
+            ];
+          job_event t job "late_store_hit" [ ("shard", Obs.Tracer.Int idx) ];
           complete_shard t job sr payload;
           next_ready_shard t
         | None -> Some (job, idx))
@@ -294,13 +398,34 @@ let assign_shard t w job idx =
   if crash then t.crash_budget <- t.crash_budget - 1;
   sr.attempts <- sr.attempts + 1;
   sr.state <- S_running w.w_slot;
+  sr.assigned_ns <- now_ns t;
+  observe_queue_wait t
+    ~family:(Request.kind job.j_spec)
+    (ns_to_s (Int64.sub sr.assigned_ns sr.enqueued_ns));
   w.w_task <- Some (job, idx);
   w.w_idle <- false;
+  Obs.Log.info (slog t) ~event:"dispatch"
+    [
+      ("job", Obs.Log.String job.j_id);
+      ("shard", Obs.Log.Int idx);
+      ("digest", Obs.Log.String sr.shard.Planner.digest);
+      ("worker", Obs.Log.Int w.w_slot);
+      ("worker_pid", Obs.Log.Int w.w_pid);
+      ("attempt", Obs.Log.Int sr.attempts);
+    ];
+  job_event t job "dispatch"
+    [ ("shard", Obs.Tracer.Int idx); ("worker", Obs.Tracer.Int w.w_slot) ];
   try
     Protocol.write_frame w.w_fd
       (Protocol.encode_worker_msg
          (Protocol.W_shard
-            { digest = sr.shard.Planner.digest; crash; work = sr.shard.Planner.work }))
+            {
+              digest = sr.shard.Planner.digest;
+              crash;
+              job = job.j_id;
+              trace = job.j_trace;
+              work = sr.shard.Planner.work;
+            }))
   with _ ->
     (* The worker died between W_ready and this write; the EOF on its fd
        is already pending and the death path will requeue the shard. *)
@@ -323,15 +448,27 @@ let on_worker_death t w =
   (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
   t.counters.n_restarts <- t.counters.n_restarts + 1;
   Obs.Metrics.inc t.ins.i_restarts;
+  Obs.Log.warn (slog t) ~event:"worker_died"
+    [ ("slot", Obs.Log.Int w.w_slot); ("worker_pid", Obs.Log.Int w.w_pid) ];
   (match w.w_task with
   | None -> ()
   | Some (job, idx) ->
     let sr = job.j_shards.(idx) in
     w.w_task <- None;
+    job_event t job "worker_died"
+      [ ("shard", Obs.Tracer.Int idx); ("pid", Obs.Tracer.Int w.w_pid) ];
     if sr.attempts > t.cfg.max_retries then begin
       sr.state <- S_poisoned;
       t.counters.n_poisoned <- t.counters.n_poisoned + 1;
       Obs.Metrics.inc t.ins.i_poisoned;
+      Obs.Log.error (slog t) ~event:"poison"
+        [
+          ("job", Obs.Log.String job.j_id);
+          ("shard", Obs.Log.Int idx);
+          ("digest", Obs.Log.String sr.shard.Planner.digest);
+          ("attempts", Obs.Log.Int sr.attempts);
+        ];
+      job_event t job "poison" [ ("shard", Obs.Tracer.Int idx) ];
       fail_job t job
         (Printf.sprintf "shard %d (%s) poisoned after %d attempts" idx
            sr.shard.Planner.digest sr.attempts)
@@ -343,6 +480,19 @@ let on_worker_death t w =
       in
       sr.state <- S_backoff (now () +. delay);
       t.backoffs <- (job, idx) :: t.backoffs;
+      observe_backoff t delay;
+      Obs.Log.warn (slog t) ~event:"backoff"
+        [
+          ("job", Obs.Log.String job.j_id);
+          ("shard", Obs.Log.Int idx);
+          ("delay_s", Obs.Log.Float delay);
+          ("attempt", Obs.Log.Int sr.attempts);
+        ];
+      job_event t job "backoff"
+        [
+          ("shard", Obs.Tracer.Int idx);
+          ("delay_s", Obs.Tracer.Float delay);
+        ];
       logf t "worker %d died; shard %d of job %s retried in %.2fs (attempt %d)"
         w.w_pid idx job.j_id delay sr.attempts
     end);
@@ -358,7 +508,7 @@ let on_worker_readable t w =
     match (try Some (Protocol.decode_worker_reply frame) with _ -> None) with
     | None -> on_worker_death t w
     | Some Protocol.W_ready -> w.w_idle <- true
-    | Some (Protocol.W_done { digest; payload }) -> (
+    | Some (Protocol.W_done { digest; payload; obs = shard_obs }) -> (
       match w.w_task with
       | Some (job, idx)
         when job.j_shards.(idx).shard.Planner.digest = digest ->
@@ -366,7 +516,47 @@ let on_worker_readable t w =
         w.w_task <- None;
         t.counters.n_executed <- t.counters.n_executed + 1;
         Obs.Metrics.inc t.ins.i_executed;
-        Store.put t.store Store.Verdicts ~digest payload;
+        observe_execute t
+          ~family:(Request.kind job.j_spec)
+          ~worker:(string_of_int w.w_slot)
+          (ns_to_s (Int64.sub (now_ns t) sr.assigned_ns));
+        (match shard_obs with
+        | None -> ()
+        | Some so ->
+          (* Merge the worker's metric delta under its slot label, and
+             re-base its span buffer onto the daemon clock: the offset
+             maps the worker's shard-start reading onto the daemon's
+             assignment reading (message latency folds into the first
+             span, which is the honest place for it). *)
+          (match Obs.metrics t.obs with
+          | None -> ()
+          | Some m ->
+            Obs.Metrics.absorb
+              ~extra_labels:[ ("worker", string_of_int w.w_slot) ]
+              m so.Protocol.so_metrics);
+          if job.j_trace then begin
+            let offset = Int64.sub sr.assigned_ns so.Protocol.so_t0 in
+            let shifted =
+              Obs.Tracer.shift_events offset so.Protocol.so_events
+            in
+            let cell =
+              match Hashtbl.find_opt job.j_worker_events so.Protocol.so_pid with
+              | Some r -> r
+              | None ->
+                let r = ref [] in
+                Hashtbl.add job.j_worker_events so.Protocol.so_pid r;
+                r
+            in
+            cell := !cell @ shifted
+          end);
+        Obs.Log.info (slog t) ~event:"shard_done"
+          [
+            ("job", Obs.Log.String job.j_id);
+            ("shard", Obs.Log.Int idx);
+            ("digest", Obs.Log.String digest);
+            ("worker", Obs.Log.Int w.w_slot);
+          ];
+        store_put t Store.Verdicts ~digest payload;
         complete_shard t job sr payload
       | _ ->
         (* A reply for a shard we no longer track — a protocol bug.
@@ -375,10 +565,13 @@ let on_worker_readable t w =
 
 (* {2 Client events} *)
 
-let handle_submit t spec =
+let handle_submit t ~trace spec =
   Obs.Metrics.inc t.ins.i_submits;
   match Planner.plan ~max_shard_cases:t.cfg.max_shard_cases spec with
-  | Error e -> Protocol.Error_msg e
+  | Error e ->
+    Obs.Log.warn (slog t) ~event:"submit_rejected"
+      [ ("reason", Obs.Log.String e) ];
+    Protocol.Error_msg e
   | Ok shards -> (
     let job_id = Store.digest_of_fields (Request.digest_fields spec) in
     match Hashtbl.find_opt t.jobs job_id with
@@ -388,8 +581,17 @@ let handle_submit t spec =
       let shard_recs =
         List.map
           (fun (shard : Planner.shard) ->
-            let sr = { shard; state = S_queued; attempts = 0; payload = None } in
-            (match Store.get t.store Store.Verdicts ~digest:shard.Planner.digest with
+            let sr =
+              {
+                shard;
+                state = S_queued;
+                attempts = 0;
+                payload = None;
+                enqueued_ns = 0L;
+                assigned_ns = 0L;
+              }
+            in
+            (match store_get t Store.Verdicts ~digest:shard.Planner.digest with
             | Some payload ->
               incr hits;
               t.counters.n_hits <- t.counters.n_hits + 1;
@@ -417,17 +619,40 @@ let handle_submit t spec =
           j_spec = spec;
           j_shards = Array.of_list shard_recs;
           j_hits = !hits;
+          j_trace = trace;
           j_artifact = None;
           j_failed = None;
           j_waiters = [];
+          j_events = [];
+          j_worker_events = Hashtbl.create 4;
+          j_trace_json = None;
         }
       in
       Hashtbl.replace t.jobs job_id job;
       t.job_order <- job_id :: t.job_order;
       Obs.Metrics.set t.ins.i_jobs (float_of_int (Hashtbl.length t.jobs));
+      let enq = now_ns t in
       Array.iteri
-        (fun idx sr -> if sr.state = S_queued then Queue.add (job, idx) t.queue)
+        (fun idx sr ->
+          if sr.state = S_queued then begin
+            sr.enqueued_ns <- enq;
+            Queue.add (job, idx) t.queue
+          end)
         job.j_shards;
+      job_event t job "submit"
+        [
+          ("kind", Obs.Tracer.String (Request.kind spec));
+          ("shards", Obs.Tracer.Int (Array.length job.j_shards));
+          ("hits", Obs.Tracer.Int !hits);
+        ];
+      Obs.Log.info (slog t) ~event:"submit"
+        [
+          ("job", Obs.Log.String job_id);
+          ("kind", Obs.Log.String (Request.kind spec));
+          ("shards", Obs.Log.Int (Array.length job.j_shards));
+          ("hits", Obs.Log.Int !hits);
+          ("trace", Obs.Log.Bool trace);
+        ];
       logf t "job %s: %d shard(s), %d from store" job_id
         (Array.length job.j_shards) !hits;
       maybe_complete t job;
@@ -496,8 +721,8 @@ let on_client_readable t c =
         ignore
           (send_to_client c.c_fd (Protocol.Hello_err "handshake required"));
         drop ()
-      | Protocol.Submit spec ->
-        let reply = handle_submit t spec in
+      | Protocol.Submit { spec; trace } ->
+        let reply = handle_submit t ~trace spec in
         if not (send_to_client c.c_fd reply) then drop ()
       | Protocol.Status ->
         if not (send_to_client c.c_fd (Protocol.Status_report (build_status t)))
@@ -517,7 +742,8 @@ let on_client_readable t c =
             if
               not
                 (send_to_client c.c_fd
-                   (Protocol.Artifact { job = job_id; data }))
+                   (Protocol.Artifact
+                      { job = job_id; data; trace = job.j_trace_json }))
             then drop ()
           | None, Some reason ->
             if
@@ -538,6 +764,7 @@ let on_client_readable t c =
                (Protocol.Pong { build = Protocol.build_version }))
         then drop ()
       | Protocol.Shutdown ->
+        Obs.Log.info (slog t) ~event:"shutdown" [];
         ignore (send_to_client c.c_fd Protocol.Shutting_down);
         t.running <- false))
 
@@ -558,33 +785,70 @@ let http_respond fd ~status ~content_type body =
   in
   try go 0 with _ -> ()
 
+let rec head_complete s i =
+  if i + 4 > String.length s then false
+  else if
+    s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+  then true
+  else head_complete s (i + 1)
+
+(* Read until the request head terminator.  Clients legitimately dribble
+   a request across several segments (one TCP segment per header line is
+   common), so a single read is not enough; an 8 KiB cap and a receive
+   timeout bound a slow or hostile peer.  [None] means the head never
+   completed — a malformed or abandoned request. *)
+let read_request_head fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with _ -> ());
+  let cap = 8192 in
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if head_complete (Buffer.contents buf) 0 then Some (Buffer.contents buf)
+    else if Buffer.length buf >= cap then None
+    else
+      match (try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0) with
+      | 0 -> None
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ()
+
 let on_http_readable t listen =
   match (try Some (Unix.accept listen) with _ -> None) with
   | None -> ()
   | Some (fd, _) ->
     Obs.Metrics.inc t.ins.i_http;
-    let buf = Bytes.create 2048 in
-    let n = try Unix.read fd buf 0 2048 with _ -> 0 in
-    let request = Bytes.sub_string buf 0 n in
-    let path =
-      match String.split_on_char ' ' request with
-      | _meth :: path :: _ -> path
-      | _ -> ""
-    in
-    (match path with
-    | "/metrics" ->
-      let body =
-        match Obs.prometheus_text t.obs with
-        | Some text -> text
-        | None -> "# metrics disabled\n"
+    (match read_request_head fd with
+    | None ->
+      http_respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
+        "malformed request\n"
+    | Some request -> (
+      let meth, path =
+        match String.split_on_char ' ' request with
+        | meth :: path :: _ -> (meth, path)
+        | _ -> ("", "")
       in
-      http_respond fd ~status:"200 OK"
-        ~content_type:"text/plain; version=0.0.4; charset=utf-8" body
-    | "/healthz" ->
-      http_respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n"
-    | _ ->
-      http_respond fd ~status:"404 Not Found" ~content_type:"text/plain"
-        "not found\n");
+      Obs.Log.debug (slog t) ~event:"http_request"
+        [ ("method", Obs.Log.String meth); ("path", Obs.Log.String path) ];
+      if meth <> "GET" then
+        http_respond fd ~status:"405 Method Not Allowed"
+          ~content_type:"text/plain" "method not allowed\n"
+      else
+        match path with
+        | "/metrics" ->
+          let body =
+            match Obs.prometheus_text t.obs with
+            | Some text -> text
+            | None -> "# metrics disabled\n"
+          in
+          http_respond fd ~status:"200 OK"
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8" body
+        | "/healthz" ->
+          http_respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+        | _ ->
+          http_respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found\n"));
     (try Unix.close fd with _ -> ())
 
 (* {2 Main loop} *)

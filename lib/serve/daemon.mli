@@ -32,6 +32,12 @@ type config = {
           first N shard assignments instruct the worker to die without
           replying.  0 in production. *)
   log : string -> unit;  (** Progress lines; [ignore] for quiet. *)
+  slog : Obs.Log.t;
+      (** Structured JSONL log: the daemon state machine emits
+          [submit], [dispatch], [shard_done], [late_store_hit],
+          [worker_spawn], [worker_died], [backoff], [poison],
+          [job_done], [job_failed] and [shutdown] events.
+          {!Obs.Log.null} (the default) drops them all. *)
 }
 
 val default_config : socket_path:string -> store_root:string -> config

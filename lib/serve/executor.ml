@@ -1,16 +1,17 @@
 open! Import
 
-type engines = (int64, Snapshot.t) Hashtbl.t
+type engines = { eng_obs : Obs.t; eng_tbl : (int64, Snapshot.t) Hashtbl.t }
 
-let create_engines () : engines = Hashtbl.create 4
+let create_engines ?(obs = Obs.noop) () : engines =
+  { eng_obs = obs; eng_tbl = Hashtbl.create 4 }
 
 let engine_for engines config =
   let key = Config.hash config in
-  match Hashtbl.find_opt engines key with
+  match Hashtbl.find_opt engines.eng_tbl key with
   | Some snap -> snap
   | None ->
-    let snap = Snapshot.create config in
-    Hashtbl.add engines key snap;
+    let snap = Snapshot.create ~obs:engines.eng_obs config in
+    Hashtbl.add engines.eng_tbl key snap;
     snap
 
 let config_exn ~core ~mitigations =
@@ -115,14 +116,16 @@ let decode_inject_evals s =
 
 (* {2 Execution} *)
 
-let execute ~engines = function
+let execute ~engines work =
+  let obs = engines.eng_obs in
+  match work with
   | Request.W_campaign { core; mitigations; cases } ->
     let config = config_exn ~core ~mitigations in
     let snapshots = engine_for engines config in
     let outcomes =
       List.map
         (fun cd ->
-          Campaign.eval_case ~snapshots config
+          Campaign.eval_case ~obs ~snapshots config
             (Request.testcase_of_case_desc cd))
         cases
     in
@@ -142,5 +145,5 @@ let execute ~engines = function
   | Request.W_fuzz { core; options } ->
     let config = config_exn ~core ~mitigations:[] in
     let snapshots = engine_for engines config in
-    let report = Engine.run ~snapshots options config in
+    let report = Engine.run ~obs ~snapshots options config in
     Fuzz_report.to_json_string report

@@ -12,9 +12,12 @@ open! Import
 type engines
 (** Per-process snapshot-engine cache, keyed by configuration hash, so a
     worker re-uses captured machine prefixes across every shard of the
-    same configuration. *)
+    same configuration.  Engines carry the observability sink they were
+    created with; every execution threads it into the underlying
+    pipelines.  Verdict payloads stay byte-identical whether the sink is
+    noop or active — the determinism boundary [test/test_obs.ml] pins. *)
 
-val create_engines : unit -> engines
+val create_engines : ?obs:Obs.t -> unit -> engines
 
 (** [execute ~engines work] runs the shard to its outcome payload.
     Raises on invalid work items (unknown core — excluded by submit-time

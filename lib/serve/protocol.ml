@@ -55,7 +55,7 @@ let read_frame fd =
 
 type client_msg =
   | Hello of { proto : int; build : string }
-  | Submit of Request.spec
+  | Submit of { spec : Request.spec; trace : bool }
   | Status
   | Results of { job : string; wait : bool }
   | Ping
@@ -66,6 +66,7 @@ type job_status = {
   js_kind : string;
   js_total : int;
   js_done : int;
+  js_running : int;
   js_hits : int;
   js_poisoned : int;
   js_complete : bool;
@@ -87,7 +88,7 @@ type server_msg =
   | Hello_err of string
   | Submitted of job_status
   | Status_report of status
-  | Artifact of { job : string; data : string }
+  | Artifact of { job : string; data : string; trace : string option }
   | Pending of job_status
   | Failed of { job : string; reason : string }
   | Pong of { build : string }
@@ -95,10 +96,28 @@ type server_msg =
   | Error_msg of string
 
 type worker_msg =
-  | W_shard of { digest : string; crash : bool; work : Request.work }
+  | W_shard of {
+      digest : string;
+      crash : bool;
+      job : string;  (* trace context: owning job id *)
+      trace : bool;  (* collect and return span/metric deltas *)
+      work : Request.work;
+    }
   | W_exit
 
-type worker_reply = W_ready | W_done of { digest : string; payload : string }
+(* The observability delta of one traced shard: the worker's completed
+   span buffer plus the metric activity since its previous reply, with
+   the clock reference the daemon needs to re-base the timestamps. *)
+type shard_obs = {
+  so_pid : int;
+  so_t0 : int64;  (* worker clock (ns) at shard start *)
+  so_events : Obs.Tracer.event list;
+  so_metrics : Obs.Metrics.snapshot_entry list;
+}
+
+type worker_reply =
+  | W_ready
+  | W_done of { digest : string; payload : string; obs : shard_obs option }
 
 let encoded f v =
   let b = Codec.enc () in
@@ -115,13 +134,141 @@ let decoded f s =
 let bad_tag what t =
   raise (Codec.Decode_error (Printf.sprintf "unknown %s tag %d" what t))
 
+(* Floats cross the wire as their IEEE-754 bit pattern: exact, and the
+   same bytes for the same value on both ends. *)
+let enc_float b f = Codec.i64 b (Int64.bits_of_float f)
+let dec_float d = Int64.float_of_bits (Codec.i64' d)
+
+(* {3 Trace-event and metric-snapshot codecs} *)
+
+let enc_arg b = function
+  | Obs.Tracer.String s ->
+    Codec.u8 b 0;
+    Codec.str b s
+  | Obs.Tracer.Int i ->
+    Codec.u8 b 1;
+    Codec.int b i
+  | Obs.Tracer.Float f ->
+    Codec.u8 b 2;
+    enc_float b f
+  | Obs.Tracer.Bool v ->
+    Codec.u8 b 3;
+    Codec.bool b v
+
+let dec_arg d =
+  match Codec.u8' d with
+  | 0 -> Obs.Tracer.String (Codec.str' d)
+  | 1 -> Obs.Tracer.Int (Codec.int' d)
+  | 2 -> Obs.Tracer.Float (dec_float d)
+  | 3 -> Obs.Tracer.Bool (Codec.bool' d)
+  | t -> bad_tag "trace arg" t
+
+let enc_named_arg b (k, v) =
+  Codec.str b k;
+  enc_arg b v
+
+let dec_named_arg d =
+  let k = Codec.str' d in
+  let v = dec_arg d in
+  (k, v)
+
+let phase_tag = function
+  | Obs.Tracer.Begin -> 0
+  | Obs.Tracer.End -> 1
+  | Obs.Tracer.Instant -> 2
+  | Obs.Tracer.Metadata -> 3
+
+let phase_of_tag = function
+  | 0 -> Obs.Tracer.Begin
+  | 1 -> Obs.Tracer.End
+  | 2 -> Obs.Tracer.Instant
+  | 3 -> Obs.Tracer.Metadata
+  | t -> bad_tag "trace phase" t
+
+let enc_event b (e : Obs.Tracer.event) =
+  Codec.u8 b (phase_tag e.Obs.Tracer.ph);
+  Codec.str b e.Obs.Tracer.name;
+  Codec.i64 b e.Obs.Tracer.ts;
+  Codec.int b e.Obs.Tracer.tid;
+  Codec.list b enc_named_arg e.Obs.Tracer.args
+
+let dec_event d =
+  let ph = phase_of_tag (Codec.u8' d) in
+  let name = Codec.str' d in
+  let ts = Codec.i64' d in
+  let tid = Codec.int' d in
+  let args = Codec.list' d dec_named_arg in
+  { Obs.Tracer.ph; name; ts; tid; args }
+
+let enc_label b (k, v) =
+  Codec.str b k;
+  Codec.str b v
+
+let dec_label d =
+  let k = Codec.str' d in
+  let v = Codec.str' d in
+  (k, v)
+
+let enc_snapshot_value b = function
+  | Obs.Metrics.Counter_snapshot n ->
+    Codec.u8 b 0;
+    Codec.int b n
+  | Obs.Metrics.Gauge_snapshot v ->
+    Codec.u8 b 1;
+    enc_float b v
+  | Obs.Metrics.Histogram_snapshot { bounds; counts; sum; total } ->
+    Codec.u8 b 2;
+    Codec.list b enc_float bounds;
+    Codec.list b Codec.int counts;
+    enc_float b sum;
+    Codec.int b total
+
+let dec_snapshot_value d =
+  match Codec.u8' d with
+  | 0 -> Obs.Metrics.Counter_snapshot (Codec.int' d)
+  | 1 -> Obs.Metrics.Gauge_snapshot (dec_float d)
+  | 2 ->
+    let bounds = Codec.list' d dec_float in
+    let counts = Codec.list' d Codec.int' in
+    let sum = dec_float d in
+    let total = Codec.int' d in
+    Obs.Metrics.Histogram_snapshot { bounds; counts; sum; total }
+  | t -> bad_tag "metric snapshot" t
+
+let enc_snapshot_entry b (e : Obs.Metrics.snapshot_entry) =
+  Codec.str b e.Obs.Metrics.e_name;
+  Codec.list b enc_label e.Obs.Metrics.e_labels;
+  Codec.str b e.Obs.Metrics.e_help;
+  enc_snapshot_value b e.Obs.Metrics.e_value
+
+let dec_snapshot_entry d =
+  let e_name = Codec.str' d in
+  let e_labels = Codec.list' d dec_label in
+  let e_help = Codec.str' d in
+  let e_value = dec_snapshot_value d in
+  { Obs.Metrics.e_name; e_labels; e_help; e_value }
+
+let enc_shard_obs b so =
+  Codec.int b so.so_pid;
+  Codec.i64 b so.so_t0;
+  Codec.list b enc_event so.so_events;
+  Codec.list b enc_snapshot_entry so.so_metrics
+
+let dec_shard_obs d =
+  let so_pid = Codec.int' d in
+  let so_t0 = Codec.i64' d in
+  let so_events = Codec.list' d dec_event in
+  let so_metrics = Codec.list' d dec_snapshot_entry in
+  { so_pid; so_t0; so_events; so_metrics }
+
 let enc_client b = function
   | Hello { proto; build } ->
     Codec.u8 b 0;
     Codec.int b proto;
     Codec.str b build
-  | Submit spec ->
+  | Submit { spec; trace } ->
     Codec.u8 b 1;
+    Codec.bool b trace;
     Request.encode_spec b spec
   | Status -> Codec.u8 b 2
   | Results { job; wait } ->
@@ -137,7 +284,10 @@ let dec_client d =
     let proto = Codec.int' d in
     let build = Codec.str' d in
     Hello { proto; build }
-  | 1 -> Submit (Request.decode_spec d)
+  | 1 ->
+    let trace = Codec.bool' d in
+    let spec = Request.decode_spec d in
+    Submit { spec; trace }
   | 2 -> Status
   | 3 ->
     let job = Codec.str' d in
@@ -152,6 +302,7 @@ let enc_job_status b js =
   Codec.str b js.js_kind;
   Codec.int b js.js_total;
   Codec.int b js.js_done;
+  Codec.int b js.js_running;
   Codec.int b js.js_hits;
   Codec.int b js.js_poisoned;
   Codec.bool b js.js_complete;
@@ -162,11 +313,22 @@ let dec_job_status d =
   let js_kind = Codec.str' d in
   let js_total = Codec.int' d in
   let js_done = Codec.int' d in
+  let js_running = Codec.int' d in
   let js_hits = Codec.int' d in
   let js_poisoned = Codec.int' d in
   let js_complete = Codec.bool' d in
   let js_failed = Codec.option' d Codec.str' in
-  { js_job; js_kind; js_total; js_done; js_hits; js_poisoned; js_complete; js_failed }
+  {
+    js_job;
+    js_kind;
+    js_total;
+    js_done;
+    js_running;
+    js_hits;
+    js_poisoned;
+    js_complete;
+    js_failed;
+  }
 
 let enc_server b = function
   | Hello_ok { proto; build } ->
@@ -188,10 +350,11 @@ let enc_server b = function
     Codec.int b st.st_store_hits;
     Codec.int b st.st_store_misses;
     Codec.list b enc_job_status st.st_jobs
-  | Artifact { job; data } ->
+  | Artifact { job; data; trace } ->
     Codec.u8 b 4;
     Codec.str b job;
-    Codec.str b data
+    Codec.str b data;
+    Codec.option b Codec.str trace
   | Pending js ->
     Codec.u8 b 5;
     enc_job_status b js
@@ -236,7 +399,8 @@ let dec_server d =
   | 4 ->
     let job = Codec.str' d in
     let data = Codec.str' d in
-    Artifact { job; data }
+    let trace = Codec.option' d Codec.str' in
+    Artifact { job; data; trace }
   | 5 -> Pending (dec_job_status d)
   | 6 ->
     let job = Codec.str' d in
@@ -248,10 +412,12 @@ let dec_server d =
   | t -> bad_tag "server message" t
 
 let enc_worker b = function
-  | W_shard { digest; crash; work } ->
+  | W_shard { digest; crash; job; trace; work } ->
     Codec.u8 b 0;
     Codec.str b digest;
     Codec.bool b crash;
+    Codec.str b job;
+    Codec.bool b trace;
     Request.encode_work b work
   | W_exit -> Codec.u8 b 1
 
@@ -260,17 +426,20 @@ let dec_worker d =
   | 0 ->
     let digest = Codec.str' d in
     let crash = Codec.bool' d in
+    let job = Codec.str' d in
+    let trace = Codec.bool' d in
     let work = Request.decode_work d in
-    W_shard { digest; crash; work }
+    W_shard { digest; crash; job; trace; work }
   | 1 -> W_exit
   | t -> bad_tag "worker message" t
 
 let enc_worker_reply b = function
   | W_ready -> Codec.u8 b 0
-  | W_done { digest; payload } ->
+  | W_done { digest; payload; obs } ->
     Codec.u8 b 1;
     Codec.str b digest;
-    Codec.str b payload
+    Codec.str b payload;
+    Codec.option b enc_shard_obs obs
 
 let dec_worker_reply d =
   match Codec.u8' d with
@@ -278,7 +447,8 @@ let dec_worker_reply d =
   | 1 ->
     let digest = Codec.str' d in
     let payload = Codec.str' d in
-    W_done { digest; payload }
+    let obs = Codec.option' d dec_shard_obs in
+    W_done { digest; payload; obs }
   | t -> bad_tag "worker reply" t
 
 let encode_client_msg = encoded enc_client

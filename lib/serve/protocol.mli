@@ -33,7 +33,10 @@ val read_frame : Unix.file_descr -> string option
 
 type client_msg =
   | Hello of { proto : int; build : string }
-  | Submit of Request.spec
+  | Submit of { spec : Request.spec; trace : bool }
+      (** [trace] asks the daemon to collect a merged cross-process
+          trace for this job.  It travels beside the spec — never inside
+          it — so tracing a job does not perturb its store digests. *)
   | Status
   | Results of { job : string; wait : bool }
   | Ping
@@ -44,6 +47,7 @@ type job_status = {
   js_kind : string;
   js_total : int;  (** Shards planned. *)
   js_done : int;  (** Shards with a verdict (store hits included). *)
+  js_running : int;  (** Shards currently assigned to a worker. *)
   js_hits : int;  (** Shards satisfied from the store at submit time. *)
   js_poisoned : int;
   js_complete : bool;
@@ -65,7 +69,9 @@ type server_msg =
   | Hello_err of string
   | Submitted of job_status
   | Status_report of status
-  | Artifact of { job : string; data : string }
+  | Artifact of { job : string; data : string; trace : string option }
+      (** [trace] is the merged Chrome trace-event JSON, present exactly
+          when the job was submitted with tracing on. *)
   | Pending of job_status
   | Failed of { job : string; reason : string }
   | Pong of { build : string }
@@ -75,12 +81,29 @@ type server_msg =
 (** {2 Worker messages} *)
 
 type worker_msg =
-  | W_shard of { digest : string; crash : bool; work : Request.work }
+  | W_shard of {
+      digest : string;
+      crash : bool;
+      job : string;  (** Trace context: owning job id. *)
+      trace : bool;  (** Collect and return span/metric deltas. *)
+      work : Request.work;
+    }
   | W_exit
+
+(** The observability delta of one traced shard: the worker's completed
+    span buffer plus metric activity since its previous reply, with the
+    clock reference ([so_t0], worker clock in ns at shard start) the
+    daemon needs to re-base timestamps onto its own timeline. *)
+type shard_obs = {
+  so_pid : int;
+  so_t0 : int64;
+  so_events : Obs.Tracer.event list;
+  so_metrics : Obs.Metrics.snapshot_entry list;
+}
 
 type worker_reply =
   | W_ready
-  | W_done of { digest : string; payload : string }
+  | W_done of { digest : string; payload : string; obs : shard_obs option }
 
 val encode_client_msg : client_msg -> string
 val decode_client_msg : string -> client_msg

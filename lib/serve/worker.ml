@@ -1,5 +1,24 @@
+let kind_of_work = function
+  | Request.W_campaign _ -> "campaign"
+  | Request.W_inject _ -> "inject"
+  | Request.W_fuzz _ -> "fuzz"
+
+(* The worker runs one always-active sink for its whole life: engines
+   are bound to it at creation, so snapshot capture, campaign and fuzz
+   spans all land in the same tracer.  This is safe for verdicts — the
+   determinism boundary (test_obs) pins that payload bytes are identical
+   under noop and active sinks.  After every shard the span buffer is
+   drained (bounding memory on long-lived workers) and the metric
+   registry snapshotted; when the shard was traced, the drained events
+   and the metric delta since the previous shard ship back in W_done. *)
 let loop fd =
-  let engines = Executor.create_engines () in
+  let obs = Obs.create () in
+  let engines = Executor.create_engines ~obs () in
+  let metrics =
+    match Obs.metrics obs with Some m -> m | None -> assert false
+  in
+  let tracer = match Obs.tracer obs with Some t -> t | None -> assert false in
+  let last_metrics = ref (Obs.Metrics.snapshot metrics) in
   Protocol.write_frame fd (Protocol.encode_worker_reply Protocol.W_ready);
   let rec go () =
     match Protocol.read_frame fd with
@@ -7,10 +26,19 @@ let loop fd =
     | Some frame -> (
       match Protocol.decode_worker_msg frame with
       | Protocol.W_exit -> Unix._exit 0
-      | Protocol.W_shard { digest; crash; work } ->
+      | Protocol.W_shard { digest; crash; job; trace; work } ->
         if crash then Unix._exit 42;
+        let t0 = Obs.now_ns obs in
         let payload =
-          try Executor.execute ~engines work
+          try
+            Obs.span obs "shard"
+              ~args:
+                [
+                  ("job", Obs.Tracer.String job);
+                  ("digest", Obs.Tracer.String digest);
+                  ("kind", Obs.Tracer.String (kind_of_work work));
+                ]
+              (fun () -> Executor.execute ~engines work)
           with exn ->
             (* An execution failure is indistinguishable from a crash to
                the daemon (no reply, process gone), which is the right
@@ -19,8 +47,24 @@ let loop fd =
               (Unix.getpid ()) digest (Printexc.to_string exn);
             Unix._exit 1
         in
+        let events = Obs.Tracer.drain tracer in
+        let snap = Obs.Metrics.snapshot metrics in
+        let shard_obs =
+          if trace then
+            Some
+              {
+                Protocol.so_pid = Unix.getpid ();
+                so_t0 = t0;
+                so_events = events;
+                so_metrics =
+                  Obs.Metrics.diff ~before:!last_metrics ~after:snap;
+              }
+          else None
+        in
+        last_metrics := snap;
         Protocol.write_frame fd
-          (Protocol.encode_worker_reply (Protocol.W_done { digest; payload }));
+          (Protocol.encode_worker_reply
+             (Protocol.W_done { digest; payload; obs = shard_obs }));
         Protocol.write_frame fd (Protocol.encode_worker_reply Protocol.W_ready);
         go ())
   in

@@ -553,6 +553,198 @@ let test_fuzz_determinism () =
       Fuzz.Fuzz_report.to_json_string (Fuzz.Engine.run ~jobs ~obs options Config.xiangshan))
   |> all_equal "fuzz JSON"
 
+(* {1 Structured log} *)
+
+module Log = Obs.Log
+module Ojson = Obs.Json
+
+(* The deterministic mode is the testability contract: no timestamp and
+   no pid, so the same code path renders the same bytes every run. *)
+let test_log_deterministic_bytes () =
+  let render () =
+    let buf = Buffer.create 256 in
+    let log = Log.create ~deterministic:true ~writer:(Buffer.add_string buf) () in
+    Log.info log ~event:"dispatch"
+      [ ("job", Log.String "j-1"); ("shard", Log.Int 3);
+        ("wait_s", Log.Float 0.5); ("retry", Log.Bool false) ];
+    Log.warn log ~event:"backoff" [ ("worker", Log.Int 0) ];
+    Buffer.contents buf
+  in
+  let a = render () in
+  let b = render () in
+  Alcotest.(check string) "two runs render identical bytes" a b;
+  let lines = String.split_on_char '\n' a |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Ojson.parse line with
+      | Error e -> Alcotest.failf "log line is not JSON (%s): %s" e line
+      | Ok doc ->
+        Alcotest.(check bool) "line has a level" true
+          (Ojson.string_field "level" doc <> None);
+        Alcotest.(check bool) "line has an event" true
+          (Ojson.string_field "event" doc <> None);
+        Alcotest.(check bool) "deterministic mode omits ts" true
+          (Ojson.member "ts_ns" doc = None && Ojson.member "pid" doc = None))
+    lines;
+  (* Field round trip on the first line. *)
+  let first = Ojson.parse_exn (List.hd lines) in
+  Alcotest.(check (option string)) "event" (Some "dispatch")
+    (Ojson.string_field "event" first);
+  Alcotest.(check (option string)) "string field" (Some "j-1")
+    (Ojson.string_field "job" first);
+  Alcotest.(check bool) "int field" true
+    (Ojson.number_field "shard" first = Some 3.0);
+  Alcotest.(check bool) "bool field" true
+    (Option.bind (Ojson.member "retry" first) Ojson.to_bool = Some false)
+
+let test_log_level_filtering () =
+  let buf = Buffer.create 256 in
+  let log =
+    Log.create ~level:Log.Warn ~deterministic:true
+      ~writer:(Buffer.add_string buf) ()
+  in
+  Alcotest.(check bool) "debug disabled" false (Log.enabled log Log.Debug);
+  Alcotest.(check bool) "info disabled" false (Log.enabled log Log.Info);
+  Alcotest.(check bool) "warn enabled" true (Log.enabled log Log.Warn);
+  Alcotest.(check bool) "error enabled" true (Log.enabled log Log.Error);
+  Log.debug log ~event:"a" [];
+  Log.info log ~event:"b" [];
+  Log.warn log ~event:"c" [];
+  Log.error log ~event:"d" [];
+  let events =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l -> Ojson.string_field "event" (Ojson.parse_exn l))
+  in
+  Alcotest.(check (list (option string)))
+    "only warn and error survive the threshold" [ Some "c"; Some "d" ] events
+
+let test_log_null_and_levels () =
+  List.iter
+    (fun level -> Alcotest.(check bool) "null drops every level" false
+        (Log.enabled Log.null level))
+    [ Log.Debug; Log.Info; Log.Warn; Log.Error ];
+  (* Writing to null is a no-op, not an error. *)
+  Log.error Log.null ~event:"x" [ ("k", Log.String "v") ];
+  List.iter
+    (fun (level, name) ->
+      Alcotest.(check string) "level renders" name (Log.level_to_string level);
+      Alcotest.(check bool) "level parses back" true
+        (Log.level_of_string name = Some level))
+    [ (Log.Debug, "debug"); (Log.Info, "info"); (Log.Warn, "warn");
+      (Log.Error, "error") ];
+  Alcotest.(check bool) "unknown level rejected" true
+    (Log.level_of_string "verbose" = None)
+
+(* {1 Metric snapshots: the worker-delta protocol} *)
+
+let test_snapshot_diff_absorb () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "delta_total" in
+  let g = Metrics.gauge m "delta_gauge" in
+  let h = Metrics.histogram m ~buckets:[ 1.; 2. ] "delta_seconds" in
+  Metrics.inc ~by:3 c;
+  Metrics.set g 1.0;
+  Metrics.observe h 0.5;
+  let before = Metrics.snapshot m in
+  (* Quiescent period: diff of a registry against itself is empty. *)
+  Alcotest.(check int) "no activity, no delta" 0
+    (List.length (Metrics.diff ~before ~after:(Metrics.snapshot m)));
+  Metrics.inc ~by:2 c;
+  Metrics.set g 7.5;
+  Metrics.observe h 1.5;
+  Metrics.observe h 10.0;
+  let delta = Metrics.diff ~before ~after:(Metrics.snapshot m) in
+  Alcotest.(check int) "three changed series" 3 (List.length delta);
+  let find name =
+    match List.find_opt (fun e -> e.Metrics.e_name = name) delta with
+    | Some e -> e.Metrics.e_value
+    | None -> Alcotest.failf "series %s missing from delta" name
+  in
+  (match find "delta_total" with
+  | Metrics.Counter_snapshot n ->
+    Alcotest.(check int) "counter delta is the increment" 2 n
+  | _ -> Alcotest.fail "counter kind");
+  (match find "delta_gauge" with
+  | Metrics.Gauge_snapshot v ->
+    Alcotest.(check (float 0.)) "gauge delta is the latest value" 7.5 v
+  | _ -> Alcotest.fail "gauge kind");
+  (match find "delta_seconds" with
+  | Metrics.Histogram_snapshot { counts; total; sum; _ } ->
+    Alcotest.(check int) "histogram delta total" 2 total;
+    Alcotest.(check (float 1e-9)) "histogram delta sum" 11.5 sum;
+    Alcotest.(check (list int)) "per-bucket increments" [ 0; 1; 1 ] counts
+  | _ -> Alcotest.fail "histogram kind");
+  (* The daemon side: absorb the delta twice under different worker
+     labels — two distinct series, each carrying its own delta. *)
+  let daemon = Metrics.create () in
+  Metrics.absorb ~extra_labels:[ ("worker", "0") ] daemon delta;
+  Metrics.absorb ~extra_labels:[ ("worker", "0") ] daemon delta;
+  Metrics.absorb ~extra_labels:[ ("worker", "1") ] daemon delta;
+  let worker w =
+    Metrics.counter_value
+      (Metrics.counter daemon ~labels:[ ("worker", w) ] "delta_total")
+  in
+  Alcotest.(check int) "counters accumulate per label" 4 (worker "0");
+  Alcotest.(check int) "labels keep workers apart" 2 (worker "1");
+  let h0 =
+    Metrics.histogram daemon ~buckets:[ 1.; 2. ]
+      ~labels:[ ("worker", "0") ] "delta_seconds"
+  in
+  Alcotest.(check int) "histogram buckets add element-wise" 4
+    (Metrics.histogram_count h0);
+  Alcotest.(check (float 1e-9)) "histogram sums add" 23.0
+    (Metrics.histogram_sum h0);
+  (* A bucket-layout conflict is a programming error, as in registration. *)
+  let clashing = Metrics.create () in
+  let (_ : Metrics.histogram) =
+    Metrics.histogram clashing ~buckets:[ 5.; 6. ] "delta_seconds"
+  in
+  Alcotest.(check bool) "absorb rejects mismatched buckets" true
+    (try
+       Metrics.absorb clashing delta;
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 The consumer-side JSON reader} *)
+
+let test_obs_json_parser () =
+  let doc =
+    Ojson.parse_exn
+      {|{"s": "a\"b\\c\nd", "n": -1.5e2, "i": 42, "b": true, "z": null,
+         "arr": [1, "two", false], "nested": {"k": "v"}}|}
+  in
+  Alcotest.(check (option string)) "escaped string" (Some "a\"b\\c\nd")
+    (Ojson.string_field "s" doc);
+  Alcotest.(check bool) "negative exponent number" true
+    (Ojson.number_field "n" doc = Some (-150.0));
+  Alcotest.(check bool) "integer" true (Ojson.number_field "i" doc = Some 42.0);
+  Alcotest.(check bool) "bool" true
+    (Option.bind (Ojson.member "b" doc) Ojson.to_bool = Some true);
+  Alcotest.(check bool) "null is present but not coercible" true
+    (Ojson.member "z" doc = Some Ojson.Null);
+  (match Option.bind (Ojson.member "arr" doc) Ojson.to_list with
+  | Some [ a; b; c ] ->
+    Alcotest.(check bool) "array element types" true
+      (Ojson.to_number a = Some 1.0
+      && Ojson.to_string b = Some "two"
+      && Ojson.to_bool c = Some false)
+  | _ -> Alcotest.fail "array shape");
+  Alcotest.(check (option string)) "nested object member" (Some "v")
+    (Option.bind (Ojson.member "nested" doc) (Ojson.string_field "k"));
+  Alcotest.(check bool) "missing key is None" true
+    (Ojson.member "absent" doc = None);
+  Alcotest.(check bool) "member on a non-object is None" true
+    (Ojson.member "k" (Ojson.Num 1.0) = None);
+  (* Malformed inputs are Errors, not crashes. *)
+  List.iter
+    (fun src ->
+      match Ojson.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed JSON: %s" src)
+    [ "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2"; "" ]
+
 (* {1 CLI acceptance}
 
    The ISSUE's acceptance criterion, end to end: `fuzz --trace --metrics`
@@ -668,6 +860,25 @@ let () =
             test_active_sink_collects;
           Alcotest.test_case "pool counts every task exactly once" `Quick
             test_pool_task_counters;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "deterministic mode renders stable JSONL bytes"
+            `Quick test_log_deterministic_bytes;
+          Alcotest.test_case "level threshold filters events" `Quick
+            test_log_level_filtering;
+          Alcotest.test_case "null sink and level round trips" `Quick
+            test_log_null_and_levels;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "snapshot/diff/absorb carries worker deltas"
+            `Quick test_snapshot_diff_absorb;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "consumer-side parser reads values and rejects junk"
+            `Quick test_obs_json_parser;
         ] );
       ( "determinism",
         [

@@ -131,7 +131,8 @@ let test_message_roundtrips () =
   let client_msgs =
     [
       Protocol.Hello { proto = 1; build = "1.1.0" };
-      Protocol.Submit (List.hd sample_specs);
+      Protocol.Submit { spec = List.hd sample_specs; trace = false };
+      Protocol.Submit { spec = List.hd sample_specs; trace = true };
       Protocol.Status;
       Protocol.Results { job = "abc123"; wait = true };
       Protocol.Ping;
@@ -149,6 +150,7 @@ let test_message_roundtrips () =
       js_kind = "campaign";
       js_total = 10;
       js_done = 4;
+      js_running = 3;
       js_hits = 2;
       js_poisoned = 1;
       js_complete = false;
@@ -170,7 +172,13 @@ let test_message_roundtrips () =
           st_store_misses = 6;
           st_jobs = [ js ];
         };
-      Protocol.Artifact { job = "deadbeef"; data = "line1\nline2\n" };
+      Protocol.Artifact { job = "deadbeef"; data = "line1\nline2\n"; trace = None };
+      Protocol.Artifact
+        {
+          job = "deadbeef";
+          data = "line1\nline2\n";
+          trace = Some "{\"traceEvents\": []}";
+        };
       Protocol.Pending js;
       Protocol.Failed { job = "deadbeef"; reason = "poisoned" };
       Protocol.Pong { build = "1.1.0" };
@@ -183,6 +191,96 @@ let test_message_roundtrips () =
       let m' = Protocol.decode_server_msg (Protocol.encode_server_msg m) in
       Alcotest.(check bool) "server msg round-trips" true (m = m'))
     server_msgs
+
+let test_worker_message_roundtrips () =
+  let work =
+    match
+      Serve.Planner.plan
+        (Request.Campaign
+           { core = "boom"; mitigations = []; corpus = Request.Slice })
+    with
+    | Ok (s :: _) -> s.Planner.work
+    | Ok [] -> Alcotest.fail "empty plan"
+    | Error e -> Alcotest.fail e
+  in
+  let worker_msgs =
+    [
+      Protocol.W_shard
+        { digest = "d1"; crash = false; job = "j1"; trace = true; work };
+      Protocol.W_shard
+        { digest = "d2"; crash = true; job = "j2"; trace = false; work };
+      Protocol.W_exit;
+    ]
+  in
+  List.iter
+    (fun m ->
+      let m' = Protocol.decode_worker_msg (Protocol.encode_worker_msg m) in
+      Alcotest.(check bool) "worker msg round-trips" true (m = m'))
+    worker_msgs;
+  let shard_obs =
+    {
+      Protocol.so_pid = 4242;
+      so_t0 = 123_456_789L;
+      so_events =
+        [
+          {
+            Obs.Tracer.ph = Obs.Tracer.Begin;
+            name = "shard";
+            ts = 10L;
+            tid = 0;
+            args =
+              [
+                ("job", Obs.Tracer.String "j1");
+                ("n", Obs.Tracer.Int 3);
+                ("f", Obs.Tracer.Float 2.5);
+                ("ok", Obs.Tracer.Bool true);
+              ];
+          };
+          { Obs.Tracer.ph = Obs.Tracer.Instant; name = "mark"; ts = 15L; tid = 0; args = [] };
+          { Obs.Tracer.ph = Obs.Tracer.End; name = "shard"; ts = 20L; tid = 0; args = [] };
+        ];
+      so_metrics =
+        [
+          {
+            Obs.Metrics.e_name = "c";
+            e_labels = [ ("k", "v") ];
+            e_help = "help";
+            e_value = Obs.Metrics.Counter_snapshot 7;
+          };
+          {
+            Obs.Metrics.e_name = "g";
+            e_labels = [];
+            e_help = "";
+            e_value = Obs.Metrics.Gauge_snapshot 1.25;
+          };
+          {
+            Obs.Metrics.e_name = "h";
+            e_labels = [ ("worker", "0") ];
+            e_help = "hist";
+            e_value =
+              Obs.Metrics.Histogram_snapshot
+                {
+                  bounds = [ 0.1; 1.0 ];
+                  counts = [ 2; 1; 0 ];
+                  sum = 0.75;
+                  total = 3;
+                };
+          };
+        ];
+    }
+  in
+  let worker_replies =
+    [
+      Protocol.W_ready;
+      Protocol.W_done { digest = "d1"; payload = "bytes"; obs = None };
+      Protocol.W_done { digest = "d1"; payload = "bytes"; obs = Some shard_obs };
+    ]
+  in
+  List.iter
+    (fun m ->
+      let m' = Protocol.decode_worker_reply (Protocol.encode_worker_reply m) in
+      Alcotest.(check bool) "worker reply round-trips" true (m = m'))
+    worker_replies
 
 let test_decode_rejects_trailing () =
   let frame = Protocol.encode_client_msg Protocol.Ping ^ "x" in
@@ -508,14 +606,18 @@ let expected_slice_csv () =
   Teesec.Tables.table3_csv
     [ Teesec.Campaign.run ~jobs:1 Config.boom (Teesec.Mitigation_eval.slice ()) ]
 
-let submit_and_fetch client spec =
-  match Client.submit client spec with
+let submit_and_fetch_full ?trace client spec =
+  match Client.submit ?trace client spec with
   | Error e -> Alcotest.fail e
   | Ok js -> (
     match Client.results client js.Protocol.js_job with
-    | Ok (Ok data) -> (js, data)
+    | Ok (Ok art) -> (js, art)
     | Ok (Error _) -> Alcotest.fail "results returned pending despite wait"
     | Error e -> Alcotest.fail e)
+
+let submit_and_fetch client spec =
+  let js, art = submit_and_fetch_full client spec in
+  (js, art.Client.data)
 
 let test_daemon_end_to_end () =
   let expected = expected_slice_csv () in
@@ -596,6 +698,170 @@ let test_daemon_poisons_doomed_shards () =
               Alcotest.(check bool) "failure names poisoning" true
                 (contains reason "poisoned"))))
 
+(* {1 Merged traces} *)
+
+(* A hand-rolled Chrome-trace reader on top of the lib/obs JSON parser:
+   each event becomes (ph, name, pid, tid, process_name-arg). *)
+let parse_trace json =
+  let doc =
+    match Obs.Json.parse json with
+    | Ok d -> d
+    | Error e -> Alcotest.fail ("trace JSON: " ^ e)
+  in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+    | Some evs -> evs
+    | None -> Alcotest.fail "trace has no traceEvents array"
+  in
+  List.map
+    (fun ev ->
+      let str n = Option.bind (Obs.Json.member n ev) Obs.Json.to_string in
+      let num n = Option.bind (Obs.Json.member n ev) Obs.Json.to_number in
+      let req o what =
+        match o with
+        | Some v -> v
+        | None -> Alcotest.fail ("trace event missing " ^ what)
+      in
+      let ph = req (str "ph") "ph" in
+      let name = req (str "name") "name" in
+      let pid = int_of_float (req (num "pid") "pid") in
+      let tid = int_of_float (req (num "tid") "tid") in
+      if ph <> "M" then ignore (req (num "ts") "ts");
+      let pname =
+        if ph = "M" && name = "process_name" then
+          Option.bind (Obs.Json.member "args" ev) (fun a ->
+              Option.bind (Obs.Json.member "name" a) Obs.Json.to_string)
+        else None
+      in
+      (ph, name, pid, tid, pname))
+    events
+
+(* Begin/end spans must balance as a stack per (pid, tid) track. *)
+let check_balanced events =
+  let stacks = Hashtbl.create 8 in
+  List.iter
+    (fun (ph, name, pid, tid, _) ->
+      let key = (pid, tid) in
+      let s =
+        match Hashtbl.find_opt stacks key with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add stacks key s;
+          s
+      in
+      match ph with
+      | "B" -> s := name :: !s
+      | "E" -> (
+        match !s with
+        | top :: rest when top = name -> s := rest
+        | _ ->
+          Alcotest.fail
+            (Printf.sprintf "unbalanced E %S (pid %d tid %d)" name pid tid))
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun (pid, tid) s ->
+      if !s <> [] then
+        Alcotest.fail (Printf.sprintf "unclosed span (pid %d tid %d)" pid tid))
+    stacks
+
+let test_daemon_merged_trace () =
+  let expected = expected_slice_csv () in
+  with_temp_dir "serve_trace" (fun dir ->
+      let cfg = { (daemon_config dir) with Daemon.workers = 2 } in
+      with_daemon cfg (fun client ->
+          let _, art = submit_and_fetch_full ~trace:true client slice_spec in
+          Alcotest.(check string) "traced artifact = one-shot" expected
+            art.Client.data;
+          let json =
+            match art.Client.trace with
+            | Some j -> j
+            | None -> Alcotest.fail "no trace returned"
+          in
+          let events = parse_trace json in
+          check_balanced events;
+          let daemon_pid = ref None in
+          let workers = Hashtbl.create 4 in
+          List.iter
+            (fun (_, _, pid, _, pname) ->
+              match pname with
+              | Some "teesec-daemon" -> daemon_pid := Some pid
+              | Some n
+                when String.length n >= 13
+                     && String.sub n 0 13 = "teesec-worker" ->
+                Hashtbl.replace workers pid ()
+              | _ -> ())
+            events;
+          let daemon_pid =
+            match !daemon_pid with
+            | Some p -> p
+            | None -> Alcotest.fail "no daemon process metadata"
+          in
+          Alcotest.(check bool) "spans from at least two worker pids" true
+            (Hashtbl.length workers >= 2);
+          Hashtbl.iter
+            (fun wpid () ->
+              Alcotest.(check bool)
+                (Printf.sprintf "worker %d contributed a shard span" wpid)
+                true
+                (List.exists
+                   (fun (ph, name, pid, _, _) ->
+                     ph = "B" && name = "shard" && pid = wpid)
+                   events))
+            workers;
+          List.iter
+            (fun want ->
+              Alcotest.(check bool) (want ^ " instant present") true
+                (List.exists
+                   (fun (ph, name, pid, _, _) ->
+                     ph = "i" && name = want && pid = daemon_pid)
+                   events))
+            [ "submit"; "dispatch"; "job_done" ];
+          List.iter
+            (fun (_, name, pid, _, _) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "pid of %S is a declared process" name)
+                true
+                (pid = daemon_pid || Hashtbl.mem workers pid))
+            events;
+          match Client.status client with
+          | Error e -> Alcotest.fail e
+          | Ok st ->
+            let spans =
+              List.length
+                (List.filter
+                   (fun (ph, name, _, _, _) -> ph = "B" && name = "shard")
+                   events)
+            in
+            Alcotest.(check int) "one shard span per executed shard"
+              st.Protocol.st_shards_executed spans))
+
+(* Tracing must not perturb verdicts: cold runs with tracing on and off
+   (separate stores, so neither short-circuits through the other's
+   verdicts) produce byte-identical artifacts at several worker
+   counts. *)
+let test_trace_does_not_perturb_artifacts () =
+  let expected = expected_slice_csv () in
+  List.iter
+    (fun workers ->
+      let run ~trace suffix =
+        with_temp_dir ("serve_diff_" ^ suffix) (fun dir ->
+            let cfg = { (daemon_config dir) with Daemon.workers = workers } in
+            with_daemon cfg (fun client ->
+                let _, art = submit_and_fetch_full ~trace client slice_spec in
+                art.Client.data))
+      in
+      let off = run ~trace:false "off" in
+      let on = run ~trace:true "on" in
+      Alcotest.(check string)
+        (Printf.sprintf "workers=%d: untraced artifact = one-shot" workers)
+        expected off;
+      Alcotest.(check string)
+        (Printf.sprintf "workers=%d: traced artifact byte-identical" workers)
+        off on)
+    [ 1; 4 ]
+
 let test_daemon_rejects_protocol_mismatch () =
   with_temp_dir "serve_proto" (fun dir ->
       let cfg = daemon_config dir in
@@ -648,6 +914,8 @@ let () =
           quick "primitive round-trips" test_codec_primitives;
           quick "spec round-trips" test_spec_roundtrip;
           quick "message round-trips" test_message_roundtrips;
+          quick "worker messages and obs deltas round-trip"
+            test_worker_message_roundtrips;
           quick "trailing bytes rejected" test_decode_rejects_trailing;
         ] );
       ("framing", [ quick "frames round-trip a socketpair" test_framing ]);
@@ -684,5 +952,12 @@ let () =
           quick "doomed shards poison the job" test_daemon_poisons_doomed_shards;
           quick "protocol mismatch rejected at handshake"
             test_daemon_rejects_protocol_mismatch;
+        ] );
+      ( "tracing",
+        [
+          quick "merged trace: balanced, clock-aligned, every worker pid"
+            test_daemon_merged_trace;
+          quick "tracing does not perturb artifacts (workers 1 and 4)"
+            test_trace_does_not_perturb_artifacts;
         ] );
     ]
