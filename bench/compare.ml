@@ -54,6 +54,12 @@ let catalogue =
       key = [ "workers" ];
       metric = "cold_shards_per_s";
     };
+    {
+      file = "BENCH_symex.json";
+      entries = "phases";
+      key = [ "phase" ];
+      metric = "paths_per_s";
+    };
   ]
 
 let read_file path =

@@ -444,6 +444,81 @@ let write_fuzz_json ~path ~seed ~budget results =
   output_string oc (Buffer.contents buf);
   close_out oc
 
+(* {1 Machine-readable symbolic-execution record}
+
+   BENCH_symex.json tracks the symbolic explorer (lib/symex) on the SBI
+   surface: path-enumeration throughput, witnesses found, and the time
+   to lower the accepted-path witnesses into a fuzz seed corpus.  The
+   explorer report itself contains no timing (reports must be
+   byte-identical across job counts and observability), so wall clocks
+   are wrapped around the calls here; each phase reports the median of
+   [symex_reps] repetitions. *)
+
+type symex_phase = {
+  sx_core : string;
+  sx_paths : int;
+  sx_witnesses : int;
+  sx_corpus_entries : int;
+  sx_explore_s : float;  (** Median over repetitions. *)
+  sx_seed_s : float;  (** Witness-to-corpus lowering, median. *)
+}
+
+let symex_reps = 3
+
+let run_symex_phases () =
+  List.map
+    (fun config ->
+      let reps name f =
+        let acc = ref [] in
+        let result = ref None in
+        for _ = 1 to symex_reps do
+          let r, secs = timed_phase name f in
+          result := Some r;
+          acc := secs :: !acc
+        done;
+        (Option.get !result, median (List.rev !acc))
+      in
+      let report, explore_s =
+        reps "symex/explore" (fun () -> Symex.Explore.run ~jobs ~obs config)
+      in
+      let seeds, seed_s =
+        reps "symex/seed-corpus" (fun () -> Symex.Synthesize.testcases_of report)
+      in
+      let t = report.Symex.Explore.totals in
+      {
+        sx_core =
+          String.lowercase_ascii
+            (Uarch.Config.core_kind_to_string config.Uarch.Config.kind);
+        sx_paths = t.Symex.Explore.paths_total;
+        sx_witnesses = t.Symex.Explore.witnesses_total;
+        sx_corpus_entries = List.length seeds;
+        sx_explore_s = explore_s;
+        sx_seed_s = seed_s;
+      })
+    [ boom; xiangshan ]
+
+let write_symex_json ~path phases =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf buf "  \"reps\": %d,\n" symex_reps;
+  Buffer.add_string buf "  \"phases\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.bprintf buf
+        "    {\"phase\": \"explore-%s\", \"paths\": %d, \"witnesses\": %d, \
+         \"corpus_entries\": %d, \"explore_s\": %.3f, \"paths_per_s\": %.1f, \
+         \"corpus_seed_s\": %.4f}%s\n"
+        p.sx_core p.sx_paths p.sx_witnesses p.sx_corpus_entries p.sx_explore_s
+        (float_of_int p.sx_paths /. p.sx_explore_s)
+        p.sx_seed_s
+        (if i < List.length phases - 1 then "," else ""))
+    phases;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 (* {1 Machine-readable campaign-service record}
 
    BENCH_serve.json measures the lib/serve daemon on the slice campaign:
@@ -712,6 +787,20 @@ let () =
   write_fuzz_json ~path:"BENCH_fuzz.json" ~seed:fuzz_seed ~budget:fuzz_budget
     fuzz_results;
   Format.printf "fuzzing record written to BENCH_fuzz.json@.";
+
+  section "Extension: symbolic execution of the SBI surface";
+  let symex_phases = run_symex_phases () in
+  List.iter
+    (fun p ->
+      Format.printf
+        "  %-10s %3d paths, %3d witnesses -> %2d corpus entries; explore \
+         %.3fs (%.0f paths/s), seed corpus %.4fs@."
+        p.sx_core p.sx_paths p.sx_witnesses p.sx_corpus_entries p.sx_explore_s
+        (float_of_int p.sx_paths /. p.sx_explore_s)
+        p.sx_seed_s)
+    symex_phases;
+  write_symex_json ~path:"BENCH_symex.json" symex_phases;
+  Format.printf "symex record written to BENCH_symex.json@.";
 
   section "Table 4 (mitigation matrix per core)";
   let mitigation_results =

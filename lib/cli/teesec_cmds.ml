@@ -407,9 +407,23 @@ let inject_cmd =
 (* fuzz: the coverage-guided mutational engine (lib/fuzz). *)
 let fuzz_cmd =
   let run config seed budget batch energy stop_on_full quiet json save_corpus
-      jobs snapshot trace metrics =
+      corpus jobs snapshot trace metrics =
     let options =
       { Fuzz.Engine.seed; budget; batch; energy; stop_on_full }
+    in
+    let seeds =
+      match corpus with
+      | None -> None
+      | Some path -> (
+        match Fuzz.Corpus_io.load ~path with
+        | Error msg ->
+          Format.printf "failed to load %s: %s@." path msg;
+          exit 1
+        | Ok testcases ->
+          if not quiet then
+            Format.printf "seeding from %s (%d entries)@." path
+              (List.length testcases);
+          Some testcases)
     in
     let progress =
       if quiet then fun _ _ _ -> ()
@@ -418,7 +432,8 @@ let fuzz_cmd =
     let report =
       with_obs ~trace ~metrics (fun obs ->
           let snapshots = make_snapshots ~snapshot ~obs config in
-          Fuzz.Engine.run ~progress ~jobs ~obs ?snapshots options config)
+          Fuzz.Engine.run ~progress ~jobs ~obs ?snapshots ?seeds options
+            config)
     in
     Format.printf "@.%a@." Fuzz.Fuzz_report.pp report;
     (match save_corpus with
@@ -480,14 +495,20 @@ let fuzz_cmd =
            ~doc:"Write the interesting corpus entries as a corpus file \
                  (see corpus-min).")
   in
+  let corpus =
+    Arg.(value & opt (some file) None & info [ "corpus" ] ~docv:"FILE"
+           ~doc:"Seed the campaign from a corpus file (e.g. one emitted by \
+                 symex --emit-corpus); the entries run right after the \
+                 built-in seeds.  Ignored by the blind baseline (--energy 0).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Run the coverage-guided mutational fuzzing engine against a core \
           and report discovery times per leakage case.")
     Term.(const run $ core_arg $ seed $ budget $ batch $ energy $ stop_on_full
-          $ quiet $ json $ save_corpus $ jobs_arg $ snapshot_arg $ trace_arg
-          $ metrics_arg)
+          $ quiet $ json $ save_corpus $ corpus $ jobs_arg $ snapshot_arg
+          $ trace_arg $ metrics_arg)
 
 (* corpus-min: standalone corpus distillation. *)
 let corpus_min_cmd =
@@ -520,6 +541,60 @@ let corpus_min_cmd =
          "Reduce a corpus to a minimal subset preserving its coverage on a \
           core (greedy set cover over coverage edges; deterministic).")
     Term.(const run $ core_arg $ input $ output $ jobs_arg)
+
+(* symex: symbolic exploration of the SBI surface. *)
+let symex_cmd =
+  let run config max_paths emit_corpus json quiet jobs trace metrics =
+    if max_paths <= 0 then begin
+      Format.printf "--max-paths must be positive, got %d@." max_paths;
+      exit 1
+    end;
+    let report =
+      with_obs ~trace ~metrics (fun obs ->
+          Symex.Explore.run ~jobs ~max_paths ~obs config)
+    in
+    if not quiet then print_string (Symex.Symex_report.to_text report);
+    (match json with
+    | Some path ->
+      Symex.Symex_report.save_json ~path report;
+      Format.printf "JSON report written to %s@." path
+    | None -> ());
+    match emit_corpus with
+    | Some path ->
+      let n = Symex.Synthesize.emit report ~path in
+      Format.printf "corpus: %d entr%s written to %s@." n
+        (if n = 1 then "y" else "ies")
+        path
+    | None -> ()
+  in
+  let max_paths =
+    Arg.(value & opt int Symex.Explore.default_max_paths
+         & info [ "max-paths" ] ~docv:"N"
+             ~doc:"Path budget per (scenario, call) model program; the DFS \
+                   stops and the report is marked truncated once reached.")
+  in
+  let emit_corpus =
+    Arg.(value & opt (some string) None & info [ "emit-corpus" ] ~docv:"FILE"
+           ~doc:"Lower the accepted-path witnesses into gadget test cases \
+                 and write them as a corpus file (load with fuzz --corpus).")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the deterministic JSON report (byte-identical for \
+                 every --jobs).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No text summary.")
+  in
+  Cmd.v
+    (Cmd.info "symex"
+       ~doc:
+         "Symbolically execute the SBI surface: enumerate every monitor \
+          entry path per call, concretise witness argument vectors, \
+          validate them by concrete replay, and optionally synthesise a \
+          fuzz seed corpus from the accepted paths.")
+    Term.(const run $ core_arg $ max_paths $ emit_corpus $ json $ quiet
+          $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* mitigations *)
 let mitigations_cmd =
@@ -700,6 +775,9 @@ let profile_cmd =
           Fuzz.Engine.run ~jobs ~obs
             { Fuzz.Engine.default with Fuzz.Engine.budget }
             config)
+    in
+    let (_ : Symex.Explore.t) =
+      phase "symex" (fun () -> Symex.Explore.run ~jobs ~obs config)
     in
     Format.printf "%-20s %10s %14s %14s %14s@." "phase" "time (s)"
       "minor words" "major words" "promoted";
@@ -1327,6 +1405,7 @@ let subcommands =
     campaign_cmd;
     fuzz_cmd;
     corpus_min_cmd;
+    symex_cmd;
     inject_cmd;
     mitigations_cmd;
     profile_cmd;

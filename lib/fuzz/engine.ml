@@ -104,7 +104,7 @@ let instruments obs =
       }
 
 let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
-    options config =
+    ?seeds options config =
   if options.budget < 0 then invalid_arg "Engine.run: negative budget";
   if options.batch <= 0 then invalid_arg "Engine.run: batch must be positive";
   if options.energy < 0 || options.energy > 100 then
@@ -127,7 +127,16 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
      every gadget family; the blind baseline (energy 0) starts cold so
      its stream is exactly [Fuzzer.random_corpus]. *)
   let pending_seeds =
-    ref (if options.energy > 0 then seed_corpus () else [])
+    (* External seeds (a symex-synthesised corpus, say) run after the
+       built-in ones, so a seeded campaign's stream is a superset whose
+       prefix is exactly the unseeded one — discoveries the baseline
+       makes inside that prefix happen at the same executed count.  With
+       [seeds] absent the stream is exactly the historical one, and the
+       blind baseline stays cold either way. *)
+    ref
+      (if options.energy > 0 then
+         seed_corpus () @ Option.value seeds ~default:[]
+       else [])
   in
   let explore ~id = Fuzzer.random_case ~rng_state ~id in
   let generate ~id =

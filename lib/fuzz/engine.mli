@@ -71,12 +71,20 @@ type report = {
 
     [snapshots], if given, establishes each candidate's setup prefix
     through the snapshot engine (see {!Teesec.Snapshot}); the report
-    stays byte-identical either way. *)
+    stays byte-identical either way.
+
+    [seeds] appends external seed test cases (e.g. a symex-synthesised
+    corpus loaded through {!Corpus_io}) after the built-in
+    {!seed_corpus} in guided mode; they are renumbered onto the executed
+    stream, consume no randomness, and share the one coverage bitmap,
+    so the seeded stream's prefix is exactly the unseeded one.  The
+    blind baseline ([energy = 0]) ignores them and stays cold. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
   ?obs:Obs.t ->
   ?snapshots:Snapshot.t ->
+  ?seeds:Testcase.t list ->
   options ->
   Config.t ->
   report

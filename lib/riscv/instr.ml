@@ -50,6 +50,30 @@ let alu_name = function
 
 let cond_name = function Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Ge -> "bge"
 
+(* Reference ALU/branch semantics.  [Machine] executes these, and the
+   symbolic evaluator in lib/symex folds them over constant operands, so
+   keeping a single definition here is what makes concrete replay of a
+   symbolic path exact rather than merely similar.  Shift amounts take
+   the low six bits, matching RV64; comparisons are signed. *)
+let eval_alu op a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Xor -> Int64.logxor a b
+  | Or -> Int64.logor a b
+  | And -> Int64.logand a b
+  | Sll -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | Srl -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+
+let eval_cond c a b =
+  match c with
+  | Eq -> Int64.equal a b
+  | Ne -> not (Int64.equal a b)
+  | Lt -> Int64.compare a b < 0
+  | Ge -> Int64.compare a b >= 0
+
+let negate_cond = function Eq -> Ne | Ne -> Eq | Lt -> Ge | Ge -> Lt
+
 let pp fmt = function
   | Li (rd, v) -> Format.fprintf fmt "li x%d, %s" rd (Word.to_hex v)
   | Alu (op, rd, rs1, rs2) ->

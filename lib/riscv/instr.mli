@@ -34,6 +34,23 @@ type alu_op = Add | Sub | Xor | Or | And | Sll | Srl
 
 type cond = Eq | Ne | Lt | Ge
 
+val eval_alu : alu_op -> Word.t -> Word.t -> Word.t
+(** Reference ALU semantics shared by the concrete machine
+    ({!Uarch.Machine}) and the symbolic evaluator (lib/symex).  Shifts
+    use the low six bits of the second operand, as RV64 does. *)
+
+val eval_cond : cond -> Word.t -> Word.t -> bool
+(** Reference branch-condition semantics ([Lt]/[Ge] are signed),
+    likewise shared between concrete and symbolic execution. *)
+
+val alu_name : alu_op -> string
+val cond_name : cond -> string
+
+val negate_cond : cond -> cond
+(** [negate_cond c] is the condition holding exactly when [c] does not;
+    the symbolic evaluator uses it to phrase the fall-through path of a
+    branch as a positive constraint. *)
+
 type t =
   | Li of reg * Word.t  (** Load immediate (pseudo-instruction). *)
   | Alu of alu_op * reg * reg * reg  (** [Alu (op, rd, rs1, rs2)]. *)

@@ -1,0 +1,208 @@
+open! Import
+
+type stop = Halted | Out_of_program | Ecall | Step_limit
+
+type path = {
+  path_id : int;
+  decisions : bool list;
+  constraints : Expr.rel list;
+  env : Solver.env;
+  stop : stop;
+  a0 : Expr.t;
+  a1 : Expr.t;
+  steps : int;
+}
+
+type result = {
+  paths : path list;
+  forks : int;
+  pruned : int;
+  truncated : bool;
+}
+
+let default_max_paths = 256
+let default_max_steps = 4096
+
+type st = {
+  pc : Word.t;
+  regs : Expr.t array;  (* 32; index 0 pinned to Const 0 *)
+  decisions : bool list;  (* reversed *)
+  constraints : Expr.rel list;  (* reversed *)
+  env : Solver.env;
+  steps : int;
+}
+
+let initial_state prog =
+  let regs = Array.make 32 (Expr.const 0L) in
+  for i = 0 to 7 do
+    regs.(Instr.a0 + i) <- Expr.sym i
+  done;
+  {
+    pc = Program.base prog;
+    regs;
+    decisions = [];
+    constraints = [];
+    env = Solver.top_env ();
+    steps = 0;
+  }
+
+let set_reg st rd e =
+  if rd = 0 then st.regs
+  else begin
+    let regs = Array.copy st.regs in
+    regs.(rd) <- e;
+    regs
+  end
+
+let advance st ~pc ~regs = { st with pc; regs; steps = st.steps + 1 }
+let next_pc st = Int64.add st.pc 4L
+
+let run ?(max_paths = default_max_paths) ?(max_steps = default_max_steps) prog =
+  let paths = ref [] in
+  let completed = ref 0 in
+  let forks = ref 0 in
+  let pruned = ref 0 in
+  let truncated = ref false in
+  let complete st stop =
+    paths :=
+      {
+        path_id = !completed;
+        decisions = List.rev st.decisions;
+        constraints = List.rev st.constraints;
+        env = st.env;
+        stop;
+        a0 = st.regs.(Instr.a0);
+        a1 = st.regs.(Instr.a1);
+        steps = st.steps;
+      }
+      :: !paths;
+    incr completed
+  in
+  (* Explicit DFS: [exec] runs one state to its next completion, pushing
+     the taken direction of each symbolic fork; the fall-through
+     direction continues immediately, so the enumeration order is a
+     fixed function of the program alone. *)
+  let stack = ref [ initial_state prog ] in
+  while !stack <> [] && !completed < max_paths do
+    let st = List.hd !stack in
+    stack := List.tl !stack;
+    let rec exec st =
+      if !completed >= max_paths then truncated := true
+      else if st.steps >= max_steps then complete st Step_limit
+      else
+        match Program.fetch prog ~pc:st.pc with
+        | None -> complete st Out_of_program
+        | Some instr -> (
+          match instr with
+          | Instr.Halt -> complete { st with steps = st.steps + 1 } Halted
+          | Instr.Ecall -> complete { st with steps = st.steps + 1 } Ecall
+          | Instr.Nop | Instr.Fence | Instr.Store _ | Instr.Csrw _ ->
+            exec (advance st ~pc:(next_pc st) ~regs:st.regs)
+          | Instr.Li (rd, v) ->
+            exec (advance st ~pc:(next_pc st) ~regs:(set_reg st rd (Expr.const v)))
+          | Instr.Alu (op, rd, rs1, rs2) ->
+            let e = Expr.bin op st.regs.(rs1) st.regs.(rs2) in
+            exec (advance st ~pc:(next_pc st) ~regs:(set_reg st rd e))
+          | Instr.Alui (op, rd, rs1, imm) ->
+            let e = Expr.bin op st.regs.(rs1) (Expr.const imm) in
+            exec (advance st ~pc:(next_pc st) ~regs:(set_reg st rd e))
+          | Instr.Load { rd; _ } ->
+            (* No memory model: loads havoc to the concrete 0 the
+               zero-initialised machine would produce. *)
+            exec (advance st ~pc:(next_pc st) ~regs:(set_reg st rd (Expr.const 0L)))
+          | Instr.Csrr (rd, _) ->
+            exec (advance st ~pc:(next_pc st) ~regs:(set_reg st rd (Expr.const 0L)))
+          | Instr.Jal label ->
+            exec (advance st ~pc:(Program.resolve prog label) ~regs:st.regs)
+          | Instr.Branch (cond, rs1, rs2, label) -> (
+            let lhs = st.regs.(rs1) and rhs = st.regs.(rs2) in
+            match (lhs, rhs) with
+            | Expr.Const a, Expr.Const b ->
+              (* Concrete branch: follow the real edge, no fork. *)
+              let pc =
+                if Instr.eval_cond cond a b then Program.resolve prog label
+                else next_pc st
+              in
+              exec (advance st ~pc ~regs:st.regs)
+            | _ ->
+              incr forks;
+              let taken_rel = { Expr.cond; lhs; rhs } in
+              let fall_rel = Expr.negate_rel taken_rel in
+              let direction rel ~taken =
+                match Solver.refine rel st.env with
+                | None ->
+                  incr pruned;
+                  None
+                | Some env ->
+                  Some
+                    {
+                      pc =
+                        (if taken then Program.resolve prog label
+                         else next_pc st);
+                      regs = st.regs;
+                      decisions = taken :: st.decisions;
+                      constraints = rel :: st.constraints;
+                      env;
+                      steps = st.steps + 1;
+                    }
+              in
+              (match direction taken_rel ~taken:true with
+              | Some st' -> stack := st' :: !stack
+              | None -> ());
+              (match direction fall_rel ~taken:false with
+              | Some st' -> exec st'
+              | None -> ())))
+    in
+    exec st
+  done;
+  if !stack <> [] then truncated := true;
+  { paths = List.rev !paths; forks = !forks; pruned = !pruned;
+    truncated = !truncated }
+
+(* {2 Concrete replay oracle} *)
+
+let concrete prog ~args =
+  if Array.length args <> 8 then invalid_arg "Eval.concrete";
+  let regs = Array.make 32 0L in
+  for i = 0 to 7 do
+    regs.(Instr.a0 + i) <- args.(i)
+  done;
+  let set rd v = if rd <> 0 then regs.(rd) <- v in
+  let pc = ref 0L in
+  pc := Program.base prog;
+  let steps = ref 0 in
+  let stop = ref None in
+  while Option.is_none !stop do
+    incr steps;
+    if !steps > default_max_steps then stop := Some Step_limit
+    else
+      match Program.fetch prog ~pc:!pc with
+      | None -> stop := Some Out_of_program
+      | Some instr -> (
+        let next = Int64.add !pc 4L in
+        match instr with
+        | Instr.Halt -> stop := Some Halted
+        | Instr.Ecall -> stop := Some Ecall
+        | Instr.Nop | Instr.Fence | Instr.Store _ | Instr.Csrw _ -> pc := next
+        | Instr.Li (rd, v) ->
+          set rd v;
+          pc := next
+        | Instr.Alu (op, rd, rs1, rs2) ->
+          set rd (Instr.eval_alu op regs.(rs1) regs.(rs2));
+          pc := next
+        | Instr.Alui (op, rd, rs1, imm) ->
+          set rd (Instr.eval_alu op regs.(rs1) imm);
+          pc := next
+        | Instr.Load { rd; _ } ->
+          set rd 0L;
+          pc := next
+        | Instr.Csrr (rd, _) ->
+          set rd 0L;
+          pc := next
+        | Instr.Jal label -> pc := Program.resolve prog label
+        | Instr.Branch (cond, rs1, rs2, label) ->
+          if Instr.eval_cond cond regs.(rs1) regs.(rs2) then
+            pc := Program.resolve prog label
+          else pc := next)
+  done;
+  ((regs.(Instr.a0), regs.(Instr.a1)), Option.get !stop)

@@ -1,0 +1,127 @@
+open! Import
+
+let pp fmt (r : Explore.t) =
+  Format.fprintf fmt
+    "Symbolic exploration of the SBI surface on %s (max %d paths/call%s)@."
+    r.Explore.core r.Explore.max_paths
+    (if r.Explore.truncated then ", TRUNCATED" else "");
+  let t = r.Explore.totals in
+  Format.fprintf fmt
+    "  %d paths, %d witnesses (%d replay ok, %d monitor ok), %d symex-only@."
+    t.Explore.paths_total t.Explore.witnesses_total t.Explore.replay_ok_total
+    t.Explore.monitor_ok_total t.Explore.symex_only_total;
+  Format.fprintf fmt
+    "  %d missing-validation findings; solver: %d unsat, %d gave up; %d coverage edges@."
+    t.Explore.findings_total t.Explore.unsat_total t.Explore.gave_up_total
+    t.Explore.edges_covered;
+  (* One row per scenario × call. *)
+  List.iter
+    (fun (u : Explore.unit_report) ->
+      let witnessed =
+        List.length (List.filter (fun p -> p.Explore.witness <> None) u.Explore.paths)
+      in
+      let accepted =
+        List.filter
+          (fun (p : Explore.path_report) ->
+            match p.Explore.leaf with
+            | Some { Sbi_paths.outcome = Sbi_paths.Accepted; _ } -> true
+            | _ -> false)
+          u.Explore.paths
+      in
+      let findings =
+        List.concat_map (fun p -> List.map Explore.finding_to_string p.Explore.findings)
+          accepted
+      in
+      Format.fprintf fmt "  %-10s %-16s %2d paths, %2d witnessed%s@."
+        u.Explore.scenario
+        (Sbi.to_string u.Explore.call)
+        (List.length u.Explore.paths)
+        witnessed
+        (if findings = [] then ""
+         else Printf.sprintf "  [%s]" (String.concat " " findings)))
+    r.Explore.units
+
+let to_text r = Format.asprintf "%a" pp r
+
+(* {2 JSON} — hand-rolled like the other report modules. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+let json_bool b = if b then "true" else "false"
+
+let json_witness (w : Explore.witness) =
+  Printf.sprintf "{\"args\": [%s], \"replay_ok\": %s, \"monitor_ok\": %s}"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun a -> json_string (Word.to_hex a)) w.Explore.args)))
+    (json_bool w.Explore.replay_ok)
+    (json_bool w.Explore.monitor_ok)
+
+let json_leaf (l : Sbi_paths.leaf) =
+  Printf.sprintf
+    "{\"leaf_id\": %d, \"outcome\": %s, \"result\": %s, \"eid\": %s}"
+    l.Sbi_paths.leaf_id
+    (json_string (Sbi_paths.outcome_to_string l.Sbi_paths.outcome))
+    (match l.Sbi_paths.result with
+    | Some r -> json_string (Word.to_hex r)
+    | None -> "null")
+    (match l.Sbi_paths.eid with Some e -> string_of_int e | None -> "null")
+
+let json_path (p : Explore.path_report) =
+  Printf.sprintf
+    "{\"path_id\": %d, \"leaf\": %s, \"decisions\": [%s], \"constraints\": [%s], \
+     \"witness\": %s, \"findings\": [%s], \"baseline_reachable\": %s, \"steps\": %d}"
+    p.Explore.path_id
+    (match p.Explore.leaf with Some l -> json_leaf l | None -> "null")
+    (String.concat ", " (List.map json_bool p.Explore.decisions))
+    (String.concat ", " (List.map json_string p.Explore.constraints))
+    (match p.Explore.witness with Some w -> json_witness w | None -> "null")
+    (String.concat ", "
+       (List.map (fun f -> json_string (Explore.finding_to_string f)) p.Explore.findings))
+    (json_bool p.Explore.baseline_reachable)
+    p.Explore.steps
+
+let json_unit (u : Explore.unit_report) =
+  Printf.sprintf
+    "{\"scenario\": %s, \"call\": %s, \"forks\": %d, \"pruned\": %d, \
+     \"truncated\": %s, \"paths\": [%s]}"
+    (json_string u.Explore.scenario)
+    (json_string (Sbi.to_string u.Explore.call))
+    u.Explore.forks u.Explore.pruned
+    (json_bool u.Explore.truncated)
+    (String.concat ", " (List.map json_path u.Explore.paths))
+
+let to_json_string (r : Explore.t) =
+  let t = r.Explore.totals in
+  Printf.sprintf
+    "{\n\
+    \  \"core\": %s,\n\
+    \  \"max_paths\": %d,\n\
+    \  \"truncated\": %s,\n\
+    \  \"totals\": {\"paths\": %d, \"witnesses\": %d, \"replay_ok\": %d, \
+     \"monitor_ok\": %d, \"symex_only\": %d, \"findings\": %d, \"unsat\": %d, \
+     \"gave_up\": %d, \"edges_covered\": %d},\n\
+    \  \"units\": [\n    %s\n  ]\n}\n"
+    (json_string r.Explore.core) r.Explore.max_paths
+    (json_bool r.Explore.truncated)
+    t.Explore.paths_total t.Explore.witnesses_total t.Explore.replay_ok_total
+    t.Explore.monitor_ok_total t.Explore.symex_only_total t.Explore.findings_total
+    t.Explore.unsat_total t.Explore.gave_up_total t.Explore.edges_covered
+    (String.concat ",\n    " (List.map json_unit r.Explore.units))
+
+let save_json ~path r =
+  let oc = open_out path in
+  output_string oc (to_json_string r);
+  close_out oc

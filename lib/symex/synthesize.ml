@@ -1,0 +1,66 @@
+open! Import
+
+(* Which concrete gadget family exercises the monitor path a call's
+   accepted leaf lands on.  Destroy maps onto the destroy-memset residue
+   chain (D3), attest onto the enclave-memory access chain, the
+   run/resume pair onto the metadata channels their context switches
+   feed, create/stop onto plain enclave access chains and exit onto the
+   host-from-enclave probe. *)
+let access_path_of_call = function
+  | Sbi.Create_enclave -> Access_path.Exp_acc_enc_l1
+  | Sbi.Run_enclave -> Access_path.Meta_hpc
+  | Sbi.Stop_enclave -> Access_path.Exp_acc_enc_stb
+  | Sbi.Resume_enclave -> Access_path.Meta_btb
+  | Sbi.Exit_enclave -> Access_path.Exp_acc_host_from_enclave
+  | Sbi.Destroy_enclave -> Access_path.Imp_acc_destroy_memset
+  | Sbi.Attest_enclave -> Access_path.Exp_acc_enc_mem
+
+(* Params derived deterministically from the witness: the argument
+   vector seeds the data pattern (distinct witnesses stay distinct in
+   the corpus) and picks an aligned offset inside the secret line. *)
+let params_of_witness call (w : Explore.witness) leaf_id =
+  let a0 = w.Explore.args.(0) in
+  let seed =
+    Word.splitmix64
+      (Int64.logxor a0
+         (Int64.logxor (Sbi.to_code call) (Int64.of_int (leaf_id * 131))))
+  in
+  let offset = Int64.to_int (Int64.logand a0 63L) land 0x38 in
+  Params.make ~offset ~width:8 ~variant:0 ~seed ()
+
+let testcases_of (report : Explore.t) =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  let next_id = ref 0 in
+  List.iter
+    (fun (u : Explore.unit_report) ->
+      List.iter
+        (fun (p : Explore.path_report) ->
+          match (p.Explore.leaf, p.Explore.witness) with
+          | ( Some { Sbi_paths.outcome = Sbi_paths.Accepted; leaf_id; _ },
+              Some w ) -> (
+            let path = access_path_of_call u.Explore.call in
+            let params = params_of_witness u.Explore.call w leaf_id in
+            let key =
+              Printf.sprintf "%s %d %d %d 0x%Lx"
+                (Access_path.to_string path)
+                params.Params.offset params.Params.width params.Params.variant
+                params.Params.seed
+            in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              match Assembler.assemble ~id:!next_id path ~params with
+              | tc ->
+                incr next_id;
+                acc := tc :: !acc
+              | exception Assembler.Invalid_chain _ -> ()
+            end)
+          | _ -> ())
+        u.Explore.paths)
+    report.Explore.units;
+  List.rev !acc
+
+let emit report ~path =
+  let testcases = testcases_of report in
+  Corpus_io.save ~path testcases;
+  List.length testcases

@@ -988,22 +988,10 @@ let in_fetch_image t ~pc =
     Int64.unsigned_compare pc base >= 0
     && Int64.unsigned_compare pc (Int64.add base (Int64.of_int len)) < 0
 
-let eval_alu op a b =
-  match (op : Instr.alu_op) with
-  | Instr.Add -> Int64.add a b
-  | Instr.Sub -> Int64.sub a b
-  | Instr.Xor -> Int64.logxor a b
-  | Instr.Or -> Int64.logor a b
-  | Instr.And -> Int64.logand a b
-  | Instr.Sll -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
-  | Instr.Srl -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
-
-let eval_cond c a b =
-  match (c : Instr.cond) with
-  | Instr.Eq -> Int64.equal a b
-  | Instr.Ne -> not (Int64.equal a b)
-  | Instr.Lt -> Int64.compare a b < 0
-  | Instr.Ge -> Int64.compare a b >= 0
+(* The reference ALU/branch semantics live in {!Instr} so the symbolic
+   evaluator (lib/symex) folds exactly what the machine executes. *)
+let eval_alu = Instr.eval_alu
+let eval_cond = Instr.eval_cond
 
 (* Branch execution: consult the uBTB prediction, pay the misprediction
    penalty, and update both predictors with the outcome.  Entries record

@@ -278,6 +278,62 @@ let test_sbi_from_host_program () =
   run [ Instr.Li (Instr.a7, 4242L); Instr.Ecall; Instr.Halt ];
   Alcotest.(check word) "error code" Sbi.error_code (Machine.get_reg machine Instr.a0)
 
+let test_sbi_error_code_propagation () =
+  (* Every handler error path must surface as [Sbi.error_code] in [a0]
+     after the ECALL — the contract the symbolic explorer's model
+     programs (lib/symex, Tee.Sbi_paths) predict per rejected leaf. *)
+  let machine, sm = install () in
+  let run instrs =
+    ignore
+      (Security_monitor.run_host sm
+         (Program.of_instrs ~base:Memory_layout.host_code_base instrs))
+  in
+  let check_a0 name expected =
+    Alcotest.(check word) name expected (Machine.get_reg machine Instr.a0)
+  in
+  (* Dispatch-level: unknown function code. *)
+  run [ Instr.Li (Instr.a7, 31337L); Instr.Ecall; Instr.Halt ];
+  check_a0 "unknown code" Sbi.error_code;
+  (* Invalid enclave id on an empty table. *)
+  run
+    [
+      Instr.Li (Instr.a0, 5L);
+      Instr.Li (Instr.a7, Sbi.to_code Sbi.Run_enclave);
+      Instr.Ecall;
+      Instr.Halt;
+    ];
+  check_a0 "invalid id" Sbi.error_code;
+  (* Lifecycle refusal: resuming a fresh (never-run) enclave. *)
+  let eid = create_exn sm in
+  run
+    [
+      Instr.Li (Instr.a0, Int64.of_int eid);
+      Instr.Li (Instr.a7, Sbi.to_code Sbi.Resume_enclave);
+      Instr.Ecall;
+      Instr.Halt;
+    ];
+  check_a0 "lifecycle refusal" Sbi.error_code;
+  (* Context refusal: exit from the host. *)
+  run [ Instr.Li (Instr.a7, Sbi.to_code Sbi.Exit_enclave); Instr.Ecall; Instr.Halt ];
+  check_a0 "exit from host" Sbi.error_code;
+  (* The handler truncates the eid to its low 63 bits (Int64.to_int), so
+     an id with bit 63 set aliases a live enclave instead of erroring —
+     the missing-validation path the symbolic explorer flags as
+     [a0:high-bits-ignored].  Characterise it so any future fix shows up
+     here. *)
+  Security_monitor.register_enclave_program sm eid
+    (enclave_prog eid [ Instr.Halt ]);
+  run
+    [
+      Instr.Li (Instr.a0, Int64.logor Int64.min_int (Int64.of_int eid));
+      Instr.Li (Instr.a7, Sbi.to_code Sbi.Run_enclave);
+      Instr.Ecall;
+      Instr.Halt;
+    ];
+  Alcotest.(check bool) "bit-63 eid aliases a live enclave (not an error)"
+    true
+    (not (Int64.equal (Machine.get_reg machine Instr.a0) Sbi.error_code))
+
 let test_enclave_slot_exhaustion () =
   let _machine, sm = install () in
   for _ = 1 to Memory_layout.max_enclaves do
@@ -475,6 +531,8 @@ let () =
           Alcotest.test_case "measurement and attestation" `Quick
             test_measurement_attestation;
           Alcotest.test_case "SBI from host program" `Quick test_sbi_from_host_program;
+          Alcotest.test_case "SBI error-code propagation" `Quick
+            test_sbi_error_code_propagation;
           Alcotest.test_case "slot exhaustion" `Quick test_enclave_slot_exhaustion;
           Alcotest.test_case "invalid enclave id" `Quick test_invalid_enclave_id;
           Alcotest.test_case "no flush by default" `Quick test_no_flush_by_default;
