@@ -1,6 +1,6 @@
 (* Bench regression gate: diff a fresh bench run against the checked-in
-   BENCH_*.json baselines and fail (exit 1) when any throughput metric
-   regressed by more than the threshold.
+   BENCH_*.json baselines and fail (exit 1) when an *enforced* series'
+   throughput regressed by more than the threshold.
 
    Usage: compare --baseline DIR --fresh DIR [--threshold PCT]
 
@@ -8,10 +8,15 @@
    shards/s), so a regression is fresh < baseline * (1 - threshold).
    Files missing on either side are reported and skipped rather than
    failed: the serve record, for instance, predates some baselines, and
-   CI machines differ in which phases they run.  The CI step itself is
-   warn-only (continue-on-error) — machine-to-machine variance makes a
-   hard gate on wall-clock numbers too noisy — but the tool's exit code
-   makes the warning visible in the step summary. *)
+   CI machines differ in which phases they run.
+
+   Two tiers.  The campaign and snapshot records gate CI: they are the
+   paper-reproduction path and the engine the whole harness stands on,
+   their workloads are large enough to average out runner jitter, and
+   the 20% default threshold is far beyond machine variance on them.
+   Everything else is advisory — printed as WARN, never fatal — because
+   those phases are short enough that machine-to-machine variance alone
+   can cross the threshold. *)
 
 module Json = Obs.Json
 
@@ -20,6 +25,7 @@ type series = {
   entries : string;  (* field holding the list of records *)
   key : string list;  (* fields identifying a record within the list *)
   metric : string;  (* higher-is-better throughput field *)
+  enforcing : bool;  (* regression here fails the run; else warn-only *)
 }
 
 let catalogue =
@@ -29,36 +35,49 @@ let catalogue =
       entries = "campaigns";
       key = [ "core" ];
       metric = "cases_per_s";
+      enforcing = true;
     };
     {
       file = "BENCH_inject.json";
       entries = "campaigns";
       key = [ "core" ];
       metric = "cases_per_s";
+      enforcing = false;
     };
     {
       file = "BENCH_fuzz.json";
       entries = "campaigns";
       key = [ "core"; "mode" ];
       metric = "cases_per_s";
+      enforcing = false;
     };
     {
       file = "BENCH_snapshot.json";
       entries = "phases";
       key = [ "phase" ];
       metric = "snapshot_units_per_s";
+      enforcing = true;
     };
     {
       file = "BENCH_serve.json";
       entries = "phases";
       key = [ "workers" ];
       metric = "cold_shards_per_s";
+      enforcing = false;
     };
     {
       file = "BENCH_symex.json";
       entries = "phases";
       key = [ "phase" ];
       metric = "paths_per_s";
+      enforcing = false;
+    };
+    {
+      file = "BENCH_wave.json";
+      entries = "phases";
+      key = [ "phase" ];
+      metric = "on_units_per_s";
+      enforcing = false;
     };
   ]
 
@@ -129,7 +148,8 @@ let () =
     prerr_endline usage;
     exit 2
   end;
-  let regressions = ref 0 in
+  let failures = ref 0 in
+  let warnings = ref 0 in
   let compared = ref 0 in
   List.iter
     (fun spec ->
@@ -147,12 +167,23 @@ let () =
                 if b = 0. then 0. else (f -. b) /. b *. 100.
               in
               let regressed = delta_pct < -. !threshold in
-              if regressed then incr regressions;
-              Printf.printf "%s %s %s: %.1f -> %.1f %s (%+.1f%%)\n"
-                (if regressed then "REGRESSION" else "ok")
+              let tag =
+                if not regressed then "ok"
+                else if spec.enforcing then begin
+                  incr failures;
+                  "REGRESSION"
+                end
+                else begin
+                  incr warnings;
+                  "WARN"
+                end
+              in
+              Printf.printf "%s %s %s: %.1f -> %.1f %s (%+.1f%%)\n" tag
                 spec.file key b f spec.metric delta_pct)
           base)
     catalogue;
-  Printf.printf "%d metric(s) compared, %d regression(s) beyond %.0f%%\n"
-    !compared !regressions !threshold;
-  if !regressions > 0 then exit 1
+  Printf.printf
+    "%d metric(s) compared, %d enforced regression(s) and %d advisory \
+     warning(s) beyond %.0f%%\n"
+    !compared !failures !warnings !threshold;
+  if !failures > 0 then exit 1

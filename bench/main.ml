@@ -396,6 +396,97 @@ let write_snapshot_json ~path phases =
   output_string oc (Buffer.contents buf);
   close_out oc
 
+(* {1 Machine-readable wave-tap record}
+
+   BENCH_wave.json measures what the microarchitectural event taps
+   (lib/wave) cost: the corpus-slice campaign with taps off vs on, at
+   equal jobs, reps and median as the snapshot record.  The tap is a
+   one-branch check on the hot path when off and a buffer append when
+   on, so the interesting numbers are the overhead ratio and the stream
+   volume a slice campaign produces.  Verdict artifacts are pinned
+   byte-identical across the two paths by the differential suites, so
+   only throughput and volume are recorded here. *)
+
+type wave_phase = {
+  wv_name : string;
+  wv_units : int;  (** Test cases evaluated per repetition. *)
+  wv_off_s : float;  (** Median over repetitions, taps off. *)
+  wv_on_s : float;  (** Median over repetitions, taps on. *)
+  wv_stream_bytes : int;  (** Total encoded stream size, one repetition. *)
+  wv_events : int;  (** Total decoded events, one repetition. *)
+}
+
+let wave_reps = 3
+
+let run_wave_phase () =
+  let slice = Teesec.Mitigation_eval.slice () in
+  let runs f =
+    let acc = ref [] in
+    for _ = 1 to wave_reps do
+      Gc.compact ();
+      acc := snd (timed_phase "wave/campaign-slice" f) :: !acc
+    done;
+    List.rev !acc
+  in
+  let off_times =
+    runs (fun () -> ignore (Teesec.Campaign.run ~jobs boom slice))
+  in
+  let waves = ref [] in
+  let on_times =
+    runs (fun () ->
+        let r = Teesec.Campaign.run ~jobs ~wave:true boom slice in
+        waves := r.Teesec.Campaign.waves)
+  in
+  let stream_bytes =
+    List.fold_left (fun acc (_, s) -> acc + String.length s) 0 !waves
+  in
+  let events =
+    List.fold_left
+      (fun acc (_, s) -> acc + Wave.Query.length (Wave.Query.of_stream s))
+      0 !waves
+  in
+  let p =
+    {
+      wv_name = "campaign-slice";
+      wv_units = List.length slice;
+      wv_off_s = median off_times;
+      wv_on_s = median on_times;
+      wv_stream_bytes = stream_bytes;
+      wv_events = events;
+    }
+  in
+  Format.printf
+    "  %-22s %6d units: taps off %6.0f/s, on %6.0f/s (%.2fx overhead); %d \
+     events, %d stream bytes@."
+    p.wv_name p.wv_units
+    (float_of_int p.wv_units /. p.wv_off_s)
+    (float_of_int p.wv_units /. p.wv_on_s)
+    (p.wv_on_s /. p.wv_off_s)
+    p.wv_events p.wv_stream_bytes;
+  p
+
+let write_wave_json ~path p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf buf "  \"reps\": %d,\n" wave_reps;
+  Buffer.add_string buf "  \"phases\": [\n";
+  Printf.bprintf buf
+    "    {\"phase\": \"%s\", \"core\": \"boom\", \"units\": %d, \
+     \"off_s\": %.3f, \"off_units_per_s\": %.1f, \"on_s\": %.3f, \
+     \"on_units_per_s\": %.1f, \"overhead\": %.3f, \"events\": %d, \
+     \"stream_bytes\": %d}\n"
+    p.wv_name p.wv_units p.wv_off_s
+    (float_of_int p.wv_units /. p.wv_off_s)
+    p.wv_on_s
+    (float_of_int p.wv_units /. p.wv_on_s)
+    (p.wv_on_s /. p.wv_off_s)
+    p.wv_events p.wv_stream_bytes;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 (* {1 Machine-readable fuzzing record}
 
    BENCH_fuzz.json compares blind random sampling (energy 0) against the
@@ -667,6 +758,15 @@ let () =
   let snapshot_phases = run_snapshot_phases () in
   write_snapshot_json ~path:"BENCH_snapshot.json" snapshot_phases;
   Format.printf "snapshot record written to BENCH_snapshot.json@.";
+
+  (* Also heap-sensitive, so measured while the process is still small:
+     the tap-off baseline is the same slice campaign the snapshot phase
+     just timed, and the overhead ratio should reflect the tap, not a
+     grown heap. *)
+  section "Extension: wave tap overhead";
+  let wave_phase = run_wave_phase () in
+  write_wave_json ~path:"BENCH_wave.json" wave_phase;
+  Format.printf "wave record written to BENCH_wave.json@.";
 
   (* Micro-benchmarks next; their estimates feed Table 2. *)
   let bench_results = run_benches () in

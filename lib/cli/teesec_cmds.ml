@@ -101,6 +101,38 @@ let with_obs ~trace ~metrics f =
   save_obs_outputs obs ~trace ~metrics;
   result
 
+(* --wave: microarchitectural waveform capture (lib/wave).  Like the
+   observability exports, the taps never change verdicts — the
+   differential suite pins byte-identical reports with taps on and
+   off — so the flag only adds the side-channel file. *)
+let wave_arg =
+  Arg.(value & opt (some string) None & info [ "wave" ] ~docv:"FILE"
+         ~doc:"Attach microarchitectural wave taps and write the run's \
+               per-test-case waveforms to $(docv): VCD when $(docv) ends \
+               in .vcd (load in GTKWave or Surfer), otherwise the raw \
+               framed event streams (readable back by the explain and \
+               vcd-check machinery). Never changes verdicts or reports.")
+
+let write_wave_file ~path streams =
+  let contents =
+    if Filename.check_suffix path ".vcd" then Wave.Vcd.render streams
+    else Wave.Event.frame_streams streams
+  in
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  Format.printf "waveforms (%d stream(s)) written to %s@."
+    (List.length streams) path
+
+(* A wave payload fetched from the daemon is already framed
+   ({!Wave.Event.frame_streams}, shard order); unframe to render VCD or
+   to count the streams for the confirmation line. *)
+let save_wave_blob ~path blob =
+  match Wave.Event.unframe blob with
+  | Error e ->
+    Format.printf "warning: corrupt wave payload (%s); %s not written@." e path
+  | Ok streams -> write_wave_file ~path streams
+
 (* --snapshot / --no-snapshot: the fork-point execution engine
    (lib/teesec/snapshot.ml).  On by default; the differential suite pins
    that reports are byte-identical either way, so the flag only trades
@@ -127,8 +159,8 @@ let snapshot_arg =
                  against)." );
         ])
 
-let make_snapshots ~snapshot ~obs config =
-  if snapshot then Some (Teesec.Snapshot.create ~obs config) else None
+let make_snapshots ?(wave = false) ~snapshot ~obs config =
+  if snapshot then Some (Teesec.Snapshot.create ~obs ~wave config) else None
 
 (* --width: reject anything the gadgets cannot emit, with the valid set
    in the error message (Params.make would also raise, but this fails at
@@ -308,7 +340,7 @@ let check_cmd =
 (* campaign *)
 let campaign_cmd =
   let run config full quiet mitigations random fuzz_seed csv jobs snapshot
-      trace metrics =
+      trace metrics wave_out provenance_out =
     let config = Uarch.Config.with_mitigations config mitigations in
     let testcases =
       match random with
@@ -319,12 +351,28 @@ let campaign_cmd =
       if quiet then fun _ _ _ -> ()
       else fun i n line -> Format.printf "[%3d/%3d] %s@." i n line
     in
+    let wave = wave_out <> None in
     let result =
       with_obs ~trace ~metrics (fun obs ->
-          let snapshots = make_snapshots ~snapshot ~obs config in
-          Teesec.Campaign.run ~progress ~jobs ~obs ?snapshots config testcases)
+          let snapshots = make_snapshots ~wave ~snapshot ~obs config in
+          Teesec.Campaign.run ~progress ~jobs ~obs ?snapshots ~wave config
+            testcases)
     in
     Format.printf "@.%a@." Teesec.Campaign.pp_result result;
+    (match wave_out with
+    | Some path -> write_wave_file ~path result.Teesec.Campaign.waves
+    | None -> ());
+    (match provenance_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Teesec.Provenance.list_to_json result.Teesec.Campaign.provenance);
+      output_string oc "\n";
+      close_out oc;
+      Format.printf "provenance (%d record(s)) written to %s@."
+        (List.length result.Teesec.Campaign.provenance)
+        path
+    | None -> ());
     match csv with
     | Some path ->
       let oc = open_out path in
@@ -351,13 +399,20 @@ let campaign_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
            ~doc:"Also write the per-case verdicts as CSV.")
   in
+  let provenance_out =
+    Arg.(value & opt (some string) None & info [ "provenance" ] ~docv:"FILE"
+           ~doc:"Write the per-finding provenance records (the causal \
+                 chains behind every classified finding) as JSON; feed an \
+                 id from it to $(b,teesec explain).")
+  in
   Cmd.v (Cmd.info "campaign" ~doc:"Run a leakage-discovery campaign (Table 3).")
     Term.(const run $ core_arg $ full $ quiet $ mitigations $ random $ fuzz_seed $ csv $ jobs_arg
-          $ snapshot_arg $ trace_arg $ metrics_arg)
+          $ snapshot_arg $ trace_arg $ metrics_arg $ wave_arg $ provenance_out)
 
 (* inject: checker-robustness campaign under sampled fault plans. *)
 let inject_cmd =
-  let run config faults seed full quiet json jobs snapshot trace metrics =
+  let run config faults seed full quiet json jobs snapshot trace metrics
+      wave_out =
     let testcases =
       if full then Teesec.Fuzzer.corpus () else Teesec.Mitigation_eval.slice ()
     in
@@ -365,13 +420,18 @@ let inject_cmd =
       if quiet then fun _ _ _ -> ()
       else fun i n line -> Format.printf "[%4d/%4d] %s@." i n line
     in
+    let wave = wave_out <> None in
     let result =
       with_obs ~trace ~metrics (fun obs ->
-          let snapshots = make_snapshots ~snapshot ~obs config in
-          Inject.Inject_campaign.run ~progress ~jobs ~obs ?snapshots ~seed
-            ~plans:faults config testcases)
+          let snapshots = make_snapshots ~wave ~snapshot ~obs config in
+          Inject.Inject_campaign.run ~progress ~jobs ~obs ?snapshots ~wave
+            ~seed ~plans:faults config testcases)
     in
     Format.printf "@.%a@." Inject.Robustness_report.pp result;
+    (match wave_out with
+    | Some path ->
+      write_wave_file ~path result.Inject.Inject_campaign.waves
+    | None -> ());
     match json with
     | Some path ->
       Inject.Robustness_report.save_json ~path result;
@@ -402,12 +462,12 @@ let inject_cmd =
          "Rerun the corpus under deterministic fault injection and report \
           whether the checker's verdicts are masked, spurious or stable.")
     Term.(const run $ core_arg $ faults $ seed $ full $ quiet $ json $ jobs_arg
-          $ snapshot_arg $ trace_arg $ metrics_arg)
+          $ snapshot_arg $ trace_arg $ metrics_arg $ wave_arg)
 
 (* fuzz: the coverage-guided mutational engine (lib/fuzz). *)
 let fuzz_cmd =
   let run config seed budget batch energy stop_on_full quiet json save_corpus
-      corpus jobs snapshot trace metrics =
+      corpus jobs snapshot trace metrics wave_out =
     let options =
       { Fuzz.Engine.seed; budget; batch; energy; stop_on_full }
     in
@@ -429,13 +489,17 @@ let fuzz_cmd =
       if quiet then fun _ _ _ -> ()
       else fun i n line -> Format.printf "[%4d/%4d] %s@." i n line
     in
+    let wave = wave_out <> None in
     let report =
       with_obs ~trace ~metrics (fun obs ->
-          let snapshots = make_snapshots ~snapshot ~obs config in
-          Fuzz.Engine.run ~progress ~jobs ~obs ?snapshots ?seeds options
+          let snapshots = make_snapshots ~wave ~snapshot ~obs config in
+          Fuzz.Engine.run ~progress ~jobs ~obs ?snapshots ~wave ?seeds options
             config)
     in
     Format.printf "@.%a@." Fuzz.Fuzz_report.pp report;
+    (match wave_out with
+    | Some path -> write_wave_file ~path report.Fuzz.Engine.waves
+    | None -> ());
     (match save_corpus with
     | Some path ->
       Fuzz.Corpus_io.save ~path report.Fuzz.Engine.corpus_cases;
@@ -508,7 +572,7 @@ let fuzz_cmd =
           and report discovery times per leakage case.")
     Term.(const run $ core_arg $ seed $ budget $ batch $ energy $ stop_on_full
           $ quiet $ json $ save_corpus $ corpus $ jobs_arg $ snapshot_arg
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ wave_arg)
 
 (* corpus-min: standalone corpus distillation. *)
 let corpus_min_cmd =
@@ -1002,7 +1066,7 @@ let write_file_report ~what path contents =
 
 let submit_cmd =
   let run socket_path config kind mitigations full random fuzz_seed faults
-      seed budget batch energy stop_on_full wait out trace_out =
+      seed budget batch energy stop_on_full wait out trace_out wave_out =
     let core = core_name_of config in
     let spec =
       match kind with
@@ -1031,14 +1095,15 @@ let submit_cmd =
     | Ok spec ->
       with_client ~socket_path (fun client ->
           match
-            Serve.Client.submit ~trace:(trace_out <> None) client spec
+            Serve.Client.submit ~trace:(trace_out <> None)
+              ~wave:(wave_out <> None) client spec
           with
           | Error e ->
             Format.printf "error: %s@." e;
             exit 1
           | Ok js ->
             pp_job_status js;
-            if wait || trace_out <> None then (
+            if wait || trace_out <> None || wave_out <> None then (
               match Serve.Client.results client js.Serve.Protocol.js_job with
               | Error e ->
                 Format.printf "error: %s@." e;
@@ -1046,7 +1111,7 @@ let submit_cmd =
               | Ok (Error js) ->
                 pp_job_status js;
                 exit 1
-              | Ok (Ok { Serve.Client.data; trace }) ->
+              | Ok (Ok { Serve.Client.data; trace; wave }) ->
                 (match (trace_out, trace) with
                 | Some path, Some json ->
                   write_file_report ~what:"trace" path json
@@ -1054,6 +1119,15 @@ let submit_cmd =
                   Format.printf
                     "warning: no trace collected (job already complete?); \
                      %s not written@."
+                    path
+                | None, _ -> ());
+                (match (wave_out, wave) with
+                | Some path, Some blob when blob <> "" ->
+                  save_wave_blob ~path blob
+                | Some path, _ ->
+                  Format.printf
+                    "warning: no waveforms collected (job satisfied from \
+                     the store?); %s not written@."
                     path
                 | None, _ -> ());
                 if wait then (
@@ -1127,6 +1201,14 @@ let submit_cmd =
                  clock-aligned) and write it to $(docv); implies waiting \
                  for completion.")
   in
+  let wave_out =
+    Arg.(value & opt (some string) None & info [ "wave" ] ~docv:"FILE"
+           ~doc:"Run the job's shards with microarchitectural wave taps \
+                 and write the assembled waveforms to $(docv) (VCD when \
+                 it ends in .vcd); implies waiting for completion.  \
+                 Shards satisfied from the verdict store contribute no \
+                 streams.")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
@@ -1135,7 +1217,7 @@ let submit_cmd =
           are byte-identical to the one-shot subcommands.")
     Term.(const run $ socket_arg $ core_arg $ kind $ mitigations $ full
           $ random $ fuzz_seed $ faults $ seed $ budget $ batch $ energy
-          $ stop_on_full $ wait $ out $ trace_out)
+          $ stop_on_full $ wait $ out $ trace_out $ wave_out)
 
 (* status *)
 let status_cmd =
@@ -1163,7 +1245,7 @@ let status_cmd =
 
 (* results *)
 let results_cmd =
-  let run socket_path job out no_wait trace_out =
+  let run socket_path job out no_wait trace_out wave_out =
     with_client ~socket_path (fun client ->
         match Serve.Client.results ~wait:(not no_wait) client job with
         | Error e ->
@@ -1172,13 +1254,21 @@ let results_cmd =
         | Ok (Error js) ->
           pp_job_status js;
           exit 1
-        | Ok (Ok { Serve.Client.data; trace }) ->
+        | Ok (Ok { Serve.Client.data; trace; wave }) ->
           (match (trace_out, trace) with
           | Some path, Some json -> write_file_report ~what:"trace" path json
           | Some path, None ->
             Format.printf
               "warning: job has no trace (submit it with --trace); %s not \
                written@."
+              path
+          | None, _ -> ());
+          (match (wave_out, wave) with
+          | Some path, Some blob when blob <> "" -> save_wave_blob ~path blob
+          | Some path, _ ->
+            Format.printf
+              "warning: job has no waveforms (submit it with --wave); %s \
+               not written@."
               path
           | None, _ -> ());
           (match out with
@@ -1203,9 +1293,15 @@ let results_cmd =
            ~doc:"Also write the job's merged Chrome trace to $(docv) \
                  (requires the job to have been submitted with --trace).")
   in
+  let wave_out =
+    Arg.(value & opt (some string) None & info [ "wave" ] ~docv:"FILE"
+           ~doc:"Also write the job's assembled waveforms to $(docv), VCD \
+                 when it ends in .vcd (requires the job to have been \
+                 submitted with --wave).")
+  in
   Cmd.v
     (Cmd.info "results" ~doc:"Fetch a job's artifact from a running daemon.")
-    Term.(const run $ socket_arg $ job $ out $ no_wait $ trace_out)
+    Term.(const run $ socket_arg $ job $ out $ no_wait $ trace_out $ wave_out)
 
 (* watch: live per-job shard progress, polled from status. *)
 let watch_cmd =
@@ -1383,6 +1479,184 @@ let trace_check_cmd =
           violation.")
     Term.(const run $ path $ quiet)
 
+(* explain: reconstruct the causal chain behind one finding id. *)
+let explain_cmd =
+  (* Re-encode a decoded event slice as a stream the VCD exporter can
+     render — the witness clip around the finding's residue window. *)
+  let reencode_events evs =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (e : Wave.Event.t) ->
+        Wave.Event.encode buf ~kind:e.Wave.Event.kind
+          ~cycle:e.Wave.Event.cycle
+          ~structure_id:
+            (match e.Wave.Event.structure with
+            | Some s -> Wave.Event.structure_to_int s
+            | None -> Wave.Event.no_structure)
+          ~slot:e.Wave.Event.slot ~domain:e.Wave.Event.domain
+          ~value:e.Wave.Event.value)
+      evs;
+    Buffer.contents buf
+  in
+  let run finding_id verify emit_vcd =
+    match Teesec.Provenance.parse_id finding_id with
+    | Error e ->
+      Format.printf "error: %s@." e;
+      exit 1
+    | Ok (core, _case, tcid, _structure) -> (
+      match Uarch.Config.of_core_name core with
+      | None ->
+        Format.printf "error: unknown core %S@." core;
+        exit 1
+      | Some config -> (
+        (* The id names the test case by its corpus id; look in the
+           representative slice first (the default campaign corpus),
+           then the full grid. *)
+        let candidates =
+          List.filter
+            (fun (tc : Teesec.Testcase.t) -> tc.Teesec.Testcase.id = tcid)
+            (Teesec.Mitigation_eval.slice () @ Teesec.Fuzzer.corpus ())
+        in
+        let wave = emit_vcd <> None in
+        let matching ?snapshots ~wave (tc : Teesec.Testcase.t) =
+          let outcome = Teesec.Runner.run ?snapshots ~wave config tc in
+          let findings =
+            List.filter
+              (fun (f : Teesec.Checker.finding) -> f.Teesec.Checker.case <> None)
+              (Teesec.Checker.check outcome.Teesec.Runner.log
+                 outcome.Teesec.Runner.tracker)
+          in
+          let matches =
+            List.filter
+              (fun (p : Teesec.Provenance.t) ->
+                p.Teesec.Provenance.p_id = finding_id)
+              (Teesec.Provenance.of_outcome ~config outcome findings)
+          in
+          (outcome, matches)
+        in
+        let explain_one tc =
+          match matching ~wave tc with
+          | _, [] -> None
+          | outcome, matches -> Some (tc, outcome, matches)
+        in
+        match List.find_map explain_one candidates with
+        | None ->
+          Format.printf
+            "no finding %s: the test case does not surface it on a clean \
+             run (or the id names an unknown test case)@."
+            finding_id;
+          exit 1
+        | Some (tc, outcome, matches) ->
+          if List.length matches > 1 then
+            Format.printf
+              "%d finding records share this id (one per leaked secret word \
+               and detection kind):@.@."
+              (List.length matches);
+          List.iter
+            (fun p -> Format.printf "%a@." Teesec.Provenance.pp_chain p)
+            matches;
+          (match emit_vcd with
+          | None -> ()
+          | Some path ->
+            (* Clip the wave stream to the finding's window (plus the
+               machine-wide context events before it) — the minimal
+               witness that still renders meaningfully. *)
+            let p = List.hd matches in
+            let lo =
+              match p.Teesec.Provenance.p_window with
+              | Some (a, _) -> a
+              | None -> 0
+            in
+            let hi = p.Teesec.Provenance.p_cycle in
+            let q = Wave.Query.of_stream outcome.Teesec.Runner.wave in
+            let clip =
+              List.filter
+                (fun (e : Wave.Event.t) ->
+                  let c = e.Wave.Event.cycle in
+                  (c >= lo && c <= hi)
+                  || c <= hi
+                     && (match e.Wave.Event.kind with
+                        | Wave.Event.Ctx_switch | Wave.Event.Case_mark -> true
+                        | _ -> false))
+                (Wave.Query.events q)
+            in
+            write_wave_file ~path
+              [ (p.Teesec.Provenance.p_id, reencode_events clip) ]);
+          if verify then begin
+            (* Replay through the snapshot engine (the other prefix
+               path) and assert the causal chain reproduces exactly. *)
+            let snapshots = Teesec.Snapshot.create config in
+            let _, replayed = matching ~snapshots ~wave:false tc in
+            if
+              List.length replayed = List.length matches
+              && List.for_all2 Teesec.Provenance.equal matches replayed
+            then Format.printf "verify OK: provenance replays exactly@."
+            else begin
+              Format.printf "verify FAILED: replayed provenance differs@.";
+              exit 1
+            end
+          end))
+  in
+  let finding_id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FINDING"
+           ~doc:"Finding id, as recorded in campaign/inject/fuzz \
+                 provenance: core/case/testcase-id/structure \
+                 (e.g. boom/D1/37/line-fill-buffer).")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Re-run the test case through the snapshot engine and \
+                 assert the causal chain replays byte-for-byte; exits \
+                 nonzero otherwise.")
+  in
+  let emit_vcd =
+    Arg.(value & opt (some string) None & info [ "emit-vcd" ] ~docv:"FILE"
+           ~doc:"Write a minimal VCD witness — the wave events inside \
+                 the finding's residue window — to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-run one finding's test case and print the causal chain \
+          behind the verdict: the writing access (gadget, cycle, \
+          structure, entry), the surviving-residue window, and the \
+          observing check.")
+    Term.(const run $ finding_id $ verify $ emit_vcd)
+
+(* vcd-check: strict validation of an exported VCD file. *)
+let vcd_check_cmd =
+  let run path quiet =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    match Wave.Vcd.validate contents with
+    | Error e ->
+      Format.printf "invalid VCD %s: %s@." path e;
+      exit 1
+    | Ok stats ->
+      if not quiet then
+        Format.printf
+          "VCD OK: %d signal(s), %d value change(s), last timestamp %d%s@."
+          stats.Wave.Vcd.signals stats.Wave.Vcd.changes
+          stats.Wave.Vcd.last_time
+          (if stats.Wave.Vcd.has_timescale then "" else " (no timescale)")
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"VCD file to validate (e.g. one written by campaign \
+                 --wave out.vcd or explain --emit-vcd).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No output on success.") in
+  Cmd.v
+    (Cmd.info "vcd-check"
+       ~doc:
+         "Validate an exported VCD waveform: header shape, declared \
+          signals, monotone timestamps, and that every value change \
+          references a declared signal.  Exits nonzero on the first \
+          violation.")
+    Term.(const run $ path $ quiet)
+
 (* shutdown *)
 let shutdown_cmd =
   let run socket_path =
@@ -1421,6 +1695,8 @@ let subcommands =
     results_cmd;
     watch_cmd;
     trace_check_cmd;
+    explain_cmd;
+    vcd_check_cmd;
     shutdown_cmd;
   ]
 

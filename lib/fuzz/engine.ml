@@ -28,6 +28,10 @@ type report = {
   total_cycles : int;
   executed_cases : Testcase.t list;
   corpus_cases : Testcase.t list;
+  waves : (string * string) list;
+  provenance : Provenance.t list;
+      (* Causal chains of the discovering runs, one batch of records per
+         discovery, in discovery order. *)
 }
 
 (* Round-robin over the families (every path's first grid entry, then
@@ -104,7 +108,7 @@ let instruments obs =
       }
 
 let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
-    ?seeds options config =
+    ?wave ?seeds options config =
   if options.budget < 0 then invalid_arg "Engine.run: negative budget";
   if options.batch <= 0 then invalid_arg "Engine.run: batch must be positive";
   if options.energy < 0 || options.energy > 100 then
@@ -120,6 +124,8 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
   let full_at = ref None in
   let kept = ref [] in
   let stream = ref [] in
+  let waves = ref [] in
+  let provenance = ref [] in
   let expected =
     List.filter (fun c -> Case.expected c config.Config.kind) Case.all
   in
@@ -169,6 +175,8 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
     let at = !executed + 1 in
     executed := at;
     stream := tc :: !stream;
+    if obs.Observe.wave <> "" then
+      waves := (obs.Observe.name, obs.Observe.wave) :: !waves;
     residue := !residue + obs.Observe.residue;
     cycles := !cycles + obs.Observe.cycles;
     let novelty = Bitmap.add bitmap obs.Observe.edges in
@@ -184,6 +192,11 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
           Hashtbl.replace found case ();
           discoveries :=
             { case; at; testcase = obs.Observe.name } :: !discoveries;
+          List.iter
+            (fun (p : Provenance.t) ->
+              if p.Provenance.p_case = Case.to_string case then
+                provenance := p :: !provenance)
+            obs.Observe.provenance;
           if
             !full_at = None
             && List.for_all (fun c -> Hashtbl.mem found c) expected
@@ -243,7 +256,7 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
     let observations =
       Obs.span obs "fuzz/execute" (fun () ->
           Parallel.Pool.parmap ~obs ~jobs
-            (fun tc -> (tc, Observe.run ?snapshots config tc))
+            (fun tc -> (tc, Observe.run ?snapshots ?wave config tc))
             candidates)
     in
     let novelty_before = Bitmap.covered_bits bitmap in
@@ -275,4 +288,6 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
     total_cycles = !cycles;
     executed_cases = List.rev !stream;
     corpus_cases = List.map fst kept;
+    waves = List.rev !waves;
+    provenance = List.rev !provenance;
   }

@@ -56,6 +56,16 @@ type report = {
   corpus_cases : Testcase.t list;
       (** The interesting entries, in the order they entered the queue
           (what [fuzz --save-corpus] writes). *)
+  waves : (string * string) list;
+      (** Per-candidate (name, encoded wave stream) pairs in executed
+          order; empty unless run with [~wave:true].  Not part of the
+          JSON report — the CLI writes them to a separate [--wave]
+          file. *)
+  provenance : Provenance.t list;
+      (** Causal chains of the discovering runs, in discovery order:
+          for each first-seen Table 3 case, the discovering
+          observation's matching records.  Log-derived, so identical
+          across wave, jobs and snapshot settings. *)
 }
 
 (** [run ?progress ?jobs ?obs options config] drives a campaign.
@@ -73,6 +83,10 @@ type report = {
     through the snapshot engine (see {!Teesec.Snapshot}); the report
     stays byte-identical either way.
 
+    [wave] (default false) attaches a wave tap to every candidate's
+    machine and collects the streams into [report.waves]; every other
+    report field is unaffected.
+
     [seeds] appends external seed test cases (e.g. a symex-synthesised
     corpus loaded through {!Corpus_io}) after the built-in
     {!seed_corpus} in guided mode; they are renumbered onto the executed
@@ -84,6 +98,7 @@ val run :
   ?jobs:int ->
   ?obs:Obs.t ->
   ?snapshots:Snapshot.t ->
+  ?wave:bool ->
   ?seeds:Testcase.t list ->
   options ->
   Config.t ->

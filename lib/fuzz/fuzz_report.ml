@@ -87,7 +87,8 @@ let to_json_string (r : Engine.report) =
     | Some n -> string_of_int n
     | None -> "null");
   add "  \"residue_warnings\": %d,\n" r.Engine.residue_warnings;
-  add "  \"total_cycles\": %d\n" r.Engine.total_cycles;
+  add "  \"total_cycles\": %d,\n" r.Engine.total_cycles;
+  add "  \"provenance\": %s\n" (Provenance.list_to_json r.Engine.provenance);
   add "}\n";
   Buffer.contents buf
 

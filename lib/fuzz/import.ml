@@ -11,5 +11,6 @@ module Assembler = Teesec.Assembler
 module Fuzzer = Teesec.Fuzzer
 module Case = Teesec.Case
 module Checker = Teesec.Checker
+module Provenance = Teesec.Provenance
 module Runner = Teesec.Runner
 module Snapshot = Teesec.Snapshot

@@ -8,10 +8,12 @@ type t = {
   residue : int;
   cycles : int;
   log_records : int;
+  wave : string;
+  provenance : Provenance.t list;
 }
 
-let run ?snapshots config tc =
-  let outcome = Runner.run ?snapshots config tc in
+let run ?snapshots ?wave config tc =
+  let outcome = Runner.run ?snapshots ?wave config tc in
   let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
   {
     name = Testcase.name tc;
@@ -22,4 +24,8 @@ let run ?snapshots config tc =
     residue = Checker.residue_warnings findings;
     cycles = outcome.Runner.cycles;
     log_records = outcome.Runner.log_records;
+    wave = outcome.Runner.wave;
+    provenance =
+      Provenance.of_outcome ~config outcome
+        (List.filter (fun f -> f.Checker.case <> None) findings);
   }

@@ -15,9 +15,15 @@ type t = {
   residue : int;
   cycles : int;
   log_records : int;
+  wave : string;
+      (** Encoded wave stream of the run; [""] when taps are off. *)
+  provenance : Provenance.t list;
+      (** Causal chains of the classified findings (log-derived). *)
 }
 
 (** [snapshots], if given, establishes the candidate's setup prefix
     through the snapshot engine instead of replaying it (see
-    {!Teesec.Snapshot}); the observation is identical either way. *)
-val run : ?snapshots:Snapshot.t -> Config.t -> Testcase.t -> t
+    {!Teesec.Snapshot}); the observation is identical either way.
+    [wave] (default false) attaches a wave tap — verdict fields are
+    unaffected. *)
+val run : ?snapshots:Snapshot.t -> ?wave:bool -> Config.t -> Testcase.t -> t

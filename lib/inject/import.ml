@@ -7,6 +7,7 @@ module Machine = Uarch.Machine
 module Config = Uarch.Config
 module Case = Teesec.Case
 module Checker = Teesec.Checker
+module Provenance = Teesec.Provenance
 module Runner = Teesec.Runner
 module Snapshot = Teesec.Snapshot
 module Testcase = Teesec.Testcase

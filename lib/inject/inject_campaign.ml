@@ -49,6 +49,8 @@ type result = {
   unit_totals : counts;
   by_model : (Fault_model.t * counts) list;
   by_structure : (Structure.t * counts) list;
+  waves : (string * string) list;
+  provenance : Provenance.t list;
 }
 
 (* Per-test-case clean verdict, computed once and diffed against every
@@ -63,16 +65,28 @@ type baseline = {
          fork point) reaches its window start, so a plan whose every
          window opens strictly after this span can never fire: the
          faulted run is instruction-for-instruction the clean run. *)
+  b_wave : string;
+      (* Encoded wave stream of the clean run; [""] when taps are off.
+         Only the baselines carry waves — the faulted reruns would
+         multiply the volume by the plan count for streams that diverge
+         from the baseline only after the fault fires. *)
+  b_provenance : Provenance.t list;
+      (* Causal chains of the clean run's classified findings — the
+         reference the masked/spurious diffs are read against. *)
 }
 
-let eval_baseline ?snapshots config tc =
-  let outcome = Runner.run ?snapshots config tc in
+let eval_baseline ?snapshots ?wave config tc =
+  let outcome = Runner.run ?snapshots ?wave config tc in
   let findings = Checker.check outcome.Runner.log outcome.Runner.tracker in
   {
     b_name = Testcase.name tc;
     b_cases = Checker.distinct_cases findings;
     b_residue = Checker.residue_warnings findings;
     b_span = outcome.Runner.cycles - outcome.Runner.fork_cycle;
+    b_wave = outcome.Runner.wave;
+    b_provenance =
+      Provenance.of_outcome ~config outcome
+        (List.filter (fun f -> f.Checker.case <> None) findings);
   }
 
 (* True when no fault in [plan] can fire within [span] cycles of the
@@ -83,9 +97,12 @@ let plan_never_fires (plan : Fault_plan.t) ~span =
     (fun (f : Fault_plan.fault) -> f.Fault_plan.window_start > span)
     plan.Fault_plan.faults
 
-let eval_unit ?snapshots config (plan, tc, (base : baseline)) =
+(* The faulted rerun's wave stream is discarded (see [b_wave]); [wave]
+   still threads through because a snapshot engine created with taps on
+   refuses runs that ask for taps off. *)
+let eval_unit ?snapshots ?wave config (plan, tc, (base : baseline)) =
   let outcome =
-    Runner.run ?snapshots
+    Runner.run ?snapshots ?wave
       ~prepare:(fun env -> Injector.arm env.Env.machine plan)
       config tc
   in
@@ -108,8 +125,8 @@ type case_eval = {
   ce_units : (unit_diff * int) array;  (* one per plan, in plan order *)
 }
 
-let eval_case ?snapshots config plan_list tc =
-  let base = eval_baseline ?snapshots config tc in
+let eval_case ?snapshots ?wave config plan_list tc =
+  let base = eval_baseline ?snapshots ?wave config tc in
   (* Span pruning rides with the snapshot engine: a provably-inert plan
      diffs to the baseline verdict with zero faults applied, exactly
      what executing it would produce.  The replay path ([snapshots =
@@ -121,7 +138,7 @@ let eval_case ?snapshots config plan_list tc =
       (fun plan ->
         if prune && plan_never_fires plan ~span:base.b_span then
           ({ testcase = base.b_name; masked_cases = []; spurious_cases = [] }, 0)
-        else eval_unit ?snapshots config (plan, tc, base))
+        else eval_unit ?snapshots ?wave config (plan, tc, base))
       plan_list
   in
   { ce_base = base; ce_units = Array.of_list units }
@@ -266,6 +283,12 @@ let aggregate_with ins ?(progress = fun _ _ _ -> ()) ~obs ~seed ~plan_list
   in
   let by_model = aggregate (fun m -> Some m) Fault_model.vocabulary in
   let by_structure = aggregate Fault_model.structure_of Structure.all in
+  let waves =
+    List.filter_map
+      (fun b -> if b.b_wave <> "" then Some (b.b_name, b.b_wave) else None)
+      baselines
+  in
+  let provenance = List.concat_map (fun b -> b.b_provenance) baselines in
   Obs.gc_sample obs ~phase:"inject";
   {
     config;
@@ -279,13 +302,15 @@ let aggregate_with ins ?(progress = fun _ _ _ -> ()) ~obs ~seed ~plan_list
     unit_totals;
     by_model;
     by_structure;
+    waves;
+    provenance;
   }
 
 let aggregate ?progress ?(obs = Obs.noop) ~seed ~plan_list config evals =
   aggregate_with (instruments obs) ?progress ~obs ~seed ~plan_list config evals
 
-let run ?progress ?(jobs = 1) ?(obs = Obs.noop) ?snapshots ~seed ~plans config
-    testcases =
+let run ?progress ?(jobs = 1) ?(obs = Obs.noop) ?snapshots ?wave ~seed ~plans
+    config testcases =
   (* Instruments are registered before any worker domain runs, so
      registration order (and the exposition output) is deterministic. *)
   let ins = instruments obs in
@@ -298,7 +323,7 @@ let run ?progress ?(jobs = 1) ?(obs = Obs.noop) ?snapshots ~seed ~plans config
   let evals =
     Obs.span obs "inject/cases" (fun () ->
         Parallel.Pool.parmap ~obs ~jobs
-          (eval_case ?snapshots config plan_list)
+          (eval_case ?snapshots ?wave config plan_list)
           testcases)
   in
   aggregate_with ins ?progress ~obs ~seed ~plan_list config evals

@@ -56,6 +56,17 @@ type result = {
       (** Plan outcomes attributed to each fault model a plan contains. *)
   by_structure : (Structure.t * counts) list;
       (** Same, keyed by the perturbed structure. *)
+  waves : (string * string) list;
+      (** Per-test-case (name, encoded wave stream) pairs for the {e
+          clean baselines}, in corpus order; empty unless the run was
+          started with [~wave:true].  Faulted reruns are not collected —
+          they would multiply the volume by the plan count.  No rendered
+          verdict artifact includes them. *)
+  provenance : Provenance.t list;
+      (** Causal chains of the clean baselines' classified findings, in
+          corpus order — the reference the masked/spurious fault diffs
+          are read against.  Derived from the log only (identical across
+          wave, jobs and snapshot settings). *)
 }
 
 type baseline = {
@@ -63,6 +74,11 @@ type baseline = {
   b_cases : Case.id list;
   b_residue : int;
   b_span : int;  (** Cycles the clean run spent past the fork point. *)
+  b_wave : string;
+      (** Encoded wave stream of the clean run; [""] when taps are off.
+          Excluded from the serve layer's store payloads. *)
+  b_provenance : Provenance.t list;
+      (** Causal chains of the clean run's classified findings. *)
 }
 (** Per-test-case clean verdict, computed once and diffed against every
     faulted rerun of the same test case. *)
@@ -79,9 +95,16 @@ type case_eval = {
     the {!result} a single {!run} would. *)
 
 (** [eval_case ?snapshots config plan_list tc] evaluates the clean
-    baseline and every faulted rerun of one test case. *)
+    baseline and every faulted rerun of one test case.  [wave] (default
+    false) attaches a wave tap; the baseline's stream lands in
+    [b_wave]. *)
 val eval_case :
-  ?snapshots:Snapshot.t -> Config.t -> Fault_plan.t list -> Testcase.t -> case_eval
+  ?snapshots:Snapshot.t ->
+  ?wave:bool ->
+  Config.t ->
+  Fault_plan.t list ->
+  Testcase.t ->
+  case_eval
 
 (** [aggregate ?progress ?obs ~seed ~plan_list config evals] folds
     per-case evaluations (in corpus order; [plan_list] must be the plan
@@ -115,12 +138,17 @@ val aggregate :
 
     [obs] (default [Obs.noop]) receives a phase span ([inject/cases])
     and unit/outcome/fault counters.  The sink only reads campaign
-    state — the result is identical with or without it. *)
+    state — the result is identical with or without it.
+
+    [wave] (default false) attaches a wave tap to every run's machine
+    and collects the clean baselines' streams into [result.waves];
+    verdict fields are unaffected. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
   ?obs:Obs.t ->
   ?snapshots:Snapshot.t ->
+  ?wave:bool ->
   seed:Word.t ->
   plans:int ->
   Config.t ->

@@ -143,9 +143,11 @@ let to_json_string (r : Inject_campaign.result) =
               (json_string (Structure.to_string s))
               (json_counts c))
           r.Inject_campaign.by_structure));
-  add "  \"plan_results\": [\n    %s\n  ]\n"
+  add "  \"plan_results\": [\n    %s\n  ],\n"
     (String.concat ",\n    "
        (List.map json_plan_result r.Inject_campaign.plan_results));
+  add "  \"provenance\": %s\n"
+    (Provenance.list_to_json r.Inject_campaign.provenance);
   add "}\n";
   Buffer.contents buf
 

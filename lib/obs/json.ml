@@ -119,7 +119,15 @@ let parse_number st =
   | Some f -> Num f
   | None -> error st (Printf.sprintf "bad number %S" text)
 
-let rec parse_value st =
+(* Nesting is bounded so adversarial input ("[[[[…") fails with a
+   {!Parse_error} instead of escaping as [Stack_overflow] — the parser
+   sees wire bytes (worker replies, HTTP bodies), not just our own
+   output.  512 levels is far beyond anything the tooling emits. *)
+let max_depth = 512
+
+let rec parse_value st ~depth =
+  if depth > max_depth then
+    error st (Printf.sprintf "nesting deeper than %d levels" max_depth);
   skip_ws st;
   match peek st with
   | None -> error st "unexpected end of input"
@@ -136,7 +144,7 @@ let rec parse_value st =
         let key = parse_string st in
         skip_ws st;
         expect st ':';
-        let v = parse_value st in
+        let v = parse_value st ~depth:(depth + 1) in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -158,7 +166,7 @@ let rec parse_value st =
     end
     else begin
       let rec elements acc =
-        let v = parse_value st in
+        let v = parse_value st ~depth:(depth + 1) in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -180,7 +188,7 @@ let rec parse_value st =
 
 let parse_exn src =
   let st = { src; pos = 0 } in
-  let v = parse_value st in
+  let v = parse_value st ~depth:0 in
   skip_ws st;
   if st.pos <> String.length src then error st "trailing bytes after value";
   v

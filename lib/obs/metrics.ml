@@ -74,6 +74,22 @@ let escape_label_value v =
     v;
   Buffer.contents buf
 
+(* HELP text escaping differs from label-value escaping: the exposition
+   format (0.0.4) escapes only backslash and newline there — double
+   quotes appear verbatim.  Reusing {!escape_label_value} would prefix
+   every quote in the help text with a backslash, which scrapers then
+   display literally. *)
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let render_labels = function
   | [] -> ""
   | labels ->
@@ -407,7 +423,7 @@ let to_prometheus t =
           "" series
       in
       if help <> "" then
-        Printf.bprintf buf "# HELP %s %s\n" name (escape_label_value help);
+        Printf.bprintf buf "# HELP %s %s\n" name (escape_help help);
       (match series with
       | s :: _ -> Printf.bprintf buf "# TYPE %s %s\n" name (kind_string s.state)
       | [] -> ());

@@ -67,8 +67,8 @@ let connect_retry ?(attempts = 100) ?(delay = 0.05) ~socket_path () =
 
 let server_build t = t.build
 
-let submit ?(trace = false) t spec =
-  match rpc t (Protocol.Submit { spec; trace }) with
+let submit ?(trace = false) ?(wave = false) t spec =
+  match rpc t (Protocol.Submit { spec; trace; wave }) with
   | Ok (Protocol.Submitted js) -> Ok js
   | Ok (Protocol.Error_msg e) -> Error e
   | Ok _ -> Error "unexpected reply to submit"
@@ -81,11 +81,12 @@ let status t =
   | Ok _ -> Error "unexpected reply to status"
   | Error e -> Error e
 
-type artifact = { data : string; trace : string option }
+type artifact = { data : string; trace : string option; wave : string option }
 
 let results ?(wait = true) t job =
   match rpc t (Protocol.Results { job; wait }) with
-  | Ok (Protocol.Artifact { data; trace; _ }) -> Ok (Ok { data; trace })
+  | Ok (Protocol.Artifact { data; trace; wave; _ }) ->
+    Ok (Ok { data; trace; wave })
   | Ok (Protocol.Pending js) -> Ok (Error js)
   | Ok (Protocol.Failed { reason; _ }) -> Error reason
   | Ok (Protocol.Error_msg e) -> Error e

@@ -23,15 +23,25 @@ val server_build : t -> string
 (** [submit t spec] plans, stores and queues the request; returns its
     job status (which may already be complete on a warm store).  With
     [~trace:true] the daemon collects a merged cross-process Chrome
-    trace for the job, delivered beside the artifact by {!results}. *)
+    trace for the job, delivered beside the artifact by {!results}.
+    With [~wave:true] it likewise collects the job's framed wave
+    streams — but shards satisfied from the verdict store contribute
+    none (the store never holds waves), so a fully warm job yields an
+    empty wave payload. *)
 val submit :
-  ?trace:bool -> t -> Request.spec -> (Protocol.job_status, string) result
+  ?trace:bool ->
+  ?wave:bool ->
+  t ->
+  Request.spec ->
+  (Protocol.job_status, string) result
 
 val status : t -> (Protocol.status, string) result
 
-(** A completed job's payload: the assembled artifact and, when the job
-    was submitted with [~trace:true], its merged Chrome trace JSON. *)
-type artifact = { data : string; trace : string option }
+(** A completed job's payload: the assembled artifact; when submitted
+    with [~trace:true], its merged Chrome trace JSON; when submitted
+    with [~wave:true], its framed wave streams
+    ({!Wave.Event.frame_streams}, shard order). *)
+type artifact = { data : string; trace : string option; wave : string option }
 
 (** [results t job] fetches the artifact, blocking inside the daemon
     until the job completes (or fails) when [wait] (default).  With

@@ -41,6 +41,10 @@ type shard_rec = {
   mutable state : shard_state;
   mutable attempts : int;  (* assignments made so far *)
   mutable payload : string option;
+  mutable wave_blob : string;
+      (* The shard's framed wave streams, from the worker's side
+         channel; [""] for store-satisfied shards (the store never
+         holds waves) and when the job didn't ask for waves. *)
   mutable enqueued_ns : int64;  (* daemon clock at (re)queueing *)
   mutable assigned_ns : int64;  (* daemon clock at last assignment *)
 }
@@ -51,6 +55,7 @@ type job = {
   j_shards : shard_rec array;
   j_hits : int;  (* shards satisfied from the store at submit time *)
   j_trace : bool;  (* collect a merged cross-process trace *)
+  j_wave : bool;  (* run shards with wave taps; collect the streams *)
   mutable j_artifact : string option;
   mutable j_failed : string option;
   mutable j_waiters : Unix.file_descr list;
@@ -60,6 +65,11 @@ type job = {
   mutable j_events : Obs.Tracer.event list;
   j_worker_events : (int, Obs.Tracer.event list ref) Hashtbl.t;
   mutable j_trace_json : string option;
+  mutable j_wave_blob : string option;
+      (* Per-shard wave blobs concatenated in shard order once the job
+         completes — concatenation of framed streams is itself a valid
+         framed stream, so the artifact's wave payload decodes with one
+         [Wave.Event.unframe]. *)
 }
 
 type worker = {
@@ -321,6 +331,13 @@ let maybe_complete t job =
       job_event t job "job_done"
         [ ("bytes", Obs.Tracer.Int (String.length data)) ];
       if job.j_trace then job.j_trace_json <- Some (build_trace job);
+      if job.j_wave then
+        (* Shard order = plan order = corpus order, so the joined blob
+           lists streams exactly as a local run would collect them. *)
+        job.j_wave_blob <-
+          Some
+            (String.concat ""
+               (Array.to_list (Array.map (fun s -> s.wave_blob) job.j_shards)));
       logf t "job %s complete (%d bytes)" job.j_id (String.length data);
       Obs.Log.info (slog t) ~event:"job_done"
         [
@@ -328,13 +345,20 @@ let maybe_complete t job =
           ("bytes", Obs.Log.Int (String.length data));
         ];
       notify_waiters job
-        (Protocol.Artifact { job = job.j_id; data; trace = job.j_trace_json })
+        (Protocol.Artifact
+           {
+             job = job.j_id;
+             data;
+             trace = job.j_trace_json;
+             wave = job.j_wave_blob;
+           })
     | Error e -> fail_job t job (Printf.sprintf "artifact assembly: %s" e)
   end
 
-let complete_shard t job sr payload =
+let complete_shard ?(wave = "") t job sr payload =
   sr.state <- S_done;
   sr.payload <- Some payload;
+  sr.wave_blob <- wave;
   maybe_complete t job
 
 (* {2 Scheduling} *)
@@ -424,6 +448,7 @@ let assign_shard t w job idx =
               crash;
               job = job.j_id;
               trace = job.j_trace;
+              wave = job.j_wave;
               work = sr.shard.Planner.work;
             }))
   with _ ->
@@ -558,6 +583,10 @@ let on_worker_readable t w =
           ];
         store_put t Store.Verdicts ~digest payload;
         complete_shard t job sr payload
+          ~wave:
+            (match shard_obs with
+            | Some so -> so.Protocol.so_wave
+            | None -> "")
       | _ ->
         (* A reply for a shard we no longer track — a protocol bug.
            Restart the worker to resynchronise. *)
@@ -565,7 +594,7 @@ let on_worker_readable t w =
 
 (* {2 Client events} *)
 
-let handle_submit t ~trace spec =
+let handle_submit t ~trace ~wave spec =
   Obs.Metrics.inc t.ins.i_submits;
   match Planner.plan ~max_shard_cases:t.cfg.max_shard_cases spec with
   | Error e ->
@@ -587,6 +616,7 @@ let handle_submit t ~trace spec =
                 state = S_queued;
                 attempts = 0;
                 payload = None;
+                wave_blob = "";
                 enqueued_ns = 0L;
                 assigned_ns = 0L;
               }
@@ -620,12 +650,14 @@ let handle_submit t ~trace spec =
           j_shards = Array.of_list shard_recs;
           j_hits = !hits;
           j_trace = trace;
+          j_wave = wave;
           j_artifact = None;
           j_failed = None;
           j_waiters = [];
           j_events = [];
           j_worker_events = Hashtbl.create 4;
           j_trace_json = None;
+          j_wave_blob = None;
         }
       in
       Hashtbl.replace t.jobs job_id job;
@@ -652,6 +684,7 @@ let handle_submit t ~trace spec =
           ("shards", Obs.Log.Int (Array.length job.j_shards));
           ("hits", Obs.Log.Int !hits);
           ("trace", Obs.Log.Bool trace);
+          ("wave", Obs.Log.Bool wave);
         ];
       logf t "job %s: %d shard(s), %d from store" job_id
         (Array.length job.j_shards) !hits;
@@ -721,8 +754,8 @@ let on_client_readable t c =
         ignore
           (send_to_client c.c_fd (Protocol.Hello_err "handshake required"));
         drop ()
-      | Protocol.Submit { spec; trace } ->
-        let reply = handle_submit t ~trace spec in
+      | Protocol.Submit { spec; trace; wave } ->
+        let reply = handle_submit t ~trace ~wave spec in
         if not (send_to_client c.c_fd reply) then drop ()
       | Protocol.Status ->
         if not (send_to_client c.c_fd (Protocol.Status_report (build_status t)))
@@ -743,7 +776,12 @@ let on_client_readable t c =
               not
                 (send_to_client c.c_fd
                    (Protocol.Artifact
-                      { job = job_id; data; trace = job.j_trace_json }))
+                      {
+                        job = job_id;
+                        data;
+                        trace = job.j_trace_json;
+                        wave = job.j_wave_blob;
+                      }))
             then drop ()
           | None, Some reason ->
             if

@@ -1,16 +1,22 @@
 open! Import
 
-type engines = { eng_obs : Obs.t; eng_tbl : (int64, Snapshot.t) Hashtbl.t }
+(* Engines are keyed by (config hash, wave): a snapshot engine's pooled
+   machines either carry a tap or don't, so wave and non-wave shards
+   served by the same worker must not share one. *)
+type engines = {
+  eng_obs : Obs.t;
+  eng_tbl : (int64 * bool, Snapshot.t) Hashtbl.t;
+}
 
 let create_engines ?(obs = Obs.noop) () : engines =
   { eng_obs = obs; eng_tbl = Hashtbl.create 4 }
 
-let engine_for engines config =
-  let key = Config.hash config in
+let engine_for engines ~wave config =
+  let key = (Config.hash config, wave) in
   match Hashtbl.find_opt engines.eng_tbl key with
   | Some snap -> snap
   | None ->
-    let snap = Snapshot.create ~obs:engines.eng_obs config in
+    let snap = Snapshot.create ~obs:engines.eng_obs ~wave config in
     Hashtbl.add engines.eng_tbl key snap;
     snap
 
@@ -33,13 +39,25 @@ let case_of_string s =
 let encode_case b c = Codec.str b (Case.to_string c)
 let decode_case d = case_of_string (Codec.str' d)
 
+(* Provenance records cross the wire as their canonical JSON rendering:
+   the writer is byte-deterministic, so store digests stay stable, and
+   the reader is the same one [explain] uses on saved artifacts. *)
+let encode_provenance b p = Codec.str b (Provenance.to_json p)
+
+let decode_provenance d =
+  match Provenance.of_json (Codec.str' d) with
+  | Ok p -> p
+  | Error e ->
+    raise (Codec.Decode_error ("bad provenance record: " ^ e))
+
 let encode_campaign_outcome b (co : Campaign.case_outcome) =
   Codec.str b co.Campaign.co_name;
   Codec.list b encode_case co.Campaign.co_cases;
   Codec.int b co.Campaign.co_residue;
   Codec.int b co.Campaign.co_cycles;
   Codec.int b co.Campaign.co_log_records;
-  Codec.str b co.Campaign.co_summary
+  Codec.str b co.Campaign.co_summary;
+  Codec.list b encode_provenance co.Campaign.co_provenance
 
 let decode_campaign_outcome d =
   let co_name = Codec.str' d in
@@ -48,6 +66,7 @@ let decode_campaign_outcome d =
   let co_cycles = Codec.int' d in
   let co_log_records = Codec.int' d in
   let co_summary = Codec.str' d in
+  let co_provenance = Codec.list' d decode_provenance in
   {
     Campaign.co_name;
     co_cases;
@@ -55,6 +74,11 @@ let decode_campaign_outcome d =
     co_cycles;
     co_log_records;
     co_summary;
+    co_provenance;
+    (* Store payloads deliberately exclude waves: digests (and warm
+       store hits) stay byte-stable across wave settings.  Waves ride
+       the [shard_obs] side channel instead. *)
+    co_wave = "";
   }
 
 let encode_campaign_outcomes outcomes =
@@ -88,6 +112,7 @@ let encode_inject_eval b (e : Inject_campaign.case_eval) =
   Codec.list b encode_case base.Inject_campaign.b_cases;
   Codec.int b base.Inject_campaign.b_residue;
   Codec.int b base.Inject_campaign.b_span;
+  Codec.list b encode_provenance base.Inject_campaign.b_provenance;
   Codec.list b encode_unit_diff (Array.to_list e.Inject_campaign.ce_units)
 
 let decode_inject_eval d =
@@ -95,10 +120,20 @@ let decode_inject_eval d =
   let b_cases = Codec.list' d decode_case in
   let b_residue = Codec.int' d in
   let b_span = Codec.int' d in
+  let b_provenance = Codec.list' d decode_provenance in
   let units = Codec.list' d decode_unit_diff in
   {
     Inject_campaign.ce_base =
-      { Inject_campaign.b_name; b_cases; b_residue; b_span };
+      (* [b_wave = ""] for the same reason campaign outcomes decode
+         without waves: store payloads are wave-free by construction. *)
+      {
+        Inject_campaign.b_name;
+        b_cases;
+        b_residue;
+        b_span;
+        b_wave = "";
+        b_provenance;
+      };
     ce_units = Array.of_list units;
   }
 
@@ -116,34 +151,57 @@ let decode_inject_evals s =
 
 (* {2 Execution} *)
 
-let execute ~engines work =
+(* [execute ~engines ~wave work] returns (store payload, wave blob).
+   The payload is byte-identical for every [wave] setting — waves never
+   enter it (or the content-addressed store keyed on it); the blob is a
+   [Wave.Event.frame_streams] framing of the shard's per-case streams,
+   [""] with taps off, and rides back to the daemon in [shard_obs]. *)
+let execute ~engines ~wave work =
   let obs = engines.eng_obs in
   match work with
   | Request.W_campaign { core; mitigations; cases } ->
     let config = config_exn ~core ~mitigations in
-    let snapshots = engine_for engines config in
+    let snapshots = engine_for engines ~wave config in
     let outcomes =
       List.map
         (fun cd ->
-          Campaign.eval_case ~obs ~snapshots config
+          Campaign.eval_case ~obs ~snapshots ~wave config
             (Request.testcase_of_case_desc cd))
         cases
     in
-    encode_campaign_outcomes outcomes
+    let waves =
+      List.filter_map
+        (fun (co : Campaign.case_outcome) ->
+          if co.Campaign.co_wave <> "" then
+            Some (co.Campaign.co_name, co.Campaign.co_wave)
+          else None)
+        outcomes
+    in
+    (encode_campaign_outcomes outcomes, Wave.Event.frame_streams waves)
   | Request.W_inject { core; faults; seed; cases } ->
     let config = config_exn ~core ~mitigations:[] in
-    let snapshots = engine_for engines config in
+    let snapshots = engine_for engines ~wave config in
     let plan_list = Fault_plan.sample ~seed ~count:faults in
     let evals =
       List.map
         (fun cd ->
-          Inject_campaign.eval_case ~snapshots config plan_list
+          Inject_campaign.eval_case ~snapshots ~wave config plan_list
             (Request.testcase_of_case_desc cd))
         cases
     in
-    encode_inject_evals evals
+    let waves =
+      List.filter_map
+        (fun (e : Inject_campaign.case_eval) ->
+          let b = e.Inject_campaign.ce_base in
+          if b.Inject_campaign.b_wave <> "" then
+            Some (b.Inject_campaign.b_name, b.Inject_campaign.b_wave)
+          else None)
+        evals
+    in
+    (encode_inject_evals evals, Wave.Event.frame_streams waves)
   | Request.W_fuzz { core; options } ->
     let config = config_exn ~core ~mitigations:[] in
-    let snapshots = engine_for engines config in
-    let report = Engine.run ~obs ~snapshots options config in
-    Fuzz_report.to_json_string report
+    let snapshots = engine_for engines ~wave config in
+    let report = Engine.run ~obs ~snapshots ~wave options config in
+    (Fuzz_report.to_json_string report,
+     Wave.Event.frame_streams report.Engine.waves)

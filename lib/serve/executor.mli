@@ -10,19 +10,24 @@ open! Import
     pure function of the work item. *)
 
 type engines
-(** Per-process snapshot-engine cache, keyed by configuration hash, so a
-    worker re-uses captured machine prefixes across every shard of the
-    same configuration.  Engines carry the observability sink they were
-    created with; every execution threads it into the underlying
-    pipelines.  Verdict payloads stay byte-identical whether the sink is
-    noop or active — the determinism boundary [test/test_obs.ml] pins. *)
+(** Per-process snapshot-engine cache, keyed by (configuration hash,
+    wave), so a worker re-uses captured machine prefixes across every
+    shard of the same configuration — without ever sharing pooled
+    machines between wave-tapped and untapped shards.  Engines carry
+    the observability sink they were created with; every execution
+    threads it into the underlying pipelines.  Verdict payloads stay
+    byte-identical whether the sink is noop or active — the determinism
+    boundary [test/test_obs.ml] pins. *)
 
 val create_engines : ?obs:Obs.t -> unit -> engines
 
-(** [execute ~engines work] runs the shard to its outcome payload.
-    Raises on invalid work items (unknown core — excluded by submit-time
-    validation). *)
-val execute : engines:engines -> Request.work -> string
+(** [execute ~engines ~wave work] runs the shard to its outcome payload
+    plus its wave blob: a {!Wave.Event.frame_streams} framing of the
+    shard's per-case streams when [wave] is true, [""] otherwise.  The
+    payload is byte-identical for every [wave] setting — waves never
+    enter the content-addressed store.  Raises on invalid work items
+    (unknown core — excluded by submit-time validation). *)
+val execute : engines:engines -> wave:bool -> Request.work -> string * string
 
 val encode_campaign_outcomes : Campaign.case_outcome list -> string
 val decode_campaign_outcomes : string -> Campaign.case_outcome list

@@ -55,7 +55,7 @@ let read_frame fd =
 
 type client_msg =
   | Hello of { proto : int; build : string }
-  | Submit of { spec : Request.spec; trace : bool }
+  | Submit of { spec : Request.spec; trace : bool; wave : bool }
   | Status
   | Results of { job : string; wait : bool }
   | Ping
@@ -88,7 +88,14 @@ type server_msg =
   | Hello_err of string
   | Submitted of job_status
   | Status_report of status
-  | Artifact of { job : string; data : string; trace : string option }
+  | Artifact of {
+      job : string;
+      data : string;
+      trace : string option;
+      wave : string option;
+          (* Framed wave streams ([Wave.Event.frame_streams]) assembled
+             in shard order; [None] unless submitted with [wave]. *)
+    }
   | Pending of job_status
   | Failed of { job : string; reason : string }
   | Pong of { build : string }
@@ -101,18 +108,25 @@ type worker_msg =
       crash : bool;
       job : string;  (* trace context: owning job id *)
       trace : bool;  (* collect and return span/metric deltas *)
+      wave : bool;  (* run with wave taps and return the framed streams *)
       work : Request.work;
     }
   | W_exit
 
-(* The observability delta of one traced shard: the worker's completed
-   span buffer plus the metric activity since its previous reply, with
-   the clock reference the daemon needs to re-base the timestamps. *)
+(* The observability side channel of one shard: the worker's completed
+   span buffer plus the metric activity since its previous reply (with
+   the clock reference the daemon needs to re-base the timestamps), and
+   the shard's framed wave streams.  Built when the shard was traced
+   {e or} wave-tapped; an untraced wave shard carries empty events and
+   metrics, an unwaved traced shard carries [so_wave = ""].  Wave bytes
+   ride here — never in the store payload — so store digests stay
+   byte-stable across wave settings. *)
 type shard_obs = {
   so_pid : int;
   so_t0 : int64;  (* worker clock (ns) at shard start *)
   so_events : Obs.Tracer.event list;
   so_metrics : Obs.Metrics.snapshot_entry list;
+  so_wave : string;
 }
 
 type worker_reply =
@@ -252,23 +266,26 @@ let enc_shard_obs b so =
   Codec.int b so.so_pid;
   Codec.i64 b so.so_t0;
   Codec.list b enc_event so.so_events;
-  Codec.list b enc_snapshot_entry so.so_metrics
+  Codec.list b enc_snapshot_entry so.so_metrics;
+  Codec.str b so.so_wave
 
 let dec_shard_obs d =
   let so_pid = Codec.int' d in
   let so_t0 = Codec.i64' d in
   let so_events = Codec.list' d dec_event in
   let so_metrics = Codec.list' d dec_snapshot_entry in
-  { so_pid; so_t0; so_events; so_metrics }
+  let so_wave = Codec.str' d in
+  { so_pid; so_t0; so_events; so_metrics; so_wave }
 
 let enc_client b = function
   | Hello { proto; build } ->
     Codec.u8 b 0;
     Codec.int b proto;
     Codec.str b build
-  | Submit { spec; trace } ->
+  | Submit { spec; trace; wave } ->
     Codec.u8 b 1;
     Codec.bool b trace;
+    Codec.bool b wave;
     Request.encode_spec b spec
   | Status -> Codec.u8 b 2
   | Results { job; wait } ->
@@ -286,8 +303,9 @@ let dec_client d =
     Hello { proto; build }
   | 1 ->
     let trace = Codec.bool' d in
+    let wave = Codec.bool' d in
     let spec = Request.decode_spec d in
-    Submit { spec; trace }
+    Submit { spec; trace; wave }
   | 2 -> Status
   | 3 ->
     let job = Codec.str' d in
@@ -350,11 +368,12 @@ let enc_server b = function
     Codec.int b st.st_store_hits;
     Codec.int b st.st_store_misses;
     Codec.list b enc_job_status st.st_jobs
-  | Artifact { job; data; trace } ->
+  | Artifact { job; data; trace; wave } ->
     Codec.u8 b 4;
     Codec.str b job;
     Codec.str b data;
-    Codec.option b Codec.str trace
+    Codec.option b Codec.str trace;
+    Codec.option b Codec.str wave
   | Pending js ->
     Codec.u8 b 5;
     enc_job_status b js
@@ -400,7 +419,8 @@ let dec_server d =
     let job = Codec.str' d in
     let data = Codec.str' d in
     let trace = Codec.option' d Codec.str' in
-    Artifact { job; data; trace }
+    let wave = Codec.option' d Codec.str' in
+    Artifact { job; data; trace; wave }
   | 5 -> Pending (dec_job_status d)
   | 6 ->
     let job = Codec.str' d in
@@ -412,12 +432,13 @@ let dec_server d =
   | t -> bad_tag "server message" t
 
 let enc_worker b = function
-  | W_shard { digest; crash; job; trace; work } ->
+  | W_shard { digest; crash; job; trace; wave; work } ->
     Codec.u8 b 0;
     Codec.str b digest;
     Codec.bool b crash;
     Codec.str b job;
     Codec.bool b trace;
+    Codec.bool b wave;
     Request.encode_work b work
   | W_exit -> Codec.u8 b 1
 
@@ -428,8 +449,9 @@ let dec_worker d =
     let crash = Codec.bool' d in
     let job = Codec.str' d in
     let trace = Codec.bool' d in
+    let wave = Codec.bool' d in
     let work = Request.decode_work d in
-    W_shard { digest; crash; job; trace; work }
+    W_shard { digest; crash; job; trace; wave; work }
   | 1 -> W_exit
   | t -> bad_tag "worker message" t
 

@@ -33,10 +33,11 @@ val read_frame : Unix.file_descr -> string option
 
 type client_msg =
   | Hello of { proto : int; build : string }
-  | Submit of { spec : Request.spec; trace : bool }
+  | Submit of { spec : Request.spec; trace : bool; wave : bool }
       (** [trace] asks the daemon to collect a merged cross-process
-          trace for this job.  It travels beside the spec — never inside
-          it — so tracing a job does not perturb its store digests. *)
+          trace for this job; [wave] asks for the job's framed wave
+          streams.  Both travel beside the spec — never inside it — so
+          neither perturbs the job's store digests. *)
   | Status
   | Results of { job : string; wait : bool }
   | Ping
@@ -69,9 +70,18 @@ type server_msg =
   | Hello_err of string
   | Submitted of job_status
   | Status_report of status
-  | Artifact of { job : string; data : string; trace : string option }
+  | Artifact of {
+      job : string;
+      data : string;
+      trace : string option;
+      wave : string option;
+    }
       (** [trace] is the merged Chrome trace-event JSON, present exactly
-          when the job was submitted with tracing on. *)
+          when the job was submitted with tracing on.  [wave] is the
+          job's framed wave streams ({!Wave.Event.frame_streams}),
+          assembled in shard order, present exactly when submitted with
+          waves on — note shards satisfied from the verdict store
+          contribute no streams (the store never holds waves). *)
   | Pending of job_status
   | Failed of { job : string; reason : string }
   | Pong of { build : string }
@@ -86,19 +96,26 @@ type worker_msg =
       crash : bool;
       job : string;  (** Trace context: owning job id. *)
       trace : bool;  (** Collect and return span/metric deltas. *)
+      wave : bool;  (** Run with wave taps; return the framed streams. *)
       work : Request.work;
     }
   | W_exit
 
-(** The observability delta of one traced shard: the worker's completed
+(** The observability side channel of one shard: the worker's completed
     span buffer plus metric activity since its previous reply, with the
     clock reference ([so_t0], worker clock in ns at shard start) the
-    daemon needs to re-base timestamps onto its own timeline. *)
+    daemon needs to re-base timestamps onto its own timeline — and the
+    shard's framed wave streams.  Present on a reply when the shard was
+    traced or wave-tapped; an untraced wave shard has empty [so_events]
+    and [so_metrics], an unwaved traced shard has [so_wave = ""].
+    Waves ride here rather than in the store payload, so store digests
+    stay byte-stable across wave settings. *)
 type shard_obs = {
   so_pid : int;
   so_t0 : int64;
   so_events : Obs.Tracer.event list;
   so_metrics : Obs.Metrics.snapshot_entry list;
+  so_wave : string;
 }
 
 type worker_reply =

@@ -26,10 +26,10 @@ let loop fd =
     | Some frame -> (
       match Protocol.decode_worker_msg frame with
       | Protocol.W_exit -> Unix._exit 0
-      | Protocol.W_shard { digest; crash; job; trace; work } ->
+      | Protocol.W_shard { digest; crash; job; trace; wave; work } ->
         if crash then Unix._exit 42;
         let t0 = Obs.now_ns obs in
-        let payload =
+        let payload, wave_blob =
           try
             Obs.span obs "shard"
               ~args:
@@ -38,7 +38,7 @@ let loop fd =
                   ("digest", Obs.Tracer.String digest);
                   ("kind", Obs.Tracer.String (kind_of_work work));
                 ]
-              (fun () -> Executor.execute ~engines work)
+              (fun () -> Executor.execute ~engines ~wave work)
           with exn ->
             (* An execution failure is indistinguishable from a crash to
                the daemon (no reply, process gone), which is the right
@@ -50,14 +50,20 @@ let loop fd =
         let events = Obs.Tracer.drain tracer in
         let snap = Obs.Metrics.snapshot metrics in
         let shard_obs =
-          if trace then
+          (* The side channel ships when either tracing or waves were
+             asked for; an untraced wave shard leaves events and
+             metrics empty so the daemon's trace merge sees nothing. *)
+          if trace || wave then
             Some
               {
                 Protocol.so_pid = Unix.getpid ();
                 so_t0 = t0;
-                so_events = events;
+                so_events = (if trace then events else []);
                 so_metrics =
-                  Obs.Metrics.diff ~before:!last_metrics ~after:snap;
+                  (if trace then
+                     Obs.Metrics.diff ~before:!last_metrics ~after:snap
+                   else []);
+                so_wave = wave_blob;
               }
           else None
         in

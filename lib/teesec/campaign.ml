@@ -15,6 +15,8 @@ type result = {
   residue_warnings : int;
   total_cycles : int;
   total_log_records : int;
+  waves : (string * string) list;
+  provenance : Provenance.t list;
 }
 
 (* Everything the merge phase needs from one test case.  Computed
@@ -27,6 +29,11 @@ type case_outcome = {
   co_cycles : int;
   co_log_records : int;
   co_summary : string;
+  co_wave : string;
+  co_provenance : Provenance.t list;
+      (* Derived from the log only, so byte-identical across wave
+         settings; classified findings only (residue warnings are a
+         count, not a chain). *)
 }
 
 (* Observability handles, registered once per run from the orchestrating
@@ -67,12 +74,12 @@ let instruments obs =
             "teesec_campaign_case_cycles";
       }
 
-let eval_case_with obs ins ?snapshots config tc =
+let eval_case_with obs ins ?snapshots ?wave config tc =
   let outcome, _ =
     Obs.timed obs
       ?histogram:(Option.map (fun i -> i.i_runner) ins)
       "campaign/runner"
-      (fun () -> Runner.run ?snapshots config tc)
+      (fun () -> Runner.run ?snapshots ?wave config tc)
   in
   let findings, _ =
     Obs.timed obs
@@ -87,13 +94,17 @@ let eval_case_with obs ins ?snapshots config tc =
     co_cycles = outcome.Runner.cycles;
     co_log_records = outcome.Runner.log_records;
     co_summary = Report.summary_line tc findings;
+    co_wave = outcome.Runner.wave;
+    co_provenance =
+      Provenance.of_outcome ~config outcome
+        (List.filter (fun f -> f.Checker.case <> None) findings);
   }
 
 (* [eval_case] is the public per-case evaluator: the serve layer runs it
    shard by shard in worker processes and merges the outcomes with
    {!aggregate}, so the split must produce exactly what [run] produces. *)
-let eval_case ?(obs = Obs.noop) ?snapshots config tc =
-  eval_case_with obs (instruments obs) ?snapshots config tc
+let eval_case ?(obs = Obs.noop) ?snapshots ?wave config tc =
+  eval_case_with obs (instruments obs) ?snapshots ?wave config tc
 
 (* The merge accumulator shared by [run] (which folds streamingly) and
    [aggregate] (which folds a prepared outcome list).  Merging is always
@@ -107,6 +118,8 @@ type accum = {
   mutable a_residue : int;
   mutable a_cycles : int;
   mutable a_log_records : int;
+  mutable a_waves : (string * string) list;  (* reversed *)
+  mutable a_provenance : Provenance.t list;  (* reversed *)
 }
 
 let accum_create () =
@@ -116,12 +129,16 @@ let accum_create () =
     a_residue = 0;
     a_cycles = 0;
     a_log_records = 0;
+    a_waves = [];
+    a_provenance = [];
   }
 
 let accum_add ~ins ~progress ~total acc i co =
   acc.a_residue <- acc.a_residue + co.co_residue;
   acc.a_cycles <- acc.a_cycles + co.co_cycles;
   acc.a_log_records <- acc.a_log_records + co.co_log_records;
+  if co.co_wave <> "" then acc.a_waves <- (co.co_name, co.co_wave) :: acc.a_waves;
+  List.iter (fun p -> acc.a_provenance <- p :: acc.a_provenance) co.co_provenance;
   Option.iter
     (fun ins ->
       Obs.Metrics.inc ins.i_cases;
@@ -161,6 +178,8 @@ let accum_result config ~total acc =
     residue_warnings = acc.a_residue;
     total_cycles = acc.a_cycles;
     total_log_records = acc.a_log_records;
+    waves = List.rev acc.a_waves;
+    provenance = List.rev acc.a_provenance;
   }
 
 let aggregate ?(progress = fun _ _ _ -> ()) ?(obs = Obs.noop) config outcomes =
@@ -171,7 +190,7 @@ let aggregate ?(progress = fun _ _ _ -> ()) ?(obs = Obs.noop) config outcomes =
   accum_result config ~total acc
 
 let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
-    config testcases =
+    ?wave config testcases =
   let ins = instruments obs in
   let acc = accum_create () in
   let total = List.length testcases in
@@ -180,7 +199,8 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
     (* Sequential path: [progress] streams as each test case finishes. *)
     Obs.span obs "campaign/cases" (fun () ->
         List.iteri
-          (fun i tc -> merge i (eval_case_with obs ins ?snapshots config tc))
+          (fun i tc ->
+            merge i (eval_case_with obs ins ?snapshots ?wave config tc))
           testcases)
   else begin
     (* Test cases share no mutable state (each [Runner.run] builds its
@@ -189,7 +209,7 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
     let outcomes =
       Obs.span obs "campaign/execute" (fun () ->
           Parallel.Pool.parmap ~obs ~jobs
-            (eval_case_with obs ins ?snapshots config)
+            (eval_case_with obs ins ?snapshots ?wave config)
             testcases)
     in
     Obs.span obs "campaign/merge" (fun () -> List.iteri merge outcomes)
@@ -197,8 +217,8 @@ let run ?(progress = fun _ _ _ -> ()) ?(jobs = 1) ?(obs = Obs.noop) ?snapshots
   Obs.gc_sample obs ~phase:"campaign";
   accum_result config ~total acc
 
-let run_full ?progress ?jobs ?obs ?snapshots config =
-  run ?progress ?jobs ?obs ?snapshots config (Fuzzer.corpus ())
+let run_full ?progress ?jobs ?obs ?snapshots ?wave config =
+  run ?progress ?jobs ?obs ?snapshots ?wave config (Fuzzer.corpus ())
 
 let mismatches result =
   List.filter_map

@@ -19,10 +19,20 @@ type result = {
   residue_warnings : int;
   total_cycles : int;
   total_log_records : int;
+  waves : (string * string) list;
+      (** Per-case (name, encoded wave stream) pairs in corpus order;
+          empty unless the run was started with [~wave:true].  No
+          rendered verdict artifact includes them — the CLI writes them
+          to a separate [--wave] file. *)
+  provenance : Provenance.t list;
+      (** One causal-chain record per classified finding, in corpus
+          order.  Derived from the simulation log only, so identical
+          across wave, jobs and snapshot settings. *)
 }
 (** Deliberately carries no wall-clock data: campaign results (and
     everything rendered from them) are byte-identical across job counts
-    and observability settings.  Timing lives in the {!Obs} sink. *)
+    and observability settings — and, [waves] aside, across wave-tap
+    settings.  Timing lives in the {!Obs} sink. *)
 
 type case_outcome = {
   co_name : string;
@@ -31,6 +41,12 @@ type case_outcome = {
   co_cycles : int;
   co_log_records : int;
   co_summary : string;
+  co_wave : string;
+      (** Encoded wave stream for the case; [""] when taps are off.
+          Excluded from the serve layer's store payloads — waves ride
+          the side channel ([shard_obs]) like traces do. *)
+  co_provenance : Provenance.t list;
+      (** Causal chains of the case's classified findings. *)
 }
 (** Everything the merge phase needs from one test case.  This is the
     unit of work the campaign service (lib/serve) ships between worker
@@ -43,7 +59,12 @@ type case_outcome = {
     [run] is (observably) [aggregate] over [eval_case] of every test
     case in corpus order. *)
 val eval_case :
-  ?obs:Obs.t -> ?snapshots:Snapshot.t -> Config.t -> Testcase.t -> case_outcome
+  ?obs:Obs.t ->
+  ?snapshots:Snapshot.t ->
+  ?wave:bool ->
+  Config.t ->
+  Testcase.t ->
+  case_outcome
 
 (** [aggregate ?progress ?obs config outcomes] merges per-case outcomes
     (in corpus order) into a campaign result.  Deterministic: a plain
@@ -73,12 +94,17 @@ val aggregate :
 
     [snapshots], if given, establishes each test case's setup prefix
     through the snapshot engine instead of replaying it (see
-    {!Snapshot}); the result stays byte-identical either way. *)
+    {!Snapshot}); the result stays byte-identical either way.
+
+    [wave] (default false) attaches a wave tap to every case's machine
+    and collects the per-case streams into [result.waves]; verdict
+    fields are unaffected. *)
 val run :
   ?progress:(int -> int -> string -> unit) ->
   ?jobs:int ->
   ?obs:Obs.t ->
   ?snapshots:Snapshot.t ->
+  ?wave:bool ->
   Config.t ->
   Testcase.t list ->
   result
@@ -90,6 +116,7 @@ val run_full :
   ?jobs:int ->
   ?obs:Obs.t ->
   ?snapshots:Snapshot.t ->
+  ?wave:bool ->
   Config.t ->
   result
 

@@ -11,8 +11,8 @@ type t = {
   mutable program_trace : (string * Program.t) list;
 }
 
-let create config params =
-  let machine = Machine.create config in
+let create ?(wave = false) config params =
+  let machine = Machine.create ~wave config in
   let sm = Security_monitor.install machine in
   {
     sm;

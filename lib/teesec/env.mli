@@ -30,7 +30,10 @@ val record_program : t -> label:string -> Program.t -> unit
 (** [programs t] is the executed-program trace in execution order. *)
 val programs : t -> (string * Program.t) list
 
-val create : Config.t -> Params.t -> t
+(** [create ?wave config params] — with [~wave:true] the machine is
+    built with an active {!Wave.Tap.t} (see {!Machine.create});
+    default off. *)
+val create : ?wave:bool -> Config.t -> Params.t -> t
 
 (** {1 Snapshot/restore}
 

@@ -1,0 +1,285 @@
+open! Import
+
+type access = {
+  a_gadget : string;
+  a_origin : string;
+  a_cycle : int;
+  a_structure : string;
+  a_slot : int;
+}
+
+type t = {
+  p_id : string;
+  p_core : string;
+  p_case : string;
+  p_testcase : string;
+  p_testcase_id : int;
+  p_structure : string;
+  p_detection : string;
+  p_check : string;
+  p_cycle : int;
+  p_ctx : string;
+  p_write : access option;
+  p_window : (int * int) option;
+  p_secret : string;
+  p_last_pc : string;
+  p_note : string;
+}
+
+let equal (a : t) (b : t) = a = b
+
+let case_string (f : Checker.finding) =
+  match f.Checker.case with Some c -> Case.to_string c | None -> "residue"
+
+let check_of_finding (f : Checker.finding) =
+  match f.Checker.case with
+  | Some Case.M1 -> "hpc-delta"
+  | Some Case.M2 -> "btb-residue"
+  | Some _ -> "data-leakage"
+  | None -> "residue-scan"
+
+(* The structure entry that carries the finding's evidence: the secret
+   value for data findings, the first enclave-owned entry for metadata
+   ones. *)
+let entry_slot entries (f : Checker.finding) =
+  let hit (e : Log.entry) =
+    match f.Checker.secret with
+    | Some s -> Int64.equal e.Log.data s.Secret.value
+    | None -> Strutil.contains_substring ~needle:"owner=enclave" e.Log.note
+  in
+  List.fold_left
+    (fun acc (e : Log.entry) ->
+      match acc with Some _ -> acc | None -> if hit e then Some e.Log.slot else None)
+    None entries
+
+(* Latest write of the finding's evidence into the finding's structure
+   at or before the detection cycle.  For a Fetched finding this is the
+   observed write itself; for a Residue finding it is the access the
+   residue survives from. *)
+let find_write records (f : Checker.finding) =
+  let best = ref None in
+  List.iter
+    (fun (r : Log.record) ->
+      if r.Log.cycle <= f.Checker.cycle then
+        match r.Log.event with
+        | Log.Write { structure; entries; origin }
+          when Structure.equal structure f.Checker.structure -> (
+          match entry_slot entries f with
+          | None -> ()
+          | Some slot -> (
+            match !best with
+            | Some (c, _, _) when c > r.Log.cycle -> ()
+            | _ -> best := Some (r.Log.cycle, origin, slot)))
+        | _ -> ())
+    records;
+  !best
+
+(* Writes after the fork point come from the access gadget; earlier ones
+   from the setup prefix, which we name after its final helper (the one
+   that typically seeds the secret).  Finer attribution would need
+   per-gadget cycle spans, which the snapshot-restored prefix path does
+   not replay. *)
+let gadget_at (tc : Testcase.t) ~fork_cycle ~cycle =
+  if cycle > fork_cycle then Gadget.name (Testcase.access_gadget tc)
+  else
+    match List.rev tc.Testcase.gadgets with
+    | _access :: prev :: _ -> "prefix:" ^ Gadget.name prev
+    | _ -> Gadget.name (Testcase.access_gadget tc)
+
+let of_finding ~(config : Config.t) ~records ~(outcome : Runner.outcome)
+    (f : Checker.finding) =
+  let tc = outcome.Runner.testcase in
+  let structure = Structure.to_string f.Checker.structure in
+  let case = case_string f in
+  (* The short core name ("boom"), not the display name — ids must
+     round-trip through {!parse_id} and {!Config.of_core_name}. *)
+  let core =
+    String.lowercase_ascii (Config.core_kind_to_string config.Config.kind)
+  in
+  let write =
+    Option.map
+      (fun (cycle, origin, slot) ->
+        {
+          a_gadget = gadget_at tc ~fork_cycle:outcome.Runner.fork_cycle ~cycle;
+          a_origin = Log.origin_to_string origin;
+          a_cycle = cycle;
+          a_structure = structure;
+          a_slot = slot;
+        })
+      (find_write records f)
+  in
+  {
+    p_id = Printf.sprintf "%s/%s/%d/%s" core case tc.Testcase.id structure;
+    p_core = core;
+    p_case = case;
+    p_testcase = Testcase.name tc;
+    p_testcase_id = tc.Testcase.id;
+    p_structure = structure;
+    p_detection = Checker.detection_to_string f.Checker.detection;
+    p_check = check_of_finding f;
+    p_cycle = f.Checker.cycle;
+    p_ctx = Exec_context.to_string f.Checker.ctx;
+    p_write = write;
+    p_window = Option.map (fun w -> (w.a_cycle, f.Checker.cycle)) write;
+    p_secret =
+      (match f.Checker.secret with
+      | Some s -> Word.to_hex s.Secret.value
+      | None -> "");
+    p_last_pc =
+      (match f.Checker.last_pc with Some pc -> Word.to_hex pc | None -> "");
+    p_note = f.Checker.note;
+  }
+
+let of_outcome ~config (outcome : Runner.outcome) findings =
+  let records = Log.to_list outcome.Runner.log in
+  List.map (of_finding ~config ~records ~outcome) findings
+
+let parse_id s =
+  match String.split_on_char '/' s with
+  | [ core; case; tcid; structure ] -> (
+    match int_of_string_opt tcid with
+    | None -> Error (Printf.sprintf "bad test-case id %S" tcid)
+    | Some id -> (
+      match Structure.of_string structure with
+      | None -> Error (Printf.sprintf "unknown structure %S" structure)
+      | Some st -> Ok (core, case, id, st)))
+  | _ -> Error "finding id must be core/case/testcase-id/structure"
+
+let pp_chain fmt p =
+  Format.fprintf fmt "finding %s@." p.p_id;
+  Format.fprintf fmt "  test case: %s@." p.p_testcase;
+  let step = ref 0 in
+  let line fmt_ =
+    incr step;
+    Format.fprintf fmt "  %d. " !step;
+    Format.kfprintf (fun fmt -> Format.fprintf fmt "@.") fmt fmt_
+  in
+  (match p.p_write with
+  | Some w ->
+    line "write: gadget %s (%s) fills %s slot %d at cycle %d%s" w.a_gadget
+      (if w.a_origin = "" then "unknown origin" else w.a_origin)
+      w.a_structure w.a_slot w.a_cycle
+      (if p.p_secret = "" then "" else " with secret " ^ p.p_secret)
+  | None ->
+    line "write: no logged write into %s carries the evidence (%s)"
+      p.p_structure p.p_note);
+  (match p.p_window with
+  | Some (a, b) when b > a ->
+    line "residue: the value survives in %s for %d cycles (cycle %d..%d)"
+      p.p_structure (b - a) a b
+  | Some (a, _) -> line "residue: observed at the writing cycle %d" a
+  | None -> ());
+  line "observed: %s by the %s check in context %s at cycle %d" p.p_detection
+    p.p_check p.p_ctx p.p_cycle;
+  (match p.p_last_pc with
+  | "" -> ()
+  | pc -> line "last committed instruction: pc %s" pc);
+  Format.fprintf fmt "  verdict: %s%s@." p.p_case
+    (if p.p_note = "" || p.p_write = None then "" else " (" ^ p.p_note ^ ")")
+
+(* {2 JSON} — hand-rolled writer (byte-deterministic), {!Obs.Json}
+   reader. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let access_to_json a =
+  Printf.sprintf
+    "{\"gadget\": %s, \"origin\": %s, \"cycle\": %d, \"structure\": %s, \
+     \"slot\": %d}"
+    (json_string a.a_gadget) (json_string a.a_origin) a.a_cycle
+    (json_string a.a_structure) a.a_slot
+
+let to_json p =
+  let window =
+    match p.p_window with
+    | Some (a, b) -> Printf.sprintf "[%d, %d]" a b
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"id\": %s, \"core\": %s, \"case\": %s, \"testcase\": %s, \
+     \"testcase_id\": %d, \"structure\": %s, \"detection\": %s, \"check\": \
+     %s, \"cycle\": %d, \"ctx\": %s, \"write\": %s, \"window\": %s, \
+     \"secret\": %s, \"last_pc\": %s, \"note\": %s}"
+    (json_string p.p_id) (json_string p.p_core) (json_string p.p_case)
+    (json_string p.p_testcase) p.p_testcase_id
+    (json_string p.p_structure)
+    (json_string p.p_detection)
+    (json_string p.p_check) p.p_cycle (json_string p.p_ctx)
+    (match p.p_write with Some a -> access_to_json a | None -> "null")
+    window (json_string p.p_secret) (json_string p.p_last_pc)
+    (json_string p.p_note)
+
+let list_to_json ps =
+  "[" ^ String.concat ", " (List.map to_json ps) ^ "]"
+
+let str_field j key =
+  match Obs.Json.string_field key j with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "missing string field %S" key)
+
+let int_field j key =
+  match Obs.Json.number_field key j with
+  | Some n -> int_of_float n
+  | None -> failwith (Printf.sprintf "missing number field %S" key)
+
+let access_of_value j =
+  {
+    a_gadget = str_field j "gadget";
+    a_origin = str_field j "origin";
+    a_cycle = int_field j "cycle";
+    a_structure = str_field j "structure";
+    a_slot = int_field j "slot";
+  }
+
+let of_value j =
+  {
+    p_id = str_field j "id";
+    p_core = str_field j "core";
+    p_case = str_field j "case";
+    p_testcase = str_field j "testcase";
+    p_testcase_id = int_field j "testcase_id";
+    p_structure = str_field j "structure";
+    p_detection = str_field j "detection";
+    p_check = str_field j "check";
+    p_cycle = int_field j "cycle";
+    p_ctx = str_field j "ctx";
+    p_write =
+      (match Obs.Json.member "write" j with
+      | Some (Obs.Json.Obj _ as a) -> Some (access_of_value a)
+      | _ -> None);
+    p_window =
+      (match Obs.Json.member "window" j with
+      | Some (Obs.Json.Arr [ Obs.Json.Num a; Obs.Json.Num b ]) ->
+        Some (int_of_float a, int_of_float b)
+      | _ -> None);
+    p_secret = str_field j "secret";
+    p_last_pc = str_field j "last_pc";
+    p_note = str_field j "note";
+  }
+
+let of_json s =
+  match Obs.Json.parse s with
+  | Error e -> Error e
+  | Ok j -> ( try Ok (of_value j) with Failure m -> Error m)
+
+let list_of_json s =
+  match Obs.Json.parse s with
+  | Error e -> Error e
+  | Ok j -> (
+    match Obs.Json.to_list j with
+    | None -> Error "expected a JSON array of provenance records"
+    | Some l -> ( try Ok (List.map of_value l) with Failure m -> Error m))

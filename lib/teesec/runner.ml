@@ -8,6 +8,7 @@ type outcome = {
   cycles : int;
   fork_cycle : int;
   log_records : int;
+  wave : string;
 }
 
 let split_last gadgets =
@@ -18,16 +19,18 @@ let split_last gadgets =
   in
   go [] gadgets
 
-let run ?snapshots ?prepare config (testcase : Testcase.t) =
+let run ?snapshots ?prepare ?(wave = false) config (testcase : Testcase.t) =
   let prefix, access = split_last testcase.Testcase.gadgets in
   let env =
     match snapshots with
     | Some engine ->
       if Snapshot.config_hash engine <> Config.hash config then
         invalid_arg "Runner.run: snapshot engine built for a different config";
+      if Snapshot.wave engine <> wave then
+        invalid_arg "Runner.run: snapshot engine wave setting differs";
       Snapshot.establish engine testcase
     | None ->
-      let env = Env.create config testcase.Testcase.params in
+      let env = Env.create ~wave config testcase.Testcase.params in
       List.iter (fun g -> g.Gadget.emit env) prefix;
       env
   in
@@ -49,4 +52,5 @@ let run ?snapshots ?prepare config (testcase : Testcase.t) =
     cycles = Machine.cycle env.Env.machine;
     fork_cycle;
     log_records = Log.length log;
+    wave = Machine.wave_contents env.Env.machine;
   }

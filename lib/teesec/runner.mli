@@ -27,6 +27,9 @@ type outcome = {
           span the access phase executed for, the window the fault
           injector's relative firing cycles are measured against. *)
   log_records : int;
+  wave : string;
+      (** The machine's encoded wave-event stream for this case
+          ([Wave.Event] codec); [""] when the tap is off. *)
 }
 
 (** [run config testcase] executes the gadget chain in order.
@@ -39,10 +42,17 @@ type outcome = {
     is established (replayed or restored), before the access gadget
     emits.  The fault injector uses it to arm its machine hooks; arming
     at the fork point keeps faulted runs identical across the two prefix
-    paths. *)
+    paths.
+
+    [wave] (default false) attaches a wave tap to the machine; the
+    encoded stream comes back in [outcome.wave].  When [snapshots] is
+    given the engine must have been created with the same [wave]
+    setting ([Invalid_argument] otherwise), since the tap lives on the
+    pooled machine. *)
 val run :
   ?snapshots:Snapshot.t ->
   ?prepare:(Env.t -> unit) ->
+  ?wave:bool ->
   Config.t ->
   Testcase.t ->
   outcome

@@ -55,6 +55,7 @@ type instruments = {
 type t = {
   config : Config.t;
   config_hash : int64;
+  wave : bool;
   capacity : int;
   dls : cache Domain.DLS.key;
   hits : int Atomic.t;
@@ -89,11 +90,12 @@ let instruments obs =
             "teesec_snapshot_restore_seconds";
       }
 
-let create ?(slots = 1024) ?(obs = Obs.noop) config =
+let create ?(slots = 1024) ?(obs = Obs.noop) ?(wave = false) config =
   if slots < 1 then invalid_arg "Snapshot.create: slots must be >= 1";
   {
     config;
     config_hash = Config.hash config;
+    wave;
     capacity = slots;
     dls =
       Domain.DLS.new_key (fun () -> { slots = []; clock = 0; pool = None });
@@ -108,6 +110,7 @@ let create ?(slots = 1024) ?(obs = Obs.noop) config =
 
 let config t = t.config
 let config_hash t = t.config_hash
+let wave t = t.wave
 
 let stats t =
   {
@@ -216,7 +219,7 @@ let establish t (tc : Testcase.t) =
     | Some (base, pristine) ->
       ({ base with Env.params = tc.Testcase.params }, Some pristine)
     | None ->
-      let env = Env.create t.config tc.Testcase.params in
+      let env = Env.create ~wave:t.wave t.config tc.Testcase.params in
       cache.pool <- Some (env, Env.snapshot env);
       (env, None)
   in

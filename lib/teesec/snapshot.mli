@@ -47,11 +47,16 @@ type stats = {
     [Obs.noop]) receives hit/miss/store counters
     ([teesec_snapshot_*_total]) and a restore-duration histogram
     ([teesec_snapshot_restore_seconds]); register it from the
-    orchestrating domain before fanning out.  Raises [Invalid_argument]
-    when [slots < 1]. *)
-val create : ?slots:int -> ?obs:Obs.t -> Config.t -> t
+    orchestrating domain before fanning out.  [wave] (default false)
+    attaches an active wave tap to the pooled machines; snapshot marks
+    then carry the stream prefix so spliced streams stay byte-identical
+    to replayed ones.  Raises [Invalid_argument] when [slots < 1]. *)
+val create : ?slots:int -> ?obs:Obs.t -> ?wave:bool -> Config.t -> t
 
 val config : t -> Config.t
+
+(** Whether the engine's pooled machines carry an active wave tap. *)
+val wave : t -> bool
 
 (** The {!Config.hash} of the engine's config — runners use it to refuse
     an engine built for a different configuration. *)

@@ -57,11 +57,15 @@ type t = {
   mutable flush_faults : (Structure.t * flush_behaviour) list;
   mutable pmp_stuck_grant : bool;
   mutable snapshot_delay : int;
+  wave : Wave.Tap.t;
+      (* Per-structure event tap: Noop unless the machine was created
+         with [~wave:true]; write-only, so verdicts never depend on it. *)
 }
 
-let create config =
+let create ?(wave = false) config =
   {
     config;
+    wave = (if wave then Wave.Tap.create () else Wave.Tap.noop);
     mem = Memory.create ();
     csr = Csr.create ();
     pmp = Pmp.create ();
@@ -111,6 +115,22 @@ let pmp t = t.pmp
 let log t = t.log
 let cycle t = t.cycle
 
+(* {2 Wave tap}
+
+   Every emission site below follows one discipline: check
+   [Wave.Tap.enabled] first when the event's [value] (usually an
+   occupancy) costs anything to compute, so the taps-off hot path pays
+   exactly one predicted branch and zero allocation. *)
+
+let wave_tap t = t.wave
+let wave_enabled t = Wave.Tap.enabled t.wave
+let wave_contents t = Wave.Tap.contents t.wave
+let wave_clear t = Wave.Tap.clear t.wave
+let wave_case_mark t ~id = Wave.Tap.case_mark t.wave ~cycle:t.cycle ~ctx:t.ctx ~id
+
+let tap t ~kind ~structure ~slot ~value =
+  Wave.Tap.emit t.wave ~kind ~cycle:t.cycle ~structure ~slot ~ctx:t.ctx ~value
+
 let advance t n =
   assert (n >= 0);
   t.cycle <- t.cycle + n;
@@ -145,9 +165,12 @@ let log_exception t ~cause ~pc =
 let log_fault t ?structure detail = record t (Log.Fault_injected { structure; detail })
 
 (* Every PMP check in the data path goes through this wrapper so the
-   stuck-at-grant fault can override the verdict. *)
+   stuck-at-grant fault can override the verdict (and so the wave tap
+   sees every grant/deny decision). *)
 let pmp_allows t ~priv ~kind ~addr ~size =
-  t.pmp_stuck_grant || Pmp.allows t.pmp ~priv ~kind ~addr ~size
+  let allowed = t.pmp_stuck_grant || Pmp.allows t.pmp ~priv ~kind ~addr ~size in
+  Wave.Tap.pmp_check t.wave ~cycle:t.cycle ~ctx:t.ctx ~allowed;
+  allowed
 
 let flush_behaviour_of t structure =
   Option.value (List.assoc_opt structure t.flush_faults) ~default:Flush_normal
@@ -156,6 +179,7 @@ let flush_behaviour_of t structure =
    register and is logged, transient or not. *)
 let writeback t ~value ~origin ~transient ~note =
   let slot = Regfile.writeback t.regfile ~value ~ctx:t.ctx ~transient in
+  tap t ~kind:Wave.Event.Fill ~structure:Structure.Reg_file ~slot ~value:0;
   let note = if transient then note ^ " transient" else note in
   record t (Log.Write { structure = Structure.Reg_file; entries = [ Log.entry ~slot ~note value ]; origin })
 
@@ -168,8 +192,10 @@ let word_in_line addr = Int64.to_int (Word.extract addr ~pos:3 ~len:3)
 
 (* Insert into the L2, writing any displaced dirty victim to memory. *)
 let insert_l2 t ~addr line =
+  tap t ~kind:Wave.Event.Fill ~structure:Structure.L2_data ~slot:0 ~value:0;
   match Cache.insert t.l2 ~addr line with
   | Some (victim_addr, victim_line, dirty) ->
+    tap t ~kind:Wave.Event.Evict ~structure:Structure.L2_data ~slot:0 ~value:0;
     if dirty then Memory.write_line t.mem ~addr:victim_addr victim_line
   | None -> ()
 
@@ -184,6 +210,9 @@ let fetch_line t ~paddr =
 
 let log_wb_buffer t ~addr line ~origin =
   let slot = Lfb.fill t.wb_buffer ~addr ~data:line in
+  if wave_enabled t then
+    tap t ~kind:Wave.Event.Fill ~structure:Structure.Wb_buffer ~slot
+      ~value:(1 + Lfb.occupied t.wb_buffer);
   record t
     (Log.Write
        {
@@ -199,10 +228,12 @@ let writeback_victim t ~addr line ~origin =
   Memory.write_line t.mem ~addr line
 
 let insert_l1 t ~paddr line ~origin =
+  tap t ~kind:Wave.Event.Fill ~structure:Structure.L1d_data ~slot:0 ~value:0;
   match Cache.insert t.l1 ~addr:paddr line with
-  | Some (victim_addr, victim_line, dirty) when dirty ->
-    writeback_victim t ~addr:victim_addr victim_line ~origin
-  | Some _ | None -> ()
+  | Some (victim_addr, victim_line, dirty) ->
+    tap t ~kind:Wave.Event.Evict ~structure:Structure.L1d_data ~slot:0 ~value:0;
+    if dirty then writeback_victim t ~addr:victim_addr victim_line ~origin
+  | None -> ()
 
 (* Fill the LFB with the line for [paddr]; log the fill with its access
    path provenance.  Returns the line. *)
@@ -210,6 +241,9 @@ let lfb_fill t ~paddr ~origin =
   let line, lat = fetch_line t ~paddr in
   let base = line_base paddr in
   let slot = Lfb.fill t.lfb ~addr:base ~data:line in
+  if wave_enabled t then
+    tap t ~kind:Wave.Event.Fill ~structure:Structure.Lfb ~slot
+      ~value:(1 + Lfb.occupied t.lfb);
   record t
     (Log.Write
        { structure = Structure.Lfb; entries = Lfb.entries_of_fill ~slot ~addr:base ~data:line; origin });
@@ -225,6 +259,7 @@ let prefetch_next_line t ~paddr =
     (* The hardware prefetcher performs no permission check (D1). *)
     let _line, _lat = lfb_fill t ~paddr:next ~origin:Log.Prefetch in
     t.last_prefetch <- Some next;
+    tap t ~kind:Wave.Event.Fill ~structure:Structure.Prefetcher ~slot:0 ~value:0;
     record t
       (Log.Write
          {
@@ -251,6 +286,7 @@ let hierarchy_read_word t ~paddr ~origin ~trigger_prefetch =
   let g = granule_base paddr in
   match Cache.read_word t.l1 ~addr:g with
   | Some w ->
+    tap t ~kind:Wave.Event.Hit ~structure:Structure.L1d_data ~slot:0 ~value:0;
     advance t (latencies t).Config.l1_hit;
     w
   | None ->
@@ -283,6 +319,9 @@ let drain_entries t entries =
       let offset = Int64.to_int (Int64.sub e.addr g) in
       let merged = merge_into_word ~old ~value:e.value ~offset ~size:e.size in
       ignore (Cache.write_word t.l1 ~addr:g merged);
+      if wave_enabled t then
+        tap t ~kind:Wave.Event.Evict ~structure:Structure.Store_buffer ~slot:0
+          ~value:(1 + Store_buffer.occupancy t.stb);
       advance t 1)
     entries
 
@@ -311,6 +350,9 @@ let perm_allows (perm : Page_table.pte_perm) = function
 
 let ptw_cache_insert t ~vaddr ~paddr ~perm =
   Tlb.insert t.ptw_cache ~vaddr ~paddr ~perm;
+  if wave_enabled t then
+    tap t ~kind:Wave.Event.Fill ~structure:Structure.Ptw_cache ~slot:0
+      ~value:(1 + Tlb.occupancy t.ptw_cache);
   record t
     (Log.Write
        {
@@ -358,6 +400,9 @@ let ptw_walk t ~root ~vaddr ~kind =
         | Page_table.Leaf { paddr; perm } ->
           let page = Word.align_down vaddr ~alignment:Page_table.page_size in
           Tlb.insert t.dtlb ~vaddr ~paddr ~perm;
+          if wave_enabled t then
+            tap t ~kind:Wave.Event.Fill ~structure:Structure.Dtlb ~slot:0
+              ~value:(1 + Tlb.occupancy t.dtlb);
           ptw_cache_insert t ~vaddr:page ~paddr ~perm;
           if perm_allows perm kind then
             Phys (Int64.logor paddr (Word.extract vaddr ~pos:0 ~len:12))
@@ -377,6 +422,7 @@ let translate t ~vaddr ~kind =
     | Some root -> (
       match Tlb.lookup t.dtlb ~vaddr with
       | Some entry ->
+        tap t ~kind:Wave.Event.Hit ~structure:Structure.Dtlb ~slot:0 ~value:0;
         if perm_allows entry.Tlb.perm kind then Phys (Tlb.translate entry ~vaddr)
         else Trans_fault { cause = page_fault_of kind; tval = vaddr }
       | None ->
@@ -417,6 +463,7 @@ let faulting_load t ~paddr ~size ~origin =
       (* XiangShan: the store buffer resolves the load and transiently
          supplies enclave data to dependents (D8). *)
       Hpc.bump t.csr Hpc.Store_to_load_forward;
+      tap t ~kind:Wave.Event.Hit ~structure:Structure.Store_buffer ~slot:0 ~value:0;
       writeback t ~value:v ~origin ~transient:true ~note:"forwarded-from-store-buffer";
       advance t 2;
       { value = v; fault = Some trap; latency = 2; transient_forward = true }
@@ -426,6 +473,7 @@ let faulting_load t ~paddr ~size ~origin =
         (* Both cores: the cache request races the permission check and
            the hit response is forwarded before the squash (D4-D7). *)
         let v = extract_from_word w ~offset ~size in
+        tap t ~kind:Wave.Event.Hit ~structure:Structure.L1d_data ~slot:0 ~value:0;
         writeback t ~value:v ~origin ~transient:true ~note:"l1-hit-before-squash";
         advance t (latencies t).Config.l1_hit;
         { value = v; fault = Some trap; latency = (latencies t).Config.l1_hit; transient_forward = true }
@@ -451,6 +499,7 @@ let rec normal_load t ~paddr ~size ~origin =
   match Store_buffer.forward t.stb ~addr:paddr ~size with
   | Store_buffer.Forwarded v ->
     Hpc.bump t.csr Hpc.Store_to_load_forward;
+    tap t ~kind:Wave.Event.Hit ~structure:Structure.Store_buffer ~slot:0 ~value:0;
     advance t 2;
     { value = v; fault = None; latency = 2; transient_forward = false }
   | Store_buffer.Partial_conflict ->
@@ -462,6 +511,7 @@ let rec normal_load t ~paddr ~size ~origin =
   | Store_buffer.No_match -> (
     match Cache.read_word t.l1 ~addr:(granule_base paddr) with
     | Some w ->
+      tap t ~kind:Wave.Event.Hit ~structure:Structure.L1d_data ~slot:0 ~value:0;
       advance t (latencies t).Config.l1_hit;
       { value = extract_from_word w ~offset ~size; fault = None; latency = (latencies t).Config.l1_hit; transient_forward = false }
     | None ->
@@ -537,6 +587,9 @@ let rec store ?(origin = Log.Explicit_store) t ~vaddr ~size ~value () =
           }
         in
         Store_buffer.push t.stb entry;
+        if wave_enabled t then
+          tap t ~kind:Wave.Event.Fill ~structure:Structure.Store_buffer ~slot:0
+            ~value:(1 + Store_buffer.occupancy t.stb);
         record t
           (Log.Write
              {
@@ -607,6 +660,10 @@ type snapshot = {
   snap_flush_faults : (Structure.t * flush_behaviour) list;
   snap_pmp_stuck_grant : bool;
   snap_snapshot_delay : int;
+  snap_wave : Wave.Tap.mark;
+      (* Captured wave-stream prefix: restoring rewinds the stream to
+         exactly these bytes, so spliced streams equal replayed ones
+         byte for byte. *)
 }
 
 let snapshot t =
@@ -639,6 +696,7 @@ let snapshot t =
     snap_flush_faults = t.flush_faults;
     snap_pmp_stuck_grant = t.pmp_stuck_grant;
     snap_snapshot_delay = t.snapshot_delay;
+    snap_wave = Wave.Tap.mark t.wave;
   }
 
 let restore t s =
@@ -670,7 +728,8 @@ let restore t s =
   t.in_advance_hook <- false;
   t.flush_faults <- s.snap_flush_faults;
   t.pmp_stuck_grant <- s.snap_pmp_stuck_grant;
-  t.snapshot_delay <- s.snap_snapshot_delay
+  t.snapshot_delay <- s.snap_snapshot_delay;
+  Wave.Tap.reset_to t.wave s.snap_wave
 
 (* {2 Flushes} *)
 
@@ -680,6 +739,7 @@ let restore t s =
 let flush_l1i t =
   let valid = List.length (Cache.valid_lines t.l1i) in
   ignore (Cache.flush t.l1i);
+  tap t ~kind:Wave.Event.Flush ~structure:Structure.L1i_data ~slot:0 ~value:1;
   advance t (2 + valid)
 
 let flush_l1d t =
@@ -700,6 +760,9 @@ let flush_l1d t =
             if dirty then Memory.write_line t.mem ~addr line
           | None -> ())
       valid;
+    if wave_enabled t then
+      tap t ~kind:Wave.Event.Flush ~structure:Structure.L1d_data ~slot:0
+        ~value:(1 + List.length (Cache.valid_lines t.l1));
     advance t (2 + ((List.length valid + 1) / 2))
   | Flush_normal ->
     let valid = List.length (Cache.valid_lines t.l1) in
@@ -709,6 +772,7 @@ let flush_l1d t =
         insert_l2 t ~addr line;
         Memory.write_line t.mem ~addr line)
       dirty;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.L1d_data ~slot:0 ~value:1;
     advance t (2 + valid + (4 * List.length dirty))
 
 let flush_lfb t =
@@ -720,10 +784,14 @@ let flush_lfb t =
     log_fault t ~structure:Structure.Lfb "LFB flush partial";
     Lfb.flush_partial t.lfb;
     Lfb.flush_partial t.wb_buffer;
+    if wave_enabled t then
+      tap t ~kind:Wave.Event.Flush ~structure:Structure.Lfb ~slot:0
+        ~value:(1 + Lfb.occupied t.lfb);
     advance t 2
   | Flush_normal ->
     Lfb.flush t.lfb;
     Lfb.flush t.wb_buffer;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Lfb ~slot:0 ~value:1;
     advance t 2
 
 let flush_store_buffer t =
@@ -736,10 +804,14 @@ let flush_store_buffer t =
     log_fault t ~structure:Structure.Store_buffer "store-buffer flush partial";
     let count = (Store_buffer.occupancy t.stb + 1) / 2 in
     drain_entries t (Store_buffer.take_oldest t.stb count);
+    if wave_enabled t then
+      tap t ~kind:Wave.Event.Flush ~structure:Structure.Store_buffer ~slot:0
+        ~value:(1 + Store_buffer.occupancy t.stb);
     advance t 2
   | Flush_normal ->
     drain_store_buffer t;
     Store_buffer.clear t.stb;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Store_buffer ~slot:0 ~value:1;
     advance t 2
 
 let flush_tlb t =
@@ -751,10 +823,15 @@ let flush_tlb t =
     log_fault t ~structure:Structure.Dtlb "DTLB flush partial";
     Tlb.drop_half t.dtlb;
     Tlb.drop_half t.ptw_cache;
+    if wave_enabled t then
+      tap t ~kind:Wave.Event.Flush ~structure:Structure.Dtlb ~slot:0
+        ~value:(1 + Tlb.occupancy t.dtlb);
     advance t 2
   | Flush_normal ->
     Tlb.flush t.dtlb;
     Tlb.flush t.ptw_cache;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Dtlb ~slot:0 ~value:1;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Ptw_cache ~slot:0 ~value:1;
     advance t 2
 
 let flush_bpu t =
@@ -767,11 +844,14 @@ let flush_bpu t =
     log_fault t ~structure:Structure.Ubtb "BPU flush partial";
     let occupancy = Btb.occupancy t.ubtb in
     Btb.flush t.ubtb;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Ubtb ~slot:0 ~value:1;
     advance t (2 + (occupancy / 8))
   | Flush_normal ->
     let occupancy = Btb.occupancy t.ubtb + Btb.occupancy t.ftb in
     Btb.flush t.ubtb;
     Btb.flush t.ftb;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Ubtb ~slot:0 ~value:1;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Ftb ~slot:0 ~value:1;
     advance t (2 + (occupancy / 8))
 
 let reset_hpcs t =
@@ -783,14 +863,17 @@ let reset_hpcs t =
     (* Only the first half of the event counters resets. *)
     log_fault t ~structure:Structure.Hpm_counters "HPC reset partial";
     List.iter (fun n -> Csr.raw_write t.csr (Csr.Mhpmcounter n) 0L) [ 3; 4; 5; 6 ];
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Hpm_counters ~slot:0 ~value:0;
     advance t 1
   | Flush_normal ->
     Csr.reset_counters t.csr;
+    tap t ~kind:Wave.Event.Flush ~structure:Structure.Hpm_counters ~slot:0 ~value:1;
     advance t 1
 
 let evict_line t ~addr =
   match Cache.evict t.l1 ~addr with
   | Some (line, dirty) ->
+    tap t ~kind:Wave.Event.Evict ~structure:Structure.L1d_data ~slot:0 ~value:0;
     let base = line_base addr in
     if dirty then writeback_victim t ~addr:base line ~origin:Log.Refill
     else insert_l2 t ~addr:base line
@@ -799,7 +882,10 @@ let evict_line t ~addr =
 let evict_line_l2 t ~addr =
   (* L2 contents are kept coherent with memory by writeback_victim, so
      dropping the line loses nothing. *)
-  ignore (Cache.evict t.l2 ~addr)
+  match Cache.evict t.l2 ~addr with
+  | Some _ ->
+    tap t ~kind:Wave.Event.Evict ~structure:Structure.L2_data ~slot:0 ~value:0
+  | None -> ()
 
 (* {2 Fault injection}
 
@@ -863,6 +949,7 @@ let flip_bit t ~structure ~select ~bit =
   match flipped with
   | None -> false
   | Some (slot, addr, value) ->
+    tap t ~kind:Wave.Event.Fill ~structure ~slot ~value:0;
     log_fault t ~structure (Printf.sprintf "bit-flip select=%d bit=%d" select bit);
     record t
       (Log.Write
@@ -884,6 +971,11 @@ let snapshot_all t =
   end
   else begin
   let snap structure entries =
+    (* Residue events carry the surviving occupancy: what the incoming
+       context can still observe of the outgoing one. *)
+    if wave_enabled t then
+      tap t ~kind:Wave.Event.Residue ~structure ~slot:0
+        ~value:(1 + List.length entries);
     record t (Log.Snapshot { structure; entries })
   in
   snap Structure.Reg_file (Regfile.snapshot t.regfile);
@@ -938,6 +1030,7 @@ let switch_context t ~to_ctx =
     swap_hpc_banks t ~from_ctx ~to_ctx;
   advance t 4;
   t.ctx <- to_ctx;
+  Wave.Tap.ctx_switch t.wave ~cycle:t.cycle ~from_ctx ~to_ctx;
   record t (Log.Mode_switch { from_ctx; to_ctx });
   snapshot_all t
 
@@ -969,6 +1062,7 @@ let icache_fetch t ~pc =
     (if not (Cache.contains t.l1i ~addr:pc) then begin
        let line, lat = fetch_line t ~paddr:pc in
        (match Cache.insert t.l1i ~addr:pc line with _ -> ());
+       tap t ~kind:Wave.Event.Fill ~structure:Structure.L1i_data ~slot:0 ~value:0;
        record t
          (Log.Write
             {
@@ -1011,6 +1105,9 @@ let execute_branch t ~pc ~taken ~target =
   end;
   let update btb structure =
     let set_index, entry = Btb.update btb ~pc ~target ~taken ~owner:t.ctx in
+    if wave_enabled t then
+      tap t ~kind:Wave.Event.Fill ~structure ~slot:set_index
+        ~value:(1 + Btb.occupancy btb);
     record t
       (Log.Write
          {

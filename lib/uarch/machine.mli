@@ -35,13 +35,36 @@ type trap = { cause : cause; tval : Word.t }
 
 (** {1 Construction and basic accessors} *)
 
-val create : Config.t -> t
+(** [create ?wave config] builds a machine.  With [~wave:true] an
+    active {!Wave.Tap.t} is attached and every structure operation
+    appends a cycle-stamped event to it; the default is a noop tap
+    whose emission sites cost one predicted branch each.  The tap is
+    write-only: nothing in the execution or checking path reads it, so
+    verdicts are byte-identical with taps on or off. *)
+val create : ?wave:bool -> Config.t -> t
+
 val config : t -> Config.t
 val memory : t -> Memory.t
 val csr : t -> Csr.t
 val pmp : t -> Pmp.t
 val log : t -> Log.t
 val cycle : t -> int
+
+(** {1 Wave tap} *)
+
+val wave_tap : t -> Wave.Tap.t
+val wave_enabled : t -> bool
+
+(** [wave_contents t] is the encoded event stream accumulated so far
+    (empty when the tap is a noop). *)
+val wave_contents : t -> string
+
+(** [wave_clear t] truncates the stream to empty. *)
+val wave_clear : t -> unit
+
+(** [wave_case_mark t ~id] stamps a test-case boundary marker into the
+    stream at the current cycle. *)
+val wave_case_mark : t -> id:int -> unit
 
 (** [advance t n] burns [n] cycles (and the cycle CSR). *)
 val advance : t -> int -> unit

@@ -357,6 +357,41 @@ let test_prometheus_round_trip () =
   Alcotest.(check (float 1e-9)) "_sum" 9.65
     (find "rt_duration_seconds_sum" [ ("impl", "indexed") ])
 
+(* HELP text escaping: the exposition format escapes only backslash and
+   newline there — double quotes must pass through verbatim (they are
+   only escaped inside label values).  Regression test for the renderer
+   reusing the label-value escaper. *)
+let test_prometheus_help_escaping () =
+  let m = Metrics.create () in
+  let c =
+    Metrics.counter m ~help:"the \"hot\" path\ncontinued c:\\tmp"
+      "help_escape_total"
+  in
+  Metrics.inc c;
+  let text = Metrics.to_prometheus m in
+  let help_line =
+    match
+      List.find_opt
+        (fun l ->
+          String.length l >= 7 && String.sub l 0 7 = "# HELP ")
+        (String.split_on_char '\n' text)
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "no HELP line rendered"
+  in
+  Alcotest.(check string) "quotes verbatim, backslash and newline escaped"
+    "# HELP help_escape_total the \"hot\" path\\ncontinued c:\\\\tmp"
+    help_line;
+  (* The label-value escaper still quotes double quotes. *)
+  let m2 = Metrics.create () in
+  let g = Metrics.gauge m2 ~labels:[ ("k", "say \"hi\"") ] "help_escape_gauge" in
+  Metrics.set g 1.0;
+  let _, samples = parse_prometheus (Metrics.to_prometheus m2) in
+  Alcotest.(check bool) "label value round-trips" true
+    (List.exists
+       (fun s -> s.p_labels = [ ("k", "say \"hi\"") ])
+       samples)
+
 let test_metrics_json_parses () =
   let m = Metrics.create () in
   Metrics.inc (Metrics.counter m "json_total");
@@ -745,6 +780,41 @@ let test_obs_json_parser () =
       | Ok _ -> Alcotest.failf "accepted malformed JSON: %s" src)
     [ "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2"; "" ]
 
+(* Adversarially deep nesting must fail with a parse error, never escape
+   as [Stack_overflow]: the parser reads wire bytes (worker replies,
+   HTTP bodies), so stack exhaustion would be remotely triggerable. *)
+let test_obs_json_depth_limit () =
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Ojson.parse (deep 100) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "100 levels should parse: %s" e);
+  List.iter
+    (fun src ->
+      match Ojson.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unbounded nesting accepted")
+    [
+      deep 100_000;
+      String.concat "" (List.init 100_000 (fun _ -> "{\"k\":")) ^ "1";
+      String.make 100_000 '[';
+    ]
+
+(* qcheck: [parse] is total — arbitrary bytes produce [Ok] or [Error],
+   never an exception.  Exercises both raw garbage and mutations of
+   well-formed documents (truncation, bracket doubling). *)
+let obs_json_parse_total =
+  QCheck.Test.make ~count:500 ~name:"Json.parse never raises"
+    QCheck.(string_of Gen.printable)
+    (fun s ->
+      let probe src =
+        match Ojson.parse src with Ok _ | Error _ -> true
+      in
+      probe s
+      && probe ("{\"k\": [" ^ s ^ "]}")
+      && probe (String.sub ("[1, {\"a\": \"" ^ s ^ "\"}]") 0
+                  (min 5 (String.length s + 5)))
+      && probe (s ^ s))
+
 (* {1 CLI acceptance}
 
    The ISSUE's acceptance criterion, end to end: `fuzz --trace --metrics`
@@ -842,6 +912,8 @@ let () =
           QCheck_alcotest.to_alcotest cumulative_buckets_monotone;
           Alcotest.test_case "prometheus text round-trips through a parser"
             `Quick test_prometheus_round_trip;
+          Alcotest.test_case "prometheus HELP text escaping" `Quick
+            test_prometheus_help_escaping;
           Alcotest.test_case "JSON export parses" `Quick test_metrics_json_parses;
         ] );
       ( "tracer",
@@ -879,6 +951,9 @@ let () =
         [
           Alcotest.test_case "consumer-side parser reads values and rejects junk"
             `Quick test_obs_json_parser;
+          Alcotest.test_case "deep nesting is a parse error, not a crash"
+            `Quick test_obs_json_depth_limit;
+          QCheck_alcotest.to_alcotest obs_json_parse_total;
         ] );
       ( "determinism",
         [

@@ -131,8 +131,8 @@ let test_message_roundtrips () =
   let client_msgs =
     [
       Protocol.Hello { proto = 1; build = "1.1.0" };
-      Protocol.Submit { spec = List.hd sample_specs; trace = false };
-      Protocol.Submit { spec = List.hd sample_specs; trace = true };
+      Protocol.Submit { spec = List.hd sample_specs; trace = false; wave = false };
+      Protocol.Submit { spec = List.hd sample_specs; trace = true; wave = true };
       Protocol.Status;
       Protocol.Results { job = "abc123"; wait = true };
       Protocol.Ping;
@@ -172,12 +172,14 @@ let test_message_roundtrips () =
           st_store_misses = 6;
           st_jobs = [ js ];
         };
-      Protocol.Artifact { job = "deadbeef"; data = "line1\nline2\n"; trace = None };
+      Protocol.Artifact
+        { job = "deadbeef"; data = "line1\nline2\n"; trace = None; wave = None };
       Protocol.Artifact
         {
           job = "deadbeef";
           data = "line1\nline2\n";
           trace = Some "{\"traceEvents\": []}";
+          wave = Some "wave-bytes";
         };
       Protocol.Pending js;
       Protocol.Failed { job = "deadbeef"; reason = "poisoned" };
@@ -206,9 +208,9 @@ let test_worker_message_roundtrips () =
   let worker_msgs =
     [
       Protocol.W_shard
-        { digest = "d1"; crash = false; job = "j1"; trace = true; work };
+        { digest = "d1"; crash = false; job = "j1"; trace = true; wave = false; work };
       Protocol.W_shard
-        { digest = "d2"; crash = true; job = "j2"; trace = false; work };
+        { digest = "d2"; crash = true; job = "j2"; trace = false; wave = true; work };
       Protocol.W_exit;
     ]
   in
@@ -267,6 +269,7 @@ let test_worker_message_roundtrips () =
                 };
           };
         ];
+      so_wave = "framed-wave-bytes";
     }
   in
   let worker_replies =
@@ -512,7 +515,8 @@ let assemble_locally spec =
     let engines = Serve.Executor.create_engines () in
     let payloads =
       List.map
-        (fun (s : Planner.shard) -> Serve.Executor.execute ~engines s.Planner.work)
+        (fun (s : Planner.shard) ->
+          fst (Serve.Executor.execute ~engines ~wave:false s.Planner.work))
         shards
     in
     (match Serve.Artifact.assemble spec payloads with
@@ -657,6 +661,107 @@ let test_daemon_end_to_end () =
           in
           Alcotest.(check int) "warm run executes nothing" 0
             st.Protocol.st_shards_executed))
+
+(* The CLI's `watch --once` against a live daemon: one snapshot, exit 0.
+   The subcommand body prints to real stdout, so the test redirects fd 1
+   into a file around the in-process eval. *)
+let test_watch_once_live_daemon () =
+  with_temp_dir "serve_watch" (fun dir ->
+      let cfg = daemon_config dir in
+      let out =
+        with_daemon cfg (fun client ->
+            let _js, _data = submit_and_fetch client slice_spec in
+            let out_file = Filename.concat dir "watch.out" in
+            let fd =
+              Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT ] 0o600
+            in
+            let saved = Unix.dup Unix.stdout in
+            flush stdout;
+            Format.print_flush ();
+            Unix.dup2 fd Unix.stdout;
+            Unix.close fd;
+            let code, err =
+              Fun.protect
+                ~finally:(fun () ->
+                  flush stdout;
+                  Format.print_flush ();
+                  Unix.dup2 saved Unix.stdout;
+                  Unix.close saved)
+                (fun () ->
+                  Cli.Teesec_cmds.eval_captured
+                    ~argv:
+                      [|
+                        "teesec"; "watch"; "--once"; "--socket";
+                        cfg.Daemon.socket_path;
+                      |])
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "watch --once exits 0 (stderr: %s)" err)
+              0 code;
+            let ic = open_in_bin out_file in
+            let n = in_channel_length ic in
+            let out = really_input_string ic n in
+            close_in ic;
+            out)
+      in
+      Alcotest.(check bool) "snapshot reports workers" true
+        (contains out "workers");
+      Alcotest.(check bool) "snapshot lists the completed job" true
+        (contains out "campaign");
+      Alcotest.(check bool) "the job shows as complete" true
+        (contains out "complete"))
+
+(* submit --wave end to end: the wave payload rides the shard_obs side
+   channel through the daemon, unframes cleanly, renders as VCD, and the
+   verdict artifact stays byte-identical to an unwaved submission. *)
+let test_daemon_wave_artifact () =
+  let expected = expected_slice_csv () in
+  with_temp_dir "serve_wave" (fun dir ->
+      let cfg = { (daemon_config dir) with Daemon.workers = 2 } in
+      with_daemon cfg (fun client ->
+          let js =
+            match Client.submit ~wave:true client slice_spec with
+            | Ok js -> js
+            | Error e -> Alcotest.fail e
+          in
+          let art =
+            match Client.results client js.Protocol.js_job with
+            | Ok (Ok art) -> art
+            | Ok (Error _) -> Alcotest.fail "results returned pending"
+            | Error e -> Alcotest.fail e
+          in
+          Alcotest.(check string) "waved artifact = one-shot" expected
+            art.Client.data;
+          let blob =
+            match art.Client.wave with
+            | Some blob -> blob
+            | None -> Alcotest.fail "no wave payload on a waved job"
+          in
+          let streams =
+            match Wave.Event.unframe blob with
+            | Ok streams -> streams
+            | Error e -> Alcotest.failf "wave payload corrupt: %s" e
+          in
+          Alcotest.(check bool) "one stream per test case" true
+            (List.length streams
+            = List.length (Teesec.Mitigation_eval.slice ()));
+          (match Wave.Vcd.validate (Wave.Vcd.render streams) with
+          | Ok stats ->
+            Alcotest.(check bool) "VCD has signals and changes" true
+              (stats.Wave.Vcd.signals > 0 && stats.Wave.Vcd.changes > 0)
+          | Error e -> Alcotest.failf "daemon wave VCD invalid: %s" e);
+          ());
+      (* A fresh daemon on the same store: the unwaved resubmission is a
+         full store hit (waves never enter the store) and returns the
+         byte-identical artifact with no wave payload. *)
+      with_daemon cfg (fun client ->
+          let js2, art2 = submit_and_fetch_full client slice_spec in
+          Alcotest.(check int) "warm resubmission hits the store"
+            js2.Protocol.js_total js2.Protocol.js_hits;
+          Alcotest.(check string) "artifact byte-identical without wave"
+            expected art2.Client.data;
+          Alcotest.(check bool) "no wave on an unwaved submission" true
+            (art2.Client.wave = None)))
 
 let test_daemon_worker_crash_recovery () =
   let expected = expected_slice_csv () in
@@ -948,6 +1053,9 @@ let () =
       ( "daemon",
         [
           quick "end to end, cold then warm store" test_daemon_end_to_end;
+          quick "watch --once against a live daemon" test_watch_once_live_daemon;
+          quick "submit --wave returns loadable waveforms"
+            test_daemon_wave_artifact;
           quick "worker crash recovery" test_daemon_worker_crash_recovery;
           quick "doomed shards poison the job" test_daemon_poisons_doomed_shards;
           quick "protocol mismatch rejected at handshake"

@@ -1,0 +1,425 @@
+(* lib/wave: the event codec, stream framing, query engine and VCD
+   exporter — plus the cross-layer invariants the tap is sold on:
+   verdicts and provenance byte-identical with taps on or off, across
+   job counts, and across the snapshot engine (whose restore path must
+   splice stream prefixes rather than replay them). *)
+
+module Event = Wave.Event
+module Query = Wave.Query
+module Tap = Wave.Tap
+module Vcd = Wave.Vcd
+module Structure = Simlog.Structure
+module Exec_context = Simlog.Exec_context
+module Config = Uarch.Config
+module Provenance = Teesec.Provenance
+
+(* {1 Event codec} *)
+
+let all_kinds =
+  [
+    Event.Fill; Event.Evict; Event.Flush; Event.Hit; Event.Residue;
+    Event.Pmp_check; Event.Ctx_switch; Event.Case_mark;
+  ]
+
+let encode_events evs =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (e : Event.t) ->
+      Event.encode buf ~kind:e.Event.kind ~cycle:e.Event.cycle
+        ~structure_id:
+          (match e.Event.structure with
+          | Some s -> Event.structure_to_int s
+          | None -> Event.no_structure)
+        ~slot:e.Event.slot ~domain:e.Event.domain ~value:e.Event.value)
+    evs;
+  Buffer.contents buf
+
+let event_gen =
+  QCheck.Gen.(
+    let* kind = oneofl all_kinds in
+    let* cycle = int_bound 2_000_000 in
+    let* structure =
+      oneof [ return None; map Option.some (oneofl Structure.all) ]
+    in
+    let* slot = int_bound 512 in
+    let* domain = int_bound 40 in
+    let* value = int_bound 1_000_000 in
+    return { Event.kind; cycle; structure; slot; domain; value })
+
+let arbitrary_events =
+  QCheck.make
+    ~print:(fun evs ->
+      String.concat "; " (List.map (Format.asprintf "%a" Event.pp) evs))
+    QCheck.Gen.(list_size (int_bound 64) event_gen)
+
+let codec_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"event codec round-trips" arbitrary_events
+    (fun evs ->
+      match Event.decode (encode_events evs) with
+      | Ok evs' -> evs = evs'
+      | Error _ -> false)
+
+let test_codec_rejects_corrupt () =
+  let good = encode_events [ { Event.kind = Event.Fill; cycle = 7;
+                               structure = Some (List.hd Structure.all);
+                               slot = 3; domain = 1; value = 5 } ] in
+  (* Truncations at every byte boundary fail cleanly. *)
+  for n = 1 to String.length good - 1 do
+    match Event.decode (String.sub good 0 n) with
+    | Error _ -> ()
+    | Ok [] -> Alcotest.fail "truncated stream decoded as empty"
+    | Ok _ -> Alcotest.failf "truncation at byte %d decoded" n
+  done;
+  (* A bad kind byte fails. *)
+  (match Event.decode "\xfe" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad kind byte accepted");
+  (* A bad structure id fails. *)
+  let buf = Buffer.create 8 in
+  Buffer.add_char buf '\x00' (* Fill *);
+  Buffer.add_char buf '\x05' (* cycle 5 *);
+  Buffer.add_char buf '\xfe' (* structure id 254: not 0xff, out of range *);
+  Buffer.add_string buf "\x00\x00\x00";
+  match Event.decode (Buffer.contents buf) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad structure id accepted"
+
+(* {1 Framing} *)
+
+let frame_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"frame_streams/unframe round-trips"
+    QCheck.(list (pair (string_of_size Gen.(int_bound 16))
+                    (string_of_size Gen.(int_bound 64))))
+    (fun streams ->
+      match Event.unframe (Event.frame_streams streams) with
+      | Ok streams' -> streams = streams'
+      | Error _ -> false)
+
+let frame_concat =
+  QCheck.Test.make ~count:100
+    ~name:"concatenation of framed streams is valid framing"
+    QCheck.(pair
+              (list (pair small_string small_string))
+              (list (pair small_string small_string)))
+    (fun (a, b) ->
+      match Event.unframe (Event.frame_streams a ^ Event.frame_streams b) with
+      | Ok streams -> streams = a @ b
+      | Error _ -> false)
+
+let test_unframe_rejects_corrupt () =
+  List.iter
+    (fun src ->
+      match Event.unframe src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "corrupt framing accepted: %S" src)
+    [ "\x05ab"; "\x02ab\x7f"; "\xff" ]
+
+(* {1 Tap} *)
+
+let test_tap_noop_and_splice () =
+  Alcotest.(check bool) "noop is disabled" false (Tap.enabled Tap.noop);
+  Tap.emit Tap.noop ~kind:Event.Fill ~cycle:1
+    ~structure:(List.hd Structure.all) ~slot:0
+    ~ctx:Exec_context.Monitor ~value:0;
+  Alcotest.(check string) "noop stays empty" "" (Tap.contents Tap.noop);
+  let t = Tap.create () in
+  let s = List.hd Structure.all in
+  Tap.emit t ~kind:Event.Fill ~cycle:1 ~structure:s ~slot:0
+    ~ctx:Exec_context.Monitor ~value:1;
+  let m = Tap.mark t in
+  Tap.emit t ~kind:Event.Evict ~cycle:2 ~structure:s ~slot:0
+    ~ctx:Exec_context.Monitor ~value:1;
+  (* Restoring a mark drops the suffix and keeps the prefix bytes —
+     even after the buffer was cleared and reused by another case,
+     which is why a mark is the bytes and not a length. *)
+  Tap.clear t;
+  Tap.emit t ~kind:Event.Flush ~cycle:9 ~structure:s ~slot:0
+    ~ctx:Exec_context.Monitor ~value:0;
+  Tap.reset_to t m;
+  Tap.emit t ~kind:Event.Hit ~cycle:3 ~structure:s ~slot:0
+    ~ctx:Exec_context.Monitor ~value:1;
+  match Event.decode (Tap.contents t) with
+  | Error e -> Alcotest.failf "spliced stream corrupt: %s" e
+  | Ok evs ->
+    Alcotest.(check (list string)) "prefix + suffix, no stale events"
+      [ "fill"; "hit" ]
+      (List.map (fun (e : Event.t) -> Event.kind_to_string e.Event.kind) evs)
+
+(* {1 Query engine} *)
+
+let synthetic_events =
+  let s0 = List.nth Structure.all 0 and s1 = List.nth Structure.all 1 in
+  [
+    { Event.kind = Event.Ctx_switch; cycle = 0; structure = None; slot = 0;
+      domain = 3; value = 4 };
+    { Event.kind = Event.Fill; cycle = 5; structure = Some s0; slot = 2;
+      domain = 4; value = 1 };
+    { Event.kind = Event.Fill; cycle = 9; structure = Some s1; slot = 0;
+      domain = 4; value = 1 };
+    { Event.kind = Event.Hit; cycle = 12; structure = Some s0; slot = 2;
+      domain = 1; value = 1 };
+    { Event.kind = Event.Residue; cycle = 20; structure = Some s0; slot = 2;
+      domain = 1; value = 1 };
+  ]
+
+let test_query_filters () =
+  let s0 = List.nth Structure.all 0 and s1 = List.nth Structure.all 1 in
+  let q = Query.of_stream (encode_events synthetic_events) in
+  Alcotest.(check int) "length" 5 (Query.length q);
+  Alcotest.(check int) "filter by kind" 2
+    (List.length (Query.filter ~kind:Event.Fill q));
+  Alcotest.(check int) "filter by structure" 3
+    (List.length (Query.filter ~structure:s0 q));
+  Alcotest.(check int) "filter by cycle window" 2
+    (List.length (Query.filter ~from_cycle:6 ~to_cycle:12 q));
+  Alcotest.(check int) "conjunction" 1
+    (List.length (Query.filter ~kind:Event.Fill ~structure:s0 q));
+  Alcotest.(check bool) "structures in Structure.all order" true
+    (Query.structures q = [ s0; s1 ]);
+  Alcotest.(check bool) "cycle span" true (Query.cycle_span q = Some (0, 20));
+  (match Query.last_before ~kind:Event.Fill ~structure:s0 q ~cycle:19 with
+  | Some e -> Alcotest.(check int) "last_before finds the write" 5 e.Event.cycle
+  | None -> Alcotest.fail "last_before missed");
+  Alcotest.(check bool) "last_before respects the bound" true
+    (Query.last_before ~kind:Event.Residue q ~cycle:19 = None)
+
+(* {1 VCD exporter} *)
+
+let test_vcd_render_validates () =
+  let stream = encode_events synthetic_events in
+  let vcd = Vcd.render [ ("case-a", stream); ("case-b", stream) ] in
+  match Vcd.validate vcd with
+  | Error e -> Alcotest.failf "rendered VCD invalid: %s" e
+  | Ok stats ->
+    (* 3 machine-wide signals + 3 per structure, 2 structures appear. *)
+    Alcotest.(check int) "signal count" 9 stats.Vcd.signals;
+    Alcotest.(check bool) "has timescale" true stats.Vcd.has_timescale;
+    Alcotest.(check bool) "changes recorded" true (stats.Vcd.changes > 0);
+    (* Two 0..20 streams laid end to end with a 10-cycle gap. *)
+    Alcotest.(check int) "last time covers both cases" (20 + 10 + 20 + 10)
+      stats.Vcd.last_time;
+    (* Determinism: same input, same bytes. *)
+    Alcotest.(check string) "render is deterministic" vcd
+      (Vcd.render [ ("case-a", stream); ("case-b", stream) ])
+
+let test_vcd_validate_rejects () =
+  let vcd = Vcd.render [ ("case", encode_events synthetic_events) ] in
+  let reject what src =
+    match Vcd.validate src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+  in
+  reject "empty input" "";
+  reject "missing enddefinitions" "$timescale 1ns $end\n";
+  reject "undeclared signal"
+    (vcd ^ "1\x7f\n");
+  (* Splice a backwards timestamp at the end. *)
+  reject "backwards timestamp" (vcd ^ "#0\n#1\n#0\n" ^ "#0\n");
+  ()
+
+(* {1 Cross-layer: runner splice, campaign determinism, provenance} *)
+
+let slice_prefix n =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take n (Teesec.Mitigation_eval.slice ())
+
+(* The snapshot engine restores setup prefixes instead of replaying
+   them; the tap's mark/splice must make the streams byte-identical to
+   from-scratch runs, including on pooled machines serving many cases. *)
+let test_runner_snapshot_wave_splice () =
+  let config = Config.boom in
+  let cases = slice_prefix 8 in
+  let fresh =
+    List.map
+      (fun tc -> (Teesec.Runner.run ~wave:true config tc).Teesec.Runner.wave)
+      cases
+  in
+  let snapshots = Teesec.Snapshot.create ~wave:true config in
+  let restored =
+    List.map
+      (fun tc ->
+        (Teesec.Runner.run ~snapshots ~wave:true config tc).Teesec.Runner.wave)
+      cases
+  in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d stream identical across snapshot restore" i)
+        true (a = b))
+    (List.combine fresh restored);
+  Alcotest.(check bool) "streams are non-empty" true
+    (List.for_all (fun s -> s <> "") fresh)
+
+(* Verdicts and provenance must not move when the tap, the job count or
+   the snapshot engine changes: 8-way differential on a slice prefix. *)
+let test_campaign_differential () =
+  let config = Config.boom in
+  let cases = slice_prefix 12 in
+  let run ~wave ~jobs ~snapshot =
+    let snapshots =
+      if snapshot then Some (Teesec.Snapshot.create ~wave config) else None
+    in
+    let r = Teesec.Campaign.run ~jobs ?snapshots ~wave config cases in
+    ( Teesec.Tables.table3_csv [ r ],
+      Provenance.list_to_json r.Teesec.Campaign.provenance,
+      r.Teesec.Campaign.waves )
+  in
+  let base_csv, base_prov, _ = run ~wave:false ~jobs:1 ~snapshot:false in
+  Alcotest.(check bool) "baseline finds provenance" true
+    (base_prov <> "[]");
+  let base_waves = ref None in
+  List.iter
+    (fun (wave, jobs, snapshot) ->
+      let csv, prov, waves = run ~wave ~jobs ~snapshot in
+      let label =
+        Printf.sprintf "wave=%b jobs=%d snapshot=%b" wave jobs snapshot
+      in
+      Alcotest.(check string) (label ^ ": verdicts identical") base_csv csv;
+      Alcotest.(check string) (label ^ ": provenance identical") base_prov prov;
+      if wave then begin
+        (* Wave streams themselves are identical across jobs/snapshot. *)
+        match !base_waves with
+        | None ->
+          Alcotest.(check int) (label ^ ": one stream per case")
+            (List.length cases) (List.length waves);
+          base_waves := Some waves
+        | Some w ->
+          Alcotest.(check bool) (label ^ ": streams identical") true (w = waves)
+      end
+      else
+        Alcotest.(check bool) (label ^ ": no streams without the tap") true
+          (waves = []))
+    [
+      (false, 4, false); (false, 1, true); (false, 4, true);
+      (true, 1, false); (true, 4, false); (true, 1, true); (true, 4, true);
+    ]
+
+(* Table 3 findings must come with non-empty causal chains on both
+   cores, and the records must survive their JSON round trip and replay
+   identically through the snapshot engine (what `explain --verify`
+   asserts). *)
+let test_provenance_chains_both_cores () =
+  List.iter
+    (fun config ->
+      let r =
+        Teesec.Campaign.run ~jobs:1 config (Teesec.Mitigation_eval.slice ())
+      in
+      let prov = r.Teesec.Campaign.provenance in
+      Alcotest.(check bool) "found cases exist" true
+        (r.Teesec.Campaign.found <> []);
+      List.iter
+        (fun case ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s has provenance"
+               config.Config.name (Teesec.Case.to_string case))
+            true
+            (List.exists
+               (fun (p : Provenance.t) ->
+                 p.Provenance.p_case = Teesec.Case.to_string case)
+               prov))
+        r.Teesec.Campaign.found;
+      List.iter
+        (fun (p : Provenance.t) ->
+          (* Ids parse back to the core, case and structure they name. *)
+          (match Provenance.parse_id p.Provenance.p_id with
+          | Ok (core, case, tcid, st) ->
+            Alcotest.(check string) "id core" p.Provenance.p_core core;
+            Alcotest.(check string) "id case" p.Provenance.p_case case;
+            Alcotest.(check int) "id testcase" p.Provenance.p_testcase_id tcid;
+            Alcotest.(check string) "id structure" p.Provenance.p_structure
+              (Simlog.Structure.to_string st);
+            Alcotest.(check bool) "core resolves" true
+              (Config.of_core_name core <> None)
+          | Error e -> Alcotest.failf "id %s does not parse: %s" p.Provenance.p_id e);
+          (* JSON round trip. *)
+          match Provenance.of_json (Provenance.to_json p) with
+          | Ok p' ->
+            Alcotest.(check bool) "json round-trips" true (Provenance.equal p p')
+          | Error e -> Alcotest.failf "provenance json rejected: %s" e)
+        prov;
+      (* Data-leakage chains name the writing access and a window. *)
+      let data_records =
+        List.filter
+          (fun (p : Provenance.t) -> p.Provenance.p_check = "data-leakage")
+          prov
+      in
+      Alcotest.(check bool) "data chains exist" true (data_records <> []);
+      List.iter
+        (fun (p : Provenance.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s names its writing access" p.Provenance.p_id)
+            true
+            (p.Provenance.p_write <> None && p.Provenance.p_window <> None))
+        data_records)
+    [ Config.boom; Config.xiangshan ]
+
+let test_provenance_list_json () =
+  let r =
+    Teesec.Campaign.run ~jobs:1 Config.boom (slice_prefix 6)
+  in
+  let prov = r.Teesec.Campaign.provenance in
+  match Provenance.list_of_json (Provenance.list_to_json prov) with
+  | Ok prov' ->
+    Alcotest.(check bool) "list json round-trips" true
+      (List.length prov = List.length prov'
+      && List.for_all2 Provenance.equal prov prov')
+  | Error e -> Alcotest.failf "list json rejected: %s" e
+
+(* Campaign waves render to a VCD the strict validator accepts — the CI
+   smoke step in miniature. *)
+let test_campaign_wave_vcd () =
+  let r = Teesec.Campaign.run ~jobs:1 ~wave:true Config.boom (slice_prefix 6) in
+  match Vcd.validate (Vcd.render r.Teesec.Campaign.waves) with
+  | Ok stats ->
+    Alcotest.(check bool) "signals and changes present" true
+      (stats.Vcd.signals > 0 && stats.Vcd.changes > 0 && stats.Vcd.last_time > 0)
+  | Error e -> Alcotest.failf "campaign VCD invalid: %s" e
+
+let () =
+  Alcotest.run "wave"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest codec_roundtrip;
+          Alcotest.test_case "corrupt streams are errors" `Quick
+            test_codec_rejects_corrupt;
+          QCheck_alcotest.to_alcotest frame_roundtrip;
+          QCheck_alcotest.to_alcotest frame_concat;
+          Alcotest.test_case "corrupt framing is an error" `Quick
+            test_unframe_rejects_corrupt;
+        ] );
+      ( "tap",
+        [
+          Alcotest.test_case "noop is inert; mark/reset splices bytes" `Quick
+            test_tap_noop_and_splice;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "filters, structures, span, last_before" `Quick
+            test_query_filters;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "render validates and is deterministic" `Quick
+            test_vcd_render_validates;
+          Alcotest.test_case "validator rejects malformed files" `Quick
+            test_vcd_validate_rejects;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "snapshot restore splices streams exactly"
+            `Quick test_runner_snapshot_wave_splice;
+          Alcotest.test_case
+            "verdicts+provenance identical across wave/jobs/snapshot" `Slow
+            test_campaign_differential;
+          Alcotest.test_case "Table 3 findings carry causal chains (both cores)"
+            `Slow test_provenance_chains_both_cores;
+          Alcotest.test_case "provenance list JSON round-trips" `Quick
+            test_provenance_list_json;
+          Alcotest.test_case "campaign waves render to valid VCD" `Quick
+            test_campaign_wave_vcd;
+        ] );
+    ]
